@@ -1,0 +1,542 @@
+(* Benchmark harness regenerating every table and figure of the paper's
+   evaluation (Section IV), plus ablations of the design choices called
+   out in DESIGN.md and Bechamel micro-benchmarks of the hot kernels.
+
+   Usage:
+     dune exec bench/main.exe                  # everything
+     dune exec bench/main.exe fig6|fig7|fig8|fig9|table1|ablation|kernels
+     dune exec bench/main.exe fig6 --full      # undecimated grids
+*)
+
+let full_grids = ref false
+
+(* ------------------------------------------------------------------ *)
+(* shared experiment state: one extraction of the output buffer, the
+   CAFFEINE baseline on the same dataset, and the Fig. 9 validations    *)
+
+type experiment = {
+  outcome : Tft_rvf.Pipeline.outcome;
+  caffeine : Caffeine.Cfit.result;
+  v_rvf : Tft_rvf.Report.validation;
+  v_caffeine : Tft_rvf.Report.validation;
+}
+
+let experiment =
+  lazy
+    (let outcome = Tft_rvf.Pipeline.extract_buffer () in
+     let caffeine =
+       Caffeine.Cfit.extract ~dataset:outcome.Tft_rvf.Pipeline.dataset ~input:0
+         ~output:0 ()
+     in
+     let netlist = Circuits.Buffer.netlist () in
+     let wave = Circuits.Buffer.bit_wave ~rate:2.5e9 ~length:32 () in
+     let t_stop = 32.0 /. 2.5e9 in
+     let dt = t_stop /. 2560.0 in
+     let validate model =
+       Tft_rvf.Report.validate ~model ~netlist ~input:Circuits.Buffer.input_name
+         ~output:Circuits.Buffer.output ~wave ~t_stop ~dt ()
+     in
+     {
+       outcome;
+       caffeine;
+       v_rvf = validate outcome.Tft_rvf.Pipeline.model;
+       v_caffeine = validate caffeine.Caffeine.Cfit.model;
+     })
+
+let deg_of_rad r = r *. 180.0 /. Float.pi
+
+let sample_stride samples = if !full_grids then 1 else Stdlib.max 1 (samples / 26)
+let freq_stride freqs = if !full_grids then 1 else Stdlib.max 1 (freqs / 20)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 6: the TFT hyperplane of the buffer                             *)
+
+let fig6 () =
+  let e = Lazy.force experiment in
+  let ds = Tft_rvf.Pipeline.(e.outcome.dataset) in
+  let ds = Tft.Dataset.sort_by_x0 ds in
+  let freqs = ds.Tft.Dataset.freqs_hz in
+  Printf.printf "## Fig. 6: TFT magnitude/phase hyperplane vs (state x, frequency f)\n";
+  Printf.printf "# x [V]   f [Hz]      gain [dB]   phase [deg]\n";
+  let ss = sample_stride (Array.length ds.Tft.Dataset.samples) in
+  let fs = freq_stride (Array.length freqs) in
+  Array.iteri
+    (fun k (s : Tft.Dataset.sample) ->
+      if k mod ss = 0 then begin
+        Array.iteri
+          (fun l f ->
+            if l mod fs = 0 then begin
+              let h = Linalg.Cmat.get s.Tft.Dataset.h.(l) 0 0 in
+              Printf.printf "%8.4f %11.4e %11.3f %11.2f\n" s.Tft.Dataset.x.(0) f
+                (Signal.Metrics.db20 (Complex.norm h))
+                (deg_of_rad (Complex.arg h))
+            end)
+          freqs;
+        print_newline ()
+      end)
+    ds.Tft.Dataset.samples
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 7/8 helper: modeled hyperplane and error contours               *)
+
+let model_surface ~label model =
+  let e = Lazy.force experiment in
+  let ds = Tft.Dataset.sort_by_x0 Tft_rvf.Pipeline.(e.outcome.dataset) in
+  let freqs = ds.Tft.Dataset.freqs_hz in
+  Printf.printf "# x [V]   f [Hz]      gain [dB]   phase [deg]   gain err [dB]  phase err [deg]\n";
+  let ss = sample_stride (Array.length ds.Tft.Dataset.samples) in
+  let fs = freq_stride (Array.length freqs) in
+  let max_gain_err = ref neg_infinity and max_phase_err = ref 0.0 in
+  let gain_floor = 1e-4 in
+  Array.iteri
+    (fun k (s : Tft.Dataset.sample) ->
+      let x = s.Tft.Dataset.x.(0) in
+      Array.iteri
+        (fun l f ->
+          let data = Linalg.Cmat.get s.Tft.Dataset.h.(l) 0 0 in
+          let t = Hammerstein.Hmodel.transfer model ~x ~s:(Signal.Grid.s_of_hz f) in
+          let gain_err = Signal.Metrics.db20 (Complex.norm (Complex.sub t data)) in
+          let phase_err =
+            let d = deg_of_rad (Complex.arg t -. Complex.arg data) in
+            let d = Float.rem (d +. 540.0) 360.0 -. 180.0 in
+            Float.abs d
+          in
+          (* the paper notes the large phase errors sit where the gain is
+             negligible; report the max over meaningful-gain points *)
+          if Complex.norm data > gain_floor then begin
+            max_gain_err := Float.max !max_gain_err gain_err;
+            max_phase_err := Float.max !max_phase_err phase_err
+          end;
+          if k mod ss = 0 && l mod fs = 0 then
+            Printf.printf "%8.4f %11.4e %11.3f %11.2f %13.2f %13.2f\n" x f
+              (Signal.Metrics.db20 (Complex.norm t))
+              (deg_of_rad (Complex.arg t))
+              gain_err phase_err)
+        freqs;
+      if k mod ss = 0 then print_newline ())
+    ds.Tft.Dataset.samples;
+  let se =
+    Tft_rvf.Report.surface_error ~model
+      ~dataset:Tft_rvf.Pipeline.(e.outcome.dataset)
+      ~input:0 ~output:0
+  in
+  Printf.printf
+    "# %s summary: surface rms %.1f dB, max gain error %.1f dB, max phase error %.1f deg (gain > %.0e)\n"
+    label se.Tft_rvf.Report.rms_db !max_gain_err !max_phase_err gain_floor
+
+let fig7 () =
+  let e = Lazy.force experiment in
+  Printf.printf "## Fig. 7: RVF-modeled TFT hyperplane and error contours\n";
+  model_surface ~label:"RVF" Tft_rvf.Pipeline.(e.outcome.model)
+
+let fig8 () =
+  let e = Lazy.force experiment in
+  Printf.printf "## Fig. 8: CAFFEINE-modeled TFT error contours\n";
+  model_surface ~label:"CAFFEINE" e.caffeine.Caffeine.Cfit.model
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 9: time-domain bit-pattern response                             *)
+
+let fig9 () =
+  let e = Lazy.force experiment in
+  Printf.printf "## Fig. 9: response to a 2.5 GS/s bit pattern\n";
+  Printf.printf "# t [s]      SPICE [V]    RVF [V]     CAFFEINE [V]\n";
+  let w_ref = e.v_rvf.Tft_rvf.Report.reference in
+  let w_rvf = e.v_rvf.Tft_rvf.Report.modeled in
+  let w_caf = e.v_caffeine.Tft_rvf.Report.modeled in
+  let times = Signal.Waveform.times w_ref in
+  let stride = if !full_grids then 1 else Stdlib.max 1 (Array.length times / 256) in
+  Array.iteri
+    (fun k t ->
+      if k mod stride = 0 then
+        Printf.printf "%.6e %11.6f %11.6f %11.6f\n" t
+          (Signal.Waveform.values w_ref).(k)
+          (Signal.Waveform.value_at w_rvf t)
+          (Signal.Waveform.value_at w_caf t))
+    times;
+  Printf.printf "# RVF      rmse %.4e V (nrmse %.1f dB)\n" e.v_rvf.Tft_rvf.Report.rmse
+    e.v_rvf.Tft_rvf.Report.nrmse_db;
+  Printf.printf "# CAFFEINE rmse %.4e V (nrmse %.1f dB)\n"
+    e.v_caffeine.Tft_rvf.Report.rmse e.v_caffeine.Tft_rvf.Report.nrmse_db
+
+(* ------------------------------------------------------------------ *)
+(* Table I                                                              *)
+
+let table1 () =
+  let e = Lazy.force experiment in
+  let se model =
+    Tft_rvf.Report.surface_error ~model
+      ~dataset:Tft_rvf.Pipeline.(e.outcome.dataset)
+      ~input:0 ~output:0
+  in
+  let se_rvf = se Tft_rvf.Pipeline.(e.outcome.model) in
+  let se_caf = se e.caffeine.Caffeine.Cfit.model in
+  let rvf_build =
+    Tft_rvf.Pipeline.(e.outcome.timing.train_seconds
+                      +. e.outcome.timing.tft_seconds
+                      +. e.outcome.timing.fit_seconds)
+  in
+  let caf_build =
+    Tft_rvf.Pipeline.(e.outcome.timing.train_seconds
+                      +. e.outcome.timing.tft_seconds)
+    +. e.caffeine.Caffeine.Cfit.build_seconds
+  in
+  Printf.printf "## Table I: comparison between the RVF and CAFFEINE models\n";
+  Printf.printf "# paper reference (4 GHz dual quad-core, ELDO + UMC 0.13um):\n";
+  Printf.printf "#   RVF : -62 dB | 0.0098 | 2 min | 7X  | YES\n";
+  Printf.printf "#   CAFF: -22 dB | 0.0138 | 7 min | 12X | NO\n";
+  Printf.printf "%-9s %-12s %-12s %-12s %-9s %-9s\n" "Model" "Freq RMSE" "Time RMSE"
+    "Build time" "Speedup" "Automated";
+  Printf.printf "%-9s %-12s %-12.4f %-12s %-9s %-9s\n" "RVF"
+    (Printf.sprintf "%.1f dB" se_rvf.Tft_rvf.Report.rms_db)
+    e.v_rvf.Tft_rvf.Report.rmse
+    (Printf.sprintf "%.2f s" rvf_build)
+    (Printf.sprintf "%.0fX" e.v_rvf.Tft_rvf.Report.speedup)
+    (if Hammerstein.Hmodel.analytic Tft_rvf.Pipeline.(e.outcome.model) then "YES"
+     else "NO");
+  Printf.printf "%-9s %-12s %-12.4f %-12s %-9s %-9s\n" "CAFF"
+    (Printf.sprintf "%.1f dB" se_caf.Tft_rvf.Report.rms_db)
+    e.v_caffeine.Tft_rvf.Report.rmse
+    (Printf.sprintf "%.2f s" caf_build)
+    (Printf.sprintf "%.0fX" e.v_caffeine.Tft_rvf.Report.speedup)
+    (if e.caffeine.Caffeine.Cfit.automated then "YES" else "NO");
+  Printf.printf
+    "# CAFFEINE closed-form integrable terms: %d of %d (numeric fallback for the rest)\n"
+    e.caffeine.Caffeine.Cfit.integrable_terms e.caffeine.Caffeine.Cfit.total_terms
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                            *)
+
+let surface_of_outcome (o : Tft_rvf.Pipeline.outcome) =
+  Tft_rvf.Report.surface_error ~model:o.Tft_rvf.Pipeline.model
+    ~dataset:o.Tft_rvf.Pipeline.dataset ~input:0 ~output:0
+
+let ablation_samples () =
+  Printf.printf "\n# ablation: TFT training-sample count (paper: ~100 suffice)\n";
+  Printf.printf "%-10s %-12s %-14s %-10s\n" "samples" "freq poles" "surface rms"
+    "fit time";
+  List.iter
+    (fun snapshots ->
+      let config = Tft_rvf.Pipeline.buffer_config ~snapshots () in
+      let o = Tft_rvf.Pipeline.extract_buffer ~config () in
+      let se = surface_of_outcome o in
+      Printf.printf "%-10d %-12d %-14s %-10s\n"
+        (Array.length o.Tft_rvf.Pipeline.dataset.Tft.Dataset.samples)
+        o.Tft_rvf.Pipeline.rvf.Rvf.freq_info.Vf.Vfit.pole_count
+        (Printf.sprintf "%.1f dB" se.Tft_rvf.Report.rms_db)
+        (Printf.sprintf "%.2f s" o.Tft_rvf.Pipeline.timing.Tft_rvf.Pipeline.fit_seconds))
+    [ 25; 50; 100; 200 ]
+
+let ablation_relax () =
+  Printf.printf "\n# ablation: relaxed vs non-relaxed VF normalization (frequency stage)\n";
+  let e = Lazy.force experiment in
+  let ds = Tft_rvf.Pipeline.(e.outcome.dataset) in
+  List.iter
+    (fun relax ->
+      let config =
+        {
+          Rvf.default_config with
+          Rvf.freq_opts = { Vf.Vfit.default_frequency_opts with Vf.Vfit.relax };
+          max_state_poles = 24;
+          min_imag_fraction = 0.03;
+        }
+      in
+      let stage = Rvf.frequency_stage ~config ~dataset:ds ~input:0 ~output:0 () in
+      Printf.printf "  relax=%-5b -> %d poles, rms %.3e\n" relax
+        stage.Rvf.fs_info.Vf.Vfit.pole_count stage.Rvf.fs_info.Vf.Vfit.rms)
+    [ true; false ]
+
+let ablation_split () =
+  Printf.printf "\n# ablation: static/dynamic split (fit H - H(0) vs raw H)\n";
+  let e = Lazy.force experiment in
+  let ds = Tft_rvf.Pipeline.(e.outcome.dataset) in
+  (* zero out the DC part so dynamic_part subtracts nothing *)
+  let no_split =
+    {
+      ds with
+      Tft.Dataset.samples =
+        Array.map
+          (fun (s : Tft.Dataset.sample) ->
+            {
+              s with
+              Tft.Dataset.h0 =
+                Linalg.Cmat.create
+                  (Linalg.Cmat.rows s.Tft.Dataset.h0)
+                  (Linalg.Cmat.cols s.Tft.Dataset.h0);
+            })
+          ds.Tft.Dataset.samples;
+    }
+  in
+  List.iter
+    (fun (label, dataset) ->
+      let config =
+        { Rvf.default_config with Rvf.max_state_poles = 24; min_imag_fraction = 0.03 }
+      in
+      let r = Rvf.extract ~config ~dataset ~input:0 ~output:0 () in
+      let se =
+        Tft_rvf.Report.surface_error ~model:r.Rvf.model
+          ~dataset:Tft_rvf.Pipeline.(e.outcome.dataset)
+          ~input:0 ~output:0
+      in
+      Printf.printf "  %-10s -> freq poles %2d, surface rms %.1f dB\n" label
+        r.Rvf.freq_info.Vf.Vfit.pole_count se.Tft_rvf.Report.rms_db)
+    [ ("split", ds); ("no-split", no_split) ]
+
+let ablation_training_freq () =
+  Printf.printf
+    "\n# ablation: training pump frequency (slower pump = less trajectory hysteresis)\n";
+  Printf.printf "%-12s %-14s %-12s\n" "pump [Hz]" "surface rms" "state poles";
+  List.iter
+    (fun freq ->
+      let period = 1.0 /. freq in
+      let base = Tft_rvf.Pipeline.buffer_config () in
+      let config =
+        {
+          base with
+          Tft_rvf.Pipeline.training =
+            {
+              Tft_rvf.Pipeline.wave = Circuits.Buffer.training_wave ~freq ();
+              t_stop = period;
+              dt = period /. 400.0;
+              snapshot_every = 4;
+            };
+        }
+      in
+      let o = Tft_rvf.Pipeline.extract_buffer ~config () in
+      let se = surface_of_outcome o in
+      Printf.printf "%-12.0e %-14s %-12d\n" freq
+        (Printf.sprintf "%.1f dB" se.Tft_rvf.Report.rms_db)
+        o.Tft_rvf.Pipeline.rvf.Rvf.residue_info.Vf.Vfit.pole_count)
+    [ 50e6; 10e6; 1e6 ]
+
+let ablation_integration () =
+  Printf.printf "\n# ablation: training transient integrator (snapshot quality)\n";
+  List.iter
+    (fun (label, integration) ->
+      let netlist = Circuits.Buffer.netlist () in
+      let base = Tft_rvf.Pipeline.buffer_config () in
+      let training_netlist_mna =
+        Engine.Mna.build ~inputs:[ Circuits.Buffer.input_name ]
+          ~outputs:[ Circuits.Buffer.output ]
+          (Circuit.Netlist.make
+             (List.map
+                (fun (c : Circuit.Netlist.component) ->
+                  if c.name = Circuits.Buffer.input_name then
+                    Circuit.Netlist.vsource ~name:c.name "in" "0"
+                      base.Tft_rvf.Pipeline.training.Tft_rvf.Pipeline.wave
+                  else c)
+                netlist.Circuit.Netlist.components))
+      in
+      let opts =
+        { Engine.Tran.default_opts with Engine.Tran.integration; snapshot_every = 4 }
+      in
+      let run =
+        Engine.Tran.run ~opts training_netlist_mna
+          ~t_stop:base.Tft_rvf.Pipeline.training.Tft_rvf.Pipeline.t_stop
+          ~dt:base.Tft_rvf.Pipeline.training.Tft_rvf.Pipeline.dt
+      in
+      let est = Tft.Estimator.make () in
+      let ds =
+        Tft.Dataset.of_snapshots ~mna:training_netlist_mna ~estimator:est
+          ~freqs_hz:base.Tft_rvf.Pipeline.freqs_hz run.Engine.Tran.snapshots
+      in
+      let r =
+        Rvf.extract ~config:base.Tft_rvf.Pipeline.rvf ~dataset:ds ~input:0
+          ~output:0 ()
+      in
+      let se =
+        Tft_rvf.Report.surface_error ~model:r.Rvf.model ~dataset:ds ~input:0
+          ~output:0
+      in
+      Printf.printf "  %-18s -> surface rms %.1f dB\n" label se.Tft_rvf.Report.rms_db)
+    [ ("trapezoidal", Engine.Tran.Trapezoidal);
+      ("backward-euler", Engine.Tran.Backward_euler) ]
+
+let ablation_tpw () =
+  Printf.printf
+    "\n# baseline: trajectory-piecewise (TPW) snapshot database (ref. [1] of the paper)\n";
+  let e = Lazy.force experiment in
+  let o = e.outcome in
+  let tpw =
+    Tft.Tpw.build ~mna:o.Tft_rvf.Pipeline.mna
+      o.Tft_rvf.Pipeline.training_run.Engine.Tran.snapshots
+  in
+  let wave = Circuits.Buffer.bit_wave () in
+  let u = Circuit.Netlist.wave_to_source wave in
+  let t_stop = 32.0 /. 2.5e9 in
+  let dt = t_stop /. 2560.0 in
+  let w_ref = e.v_rvf.Tft_rvf.Report.reference in
+  let t0 = Sys.time () in
+  let w_tpw = Tft.Tpw.simulate tpw ~u ~t_stop ~dt in
+  let t_tpw = Sys.time () -. t0 in
+  Printf.printf "%-10s %-12s %-12s %-14s\n" "model" "NRMSE [dB]" "sim time" "runtime data";
+  Printf.printf "%-10s %-12.1f %-12s %-14s\n" "TPW"
+    (Signal.Metrics.db20 (Signal.Waveform.nrmse w_ref w_tpw))
+    (Printf.sprintf "%.3f s" t_tpw)
+    (Printf.sprintf "%.0f kB" (float_of_int (Tft.Tpw.size_in_floats tpw) *. 8.0 /. 1024.0));
+  Printf.printf "%-10s %-12.1f %-12s %-14s\n" "RVF"
+    e.v_rvf.Tft_rvf.Report.nrmse_db
+    (Printf.sprintf "%.4f s" e.v_rvf.Tft_rvf.Report.model_seconds)
+    (Printf.sprintf "%d-state analytical ODE" (Hammerstein.Hmodel.order o.Tft_rvf.Pipeline.model))
+
+let ablation_eps () =
+  Printf.printf
+    "\n# ablation: error bound eps (the paper's complexity/accuracy trade-off)\n";
+  Printf.printf "%-10s %-12s %-12s %-14s %-10s\n" "eps" "freq poles" "state poles"
+    "surface rms" "fit time";
+  let e = Lazy.force experiment in
+  let ds = Tft_rvf.Pipeline.(e.outcome.dataset) in
+  List.iter
+    (fun eps ->
+      let config =
+        {
+          Rvf.default_config with
+          Rvf.eps;
+          max_freq_poles = 16;
+          max_state_poles = 24;
+          min_imag_fraction = 0.03;
+        }
+      in
+      let t0 = Sys.time () in
+      let r = Rvf.extract ~config ~dataset:ds ~input:0 ~output:0 () in
+      let dt = Sys.time () -. t0 in
+      let se =
+        Tft_rvf.Report.surface_error ~model:r.Rvf.model ~dataset:ds ~input:0
+          ~output:0
+      in
+      Printf.printf "%-10.0e %-12d %-12d %-14s %-10s\n" eps
+        r.Rvf.freq_info.Vf.Vfit.pole_count r.Rvf.residue_info.Vf.Vfit.pole_count
+        (Printf.sprintf "%.1f dB" se.Tft_rvf.Report.rms_db)
+        (Printf.sprintf "%.2f s" dt))
+    [ 3e-2; 1e-2; 3e-3; 1e-3 ]
+
+let ablation_adaptive () =
+  Printf.printf
+    "\n# ablation: fixed vs adaptive-step reference transient (Fig. 9 input)\n";
+  let mna = Circuits.Buffer.mna ~input_wave:(Circuits.Buffer.bit_wave ()) () in
+  let t_stop = 32.0 /. 2.5e9 in
+  let t0 = Sys.time () in
+  let fixed = Engine.Tran.run mna ~t_stop ~dt:(t_stop /. 2560.0) in
+  let t_fixed = Sys.time () -. t0 in
+  let t1 = Sys.time () in
+  let adap = Engine.Tran.run_adaptive mna ~t_stop ~dt:(t_stop /. 2560.0) ~reltol:1e-3 in
+  let t_adap = Sys.time () -. t1 in
+  let grid = Signal.Grid.linspace (t_stop /. 1000.0) (0.999 *. t_stop) 512 in
+  let wf = Signal.Waveform.resample (Engine.Tran.output_waveform fixed 0) grid in
+  let wa = Signal.Waveform.resample (Engine.Tran.output_waveform adap 0) grid in
+  Printf.printf "  fixed: %d steps, %.3f s | adaptive: %d steps, %.3f s | nrmse %.1f dB\n"
+    (Array.length fixed.Engine.Tran.times) t_fixed
+    (Array.length adap.Engine.Tran.times) t_adap
+    (Signal.Metrics.db20 (Signal.Waveform.nrmse wf wa))
+
+let ablation () =
+  Printf.printf "## Ablations of DESIGN.md design choices\n";
+  ablation_eps ();
+  ablation_adaptive ();
+  ablation_relax ();
+  ablation_samples ();
+  ablation_split ();
+  ablation_training_freq ();
+  ablation_integration ();
+  ablation_tpw ()
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel kernel micro-benchmarks                                     *)
+
+let kernels () =
+  let open Bechamel in
+  Printf.printf "## Bechamel kernels (monotonic clock, ns/run)\n%!";
+  let e = Lazy.force experiment in
+  let model = Tft_rvf.Pipeline.(e.outcome.model) in
+  let mna = Circuits.Buffer.mna ~input_wave:(Circuits.Buffer.bit_wave ()) () in
+  let dc = Engine.Dc.solve mna in
+  let ev = Engine.Mna.eval mna ~time:0.0 dc in
+  let g, c =
+    match (ev.Engine.Mna.g_mat, ev.Engine.Mna.c_mat) with
+    | Some g, Some c -> (g, c)
+    | _, _ -> assert false
+  in
+  let b = Engine.Mna.b_matrix mna and d = Engine.Mna.d_matrix mna in
+  let u = Circuit.Netlist.wave_to_source (Circuits.Buffer.bit_wave ()) in
+  let t_bit = 32.0 /. 2.5e9 in
+  let tests =
+    [
+      Test.make ~name:"spice_transient_32bits"
+        (Staged.stage (fun () ->
+             ignore (Engine.Tran.run mna ~t_stop:t_bit ~dt:(t_bit /. 640.0))));
+      Test.make ~name:"hammerstein_sim_32bits"
+        (Staged.stage (fun () ->
+             ignore (Hammerstein.Hmodel.simulate model ~u ~t_stop:t_bit
+                       ~dt:(t_bit /. 640.0))));
+      Test.make ~name:"mna_eval_jacobians"
+        (Staged.stage (fun () -> ignore (Engine.Mna.eval mna ~time:0.0 dc)));
+      Test.make ~name:"tft_pencil_solve"
+        (Staged.stage (fun () ->
+             ignore
+               (Engine.Ac.transfer_at ~g ~c ~b ~d ~s:(Signal.Grid.s_of_hz 1e9))));
+      Test.make ~name:"model_transfer_eval"
+        (Staged.stage (fun () ->
+             ignore
+               (Hammerstein.Hmodel.transfer model ~x:0.9
+                  ~s:(Signal.Grid.s_of_hz 1e9))));
+    ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false
+      ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let stats = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Printf.printf "  %-28s %12.1f ns/run\n%!" name est
+          | Some _ | None -> Printf.printf "  %-28s (no estimate)\n%!" name)
+        stats)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let all_targets =
+  [
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("table1", table1);
+    ("ablation", ablation);
+    ("kernels", kernels);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--full" then begin
+          full_grids := true;
+          false
+        end
+        else true)
+      args
+  in
+  let targets =
+    match args with
+    | [] -> List.map fst all_targets
+    | names -> names
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name all_targets with
+      | Some f ->
+          f ();
+          print_newline ()
+      | None ->
+          Printf.eprintf "unknown bench target %S (available: %s)\n" name
+            (String.concat ", " (List.map fst all_targets));
+          exit 1)
+    targets

@@ -1,0 +1,1 @@
+bin/spice_sim.ml: Arg Array Circuit Cmd Cmdliner Complex Engine Float List Printf Signal Term

@@ -1,0 +1,1 @@
+bin/spice_sim.mli:

@@ -1,0 +1,1 @@
+bin/tft_extract.ml: Arg Circuit Cmd Cmdliner Engine Float Hammerstein Logs Printf Rvf Term Tft_rvf

@@ -1,0 +1,1 @@
+bin/tft_extract.mli:

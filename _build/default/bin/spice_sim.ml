@@ -1,0 +1,86 @@
+(* A small SPICE-like driver for the simulation engine:
+
+     spice_sim dc -i netlist.cir
+     spice_sim ac -i netlist.cir --input Vin --output out --fmin 1 --fmax 1e9
+     spice_sim tran -i netlist.cir --tstop 1e-6 --dt 1e-9 --output out
+*)
+
+open Cmdliner
+
+let netlist_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "i"; "netlist" ] ~docv:"FILE" ~doc:"SPICE-like netlist file.")
+
+let load path = Circuit.Parser.parse_file path
+
+let dc_cmd =
+  let run path =
+    let netlist = load path in
+    let mna = Engine.Mna.build netlist in
+    let v = Engine.Dc.solve mna in
+    List.iter
+      (fun node ->
+        Printf.printf "V(%s) = %.9g\n" node v.(Engine.Mna.node_index mna node))
+      (Circuit.Netlist.nodes netlist)
+  in
+  Cmd.v (Cmd.info "dc" ~doc:"DC operating point") Term.(const run $ netlist_arg)
+
+let input_arg =
+  Arg.(value & opt string "Vin" & info [ "input" ] ~doc:"Input source name.")
+
+let output_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "output" ] ~docv:"NODE" ~doc:"Observed node.")
+
+let ac_cmd =
+  let run path input output f_min f_max points =
+    let netlist = load path in
+    let mna =
+      Engine.Mna.build ~inputs:[ input ]
+        ~outputs:[ Engine.Mna.Node output ]
+        netlist
+    in
+    let at = Engine.Dc.solve mna in
+    let freqs = Signal.Grid.frequencies_hz ~f_min ~f_max ~points in
+    let h = Engine.Ac.sweep_siso mna ~at ~freqs_hz:freqs in
+    Printf.printf "# f [Hz]  |H|  gain [dB]  phase [deg]\n";
+    Array.iteri
+      (fun k f ->
+        let g = Complex.norm h.(k) in
+        Printf.printf "%.6e %.6e %.3f %.3f\n" f g
+          (Signal.Metrics.db20 g)
+          (Complex.arg h.(k) *. 180.0 /. Float.pi))
+      freqs
+  in
+  Cmd.v
+    (Cmd.info "ac" ~doc:"small-signal frequency sweep")
+    Term.(
+      const run $ netlist_arg $ input_arg $ output_arg
+      $ Arg.(value & opt float 1e3 & info [ "fmin" ] ~doc:"Start frequency [Hz].")
+      $ Arg.(value & opt float 1e9 & info [ "fmax" ] ~doc:"Stop frequency [Hz].")
+      $ Arg.(value & opt int 50 & info [ "points" ] ~doc:"Sweep points."))
+
+let tran_cmd =
+  let run path output t_stop dt =
+    let netlist = load path in
+    let mna = Engine.Mna.build ~outputs:[ Engine.Mna.Node output ] netlist in
+    let res = Engine.Tran.run mna ~t_stop ~dt in
+    let w = Engine.Tran.output_waveform res 0 in
+    Printf.printf "# t [s]  V(%s) [V]\n" output;
+    let times = Signal.Waveform.times w and values = Signal.Waveform.values w in
+    Array.iteri (fun k t -> Printf.printf "%.9e %.9e\n" t values.(k)) times
+  in
+  Cmd.v
+    (Cmd.info "tran" ~doc:"nonlinear transient analysis")
+    Term.(
+      const run $ netlist_arg $ output_arg
+      $ Arg.(value & opt float 1e-6 & info [ "tstop" ] ~doc:"Stop time [s].")
+      $ Arg.(value & opt float 1e-9 & info [ "dt" ] ~doc:"Time step [s]."))
+
+let () =
+  let doc = "MNA circuit simulator (DC / AC / transient)" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "spice_sim" ~doc) [ dc_cmd; ac_cmd; tran_cmd ]))

@@ -1,0 +1,128 @@
+(* Command-line front end for the extraction pipeline:
+
+     tft_extract -i netlist.cir --input Vin --output out \
+       --train-freq 1e6 --train-ampl 0.5 --train-offset 0.3 \
+       --fmin 1e4 --fmax 1e9 -o model.va
+*)
+
+let run netlist_path input output output_diff train_freq train_ampl train_offset
+    f_min f_max points eps snapshots out_path export_format verbose =
+  if verbose then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.Info)
+  end;
+  let netlist = Circuit.Parser.parse_file netlist_path in
+  let out_spec =
+    match (output, output_diff) with
+    | Some node, None -> Engine.Mna.Node node
+    | None, Some (p, n) -> Engine.Mna.Diff (p, n)
+    | Some _, Some _ -> failwith "give either --output or --output-diff, not both"
+    | None, None -> failwith "an output (--output or --output-diff) is required"
+  in
+  let period = 1.0 /. train_freq in
+  let steps = snapshots * 4 in
+  let training =
+    {
+      Tft_rvf.Pipeline.wave =
+        Circuit.Netlist.Sine
+          {
+            offset = train_offset;
+            ampl = train_ampl;
+            freq = train_freq;
+            phase = -.Float.pi /. 2.0;
+          };
+      t_stop = period;
+      dt = period /. float_of_int steps;
+      snapshot_every = 4;
+    }
+  in
+  let config =
+    let base = Tft_rvf.Pipeline.default_config_for ~points ~f_min ~f_max ~training () in
+    { base with Tft_rvf.Pipeline.rvf = { base.Tft_rvf.Pipeline.rvf with Rvf.eps } }
+  in
+  let outcome = Tft_rvf.Pipeline.extract ~config ~netlist ~input ~output:out_spec () in
+  print_string (Tft_rvf.Report.summary outcome);
+  let model = outcome.Tft_rvf.Pipeline.model in
+  let text =
+    match export_format with
+    | "verilog-a" -> Hammerstein.Export.verilog_a model
+    | "matlab" -> Hammerstein.Export.matlab model
+    | "equations" -> Hammerstein.Hmodel.equations model
+    | other -> failwith (Printf.sprintf "unknown export format %S" other)
+  in
+  match out_path with
+  | None -> print_string text
+  | Some path ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+
+open Cmdliner
+
+let netlist_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "i"; "netlist" ] ~docv:"FILE" ~doc:"SPICE-like netlist file.")
+
+let input_arg =
+  Arg.(
+    value & opt string "Vin"
+    & info [ "input" ] ~docv:"NAME" ~doc:"Input source component name.")
+
+let output_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "output" ] ~docv:"NODE" ~doc:"Output node.")
+
+let output_diff_arg =
+  Arg.(
+    value
+    & opt (some (pair ~sep:',' string string)) None
+    & info [ "output-diff" ] ~docv:"P,N" ~doc:"Differential output node pair.")
+
+let ffloat names ~default ~doc =
+  Arg.(value & opt float default & info names ~doc)
+
+let points_arg =
+  Arg.(value & opt int 40 & info [ "points" ] ~doc:"Frequency grid points.")
+
+let snapshots_arg =
+  Arg.(value & opt int 100 & info [ "snapshots" ] ~doc:"TFT trajectory samples.")
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the exported model here.")
+
+let format_arg =
+  Arg.(
+    value & opt string "equations"
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:"Export format: equations, verilog-a or matlab.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log fitting progress.")
+
+let cmd =
+  let doc =
+    "extract an analytical Hammerstein model from a nonlinear analog circuit \
+     by recursive vector fitting of transfer function trajectories"
+  in
+  Cmd.v
+    (Cmd.info "tft_extract" ~doc)
+    Term.(
+      const run $ netlist_arg $ input_arg $ output_arg $ output_diff_arg
+      $ ffloat [ "train-freq" ] ~default:1e6 ~doc:"Training sine frequency [Hz]."
+      $ ffloat [ "train-ampl" ] ~default:0.5 ~doc:"Training sine amplitude [V]."
+      $ ffloat [ "train-offset" ] ~default:0.0 ~doc:"Training sine offset [V]."
+      $ ffloat [ "fmin" ] ~default:1e3 ~doc:"Lowest TFT frequency [Hz]."
+      $ ffloat [ "fmax" ] ~default:1e10 ~doc:"Highest TFT frequency [Hz]."
+      $ points_arg
+      $ ffloat [ "eps" ] ~default:1e-3 ~doc:"RVF error bound (relative)."
+      $ snapshots_arg $ out_arg $ format_arg $ verbose_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/bit_pattern.ml: Array Caffeine Circuits Printf Signal Tft_rvf

@@ -1,0 +1,1 @@
+examples/bjt_stage.ml: Array Circuit Circuits Printf Signal Tft_rvf

@@ -1,0 +1,1 @@
+examples/bjt_stage.mli:

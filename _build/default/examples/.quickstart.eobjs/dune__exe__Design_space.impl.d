@@ -1,0 +1,1 @@
+examples/design_space.ml: Circuit Circuits List Printf Signal Tft_rvf

@@ -1,0 +1,1 @@
+examples/output_buffer.ml: Array Circuit Circuits Complex Float Hammerstein List Logs Printf Rvf Signal Tft_rvf Vf

@@ -1,0 +1,1 @@
+examples/output_buffer.mli:

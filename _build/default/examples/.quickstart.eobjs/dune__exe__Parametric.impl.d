@@ -1,0 +1,1 @@
+examples/parametric.ml: Array Circuits Engine Float Printf Rvf Stdlib Tft

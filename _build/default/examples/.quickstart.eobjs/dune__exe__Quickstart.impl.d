@@ -1,0 +1,1 @@
+examples/quickstart.ml: Circuit Engine Hammerstein Printf Signal Tft_rvf

@@ -1,0 +1,41 @@
+(* Fig. 9 scenario: drive the transistor-level buffer and the extracted
+   models (RVF and the CAFFEINE baseline) with a spectrally-rich 2.5 GS/s
+   bit pattern and compare the responses.
+
+     dune exec examples/bit_pattern.exe
+*)
+
+let () =
+  let outcome = Tft_rvf.Pipeline.extract_buffer () in
+  let caffeine =
+    Caffeine.Cfit.extract ~dataset:outcome.Tft_rvf.Pipeline.dataset ~input:0
+      ~output:0 ()
+  in
+  let netlist = Circuits.Buffer.netlist () in
+  let wave = Circuits.Buffer.bit_wave ~rate:2.5e9 ~length:32 () in
+  let t_stop = 32.0 /. 2.5e9 in
+  let dt = t_stop /. 2560.0 in
+  let validate model =
+    Tft_rvf.Report.validate ~model ~netlist ~input:Circuits.Buffer.input_name
+      ~output:Circuits.Buffer.output ~wave ~t_stop ~dt ()
+  in
+  let v_rvf = validate outcome.Tft_rvf.Pipeline.model in
+  let v_caff = validate caffeine.Caffeine.Cfit.model in
+  Printf.printf "2.5 GS/s PRBS validation (32 bits)\n";
+  Printf.printf "  %-9s %-12s %-10s %-9s\n" "model" "RMSE [V]" "NRMSE [dB]" "speedup";
+  Printf.printf "  %-9s %-12.4e %-10.1f %-9.0f\n" "RVF" v_rvf.Tft_rvf.Report.rmse
+    v_rvf.Tft_rvf.Report.nrmse_db v_rvf.Tft_rvf.Report.speedup;
+  Printf.printf "  %-9s %-12.4e %-10.1f %-9.0f\n" "CAFFEINE"
+    v_caff.Tft_rvf.Report.rmse v_caff.Tft_rvf.Report.nrmse_db
+    v_caff.Tft_rvf.Report.speedup;
+  (* dump the waveforms so they can be plotted externally *)
+  let dump name w =
+    let oc = open_out name in
+    let times = Signal.Waveform.times w and values = Signal.Waveform.values w in
+    Array.iteri (fun k t -> Printf.fprintf oc "%.6e %.6e\n" t values.(k)) times;
+    close_out oc
+  in
+  dump "fig9_spice.dat" v_rvf.Tft_rvf.Report.reference;
+  dump "fig9_rvf.dat" v_rvf.Tft_rvf.Report.modeled;
+  dump "fig9_caffeine.dat" v_caff.Tft_rvf.Report.modeled;
+  Printf.printf "wrote fig9_spice.dat, fig9_rvf.dat, fig9_caffeine.dat\n"

@@ -1,0 +1,58 @@
+(* The paper's Section IV experiment: extract an analytical model of the
+   high-speed output buffer (4 differential stages, 28 transistors) and
+   print the extraction report plus the Verilog-A export.
+
+     dune exec examples/output_buffer.exe
+*)
+
+let () =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some Logs.Warning);
+  let netlist = Circuits.Buffer.netlist () in
+  Printf.printf "output buffer: %d components, %d transistors, %d nodes\n\n"
+    (Circuit.Netlist.component_count netlist)
+    (Circuits.Buffer.transistor_count netlist)
+    (List.length (Circuit.Netlist.nodes netlist));
+
+  let outcome = Tft_rvf.Pipeline.extract_buffer () in
+  print_string (Tft_rvf.Report.summary outcome);
+
+  let model = outcome.Tft_rvf.Pipeline.model in
+  Printf.printf "\nfrequency poles of the extracted model:\n";
+  Array.iter
+    (fun a ->
+      if a.Complex.im >= 0.0 then
+        Printf.printf "  %+.4e %+.4e j  (|a|/2pi = %.3f GHz)\n" a.Complex.re
+          a.Complex.im
+          (Complex.norm a /. (2.0 *. Float.pi *. 1e9)))
+    outcome.Tft_rvf.Pipeline.rvf.Rvf.freq_model.Vf.Model.poles;
+
+  (* export: the analytical behavioral model in two languages *)
+  let va = Hammerstein.Export.verilog_a model in
+  let out = open_out "buffer_model.va" in
+  output_string out va;
+  close_out out;
+  let ml = Hammerstein.Export.matlab model in
+  let out = open_out "buffer_model.m" in
+  output_string out ml;
+  close_out out;
+  Printf.printf "\nwrote buffer_model.va and buffer_model.m\n";
+
+  (* show a slice of the modeled TFT hyperplane *)
+  Printf.printf "\nmodel transfer function magnitude |T(x, j2pi f)|:\n";
+  Printf.printf "%8s" "x \\ f";
+  let fs = [| 1e8; 1e9; 3e9; 1e10 |] in
+  Array.iter (fun f -> Printf.printf " %9.1e" f) fs;
+  print_newline ();
+  List.iter
+    (fun x ->
+      Printf.printf "%8.2f" x;
+      Array.iter
+        (fun f ->
+          let t =
+            Hammerstein.Hmodel.transfer model ~x ~s:(Signal.Grid.s_of_hz f)
+          in
+          Printf.printf " %9.4f" (Complex.norm t))
+        fs;
+      print_newline ())
+    [ 0.4; 0.7; 0.9; 1.1; 1.4 ]

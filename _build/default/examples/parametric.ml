@@ -1,0 +1,61 @@
+(* Parametric macromodeling with the multivariate recursion (eq. 16):
+   the ancestors of the RVF algorithm (refs. [6], [10]) fit frequency
+   responses as functions of *design parameters*. Here the same nested
+   machinery fits the buffer's DC conductance trace as a function of both
+   the state x = u and the load resistance, then predicts the curve at a
+   load value that was never simulated.
+
+     dune exec examples/parametric.exe
+*)
+
+let dc_trace_at ~rload =
+  let params = { Circuits.Buffer.default_params with Circuits.Buffer.rload } in
+  let wave = Circuits.Buffer.training_wave () in
+  let mna = Circuits.Buffer.mna ~params ~input_wave:wave () in
+  let period = 1.0 /. 1e6 in
+  let opts = { Engine.Tran.default_opts with Engine.Tran.snapshot_every = 8 } in
+  let run = Engine.Tran.run ~opts mna ~t_stop:period ~dt:(period /. 400.0) in
+  let ds =
+    Tft.Dataset.of_snapshots ~mna ~estimator:(Tft.Estimator.make ())
+      ~freqs_hz:[| 1e6 |] run.Engine.Tran.snapshots
+  in
+  let xs = Array.map (fun (s : Tft.Dataset.sample) -> s.Tft.Dataset.x.(0))
+      ds.Tft.Dataset.samples in
+  (xs, Tft.Dataset.dc_trace ds ~input:0 ~output:0)
+
+let () =
+  let rloads = [| 380.0; 430.0; 470.0; 520.0; 560.0 |] in
+  Printf.printf "sampling the training trajectory at %d load values...\n%!"
+    (Array.length rloads);
+  let traces = Array.map (fun rload -> dc_trace_at ~rload) rloads in
+  let xs, _ = traces.(0) in
+  (* tensor grid: data.(i).(j) = H(x_i, rload_j) *)
+  let data =
+    Array.init (Array.length xs) (fun i ->
+        Array.map (fun (_, t) -> t.(i)) traces)
+  in
+  let surf = Rvf.Recursion.fit ~eps:2e-3 ~xs ~ys:rloads ~data () in
+  Printf.printf "fitted surface: %d x-poles, %d parameter-poles\n"
+    (Rvf.Recursion.x_pole_count surf)
+    (Rvf.Recursion.y_pole_count surf);
+  (* predict the DC gain curve at an unseen load value and check it *)
+  let r_test = 500.0 in
+  let xs_test, trace_test = dc_trace_at ~rload:r_test in
+  let err = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      let p = Rvf.Recursion.eval surf ~x ~y:r_test in
+      err := Float.max !err (Float.abs (p -. trace_test.(i))))
+    xs_test;
+  Printf.printf
+    "prediction at unseen rload = %.0f ohm: max |error| = %.2e (gain scale ~2)\n"
+    r_test !err;
+  Printf.printf "\n%-8s %-12s %-12s\n" "x [V]" "predicted" "simulated";
+  let stride = Stdlib.max 1 (Array.length xs_test / 8) in
+  Array.iteri
+    (fun i x ->
+      if i mod stride = 0 then
+        Printf.printf "%-8.3f %-12.4f %-12.4f\n" x
+          (Rvf.Recursion.eval surf ~x ~y:r_test)
+          trace_test.(i))
+    xs_test

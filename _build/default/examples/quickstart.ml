@@ -1,0 +1,70 @@
+(* Quickstart: extract an analytical model from a small nonlinear circuit.
+
+   The circuit is a diode clipper (resistor + diode + capacitor) described
+   as SPICE text. We train on one period of a sine, extract the model, and
+   validate on a PRBS bit stream. Run with:
+
+     dune exec examples/quickstart.exe
+*)
+
+let netlist_text =
+  {|
+* diode clipper
+Vin in 0 DC 0
+R1 in out 200
+D1 out 0 IS=1e-9 N=1.8
+C1 out 0 100p
+.end
+|}
+
+let () =
+  let netlist = Circuit.Parser.parse_string netlist_text in
+  Printf.printf "parsed %d components\n" (Circuit.Netlist.component_count netlist);
+
+  (* 1. configure the extraction: a 1 MHz training sine and a log
+     frequency grid covering the circuit's dynamics *)
+  let training =
+    {
+      Tft_rvf.Pipeline.wave =
+        Circuit.Netlist.Sine { offset = 0.3; ampl = 0.5; freq = 1e6; phase = 0.0 };
+      t_stop = 1e-6;
+      dt = 2.5e-9;
+      snapshot_every = 4;
+    }
+  in
+  let config =
+    Tft_rvf.Pipeline.default_config_for ~f_min:1e4 ~f_max:1e9 ~training ()
+  in
+
+  (* 2. run the pipeline: transient -> TFT -> RVF -> Hammerstein model *)
+  let outcome =
+    Tft_rvf.Pipeline.extract ~config ~netlist ~input:"Vin"
+      ~output:(Engine.Mna.Node "out") ()
+  in
+  print_string (Tft_rvf.Report.summary outcome);
+
+  (* 3. inspect the analytical equations *)
+  print_newline ();
+  print_string (Hammerstein.Hmodel.equations outcome.Tft_rvf.Pipeline.model);
+
+  (* 4. validate on an input the model never saw *)
+  let wave =
+    Circuit.Netlist.Bits
+      {
+        low = -0.1;
+        high = 0.7;
+        rate = 20e6;
+        rise = 5e-9;
+        bits = Signal.Source.prbs_bits ~seed:7 ~length:16;
+      }
+  in
+  let v =
+    Tft_rvf.Report.validate ~model:outcome.Tft_rvf.Pipeline.model ~netlist
+      ~input:"Vin" ~output:(Engine.Mna.Node "out") ~wave ~t_stop:8e-7
+      ~dt:2e-10 ()
+  in
+  Printf.printf "\nvalidation on a 20 Mb/s PRBS stream:\n";
+  Printf.printf "  RMSE   : %.3e V (%.1f dB normalized)\n"
+    v.Tft_rvf.Report.rmse v.Tft_rvf.Report.nrmse_db;
+  Printf.printf "  speedup: %.0fx over the transistor-level transient\n"
+    v.Tft_rvf.Report.speedup

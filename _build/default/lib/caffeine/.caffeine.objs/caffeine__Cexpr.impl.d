@@ -1,0 +1,1 @@
+lib/caffeine/cexpr.ml: Array Float List Printf String

@@ -1,0 +1,1 @@
+lib/caffeine/cexpr.mli:

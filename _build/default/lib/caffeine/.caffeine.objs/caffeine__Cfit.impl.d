@@ -1,0 +1,1 @@
+lib/caffeine/cfit.ml: Array Buffer Cexpr Gp Hammerstein Option Printf Rvf Sys Vf

@@ -1,0 +1,1 @@
+lib/caffeine/cfit.mli: Gp Hammerstein Rvf Tft Vf

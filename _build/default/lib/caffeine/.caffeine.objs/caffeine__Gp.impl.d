@@ -1,0 +1,1 @@
+lib/caffeine/gp.ml: Array Buffer Cexpr Float Linalg List Printf Random Stdlib

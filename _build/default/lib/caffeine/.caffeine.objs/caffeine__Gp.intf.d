@@ -1,0 +1,1 @@
+lib/caffeine/gp.mli: Cexpr

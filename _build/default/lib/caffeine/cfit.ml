@@ -1,0 +1,151 @@
+type config = {
+  rvf : Rvf.config;
+  gp : Gp.params;
+  fallback_grid : int;
+}
+
+let default_config =
+  { rvf = Rvf.default_config; gp = Gp.default_params; fallback_grid = 400 }
+
+type result = {
+  model : Hammerstein.Hmodel.t;
+  freq_model : Vf.Model.t;
+  freq_info : Vf.Vfit.info;
+  trace_fits : Gp.fitted array;
+  static_fit : Gp.fitted;
+  integrable_terms : int;
+  total_terms : int;
+  automated : bool;
+  build_seconds : float;
+}
+
+(* Integrate a fitted canonical-form expression. Returns the static stage
+   plus the per-term integrability bookkeeping. *)
+let integrate_fit ~lo ~hi ~grid (fit : Gp.fitted) =
+  let integrals =
+    Array.map (fun term -> Cexpr.integrate_term term) fit.Gp.terms
+  in
+  let integrable =
+    Array.for_all (fun (i, _) -> Option.is_some i) integrals
+  in
+  let n_ok =
+    Array.fold_left
+      (fun acc (i, _) -> acc + if Option.is_some i then 1 else 0)
+      0 integrals
+  in
+  let deriv x = Gp.eval fit x in
+  let static =
+    if integrable then begin
+      let closures =
+        Array.map
+          (fun (i, _) -> match i with Some f -> f | None -> assert false)
+          integrals
+      in
+      let eval x =
+        let acc = ref (fit.Gp.weights.(0) *. x) in
+        Array.iteri
+          (fun j f -> acc := !acc +. (fit.Gp.weights.(j + 1) *. f x))
+          closures;
+        !acc
+      in
+      let formula =
+        let buf = Buffer.create 128 in
+        Printf.bprintf buf "%.6g*x" fit.Gp.weights.(0);
+        Array.iteri
+          (fun j (_, s) -> Printf.bprintf buf " %+.6g*[%s]" fit.Gp.weights.(j + 1) s)
+          integrals;
+        Buffer.contents buf
+      in
+      Hammerstein.Static_fn.make ~analytic:true ~formula ~eval ~deriv ()
+    end
+    else begin
+      (* numeric fallback: tabulate the GP model and integrate the table *)
+      let xs = Array.init grid (fun k ->
+          lo +. ((hi -. lo) *. float_of_int k /. float_of_int (grid - 1)))
+      in
+      let rs = Array.map deriv xs in
+      Hammerstein.Static_fn.of_samples_numeric ~xs ~rs
+    end
+  in
+  (static, n_ok, Array.length integrals, integrable)
+
+let anchor fn ~at ~value =
+  let shift = value -. fn.Hammerstein.Static_fn.eval at in
+  Hammerstein.Static_fn.make ~analytic:fn.Hammerstein.Static_fn.analytic
+    ~formula:(Printf.sprintf "(%s) %+.6g" fn.Hammerstein.Static_fn.formula shift)
+    ~eval:(fun x -> fn.Hammerstein.Static_fn.eval x +. shift)
+    ~deriv:fn.Hammerstein.Static_fn.deriv ()
+
+let extract ?(config = default_config) ~dataset ~input ~output () =
+  let t_start = Sys.time () in
+  let stage =
+    Rvf.frequency_stage ~config:config.rvf ~dataset ~input ~output ()
+  in
+  let freq_model = stage.Rvf.fs_model in
+  let xs = stage.Rvf.xs in
+  let lo = stage.Rvf.x_lo and hi = stage.Rvf.x_hi in
+  let p = Vf.Model.n_poles freq_model in
+  (* GP regression of each residue coefficient trace *)
+  let trace_fits =
+    Array.init p (fun pi ->
+        let ys =
+          Array.init (Array.length xs) (fun k ->
+              freq_model.Vf.Model.coeffs.(k).(pi))
+        in
+        Gp.fit ~params:{ config.gp with Gp.seed = config.gp.Gp.seed + pi } ~xs
+          ~ys ())
+  in
+  let static_fit =
+    Gp.fit
+      ~params:{ config.gp with Gp.seed = config.gp.Gp.seed + p + 1 }
+      ~xs ~ys:stage.Rvf.dc ()
+  in
+  let const_fit =
+    if not config.rvf.Rvf.freq_opts.Vf.Vfit.with_const then None
+    else begin
+      let ys =
+        Array.init (Array.length xs) (fun k -> freq_model.Vf.Model.consts.(k))
+      in
+      Some
+        (Gp.fit
+           ~params:{ config.gp with Gp.seed = config.gp.Gp.seed + p + 2 }
+           ~xs ~ys ())
+    end
+  in
+  let n_ok = ref 0 and n_total = ref 0 and all_ok = ref true in
+  let integrate fit =
+    let static, ok, total, integrable =
+      integrate_fit ~lo ~hi ~grid:config.fallback_grid fit
+    in
+    n_ok := !n_ok + ok;
+    n_total := !n_total + total;
+    if not integrable then all_ok := false;
+    static
+  in
+  let stages = Array.map integrate trace_fits in
+  let static_raw = integrate static_fit in
+  let x0 = stage.Rvf.x0 and y0 = stage.Rvf.y0 in
+  let static_path =
+    let base = anchor static_raw ~at:x0 ~value:y0 in
+    match const_fit with
+    | None -> base
+    | Some fit ->
+        Hammerstein.Static_fn.add base (anchor (integrate fit) ~at:x0 ~value:0.0)
+  in
+  let model =
+    Rvf.Assemble.hammerstein ~name:"caffeine"
+      ~freq_poles:freq_model.Vf.Model.poles
+      ~stage:(fun pi -> anchor stages.(pi) ~at:x0 ~value:0.0)
+      ~static_path
+  in
+  {
+    model;
+    freq_model;
+    freq_info = stage.Rvf.fs_info;
+    trace_fits;
+    static_fit;
+    integrable_terms = !n_ok;
+    total_terms = !n_total;
+    automated = !all_ok;
+    build_seconds = Sys.time () -. t_start;
+  }

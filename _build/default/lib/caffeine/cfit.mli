@@ -1,0 +1,32 @@
+(** CAFFEINE-based model extraction — the paper's comparison baseline.
+
+    Same TFT data and same frequency-pole stage as the RVF flow (regular
+    vector fitting for pole allocation), but the residue functions are
+    regressed by genetic programming over canonical-form expressions.
+    Terms whose indefinite integral has no closed form fall back to
+    numeric integration tables, which is why the resulting models are
+    flagged "not fully automated" (Table I). *)
+
+type config = {
+  rvf : Rvf.config;  (** settings for the shared frequency stage *)
+  gp : Gp.params;
+  fallback_grid : int;  (** sample count for numeric-integral fallbacks *)
+}
+
+val default_config : config
+
+type result = {
+  model : Hammerstein.Hmodel.t;
+  freq_model : Vf.Model.t;
+  freq_info : Vf.Vfit.info;
+  trace_fits : Gp.fitted array;  (** per frequency-pole slot *)
+  static_fit : Gp.fitted;
+  integrable_terms : int;
+  total_terms : int;
+  automated : bool;  (** true iff every evolved term integrated in closed form *)
+  build_seconds : float;
+}
+
+val extract :
+  ?config:config -> dataset:Tft.Dataset.t -> input:int -> output:int -> unit ->
+  result

@@ -1,0 +1,1 @@
+lib/circuit/parser.ml: Array Buffer Char Float List Netlist Printf String Units

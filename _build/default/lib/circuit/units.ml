@@ -1,0 +1,69 @@
+let suffix_value s =
+  match s with
+  | "f" -> Some 1e-15
+  | "p" -> Some 1e-12
+  | "n" -> Some 1e-9
+  | "u" -> Some 1e-6
+  | "m" -> Some 1e-3
+  | "k" -> Some 1e3
+  | "meg" -> Some 1e6
+  | "g" -> Some 1e9
+  | "t" -> Some 1e12
+  | _ -> None
+
+let parse raw =
+  let s = String.lowercase_ascii (String.trim raw) in
+  if s = "" then None
+  else begin
+    (* split leading numeric part from the alphabetic tail *)
+    let n = String.length s in
+    let is_num_char k c =
+      match c with
+      | '0' .. '9' | '.' | '+' | '-' -> true
+      | 'e' ->
+          (* exponent only if followed by digit or sign *)
+          k + 1 < n
+          && (match s.[k + 1] with '0' .. '9' | '+' | '-' -> true | _ -> false)
+      | _ -> false
+    in
+    let stop = ref 0 in
+    (try
+       for k = 0 to n - 1 do
+         if is_num_char k s.[k] then incr stop else raise Exit
+       done
+     with Exit -> ());
+    (* the exponent digits after 'e' are included by is_num_char only when
+       'e' was accepted; extend over them *)
+    let num = String.sub s 0 !stop in
+    let tail = String.sub s !stop (n - !stop) in
+    match float_of_string_opt num with
+    | None -> None
+    | Some base ->
+        if tail = "" then Some base
+        else if String.length tail >= 3 && String.sub tail 0 3 = "meg" then
+          Some (base *. 1e6)
+        else begin
+          match suffix_value (String.sub tail 0 1) with
+          | Some m -> Some (base *. m)
+          | None -> Some base (* bare unit like "10v" *)
+        end
+  end
+
+let parse_exn s =
+  match parse s with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Units.parse_exn: bad number %S" s)
+
+let format_si x =
+  if x = 0.0 then "0"
+  else begin
+    let ax = Float.abs x in
+    let pick (scale, _suff) = ax >= scale && ax < scale *. 1e3 in
+    let table =
+      [ (1e-15, "f"); (1e-12, "p"); (1e-9, "n"); (1e-6, "u"); (1e-3, "m");
+        (1.0, ""); (1e3, "k"); (1e6, "meg"); (1e9, "g"); (1e12, "t") ]
+    in
+    match List.find_opt pick table with
+    | Some (scale, suff) -> Printf.sprintf "%g%s" (x /. scale) suff
+    | None -> Printf.sprintf "%g" x
+  end

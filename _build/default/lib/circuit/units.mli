@@ -1,0 +1,11 @@
+(** SPICE-style numeric literals with magnitude suffixes. *)
+
+val parse : string -> float option
+(** Parse ["4.7k"], ["1meg"], ["10p"], ["2.5e9"], ... Recognized suffixes
+    (case-insensitive): f p n u m k meg g t. Trailing unit letters after
+    the suffix are ignored (["10pF"], ["1kOhm"]). *)
+
+val parse_exn : string -> float
+
+val format_si : float -> string
+(** Pretty-print with an engineering suffix, e.g. [2.2e-12 -> "2.2p"]. *)

@@ -1,0 +1,1 @@
+lib/circuits/buffer.ml: Circuit Engine Float List Printf Signal

@@ -1,0 +1,1 @@
+lib/circuits/buffer.mli: Circuit Engine

@@ -1,0 +1,1 @@
+lib/circuits/library.ml: Circuit Engine List Printf

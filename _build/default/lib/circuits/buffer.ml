@@ -1,0 +1,133 @@
+type params = {
+  vdd : float;
+  vbias : float;
+  vref : float;
+  rload : float;
+  rgate : float;
+  pair_w : float;
+  tail_w : float;
+  follower_w : float;
+  length : float;
+  cload : float;
+}
+
+let default_params =
+  {
+    vdd = 2.5;
+    vbias = 0.6;
+    vref = 0.9;
+    rload = 470.0;
+    rgate = 50.0;
+    pair_w = 24e-6;
+    tail_w = 75e-6;
+    follower_w = 24e-6;
+    length = 0.5e-6;
+    cload = 20e-15;
+  }
+
+let input_name = "Vin"
+let output = Engine.Mna.Diff ("out4p", "out4n")
+
+let nmos p w =
+  {
+    Circuit.Netlist.kp = 200e-6;
+    vth = 0.4;
+    lambda = 0.08;
+    w;
+    l = p.length;
+    cgs = 30e-15;
+    cgd = 10e-15;
+    cdb = 15e-15;
+  }
+
+let junction = { Circuit.Netlist.cj0 = 35e-15; phi = 0.7; m = 0.5 }
+
+(* One differential stage: gate wiring resistors, NMOS pair with a
+   transistor tail sink, resistive loads with junction capacitance, and
+   NMOS source followers with transistor bias sinks. 7 transistors and
+   13 components per stage. *)
+let stage p idx ~inp ~inn =
+  let s fmt = Printf.sprintf fmt idx in
+  let gp = s "g%dp" and gn = s "g%dn" in
+  let d1 = s "d%dp" and d2 = s "d%dn" in
+  let tail = s "s%d" in
+  let op = s "out%dp" and on = s "out%dn" in
+  let pair = nmos p p.pair_w in
+  let tail_dev = nmos p p.tail_w in
+  let fol = nmos p p.follower_w in
+  let module N = Circuit.Netlist in
+  ( [
+      N.resistor ~name:(s "Rg%dp") inp gp p.rgate;
+      N.resistor ~name:(s "Rg%dn") inn gn p.rgate;
+      N.mosfet ~name:(s "M%dp") ~d:d1 ~g:gp ~s:tail N.Nmos pair;
+      N.mosfet ~name:(s "M%dn") ~d:d2 ~g:gn ~s:tail N.Nmos pair;
+      N.mosfet ~name:(s "M%dt") ~d:tail ~g:"vbn" ~s:"0" N.Nmos tail_dev;
+      N.resistor ~name:(s "Rl%dp") "vdd" d1 p.rload;
+      N.resistor ~name:(s "Rl%dn") "vdd" d2 p.rload;
+      N.junction_cap ~name:(s "Qj%dp") ~params:junction "0" d1 ();
+      N.junction_cap ~name:(s "Qj%dn") ~params:junction "0" d2 ();
+      N.mosfet ~name:(s "M%dfp") ~d:"vdd" ~g:d1 ~s:op N.Nmos fol;
+      N.mosfet ~name:(s "M%dfn") ~d:"vdd" ~g:d2 ~s:on N.Nmos fol;
+      N.mosfet ~name:(s "M%dbp") ~d:op ~g:"vbn" ~s:"0" N.Nmos tail_dev;
+      N.mosfet ~name:(s "M%dbn") ~d:on ~g:"vbn" ~s:"0" N.Nmos tail_dev;
+    ],
+    (* crossed outputs restore signal polarity stage over stage *)
+    (op, on) )
+
+let netlist ?(params = default_params) ?input_wave () =
+  let p = params in
+  let module N = Circuit.Netlist in
+  let wave =
+    match input_wave with
+    | Some w -> w
+    | None -> N.Dc p.vref
+  in
+  let globals =
+    [
+      N.vsource ~name:"Vdd" "vdd" "0" (N.Dc p.vdd);
+      N.vsource ~name:"Vbn" "vbn" "0" (N.Dc p.vbias);
+      N.vsource ~name:"Vref" "ref" "0" (N.Dc p.vref);
+      N.vsource ~name:input_name "in" "0" wave;
+    ]
+  in
+  let st1, (o1p, o1n) = stage p 1 ~inp:"in" ~inn:"ref" in
+  let st2, (o2p, o2n) = stage p 2 ~inp:o1p ~inn:o1n in
+  let st3, (o3p, o3n) = stage p 3 ~inp:o2p ~inn:o2n in
+  let st4, (o4p, o4n) = stage p 4 ~inp:o3p ~inn:o3n in
+  let loads =
+    [
+      N.capacitor ~name:"Clp" o4p "0" p.cload;
+      N.capacitor ~name:"Cln" o4n "0" p.cload;
+    ]
+  in
+  N.make (globals @ st1 @ st2 @ st3 @ st4 @ loads)
+
+let mna ?params ?input_wave () =
+  Engine.Mna.build ~inputs:[ input_name ] ~outputs:[ output ]
+    (netlist ?params ?input_wave ())
+
+let training_wave ?(freq = 1e6) ?(ampl = 0.5) ?(offset = 0.9) () =
+  Circuit.Netlist.Sine { offset; ampl; freq; phase = -.Float.pi /. 2.0 }
+
+let bit_wave ?(rate = 2.5e9) ?(seed = 23) ?(length = 32) () =
+  Circuit.Netlist.Bits
+    {
+      low = 0.4;
+      high = 1.4;
+      rate;
+      rise = 0.25 /. rate;
+      bits = Signal.Source.prbs_bits ~seed ~length;
+    }
+
+let transistor_count (nl : Circuit.Netlist.t) =
+  List.length
+    (List.filter
+       (fun (c : Circuit.Netlist.component) ->
+         match c.element with
+         | Circuit.Netlist.Mosfet _ | Circuit.Netlist.Bjt _ -> true
+         | Circuit.Netlist.Resistor _ | Circuit.Netlist.Capacitor _
+         | Circuit.Netlist.Inductor _ | Circuit.Netlist.Vsource _
+         | Circuit.Netlist.Isource _ | Circuit.Netlist.Vccs _
+         | Circuit.Netlist.Vcvs _ | Circuit.Netlist.Cccs _
+         | Circuit.Netlist.Diode _ | Circuit.Netlist.Junction_cap _ -> false)
+       nl.Circuit.Netlist.components)

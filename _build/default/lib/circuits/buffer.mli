@@ -1,0 +1,51 @@
+(** The high-speed output buffer of Section IV, rebuilt with level-1
+    devices.
+
+    The paper's circuit (a post-amplifier for an optical transimpedance
+    amplifier in UMC 0.13 µm: 4 differential stages, 27 transistors,
+    ~70 components, 3 GHz bandwidth, DC gain 2) is proprietary; this is
+    a behaviourally equivalent substitute: a chain of 4 resistively
+    loaded NMOS differential pairs with source-follower level shifters,
+    transistor tail/bias current sinks, junction capacitances on the
+    high-impedance nodes, and wiring resistances — 28 transistors and
+    ~66 components. The input range 0.4–1.4 V matches the paper's
+    state-space axis, the small-signal gain is ≈ 2 and the bandwidth is
+    GHz-class; large inputs drive the pairs into hard saturation. *)
+
+type params = {
+  vdd : float;
+  vbias : float;  (** gate bias of the tail/bias current sinks *)
+  vref : float;  (** reference input level = center of the input range *)
+  rload : float;  (** drain load resistance per side *)
+  rgate : float;  (** wiring resistance in series with each gate *)
+  pair_w : float;
+  tail_w : float;
+  follower_w : float;
+  length : float;
+  cload : float;  (** lumped load at the final outputs *)
+}
+
+val default_params : params
+
+val netlist : ?params:params -> ?input_wave:Circuit.Netlist.wave -> unit -> Circuit.Netlist.t
+
+val input_name : string
+(** The designated input source ("Vin"). *)
+
+val output : Engine.Mna.output
+(** Differential output of the fourth stage. *)
+
+val mna : ?params:params -> ?input_wave:Circuit.Netlist.wave -> unit -> Engine.Mna.t
+
+val training_wave :
+  ?freq:float -> ?ampl:float -> ?offset:float -> unit -> Circuit.Netlist.wave
+(** The paper's training excitation: one low-frequency high-amplitude
+    sine spanning the 0.4–1.4 V input range (defaults: 50 MHz, 0.5 V
+    amplitude around 0.9 V). *)
+
+val bit_wave :
+  ?rate:float -> ?seed:int -> ?length:int -> unit -> Circuit.Netlist.wave
+(** The spectrally-rich validation input: a PRBS NRZ pattern (default
+    2.5 GS/s as in the paper) across the same voltage range. *)
+
+val transistor_count : Circuit.Netlist.t -> int

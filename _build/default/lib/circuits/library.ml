@@ -1,0 +1,96 @@
+module N = Circuit.Netlist
+
+let default_wave = N.Dc 0.0
+
+let clipper ?(input_wave = default_wave) () =
+  N.make
+    [
+      N.vsource ~name:"Vin" "in" "0" input_wave;
+      N.resistor ~name:"R1" "in" "out" 200.0;
+      N.diode ~name:"D1"
+        ~params:{ N.i_sat = 1e-9; ideality = 1.8; cj = 0.0 }
+        "out" "0" ();
+      N.capacitor ~name:"C1" "out" "0" 100e-12;
+    ]
+
+let clipper_input = "Vin"
+let clipper_output = Engine.Mna.Node "out"
+
+let rc_ladder ?(stages = 3) ?(input_wave = default_wave) () =
+  if stages < 1 then invalid_arg "rc_ladder: stages must be >= 1";
+  let comps = ref [ N.vsource ~name:"Vin" "n0" "0" input_wave ] in
+  for k = 1 to stages do
+    let prev = Printf.sprintf "n%d" (k - 1) in
+    let cur = Printf.sprintf "n%d" k in
+    comps :=
+      N.capacitor ~name:(Printf.sprintf "C%d" k) cur "0" 1e-9
+      :: N.resistor ~name:(Printf.sprintf "R%d" k) prev cur 1e3
+      :: !comps
+  done;
+  N.make (List.rev !comps)
+
+let rc_input = "Vin"
+let rc_output = Engine.Mna.Node "n3"
+
+let gm_stage ?(input_wave = default_wave) () =
+  let pair =
+    {
+      N.kp = 200e-6;
+      vth = 0.4;
+      lambda = 0.08;
+      w = 24e-6;
+      l = 0.5e-6;
+      cgs = 30e-15;
+      cgd = 10e-15;
+      cdb = 15e-15;
+    }
+  in
+  let tail = { pair with N.w = 75e-6 } in
+  N.make
+    [
+      N.vsource ~name:"Vdd" "vdd" "0" (N.Dc 2.5);
+      N.vsource ~name:"Vbn" "vbn" "0" (N.Dc 0.6);
+      N.vsource ~name:"Vref" "ref" "0" (N.Dc 0.9);
+      N.vsource ~name:"Vin" "in" "0" input_wave;
+      N.mosfet ~name:"M1" ~d:"dp" ~g:"in" ~s:"tail" N.Nmos pair;
+      N.mosfet ~name:"M2" ~d:"dn" ~g:"ref" ~s:"tail" N.Nmos pair;
+      N.mosfet ~name:"Mt" ~d:"tail" ~g:"vbn" ~s:"0" N.Nmos tail;
+      N.resistor ~name:"Rlp" "vdd" "dp" 550.0;
+      N.resistor ~name:"Rln" "vdd" "dn" 550.0;
+      N.capacitor ~name:"Cp" "dp" "0" 50e-15;
+      N.capacitor ~name:"Cn" "dn" "0" 50e-15;
+    ]
+
+let gm_input = "Vin"
+let gm_output = Engine.Mna.Diff ("dn", "dp")
+
+let bjt_amp ?(input_wave = default_wave) () =
+  N.make
+    [
+      N.vsource ~name:"Vcc" "vcc" "0" (N.Dc 5.0);
+      N.vsource ~name:"Vin" "b" "0" input_wave;
+      N.bjt ~name:"Q1" ~c:"c" ~b:"b" ~e:"e" N.Npn N.default_npn;
+      N.resistor ~name:"Rc" "vcc" "c" 2e3;
+      N.resistor ~name:"Re" "e" "0" 200.0;
+      N.capacitor ~name:"Cl" "c" "0" 2e-12;
+    ]
+
+let bjt_input = "Vin"
+let bjt_output = Engine.Mna.Node "c"
+
+let lc_ladder ?(input_wave = default_wave) () =
+  (* 5th-order Butterworth lowpass, 1 MHz corner, 50-ohm terminations *)
+  N.make
+    [
+      N.vsource ~name:"Vin" "in" "0" input_wave;
+      N.resistor ~name:"Rs" "in" "n1" 50.0;
+      N.capacitor ~name:"C1" "n1" "0" 1.967e-9;
+      N.inductor ~name:"L2" "n1" "n2" 12.88e-6;
+      N.capacitor ~name:"C3" "n2" "0" 6.366e-9;
+      N.inductor ~name:"L4" "n2" "n3" 12.88e-6;
+      N.capacitor ~name:"C5" "n3" "0" 1.967e-9;
+      N.resistor ~name:"Rl" "n3" "0" 50.0;
+    ]
+
+let lc_input = "Vin"
+let lc_output = Engine.Mna.Node "n3"

@@ -1,0 +1,39 @@
+(** Small example circuits used by tests, examples and benches. Each
+    returns a netlist plus the designated SISO input/output, ready for
+    {!Engine.Mna.build}. *)
+
+val clipper : ?input_wave:Circuit.Netlist.wave -> unit -> Circuit.Netlist.t
+(** Series resistor into a diode/capacitor clamp: the simplest circuit
+    with both static (diode I–V) and dynamic (RC) nonlinear behaviour. *)
+
+val clipper_input : string
+val clipper_output : Engine.Mna.output
+
+val rc_ladder : ?stages:int -> ?input_wave:Circuit.Netlist.wave -> unit -> Circuit.Netlist.t
+(** Linear RC ladder — a sanity case where one trajectory snapshot
+    already captures everything (the residues are state-independent). *)
+
+val rc_input : string
+val rc_output : Engine.Mna.output
+
+val gm_stage : ?input_wave:Circuit.Netlist.wave -> unit -> Circuit.Netlist.t
+(** A single resistively loaded differential pair (one slice of the
+    output buffer). *)
+
+val gm_input : string
+val gm_output : Engine.Mna.output
+
+val bjt_amp : ?input_wave:Circuit.Netlist.wave -> unit -> Circuit.Netlist.t
+(** A bipolar common-emitter stage with emitter degeneration — exercises
+    the Ebers–Moll device in the extraction flow. *)
+
+val bjt_input : string
+val bjt_output : Engine.Mna.output
+
+val lc_ladder : ?input_wave:Circuit.Netlist.wave -> unit -> Circuit.Netlist.t
+(** A 5th-order doubly terminated LC lowpass ladder (Butterworth-ish,
+    ~1 MHz corner) — a resonant passive network whose frequency response
+    exercises vector fitting with genuinely complex pole pairs. *)
+
+val lc_input : string
+val lc_output : Engine.Mna.output

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Circuit Circuits Engine Hammerstein List Printf Rvf Signal Sys Tft

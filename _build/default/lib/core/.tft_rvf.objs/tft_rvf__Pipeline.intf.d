@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Circuit Engine Hammerstein Rvf Tft

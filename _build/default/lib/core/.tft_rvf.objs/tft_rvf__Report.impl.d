@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Buffer Circuit Complex Engine Float Hammerstein Linalg List Pipeline Printf Rvf Signal Stdlib Sys Tft Vf

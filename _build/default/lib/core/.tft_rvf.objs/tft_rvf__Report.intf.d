@@ -1,0 +1,1 @@
+lib/core/report.mli: Circuit Engine Hammerstein Pipeline Signal Tft

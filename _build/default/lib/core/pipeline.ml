@@ -1,0 +1,176 @@
+type training = {
+  wave : Circuit.Netlist.wave;
+  t_stop : float;
+  dt : float;
+  snapshot_every : int;
+}
+
+type config = {
+  training : training;
+  freqs_hz : float array;
+  estimator_delays : float list;
+  rvf : Rvf.config;
+}
+
+let default_config_for ?(points = 40) ~f_min ~f_max ~training () =
+  {
+    training;
+    freqs_hz = Signal.Grid.frequencies_hz ~f_min ~f_max ~points;
+    estimator_delays = [];
+    rvf = Rvf.default_config;
+  }
+
+type timing = {
+  train_seconds : float;
+  tft_seconds : float;
+  fit_seconds : float;
+}
+
+type outcome = {
+  model : Hammerstein.Hmodel.t;
+  rvf : Rvf.result;
+  dataset : Tft.Dataset.t;
+  mna : Engine.Mna.t;
+  training_run : Engine.Tran.result;
+  timing : timing;
+}
+
+(* swap the designated input source's wave for the training pump *)
+let with_wave netlist ~input ~wave =
+  let swapped = ref false in
+  let components =
+    List.map
+      (fun (c : Circuit.Netlist.component) ->
+        if c.name <> input then c
+        else begin
+          match c.element with
+          | Circuit.Netlist.Vsource { p; n; _ } ->
+              swapped := true;
+              Circuit.Netlist.vsource ~name:c.name p n wave
+          | Circuit.Netlist.Isource { p; n; _ } ->
+              swapped := true;
+              Circuit.Netlist.isource ~name:c.name p n wave
+          | Circuit.Netlist.Resistor _ | Circuit.Netlist.Capacitor _
+          | Circuit.Netlist.Inductor _ | Circuit.Netlist.Vccs _
+          | Circuit.Netlist.Vcvs _ | Circuit.Netlist.Cccs _
+          | Circuit.Netlist.Diode _ | Circuit.Netlist.Junction_cap _
+          | Circuit.Netlist.Mosfet _ | Circuit.Netlist.Bjt _ ->
+              invalid_arg
+                (Printf.sprintf "Pipeline.extract: input %S is not a source" input)
+        end)
+      netlist.Circuit.Netlist.components
+  in
+  if not !swapped then
+    invalid_arg (Printf.sprintf "Pipeline.extract: no source named %S" input);
+  Circuit.Netlist.make components
+
+let extract ~config ~netlist ~input ~output () =
+  let training_netlist =
+    with_wave netlist ~input ~wave:config.training.wave
+  in
+  let mna = Engine.Mna.build ~inputs:[ input ] ~outputs:[ output ] training_netlist in
+  let t0 = Sys.time () in
+  let tran_opts =
+    {
+      Engine.Tran.default_opts with
+      Engine.Tran.snapshot_every = config.training.snapshot_every;
+    }
+  in
+  let training_run =
+    Engine.Tran.run ~opts:tran_opts mna ~t_stop:config.training.t_stop
+      ~dt:config.training.dt
+  in
+  let t1 = Sys.time () in
+  let estimator = Tft.Estimator.make ~delays:config.estimator_delays () in
+  let dataset =
+    Tft.Dataset.of_snapshots ~mna ~estimator ~freqs_hz:config.freqs_hz
+      training_run.Engine.Tran.snapshots
+  in
+  let t2 = Sys.time () in
+  let rvf = Rvf.extract ~config:config.rvf ~dataset ~input:0 ~output:0 () in
+  let t3 = Sys.time () in
+  {
+    model = rvf.Rvf.model;
+    rvf;
+    dataset;
+    mna;
+    training_run;
+    timing =
+      {
+        train_seconds = t1 -. t0;
+        tft_seconds = t2 -. t1;
+        fit_seconds = t3 -. t2;
+      };
+  }
+
+let extract_simo ~config ~netlist ~input ~outputs () =
+  if outputs = [] then invalid_arg "Pipeline.extract_simo: no outputs";
+  let training_netlist = with_wave netlist ~input ~wave:config.training.wave in
+  let mna = Engine.Mna.build ~inputs:[ input ] ~outputs training_netlist in
+  let t0 = Sys.time () in
+  let tran_opts =
+    {
+      Engine.Tran.default_opts with
+      Engine.Tran.snapshot_every = config.training.snapshot_every;
+    }
+  in
+  let training_run =
+    Engine.Tran.run ~opts:tran_opts mna ~t_stop:config.training.t_stop
+      ~dt:config.training.dt
+  in
+  let t1 = Sys.time () in
+  let estimator = Tft.Estimator.make ~delays:config.estimator_delays () in
+  let dataset =
+    Tft.Dataset.of_snapshots ~mna ~estimator ~freqs_hz:config.freqs_hz
+      training_run.Engine.Tran.snapshots
+  in
+  let t2 = Sys.time () in
+  List.mapi
+    (fun j _ ->
+      let t3 = Sys.time () in
+      let rvf = Rvf.extract ~config:config.rvf ~dataset ~input:0 ~output:j () in
+      let t4 = Sys.time () in
+      {
+        model = rvf.Rvf.model;
+        rvf;
+        dataset;
+        mna;
+        training_run;
+        timing =
+          {
+            train_seconds = t1 -. t0;
+            tft_seconds = t2 -. t1;
+            fit_seconds = t4 -. t3;
+          };
+      })
+    outputs
+
+let buffer_config ?(snapshots = 100) () =
+  let freq = 1e6 in
+  let period = 1.0 /. freq in
+  let steps_per_snapshot = 4 in
+  let steps = snapshots * steps_per_snapshot in
+  {
+    training =
+      {
+        wave = Circuits.Buffer.training_wave ~freq ();
+        t_stop = period;
+        dt = period /. float_of_int steps;
+        snapshot_every = steps_per_snapshot;
+      };
+    freqs_hz = Signal.Grid.frequencies_hz ~f_min:1.0 ~f_max:1e10 ~points:40;
+    estimator_delays = [];
+    rvf =
+      {
+        Rvf.default_config with
+        Rvf.max_freq_poles = 16;
+        max_state_poles = 24;
+        min_imag_fraction = 0.03;
+      };
+  }
+
+let extract_buffer ?config () =
+  let config = match config with Some c -> c | None -> buffer_config () in
+  extract ~config
+    ~netlist:(Circuits.Buffer.netlist ())
+    ~input:Circuits.Buffer.input_name ~output:Circuits.Buffer.output ()

@@ -1,0 +1,72 @@
+(** The end-to-end extraction pipeline of Fig. 1 / Algorithm 1:
+
+    SPICE netlist → transient Jacobian sampling → TFT transform →
+    Recursive Vector Fitting → analytical Hammerstein model.
+
+    This is the library's front door; the individual stages live in
+    [engine], [tft], [vf], [rvf] and [hammerstein]. *)
+
+type training = {
+  wave : Circuit.Netlist.wave;  (** the large-signal pump applied to the input *)
+  t_stop : float;
+  dt : float;
+  snapshot_every : int;
+}
+
+type config = {
+  training : training;
+  freqs_hz : float array;  (** frequency grid for the TFT transform *)
+  estimator_delays : float list;  (** extra state-estimator delays (eq. 4) *)
+  rvf : Rvf.config;
+}
+
+val default_config_for :
+  ?points:int -> f_min:float -> f_max:float -> training:training -> unit -> config
+(** Log frequency grid with [points] samples (default 40) and the
+    default RVF settings. *)
+
+type timing = {
+  train_seconds : float;  (** transient + snapshot capture *)
+  tft_seconds : float;  (** frequency-domain transform of the snapshots *)
+  fit_seconds : float;  (** RVF (both stages) + integration + assembly *)
+}
+
+type outcome = {
+  model : Hammerstein.Hmodel.t;
+  rvf : Rvf.result;
+  dataset : Tft.Dataset.t;
+  mna : Engine.Mna.t;
+  training_run : Engine.Tran.result;
+  timing : timing;
+}
+
+val extract :
+  config:config ->
+  netlist:Circuit.Netlist.t ->
+  input:string ->
+  output:Engine.Mna.output ->
+  unit ->
+  outcome
+(** Runs the whole flow for a SISO channel. The [input] source's wave is
+    replaced by [config.training.wave] during training. *)
+
+val buffer_config : ?snapshots:int -> unit -> config
+(** The Section-IV experiment configuration for {!Circuits.Buffer}:
+    one period of the low-frequency high-amplitude training sine,
+    ~[snapshots] (default 100) TFT samples, 1 Hz – 10 GHz grid. *)
+
+val extract_buffer : ?config:config -> unit -> outcome
+(** Convenience wrapper reproducing the paper's example end-to-end. *)
+
+val extract_simo :
+  config:config ->
+  netlist:Circuit.Netlist.t ->
+  input:string ->
+  outputs:Engine.Mna.output list ->
+  unit ->
+  outcome list
+(** Single-input multi-output extraction: "the extension towards MIMO
+    systems is very straightforward" — the training transient, snapshot
+    capture and TFT pencil solves are shared across channels; only the
+    fitting stages run per output. Returns one outcome per requested
+    output (all sharing the same dataset and training run). *)

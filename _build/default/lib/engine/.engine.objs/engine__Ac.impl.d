@@ -1,0 +1,1 @@
+lib/engine/ac.ml: Array Linalg Mna Signal

@@ -1,0 +1,1 @@
+lib/engine/dc.ml: Array Float Linalg Logs Mna Printf

@@ -1,0 +1,1 @@
+lib/engine/mna.ml: Array Circuit Device Hashtbl Linalg List Printf Signal

@@ -1,0 +1,1 @@
+lib/engine/tran.ml: Array Dc Float Linalg List Mna Printf Signal Stdlib

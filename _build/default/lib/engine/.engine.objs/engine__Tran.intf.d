@@ -1,0 +1,1 @@
+lib/engine/tran.mli: Dc Linalg Mna Signal

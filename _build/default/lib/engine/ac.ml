@@ -1,0 +1,30 @@
+let transfer_at ~g ~c ~b ~d ~s =
+  let pencil = Linalg.Cmat.lincomb Linalg.Cx.one g s c in
+  let rhs = Linalg.Cmat.of_real b in
+  let x = Linalg.Clu.solve_mat (Linalg.Clu.factor pencil) rhs in
+  (* H = Dᵀ X *)
+  let mo = Linalg.Mat.cols d and mi = Linalg.Cmat.cols x in
+  let n = Linalg.Mat.rows d in
+  Linalg.Cmat.init mo mi (fun o i ->
+      let acc = ref Linalg.Cx.zero in
+      for k = 0 to n - 1 do
+        let dk = Linalg.Mat.get d k o in
+        let xki = Linalg.Cmat.get x k i in
+        if dk <> 0.0 then acc := Linalg.Cx.(!acc +: scale dk xki)
+      done;
+      !acc)
+
+let sweep mna ~at ~freqs_hz =
+  let ev = Mna.eval mna ~with_matrices:true ~time:0.0 at in
+  let g, c =
+    match (ev.Mna.g_mat, ev.Mna.c_mat) with
+    | Some g, Some c -> (g, c)
+    | _, _ -> assert false
+  in
+  let b = Mna.b_matrix mna and d = Mna.d_matrix mna in
+  Array.map
+    (fun f -> transfer_at ~g ~c ~b ~d ~s:(Signal.Grid.s_of_hz f))
+    freqs_hz
+
+let sweep_siso mna ~at ~freqs_hz =
+  Array.map (fun h -> Linalg.Cmat.get h 0 0) (sweep mna ~at ~freqs_hz)

@@ -1,0 +1,24 @@
+(** Small-signal AC analysis: the frequency response of the circuit
+    linearized at a given operating point.
+
+    [H(s) = Dᵀ (G + s·C)⁻¹ B] — the same pencil solve used per-snapshot
+    by the TFT transform, exposed here for validation against the
+    extracted models. *)
+
+val transfer_at :
+  g:Linalg.Mat.t ->
+  c:Linalg.Mat.t ->
+  b:Linalg.Mat.t ->
+  d:Linalg.Mat.t ->
+  s:Complex.t ->
+  Linalg.Cmat.t
+(** Dense pencil solve returning the [n_outputs × n_inputs] transfer
+    matrix at one complex frequency. *)
+
+val sweep :
+  Mna.t -> at:Linalg.Vec.t -> freqs_hz:float array -> Linalg.Cmat.t array
+(** Linearize at [at] and sweep the given frequencies (Hz). *)
+
+val sweep_siso :
+  Mna.t -> at:Linalg.Vec.t -> freqs_hz:float array -> Complex.t array
+(** Convenience for single-input single-output setups: element (0,0). *)

@@ -1,0 +1,132 @@
+type opts = {
+  max_iter : int;
+  abstol : float;
+  vtol : float;
+  dv_max : float;
+  gmin_final : float;
+}
+
+let default_opts =
+  { max_iter = 100; abstol = 1e-9; vtol = 1e-9; dv_max = 1.0; gmin_final = 1e-12 }
+
+exception No_convergence of string
+
+let src = Logs.Src.create "engine.dc" ~doc:"DC operating point solver"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* One Newton run at a fixed gmin level. [residual_of] must fill i_vec with
+   the full residual and g_mat/c_mat with the Jacobians; the dynamic term
+   is folded in by the caller. Returns (solution, last eval) or None. *)
+let newton ~opts ~mna ~gmin ~residual_of ~jac_of ~initial =
+  let n = Mna.size mna in
+  let n_nodes = Mna.n_nodes mna in
+  let v = Linalg.Vec.copy initial in
+  let rec iterate it =
+    if it >= opts.max_iter then None
+    else begin
+      let ev : Mna.eval = residual_of v in
+      let f = ev.Mna.i_vec in
+      let j =
+        match jac_of ev with
+        | Some j -> j
+        | None -> invalid_arg "Dc.newton: evaluation without Jacobian"
+      in
+      (* gmin to ground on node rows keeps the matrix nonsingular *)
+      if gmin > 0.0 then
+        for k = 0 to n_nodes - 1 do
+          Linalg.Mat.update j k k (fun x -> x +. gmin);
+          f.(k) <- f.(k) +. (gmin *. v.(k))
+        done;
+      let f_norm = Linalg.Vec.norm_inf f in
+      match Linalg.Lu.factor j with
+      | exception Linalg.Lu.Singular _ -> None
+      | lu ->
+          let dv = Linalg.Lu.solve lu (Linalg.Vec.neg f) in
+          let dv_norm = Linalg.Vec.norm_inf dv in
+          let scale =
+            if dv_norm > opts.dv_max then opts.dv_max /. dv_norm else 1.0
+          in
+          for k = 0 to n - 1 do
+            v.(k) <- v.(k) +. (scale *. dv.(k))
+          done;
+          if
+            Float.is_finite dv_norm
+            && dv_norm *. scale < opts.vtol
+            && f_norm < opts.abstol
+          then Some (v, ev)
+          else iterate (it + 1)
+    end
+  in
+  iterate 0
+
+let dc_residual mna time v =
+  let ev = Mna.eval mna ~with_matrices:true ~time v in
+  (* DC: drop the dq/dt term entirely *)
+  ev
+
+let solve ?(opts = default_opts) ?initial ?(time = 0.0) mna =
+  let n = Mna.size mna in
+  let initial =
+    match initial with Some v -> v | None -> Linalg.Vec.create n
+  in
+  let jac_of (ev : Mna.eval) = ev.Mna.g_mat in
+  let attempt gmin start =
+    newton ~opts ~mna ~gmin ~residual_of:(dc_residual mna time) ~jac_of
+      ~initial:start
+  in
+  match attempt opts.gmin_final initial with
+  | Some (v, _) -> v
+  | None ->
+      (* gmin stepping continuation *)
+      Log.debug (fun m -> m "plain Newton failed; starting gmin stepping");
+      let levels = [ 1e-2; 1e-3; 1e-4; 1e-5; 1e-6; 1e-7; 1e-8; 1e-10; 1e-12 ] in
+      let rec steps v_start = function
+        | [] -> raise (No_convergence "gmin stepping exhausted")
+        | gmin :: rest -> begin
+            match attempt (Float.max gmin opts.gmin_final) v_start with
+            | Some (v, _) -> if rest = [] then v else steps v rest
+            | None ->
+                (* restart the level from the best guess we have *)
+                if rest = [] then raise (No_convergence "gmin stepping failed")
+                else steps v_start rest
+          end
+      in
+      steps initial levels
+
+let newton_dynamic ?(opts = default_opts) ~mna ~time ~alpha ~q_prev ~qdot_term
+    ~initial () =
+  let n = Mna.size mna in
+  let residual_of v =
+    let ev = Mna.eval mna ~with_matrices:true ~time v in
+    let f = ev.Mna.i_vec in
+    for k = 0 to n - 1 do
+      f.(k) <-
+        f.(k) +. (alpha *. (ev.Mna.q_vec.(k) -. q_prev.(k))) -. qdot_term.(k)
+    done;
+    ev
+  in
+  let jac_of (ev : Mna.eval) =
+    match (ev.Mna.g_mat, ev.Mna.c_mat) with
+    | Some g, Some c ->
+        (* J = G + alpha·C; reuse G's storage *)
+        let nmat = Linalg.Mat.rows g in
+        for r = 0 to nmat - 1 do
+          for col = 0 to nmat - 1 do
+            Linalg.Mat.update g r col (fun x ->
+                x +. (alpha *. Linalg.Mat.get c r col))
+          done
+        done;
+        Some g
+    | _, _ -> None
+  in
+  match
+    newton ~opts ~mna ~gmin:opts.gmin_final ~residual_of ~jac_of ~initial
+  with
+  | Some (v, _) ->
+      (* re-evaluate to return clean (unmodified) Jacobians at the solution *)
+      let ev = Mna.eval mna ~with_matrices:true ~time v in
+      (v, ev)
+  | None ->
+      raise
+        (No_convergence (Printf.sprintf "transient Newton failed at t=%.6e" time))

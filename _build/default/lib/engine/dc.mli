@@ -1,0 +1,33 @@
+(** DC operating-point solver: damped Newton–Raphson with gmin stepping. *)
+
+type opts = {
+  max_iter : int;  (** Newton iterations per gmin level (default 100) *)
+  abstol : float;  (** residual infinity-norm tolerance (default 1e-9) *)
+  vtol : float;  (** update infinity-norm tolerance (default 1e-9) *)
+  dv_max : float;  (** per-iteration update clamp (default 1.0 V) *)
+  gmin_final : float;  (** conductance to ground left in place (default 1e-12) *)
+}
+
+val default_opts : opts
+
+exception No_convergence of string
+
+val solve : ?opts:opts -> ?initial:Linalg.Vec.t -> ?time:float -> Mna.t -> Linalg.Vec.t
+(** Solve [i(v) = s(time)] (capacitors open, inductors short). Applies
+    gmin stepping automatically when plain Newton fails. Raises
+    {!No_convergence} when even the stepped continuation fails. *)
+
+val newton_dynamic :
+  ?opts:opts ->
+  mna:Mna.t ->
+  time:float ->
+  alpha:float ->
+  q_prev:Linalg.Vec.t ->
+  qdot_term:Linalg.Vec.t ->
+  initial:Linalg.Vec.t ->
+  unit ->
+  Linalg.Vec.t * Mna.eval
+(** Newton solve of the discretized transient equation
+    [i(v) − s(t) + alpha·(q(v) − q_prev) − qdot_term = 0]; shared by the
+    integration methods in {!Tran}. Returns the solution and the final
+    evaluation (with Jacobians) at the solution. *)

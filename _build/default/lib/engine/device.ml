@@ -1,0 +1,149 @@
+let thermal_voltage = 0.025852
+
+let diode_gmin = 1e-12
+let exp_limit = 40.0
+
+let diode_iv (p : Circuit.Netlist.diode_params) vd =
+  let vt = thermal_voltage *. p.ideality in
+  let x = vd /. vt in
+  let i, g =
+    if x <= exp_limit then begin
+      let e = exp x in
+      (p.i_sat *. (e -. 1.0), p.i_sat *. e /. vt)
+    end
+    else begin
+      (* linear continuation of the exponential beyond the limit *)
+      let e_lim = exp exp_limit in
+      let e = e_lim *. (1.0 +. (x -. exp_limit)) in
+      (p.i_sat *. (e -. 1.0), p.i_sat *. e_lim /. vt)
+    end
+  in
+  (i +. (diode_gmin *. vd), g +. diode_gmin)
+
+let mos_leak = 1e-9
+
+(* Forward level-1 drain current for vds >= 0:
+   returns (id, gm, gds) = (F, dF/dvgs, dF/dvds). *)
+let level1_forward (p : Circuit.Netlist.mos_params) vgs vds =
+  let beta = p.kp *. p.w /. p.l in
+  let vov = vgs -. p.vth in
+  if vov <= 0.0 then (0.0, 0.0, 0.0)
+  else begin
+    let clm = 1.0 +. (p.lambda *. vds) in
+    if vds >= vov then begin
+      (* saturation *)
+      let id0 = 0.5 *. beta *. vov *. vov in
+      (id0 *. clm, beta *. vov *. clm, id0 *. p.lambda)
+    end
+    else begin
+      (* triode *)
+      let id0 = beta *. ((vov *. vds) -. (0.5 *. vds *. vds)) in
+      let did0_dvds = beta *. (vov -. vds) in
+      ( id0 *. clm,
+        beta *. vds *. clm,
+        (did0_dvds *. clm) +. (id0 *. p.lambda) )
+    end
+  end
+
+(* NMOS-like current into drain for arbitrary bias (symmetric swap). *)
+let nmos_ids p ~vd ~vg ~vs =
+  if vd >= vs then begin
+    let id, gm, gds = level1_forward p (vg -. vs) (vd -. vs) in
+    let id = id +. (mos_leak *. (vd -. vs)) in
+    let gds = gds +. mos_leak in
+    (id, gds, gm, -.(gm +. gds))
+  end
+  else begin
+    (* reverse operation: drain and source exchange roles *)
+    let id, gm, gds = level1_forward p (vg -. vd) (vs -. vd) in
+    let id = id +. (mos_leak *. (vs -. vd)) in
+    let gds = gds +. mos_leak in
+    (-.id, gm +. gds, -.gm, -.gds)
+  end
+
+let mosfet_ids pol p ~vd ~vg ~vs =
+  match pol with
+  | Circuit.Netlist.Nmos -> nmos_ids p ~vd ~vg ~vs
+  | Circuit.Netlist.Pmos ->
+      (* mirror: Id_p(vd,vg,vs) = -Id_n(-vd,-vg,-vs); the chain rule through
+         the sign flips leaves the conductances unchanged in sign. *)
+      let id, dd, dg, ds =
+        nmos_ids p ~vd:(-.vd) ~vg:(-.vg) ~vs:(-.vs)
+      in
+      (-.id, dd, dg, ds)
+
+let junction_fc = 0.5
+
+let junction_q (p : Circuit.Netlist.junction_params) v =
+  let vb = junction_fc *. p.phi in
+  if v < vb then begin
+    let w = 1.0 -. (v /. p.phi) in
+    let q = p.cj0 *. p.phi /. (1.0 -. p.m) *. (1.0 -. (w ** (1.0 -. p.m))) in
+    let c = p.cj0 *. (w ** -.p.m) in
+    (q, c)
+  end
+  else begin
+    (* linearized continuation above fc·phi *)
+    let w_b = 1.0 -. junction_fc in
+    let q_b = p.cj0 *. p.phi /. (1.0 -. p.m) *. (1.0 -. (w_b ** (1.0 -. p.m))) in
+    let c_b = p.cj0 *. (w_b ** -.p.m) in
+    let dc_dv = p.cj0 *. p.m /. p.phi *. (w_b ** -.(p.m +. 1.0)) in
+    let dv = v -. vb in
+    (q_b +. (c_b *. dv) +. (0.5 *. dc_dv *. dv *. dv), c_b +. (dc_dv *. dv))
+  end
+
+type bjt_eval = {
+  ic : float;
+  ib : float;
+  dic_dvc : float;
+  dic_dvb : float;
+  dic_dve : float;
+  dib_dvc : float;
+  dib_dvb : float;
+  dib_dve : float;
+}
+
+(* limited exponential shared with the diode model *)
+let lim_exp x =
+  if x <= exp_limit then begin
+    let e = exp x in
+    (e, e)
+  end
+  else begin
+    let e_lim = exp exp_limit in
+    (e_lim *. (1.0 +. (x -. exp_limit)), e_lim)
+  end
+
+let npn_currents (p : Circuit.Netlist.bjt_params) ~vc ~vb ~ve =
+  let vt = thermal_voltage in
+  let ef, def = lim_exp ((vb -. ve) /. vt) in
+  let er, der = lim_exp ((vb -. vc) /. vt) in
+  let i_f = p.Circuit.Netlist.is_bjt *. (ef -. 1.0) in
+  let i_r = p.Circuit.Netlist.is_bjt *. (er -. 1.0) in
+  let gf = p.Circuit.Netlist.is_bjt *. def /. vt in
+  let gr = p.Circuit.Netlist.is_bjt *. der /. vt in
+  let krr = 1.0 +. (1.0 /. p.Circuit.Netlist.br) in
+  (* small ohmic leakage keeps isolated nodes solvable *)
+  let ic = i_f -. (krr *. i_r) +. (diode_gmin *. (vc -. ve)) in
+  let ib =
+    (i_f /. p.Circuit.Netlist.bf) +. (i_r /. p.Circuit.Netlist.br)
+    +. (diode_gmin *. (vb -. ve))
+  in
+  {
+    ic;
+    ib;
+    dic_dvc = (krr *. gr) +. diode_gmin;
+    dic_dvb = gf -. (krr *. gr);
+    dic_dve = -.gf -. diode_gmin;
+    dib_dvc = -.gr /. p.Circuit.Netlist.br;
+    dib_dvb = (gf /. p.Circuit.Netlist.bf) +. (gr /. p.Circuit.Netlist.br) +. diode_gmin;
+    dib_dve = (-.gf /. p.Circuit.Netlist.bf) -. diode_gmin;
+  }
+
+let bjt_currents pol p ~vc ~vb ~ve =
+  match pol with
+  | Circuit.Netlist.Npn -> npn_currents p ~vc ~vb ~ve
+  | Circuit.Netlist.Pnp ->
+      (* mirror: currents negate, conductances keep their sign *)
+      let e = npn_currents p ~vc:(-.vc) ~vb:(-.vb) ~ve:(-.ve) in
+      { e with ic = -.e.ic; ib = -.e.ib }

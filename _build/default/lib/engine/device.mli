@@ -1,0 +1,54 @@
+(** Constitutive equations of the nonlinear devices.
+
+    All functions return both the value and the partial derivatives needed
+    for Newton iteration; the current equations are C¹ (limited
+    exponentials, region-continuous square law) so the Jacobians seen by
+    the solver are continuous. *)
+
+val thermal_voltage : float
+(** kT/q at 300 K, ≈ 25.852 mV. *)
+
+val diode_iv : Circuit.Netlist.diode_params -> float -> float * float
+(** [diode_iv params vd] is [(i, di/dv)] with exponent limiting: beyond
+    [x = vd/(n·Vt) > 40] the exponential is continued linearly, keeping
+    current and conductance continuous. A parallel gmin of 1e-12 S is
+    included. *)
+
+val mosfet_ids :
+  Circuit.Netlist.polarity ->
+  Circuit.Netlist.mos_params ->
+  vd:float ->
+  vg:float ->
+  vs:float ->
+  float * float * float * float
+(** [mosfet_ids pol p ~vd ~vg ~vs] is [(id, did_dvd, did_dvg, did_dvs)]
+    where [id] is the current flowing into the drain terminal. Level-1
+    square law with channel-length modulation, automatic source/drain
+    swap for reverse bias, and a small parallel drain–source leakage to
+    keep the system matrix nonsingular when the device is off. *)
+
+val junction_q : Circuit.Netlist.junction_params -> float -> float * float
+(** [junction_q params v] is [(q, dq/dv)] for a graded junction
+    capacitance, linearized above [v = 0.5·phi] (SPICE [fc] convention). *)
+
+(** Partial-derivative bundle of an Ebers–Moll BJT evaluation. *)
+type bjt_eval = {
+  ic : float;  (** current into the collector *)
+  ib : float;  (** current into the base *)
+  dic_dvc : float;
+  dic_dvb : float;
+  dic_dve : float;
+  dib_dvc : float;
+  dib_dvb : float;
+  dib_dve : float;
+}
+
+val bjt_currents :
+  Circuit.Netlist.bjt_polarity ->
+  Circuit.Netlist.bjt_params ->
+  vc:float ->
+  vb:float ->
+  ve:float ->
+  bjt_eval
+(** Transport-formulation Ebers–Moll with the same limited exponential as
+    the diode; the emitter current is [−(ic + ib)]. *)

@@ -1,0 +1,49 @@
+(** Modified Nodal Analysis: compile a netlist into an evaluable system
+
+    {[ d/dt q(v) + i(v) = s(t) = B·u(t) + (other sources) ]}
+
+    Unknowns are the non-ground node voltages followed by one branch
+    current per voltage source and per inductor. *)
+
+type output = Node of string | Diff of string * string
+
+type t
+
+val build : ?inputs:string list -> ?outputs:output list -> Circuit.Netlist.t -> t
+(** [inputs] names voltage/current sources whose values form the input
+    vector [u] (they keep their waves for simulation; the [B] matrix maps
+    [u] into the residual). [outputs] picks the observed voltages for the
+    [D] matrix. Defaults: no inputs, no outputs. Raises
+    [Invalid_argument] on unknown names or nodes. *)
+
+val size : t -> int
+val n_nodes : t -> int
+val n_inputs : t -> int
+val n_outputs : t -> int
+val node_index : t -> string -> int
+(** Index of a non-ground node in the unknown vector. Raises [Not_found]. *)
+
+val netlist : t -> Circuit.Netlist.t
+
+type eval = {
+  i_vec : Linalg.Vec.t;  (** i(v) − s(t) *)
+  q_vec : Linalg.Vec.t;  (** q(v) *)
+  g_mat : Linalg.Mat.t option;  (** ∂i/∂v *)
+  c_mat : Linalg.Mat.t option;  (** ∂q/∂v *)
+}
+
+val eval : t -> ?with_matrices:bool -> time:float -> Linalg.Vec.t -> eval
+(** Evaluate residual pieces (and Jacobians when [with_matrices], default
+    true) at the given unknown vector and time. *)
+
+val b_matrix : t -> Linalg.Mat.t
+(** [size × n_inputs]; the incidence of the designated inputs. *)
+
+val d_matrix : t -> Linalg.Mat.t
+(** [size × n_outputs]. *)
+
+val input_values : t -> float -> Linalg.Vec.t
+(** Values of the designated input sources at a given time. *)
+
+val output_values : t -> Linalg.Vec.t -> Linalg.Vec.t
+(** [Dᵀ v]. *)

@@ -1,0 +1,235 @@
+type integration = Backward_euler | Trapezoidal
+
+type opts = {
+  integration : integration;
+  snapshot_every : int;
+  newton : Dc.opts;
+}
+
+let default_opts =
+  { integration = Trapezoidal; snapshot_every = 0; newton = Dc.default_opts }
+
+type snapshot = {
+  time : float;
+  state : Linalg.Vec.t;
+  inputs : Linalg.Vec.t;
+  outputs : Linalg.Vec.t;
+  g_mat : Linalg.Mat.t;
+  c_mat : Linalg.Mat.t;
+}
+
+type result = {
+  times : float array;
+  states : Linalg.Vec.t array;
+  outputs : Linalg.Mat.t;
+  snapshots : snapshot array;
+  newton_iterations : int;
+}
+
+let matrices_of_eval (ev : Mna.eval) =
+  match (ev.Mna.g_mat, ev.Mna.c_mat) with
+  | Some g, Some c -> (g, c)
+  | _, _ -> invalid_arg "Tran: evaluation without Jacobians"
+
+let run ?(opts = default_opts) ?initial mna ~t_stop ~dt =
+  if dt <= 0.0 || t_stop <= 0.0 then invalid_arg "Tran.run: dt and t_stop must be > 0";
+  let n = Mna.size mna in
+  (* the small slack avoids a spurious zero-length final step when
+     t_stop/dt is an integer up to roundoff *)
+  let steps = Stdlib.max 1 (int_of_float (Float.ceil ((t_stop /. dt) -. 1e-9))) in
+  let v0 =
+    match initial with
+    | Some v -> Linalg.Vec.copy v
+    | None -> Dc.solve ~opts:opts.newton ~time:0.0 mna
+  in
+  let ev0 = Mna.eval mna ~with_matrices:true ~time:0.0 v0 in
+  let times = Array.make (steps + 1) 0.0 in
+  let states = Array.make (steps + 1) v0 in
+  let outputs = Linalg.Mat.create (steps + 1) (Mna.n_outputs mna) in
+  let record_output k v =
+    let y = Mna.output_values mna v in
+    Array.iteri (fun j yv -> Linalg.Mat.set outputs k j yv) y
+  in
+  record_output 0 v0;
+  let snapshots = ref [] in
+  let take_snapshot time v (ev : Mna.eval) =
+    let g, c = matrices_of_eval ev in
+    snapshots :=
+      {
+        time;
+        state = Linalg.Vec.copy v;
+        inputs = Mna.input_values mna time;
+        outputs = Mna.output_values mna v;
+        g_mat = Linalg.Mat.copy g;
+        c_mat = Linalg.Mat.copy c;
+      }
+      :: !snapshots
+  in
+  if opts.snapshot_every > 0 then take_snapshot 0.0 v0 ev0;
+  let newton_count = ref 0 in
+  let q_prev = ref ev0.Mna.q_vec in
+  let qdot_prev = ref (Linalg.Vec.create n) in
+  let v_prev = ref v0 in
+  for k = 1 to steps do
+    let time = Float.min (float_of_int k *. dt) t_stop in
+    let h = time -. times.(k - 1) in
+    let alpha, qdot_term =
+      match opts.integration with
+      | Backward_euler -> (1.0 /. h, Linalg.Vec.create n)
+      | Trapezoidal -> (2.0 /. h, Linalg.Vec.copy !qdot_prev)
+    in
+    let v, ev =
+      try
+        Dc.newton_dynamic ~opts:opts.newton ~mna ~time ~alpha ~q_prev:!q_prev
+          ~qdot_term ~initial:!v_prev ()
+      with Dc.No_convergence _ ->
+        (* retreat to backward Euler for this step *)
+        Dc.newton_dynamic ~opts:opts.newton ~mna ~time ~alpha:(1.0 /. h)
+          ~q_prev:!q_prev ~qdot_term:(Linalg.Vec.create n) ~initial:!v_prev ()
+    in
+    newton_count := !newton_count + 1;
+    let q_new = ev.Mna.q_vec in
+    let qdot_new =
+      match opts.integration with
+      | Backward_euler ->
+          Array.init n (fun j -> (q_new.(j) -. (!q_prev).(j)) /. h)
+      | Trapezoidal ->
+          Array.init n (fun j ->
+              ((2.0 /. h) *. (q_new.(j) -. (!q_prev).(j))) -. (!qdot_prev).(j))
+    in
+    times.(k) <- time;
+    states.(k) <- Linalg.Vec.copy v;
+    record_output k v;
+    if opts.snapshot_every > 0 && k mod opts.snapshot_every = 0 then
+      take_snapshot time v ev;
+    q_prev := q_new;
+    qdot_prev := qdot_new;
+    v_prev := v
+  done;
+  {
+    times;
+    states;
+    outputs;
+    snapshots = Array.of_list (List.rev !snapshots);
+    newton_iterations = !newton_count;
+  }
+
+let output_waveform r j =
+  Signal.Waveform.make r.times (Linalg.Mat.col r.outputs j)
+
+let run_adaptive ?(opts = default_opts) ?initial ?(reltol = 1e-3) ?(abstol = 1e-6)
+    ?dt_min ?dt_max mna ~t_stop ~dt =
+  if dt <= 0.0 || t_stop <= 0.0 then
+    invalid_arg "Tran.run_adaptive: dt and t_stop must be > 0";
+  let dt_min = match dt_min with Some v -> v | None -> dt /. 1e6 in
+  let dt_max = match dt_max with Some v -> v | None -> 50.0 *. dt in
+  let n = Mna.size mna in
+  let v0 =
+    match initial with
+    | Some v -> Linalg.Vec.copy v
+    | None -> Dc.solve ~opts:opts.newton ~time:0.0 mna
+  in
+  let ev0 = Mna.eval mna ~with_matrices:true ~time:0.0 v0 in
+  let times = ref [ 0.0 ] in
+  let states = ref [ v0 ] in
+  let outputs = ref [ Mna.output_values mna v0 ] in
+  let snapshots = ref [] in
+  let take_snapshot time v (ev : Mna.eval) =
+    let g, c = matrices_of_eval ev in
+    snapshots :=
+      {
+        time;
+        state = Linalg.Vec.copy v;
+        inputs = Mna.input_values mna time;
+        outputs = Mna.output_values mna v;
+        g_mat = Linalg.Mat.copy g;
+        c_mat = Linalg.Mat.copy c;
+      }
+      :: !snapshots
+  in
+  if opts.snapshot_every > 0 then take_snapshot 0.0 v0 ev0;
+  let newton_count = ref 0 in
+  let q_prev = ref ev0.Mna.q_vec in
+  let qdot_prev = ref (Linalg.Vec.create n) in
+  let v_prev = ref v0 in
+  let t_now = ref 0.0 in
+  let h = ref dt in
+  let accepted = ref 0 in
+  while !t_now < t_stop -. 1e-15 *. t_stop do
+    let h_try = Float.min !h (t_stop -. !t_now) in
+    let time = !t_now +. h_try in
+    let step_ok, v_new, ev_new =
+      try
+        let v, ev =
+          Dc.newton_dynamic ~opts:opts.newton ~mna ~time ~alpha:(2.0 /. h_try)
+            ~q_prev:!q_prev ~qdot_term:(Linalg.Vec.copy !qdot_prev)
+            ~initial:!v_prev ()
+        in
+        (true, v, ev)
+      with Dc.No_convergence _ -> (false, !v_prev, ev0)
+    in
+    incr newton_count;
+    if not step_ok then begin
+      (* convergence failure: halve the step *)
+      h := Float.max dt_min (0.5 *. h_try);
+      if h_try <= dt_min *. 1.0000001 then
+        raise (Dc.No_convergence
+                 (Printf.sprintf "adaptive step underflow at t=%.6e" time))
+    end
+    else begin
+      (* predictor: forward Euler with the previous dv/dt estimate *)
+      let dvdt_prev =
+        match !times with
+        | t1 :: t2 :: _ ->
+            let hp = t1 -. t2 in
+            let v1 = List.nth !states 0 and v2 = List.nth !states 1 in
+            Array.init n (fun i -> (v1.(i) -. v2.(i)) /. hp)
+        | _ -> Linalg.Vec.create n
+      in
+      let err = ref 0.0 in
+      Array.iteri
+        (fun i vi ->
+          let pred = (!v_prev).(i) +. (h_try *. dvdt_prev.(i)) in
+          let scale = abstol +. (reltol *. Float.max (Float.abs vi) (Float.abs (!v_prev).(i))) in
+          err := Float.max !err (Float.abs (vi -. pred) /. scale))
+        v_new;
+      if !err > 2.0 && h_try > dt_min *. 1.0000001 then
+        (* reject: shrink *)
+        h := Float.max dt_min (h_try *. Float.max 0.2 (0.9 /. sqrt !err))
+      else begin
+        (* accept *)
+        let q_new = ev_new.Mna.q_vec in
+        let qdot_new =
+          Array.init n (fun j ->
+              ((2.0 /. h_try) *. (q_new.(j) -. (!q_prev).(j))) -. (!qdot_prev).(j))
+        in
+        t_now := time;
+        times := time :: !times;
+        states := Linalg.Vec.copy v_new :: !states;
+        outputs := Mna.output_values mna v_new :: !outputs;
+        incr accepted;
+        if opts.snapshot_every > 0 && !accepted mod opts.snapshot_every = 0 then
+          take_snapshot time v_new ev_new;
+        q_prev := q_new;
+        qdot_prev := qdot_new;
+        v_prev := v_new;
+        let grow = if !err <= 0.0 then 2.0 else Float.min 2.0 (0.9 /. sqrt !err) in
+        h := Float.min dt_max (Float.max dt_min (h_try *. Float.max 0.5 grow))
+      end
+    end
+  done;
+  let times = Array.of_list (List.rev !times) in
+  let states = Array.of_list (List.rev !states) in
+  let outs = Array.of_list (List.rev !outputs) in
+  let mo = Mna.n_outputs mna in
+  let outputs = Linalg.Mat.create (Array.length times) mo in
+  Array.iteri
+    (fun k row -> Array.iteri (fun j v -> Linalg.Mat.set outputs k j v) row)
+    outs;
+  {
+    times;
+    states;
+    outputs;
+    snapshots = Array.of_list (List.rev !snapshots);
+    newton_iterations = !newton_count;
+  }

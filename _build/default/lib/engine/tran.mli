@@ -1,0 +1,63 @@
+(** Nonlinear transient analysis with Jacobian snapshot capture.
+
+    This replaces the role of the commercial simulator in the paper's
+    flow: it integrates [d/dt q(v) + i(v) = s(t)] and, at selected
+    accepted time points, records the linearization
+    [(G_k, C_k, u_k, y_k)] that the TFT transform consumes. *)
+
+type integration = Backward_euler | Trapezoidal
+
+type opts = {
+  integration : integration;  (** default [Trapezoidal] *)
+  snapshot_every : int;
+      (** record a snapshot every n-th accepted step; 0 disables (default 0) *)
+  newton : Dc.opts;
+}
+
+val default_opts : opts
+
+type snapshot = {
+  time : float;
+  state : Linalg.Vec.t;  (** converged unknown vector *)
+  inputs : Linalg.Vec.t;  (** u(t_k) of the designated inputs *)
+  outputs : Linalg.Vec.t;  (** y(t_k) = Dᵀ v *)
+  g_mat : Linalg.Mat.t;  (** ∂i/∂v at the solution *)
+  c_mat : Linalg.Mat.t;  (** ∂q/∂v at the solution *)
+}
+
+type result = {
+  times : float array;
+  states : Linalg.Vec.t array;
+  outputs : Linalg.Mat.t;  (** (steps+1) × n_outputs *)
+  snapshots : snapshot array;
+  newton_iterations : int;  (** total, a cost proxy *)
+}
+
+val run :
+  ?opts:opts -> ?initial:Linalg.Vec.t -> Mna.t -> t_stop:float -> dt:float ->
+  result
+(** Fixed-step integration from a DC solution at [t = 0] (or [initial]).
+    Raises {!Dc.No_convergence} if a step fails even after an internal
+    retreat to backward Euler for that step. *)
+
+val output_waveform : result -> int -> Signal.Waveform.t
+(** Extract output channel [j] as a waveform. *)
+
+val run_adaptive :
+  ?opts:opts ->
+  ?initial:Linalg.Vec.t ->
+  ?reltol:float ->
+  ?abstol:float ->
+  ?dt_min:float ->
+  ?dt_max:float ->
+  Mna.t ->
+  t_stop:float ->
+  dt:float ->
+  result
+(** Variable-step trapezoidal integration with a predictor–corrector
+    local-error estimate (forward-Euler predictor vs trapezoidal
+    corrector): steps shrink through fast transitions and stretch across
+    quiet intervals. [dt] is the initial step; [reltol]/[abstol]
+    (defaults 1e-3 / 1e-6) bound the per-step estimate; [dt_min]
+    defaults to [dt/1e6] and [dt_max] to [50·dt]. Snapshots are captured
+    on accepted steps as in {!run}. *)

@@ -1,0 +1,1 @@
+lib/hammerstein/export.ml: Array Buffer Hmodel List Printf Static_fn

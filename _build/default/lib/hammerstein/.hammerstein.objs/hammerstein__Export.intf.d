@@ -1,0 +1,1 @@
+lib/hammerstein/export.mli: Hmodel

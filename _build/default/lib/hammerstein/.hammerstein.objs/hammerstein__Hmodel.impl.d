@@ -1,0 +1,1 @@
+lib/hammerstein/hmodel.ml: Array Buffer Complex Float Printf Signal Static_fn Stdlib

@@ -1,0 +1,1 @@
+lib/hammerstein/hmodel.mli: Complex Signal Static_fn

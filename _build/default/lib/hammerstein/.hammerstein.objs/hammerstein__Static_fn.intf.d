@@ -1,0 +1,1 @@
+lib/hammerstein/static_fn.mli:

@@ -1,0 +1,93 @@
+let branch_states (m : Hmodel.t) =
+  let names = ref [] in
+  Array.iteri
+    (fun k b ->
+      match b with
+      | Hmodel.First_order _ -> names := [ Printf.sprintf "y%d" (k + 1) ] :: !names
+      | Hmodel.Second_order _ ->
+          names :=
+            [ Printf.sprintf "y%da" (k + 1); Printf.sprintf "y%db" (k + 1) ]
+            :: !names)
+    m.Hmodel.branches;
+  List.rev !names
+
+let warn_not_analytic buf (m : Hmodel.t) =
+  if not (Hmodel.analytic m) then
+    Buffer.add_string buf
+      "// WARNING: some static stages only exist as numeric tables;\n\
+       // the emitted expressions below are placeholders for those stages.\n"
+
+let verilog_a ?(module_name = "tft_rvf_model") (m : Hmodel.t) =
+  let buf = Buffer.create 2048 in
+  Printf.bprintf buf "// generated from model %S\n" m.Hmodel.name;
+  warn_not_analytic buf m;
+  Printf.bprintf buf "`include \"disciplines.vams\"\n\n";
+  Printf.bprintf buf "module %s(in, out);\n" module_name;
+  Printf.bprintf buf "  inout in, out;\n  electrical in, out;\n";
+  let states = branch_states m in
+  List.iter
+    (List.iter (fun s -> Printf.bprintf buf "  electrical %s;\n" s))
+    states;
+  Printf.bprintf buf "\n  analog begin\n";
+  Printf.bprintf buf "    // x(t) = u(t): state estimator of dimension 1\n";
+  Array.iteri
+    (fun k b ->
+      match b with
+      | Hmodel.First_order { a; f } ->
+          Printf.bprintf buf "    // branch %d: f(x) = %s\n" (k + 1)
+            f.Static_fn.formula;
+          Printf.bprintf buf
+            "    ddt(V(y%d)) <+ %.9e*V(y%d) + (%s);\n" (k + 1) a (k + 1)
+            (Printf.sprintf "f%d(V(in))" (k + 1))
+      | Hmodel.Second_order { alpha; beta; f1; f2 } ->
+          Printf.bprintf buf "    // branch %d: f1(x) = %s\n" (k + 1)
+            f1.Static_fn.formula;
+          Printf.bprintf buf "    //            f2(x) = %s\n" f2.Static_fn.formula;
+          Printf.bprintf buf
+            "    ddt(V(y%da)) <+ %.9e*V(y%da) + %.9e*V(y%db) + f%da(V(in));\n"
+            (k + 1) alpha (k + 1) beta (k + 1) (k + 1);
+          Printf.bprintf buf
+            "    ddt(V(y%db)) <+ %.9e*V(y%da) + %.9e*V(y%db) + f%db(V(in));\n"
+            (k + 1) (-.beta) (k + 1) alpha (k + 1) (k + 1))
+    m.Hmodel.branches;
+  Printf.bprintf buf "    V(out) <+ (%s)" "F0(V(in))";
+  Array.iteri
+    (fun k b ->
+      match b with
+      | Hmodel.First_order _ -> Printf.bprintf buf " + V(y%d)" (k + 1)
+      | Hmodel.Second_order _ ->
+          Printf.bprintf buf " + V(y%da) + V(y%db)" (k + 1) (k + 1))
+    m.Hmodel.branches;
+  Printf.bprintf buf ";\n";
+  Printf.bprintf buf "    // F0(x) = %s\n" m.Hmodel.static_path.Static_fn.formula;
+  Printf.bprintf buf "  end\nendmodule\n";
+  Buffer.contents buf
+
+let matlab ?(function_name = "tft_rvf_rhs") (m : Hmodel.t) =
+  let buf = Buffer.create 2048 in
+  Printf.bprintf buf "function [dydt, yout] = %s(t, y, u)\n" function_name;
+  Printf.bprintf buf "%% generated from model '%s'\n" m.Hmodel.name;
+  warn_not_analytic buf m;
+  Printf.bprintf buf "x = u(t);\n";
+  Printf.bprintf buf "dydt = zeros(%d, 1);\n" (Hmodel.order m);
+  let idx = ref 0 in
+  Array.iteri
+    (fun k b ->
+      match b with
+      | Hmodel.First_order { a; f } ->
+          Printf.bprintf buf "%% f%d(x) = %s\n" (k + 1) f.Static_fn.formula;
+          Printf.bprintf buf "dydt(%d) = %.9e*y(%d) + f%d(x);\n" (!idx + 1) a
+            (!idx + 1) (k + 1);
+          incr idx
+      | Hmodel.Second_order { alpha; beta; f1; f2 } ->
+          Printf.bprintf buf "%% f%da(x) = %s\n" (k + 1) f1.Static_fn.formula;
+          Printf.bprintf buf "%% f%db(x) = %s\n" (k + 1) f2.Static_fn.formula;
+          Printf.bprintf buf "dydt(%d) = %.9e*y(%d) + %.9e*y(%d) + f%da(x);\n"
+            (!idx + 1) alpha (!idx + 1) beta (!idx + 2) (k + 1);
+          Printf.bprintf buf "dydt(%d) = %.9e*y(%d) + %.9e*y(%d) + f%db(x);\n"
+            (!idx + 2) (-.beta) (!idx + 1) alpha (!idx + 2) (k + 1);
+          idx := !idx + 2)
+    m.Hmodel.branches;
+  Printf.bprintf buf "%% F0(x) = %s\n" m.Hmodel.static_path.Static_fn.formula;
+  Printf.bprintf buf "yout = F0(x) + sum(y);\nend\n";
+  Buffer.contents buf

@@ -1,0 +1,16 @@
+(** Export of extracted models to behavioral description languages.
+
+    The paper exports the RVF equations to VHDL-AMS; here we emit
+    Verilog-A (the same class of analog behavioral language) plus plain
+    analytical equations, which "can be exported to almost any
+    mathematical software package". Formulas come from the static stages'
+    [formula] strings, so only fully analytic models produce standalone
+    code; numeric-table stages are flagged in a comment. *)
+
+val verilog_a : ?module_name:string -> Hmodel.t -> string
+(** A self-contained Verilog-A module with one internal node per dynamic
+    state and the static nonlinearities as analog functions. *)
+
+val matlab : ?function_name:string -> Hmodel.t -> string
+(** A MATLAB/Octave right-hand-side function for use with [ode45]-style
+    integrators. *)

@@ -1,0 +1,207 @@
+type branch =
+  | First_order of { a : float; f : Static_fn.t }
+  | Second_order of {
+      alpha : float;
+      beta : float;
+      f1 : Static_fn.t;
+      f2 : Static_fn.t;
+    }
+
+type t = {
+  branches : branch array;
+  static_path : Static_fn.t;
+  name : string;
+}
+
+let make ?(name = "hammerstein") ~branches ~static_path () =
+  Array.iter
+    (fun b ->
+      match b with
+      | First_order { a; _ } ->
+          if a >= 0.0 then invalid_arg "Hmodel.make: unstable real pole"
+      | Second_order { alpha; _ } ->
+          if alpha >= 0.0 then invalid_arg "Hmodel.make: unstable pole pair")
+    branches;
+  { branches; static_path; name }
+
+let order t =
+  Array.fold_left
+    (fun acc b ->
+      acc + match b with First_order _ -> 1 | Second_order _ -> 2)
+    0 t.branches
+
+let analytic t =
+  t.static_path.Static_fn.analytic
+  && Array.for_all
+       (fun b ->
+         match b with
+         | First_order { f; _ } -> f.Static_fn.analytic
+         | Second_order { f1; f2; _ } ->
+             f1.Static_fn.analytic && f2.Static_fn.analytic)
+       t.branches
+
+let transfer t ~x ~s =
+  let acc = ref { Complex.re = t.static_path.Static_fn.deriv x; im = 0.0 } in
+  Array.iter
+    (fun b ->
+      match b with
+      | First_order { a; f } ->
+          let r = f.Static_fn.deriv x in
+          acc :=
+            Complex.add !acc
+              (Complex.div { Complex.re = r; im = 0.0 }
+                 (Complex.sub s { Complex.re = a; im = 0.0 }))
+      | Second_order { alpha; beta; f1; f2 } ->
+          (* residue r = c + jd with c = (f1'+f2')/2, d = (f1'−f2')/2;
+             contribution 2[c(s−α) − dβ]/((s−α)² + β²) *)
+          let c = 0.5 *. (f1.Static_fn.deriv x +. f2.Static_fn.deriv x) in
+          let d = 0.5 *. (f1.Static_fn.deriv x -. f2.Static_fn.deriv x) in
+          let sa = Complex.sub s { Complex.re = alpha; im = 0.0 } in
+          let num =
+            Complex.sub
+              (Complex.mul { Complex.re = 2.0 *. c; im = 0.0 } sa)
+              { Complex.re = 2.0 *. d *. beta; im = 0.0 }
+          in
+          let den =
+            Complex.add (Complex.mul sa sa)
+              { Complex.re = beta *. beta; im = 0.0 }
+          in
+          acc := Complex.add !acc (Complex.div num den))
+    t.branches;
+  !acc
+
+let dc_gain t ~x = (transfer t ~x ~s:Complex.zero).Complex.re
+
+let dc_output t ~x =
+  let acc = ref (t.static_path.Static_fn.eval x) in
+  Array.iter
+    (fun b ->
+      match b with
+      | First_order { a; f } -> acc := !acc -. (f.Static_fn.eval x /. a)
+      | Second_order { alpha; beta; f1; f2 } ->
+          (* D·(−A⁻¹)·f with A = [α β; −β α] *)
+          let det = (alpha *. alpha) +. (beta *. beta) in
+          let v1 = f1.Static_fn.eval x and v2 = f2.Static_fn.eval x in
+          let y1 = -.((alpha *. v1) -. (beta *. v2)) /. det in
+          let y2 = -.((beta *. v1) +. (alpha *. v2)) /. det in
+          acc := !acc +. y1 +. y2)
+    t.branches;
+  !acc
+
+(* Per-branch trapezoidal update state. *)
+type branch_state = {
+  mutable y1 : float;
+  mutable y2 : float;  (* unused for first-order *)
+  mutable v1 : float;
+  mutable v2 : float;
+}
+
+let simulate t ~u ~t_stop ~dt =
+  if dt <= 0.0 || t_stop <= 0.0 then
+    invalid_arg "Hmodel.simulate: dt and t_stop must be > 0";
+  let steps = Stdlib.max 1 (int_of_float (Float.ceil ((t_stop /. dt) -. 1e-9))) in
+  let nb = Array.length t.branches in
+  let states =
+    Array.init nb (fun k ->
+        (* DC steady state at u(0): ẏ = 0 *)
+        let x0 = u 0.0 in
+        match t.branches.(k) with
+        | First_order { a; f } ->
+            let v = f.Static_fn.eval x0 in
+            { y1 = -.v /. a; y2 = 0.0; v1 = v; v2 = 0.0 }
+        | Second_order { alpha; beta; f1; f2 } ->
+            let v1 = f1.Static_fn.eval x0 and v2 = f2.Static_fn.eval x0 in
+            (* y = −A⁻¹ v, A = [α β; −β α], A⁻¹ = [α −β; β α]/(α²+β²) *)
+            let det = (alpha *. alpha) +. (beta *. beta) in
+            {
+              y1 = -.((alpha *. v1) -. (beta *. v2)) /. det;
+              y2 = -.((beta *. v1) +. (alpha *. v2)) /. det;
+              v1;
+              v2;
+            })
+  in
+  let times = Array.make (steps + 1) 0.0 in
+  let values = Array.make (steps + 1) 0.0 in
+  let output time =
+    let acc = ref (t.static_path.Static_fn.eval (u time)) in
+    Array.iteri
+      (fun k b ->
+        let st = states.(k) in
+        match b with
+        | First_order _ -> acc := !acc +. st.y1
+        | Second_order _ -> acc := !acc +. st.y1 +. st.y2)
+      t.branches;
+    !acc
+  in
+  values.(0) <- output 0.0;
+  for k = 1 to steps do
+    let time = Float.min (float_of_int k *. dt) t_stop in
+    let h = time -. times.(k - 1) in
+    let x = u time in
+    Array.iteri
+      (fun bi b ->
+        let st = states.(bi) in
+        match b with
+        | First_order { a; f } ->
+            let v_new = f.Static_fn.eval x in
+            let num = ((1.0 +. (0.5 *. h *. a)) *. st.y1)
+                      +. (0.5 *. h *. (st.v1 +. v_new)) in
+            st.y1 <- num /. (1.0 -. (0.5 *. h *. a));
+            st.v1 <- v_new
+        | Second_order { alpha; beta; f1; f2 } ->
+            let v1n = f1.Static_fn.eval x and v2n = f2.Static_fn.eval x in
+            (* rhs = (I + hA/2) y + h/2 (v_old + v_new) *)
+            let ha = 0.5 *. h *. alpha and hb = 0.5 *. h *. beta in
+            let r1 =
+              ((1.0 +. ha) *. st.y1) +. (hb *. st.y2)
+              +. (0.5 *. h *. (st.v1 +. v1n))
+            in
+            let r2 =
+              (-.hb *. st.y1) +. ((1.0 +. ha) *. st.y2)
+              +. (0.5 *. h *. (st.v2 +. v2n))
+            in
+            (* M = I − hA/2 = [1−ha, −hb; hb, 1−ha] *)
+            let m11 = 1.0 -. ha and m12 = -.hb in
+            let det = (m11 *. m11) +. (hb *. hb) in
+            st.y1 <- ((m11 *. r1) -. (m12 *. r2)) /. det;
+            st.y2 <- ((m11 *. r2) +. (m12 *. r1)) /. det;
+            st.v1 <- v1n;
+            st.v2 <- v2n)
+      t.branches;
+    times.(k) <- time;
+    values.(k) <- output time
+  done;
+  Signal.Waveform.make times values
+
+let equations t =
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "// model: %s (order %d)\n" t.name (order t);
+  Printf.bprintf buf "// static path\n";
+  Printf.bprintf buf "y0(t) = F0(x(t)),  F0(x) = %s\n\n" t.static_path.Static_fn.formula;
+  Array.iteri
+    (fun k b ->
+      match b with
+      | First_order { a; f } ->
+          Printf.bprintf buf "// branch %d (real pole)\n" k;
+          Printf.bprintf buf "d/dt y%d = %.6e * y%d + f%d(x(t))\n" (k + 1) a (k + 1) (k + 1);
+          Printf.bprintf buf "f%d(x) = %s\n\n" (k + 1) f.Static_fn.formula
+      | Second_order { alpha; beta; f1; f2 } ->
+          Printf.bprintf buf "// branch %d (complex pole pair %.6e +/- j%.6e)\n" k alpha beta;
+          Printf.bprintf buf
+            "d/dt y%da = %.6e*y%da + %.6e*y%db + f%da(x(t))\n" (k + 1) alpha (k + 1)
+            beta (k + 1) (k + 1);
+          Printf.bprintf buf
+            "d/dt y%db = %.6e*y%da + %.6e*y%db + f%db(x(t))\n" (k + 1) (-.beta)
+            (k + 1) alpha (k + 1) (k + 1);
+          Printf.bprintf buf "f%da(x) = %s\n" (k + 1) f1.Static_fn.formula;
+          Printf.bprintf buf "f%db(x) = %s\n\n" (k + 1) f2.Static_fn.formula)
+    t.branches;
+  Buffer.add_string buf "y(t) = y0(t)";
+  Array.iteri
+    (fun k b ->
+      match b with
+      | First_order _ -> Printf.bprintf buf " + y%d" (k + 1)
+      | Second_order _ -> Printf.bprintf buf " + y%da + y%db" (k + 1) (k + 1))
+    t.branches;
+  Buffer.add_string buf "\n";
+  Buffer.contents buf

@@ -1,0 +1,78 @@
+type t = {
+  eval : float -> float;
+  deriv : float -> float;
+  formula : string;
+  analytic : bool;
+}
+
+let make ?(analytic = true) ~formula ~eval ~deriv () =
+  { eval; deriv; formula; analytic }
+
+let zero = { eval = (fun _ -> 0.0); deriv = (fun _ -> 0.0); formula = "0"; analytic = true }
+
+let add a b =
+  {
+    eval = (fun x -> a.eval x +. b.eval x);
+    deriv = (fun x -> a.deriv x +. b.deriv x);
+    formula = Printf.sprintf "(%s) + (%s)" a.formula b.formula;
+    analytic = a.analytic && b.analytic;
+  }
+
+let sub a b =
+  {
+    eval = (fun x -> a.eval x -. b.eval x);
+    deriv = (fun x -> a.deriv x -. b.deriv x);
+    formula = Printf.sprintf "(%s) - (%s)" a.formula b.formula;
+    analytic = a.analytic && b.analytic;
+  }
+
+let scale k a =
+  {
+    eval = (fun x -> k *. a.eval x);
+    deriv = (fun x -> k *. a.deriv x);
+    formula = Printf.sprintf "%g*(%s)" k a.formula;
+    analytic = a.analytic;
+  }
+
+let of_samples_numeric ~xs ~rs =
+  let n = Array.length xs in
+  if n < 2 || Array.length rs <> n then
+    invalid_arg "Static_fn.of_samples_numeric: need >= 2 matching samples";
+  (* cumulative trapezoid for the antiderivative at the sample points *)
+  let acc = Array.make n 0.0 in
+  for k = 1 to n - 1 do
+    acc.(k) <-
+      acc.(k - 1) +. (0.5 *. (rs.(k) +. rs.(k - 1)) *. (xs.(k) -. xs.(k - 1)))
+  done;
+  let interp table x =
+    if x <= xs.(0) then table.(0) +. (rs.(0) *. (x -. xs.(0)))
+    else if x >= xs.(n - 1) then table.(n - 1) +. (rs.(n - 1) *. (x -. xs.(n - 1)))
+    else begin
+      let lo = ref 0 and hi = ref (n - 1) in
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        if xs.(mid) <= x then lo := mid else hi := mid
+      done;
+      let w = (x -. xs.(!lo)) /. (xs.(!hi) -. xs.(!lo)) in
+      table.(!lo) +. (w *. (table.(!hi) -. table.(!lo)))
+    end
+  in
+  let interp_deriv x =
+    if x <= xs.(0) then rs.(0)
+    else if x >= xs.(n - 1) then rs.(n - 1)
+    else begin
+      let lo = ref 0 and hi = ref (n - 1) in
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        if xs.(mid) <= x then lo := mid else hi := mid
+      done;
+      let w = (x -. xs.(!lo)) /. (xs.(!hi) -. xs.(!lo)) in
+      rs.(!lo) +. (w *. (rs.(!hi) -. rs.(!lo)))
+    end
+  in
+  {
+    eval = interp acc;
+    deriv = interp_deriv;
+    formula = Printf.sprintf "<numeric table over [%g, %g], %d points>" xs.(0) xs.(n - 1) n;
+    analytic = false;
+  }

@@ -1,0 +1,24 @@
+(** Static nonlinear stages of a Hammerstein model, represented
+    generically so that both regression backends (RVF with closed-form
+    integrals, CAFFEINE with symbolic-or-numeric integrals) can plug in. *)
+
+type t = {
+  eval : float -> float;  (** f(x) — the integrated nonlinearity *)
+  deriv : float -> float;  (** f'(x) = r(x) — the fitted residue function *)
+  formula : string;  (** human-readable analytical expression of f *)
+  analytic : bool;  (** false when the integral needed a numeric fallback *)
+}
+
+val make :
+  ?analytic:bool -> formula:string -> eval:(float -> float) ->
+  deriv:(float -> float) -> unit -> t
+
+val zero : t
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+
+val of_samples_numeric : xs:float array -> rs:float array -> t
+(** Numeric fallback: [deriv] interpolates the samples [(xs, rs)] and
+    [eval] is the cumulative trapezoidal integral. [analytic] is false —
+    this is what a non-integrable CAFFEINE term degrades to. *)

@@ -1,0 +1,1 @@
+lib/linalg/cmat.ml: Array Cx Float Format Mat

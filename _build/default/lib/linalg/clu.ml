@@ -1,0 +1,64 @@
+exception Singular of int
+
+type t = { lu : Cmat.t; perm : int array }
+
+let factor a =
+  let n = Cmat.rows a in
+  if Cmat.cols a <> n then invalid_arg "Clu.factor: matrix not square";
+  let lu = Cmat.copy a in
+  let perm = Array.init n (fun i -> i) in
+  for k = 0 to n - 1 do
+    let piv = ref k in
+    for i = k + 1 to n - 1 do
+      if Cx.norm (Cmat.get lu i k) > Cx.norm (Cmat.get lu !piv k) then piv := i
+    done;
+    if !piv <> k then begin
+      Cmat.swap_rows lu k !piv;
+      let tmp = perm.(k) in
+      perm.(k) <- perm.(!piv);
+      perm.(!piv) <- tmp
+    end;
+    let pivot = Cmat.get lu k k in
+    if Cx.norm pivot = 0.0 || not (Cx.is_finite pivot) then raise (Singular k);
+    for i = k + 1 to n - 1 do
+      let luik = Cmat.get lu i k in
+      let m = Cx.(luik /: pivot) in
+      Cmat.set lu i k m;
+      if Cx.norm m <> 0.0 then
+        for j = k + 1 to n - 1 do
+          let luij = Cmat.get lu i j and lukj = Cmat.get lu k j in
+          Cmat.set lu i j Cx.(luij -: (m *: lukj))
+        done
+    done
+  done;
+  { lu; perm }
+
+let solve { lu; perm } b =
+  let n = Cmat.rows lu in
+  if Array.length b <> n then invalid_arg "Clu.solve: dimension mismatch";
+  let x = Array.init n (fun i -> b.(perm.(i))) in
+  for i = 1 to n - 1 do
+    let acc = ref x.(i) in
+    for j = 0 to i - 1 do
+      let luij = Cmat.get lu i j in
+      acc := Cx.(!acc -: (luij *: x.(j)))
+    done;
+    x.(i) <- !acc
+  done;
+  for i = n - 1 downto 0 do
+    let acc = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      let luij = Cmat.get lu i j in
+      acc := Cx.(!acc -: (luij *: x.(j)))
+    done;
+    let luii = Cmat.get lu i i in
+    x.(i) <- Cx.(!acc /: luii)
+  done;
+  x
+
+let solve_mat f b =
+  let n = Cmat.rows b and m = Cmat.cols b in
+  let cols = Array.init m (fun j -> solve f (Array.init n (fun i -> Cmat.get b i j))) in
+  Cmat.init n m (fun i j -> cols.(j).(i))
+
+let solve_system a b = solve (factor a) b

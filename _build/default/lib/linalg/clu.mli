@@ -1,0 +1,13 @@
+(** LU factorization with partial pivoting for dense complex matrices.
+
+    Used to evaluate the MNA pencil solves [(G + s·C)⁻¹ B] that turn
+    Jacobian snapshots into transfer-function samples. *)
+
+exception Singular of int
+
+type t
+
+val factor : Cmat.t -> t
+val solve : t -> Cmat.vec -> Cmat.vec
+val solve_mat : t -> Cmat.t -> Cmat.t
+val solve_system : Cmat.t -> Cmat.vec -> Cmat.vec

@@ -1,0 +1,77 @@
+type t = { nr : int; nc : int; data : Cx.t array }
+type vec = Cx.t array
+
+let create nr nc = { nr; nc; data = Array.make (nr * nc) Cx.zero }
+
+let init nr nc f =
+  let data = Array.make (nr * nc) Cx.zero in
+  for i = 0 to nr - 1 do
+    for j = 0 to nc - 1 do
+      data.((i * nc) + j) <- f i j
+    done
+  done;
+  { nr; nc; data }
+
+let identity n = init n n (fun i j -> if i = j then Cx.one else Cx.zero)
+let of_real m = init (Mat.rows m) (Mat.cols m) (fun i j -> Cx.re (Mat.get m i j))
+
+let lincomb a ma b mb =
+  if Mat.rows ma <> Mat.rows mb || Mat.cols ma <> Mat.cols mb then
+    invalid_arg "Cmat.lincomb: dimension mismatch";
+  init (Mat.rows ma) (Mat.cols ma) (fun r c ->
+      Cx.(scale (Mat.get ma r c) a +: scale (Mat.get mb r c) b))
+
+let rows m = m.nr
+let cols m = m.nc
+let get m i j = m.data.((i * m.nc) + j)
+let set m i j x = m.data.((i * m.nc) + j) <- x
+let copy m = { m with data = Array.copy m.data }
+
+let mul a b =
+  if a.nc <> b.nr then invalid_arg "Cmat.mul: dimension mismatch";
+  let c = create a.nr b.nc in
+  for i = 0 to a.nr - 1 do
+    for k = 0 to a.nc - 1 do
+      let aik = get a i k in
+      if aik <> Cx.zero then
+        for j = 0 to b.nc - 1 do
+          let cij = get c i j and bkj = get b k j in
+          set c i j Cx.(cij +: (aik *: bkj))
+        done
+    done
+  done;
+  c
+
+let mulv a x =
+  if a.nc <> Array.length x then invalid_arg "Cmat.mulv: dimension mismatch";
+  Array.init a.nr (fun i ->
+      let acc = ref Cx.zero in
+      for j = 0 to a.nc - 1 do
+        let aij = get a i j in
+        acc := Cx.(!acc +: (aij *: x.(j)))
+      done;
+      !acc)
+
+let swap_rows m i1 i2 =
+  if i1 <> i2 then
+    for j = 0 to m.nc - 1 do
+      let tmp = get m i1 j in
+      set m i1 j (get m i2 j);
+      set m i2 j tmp
+    done
+
+let max_abs m =
+  Array.fold_left (fun acc z -> Float.max acc (Cx.norm z)) 0.0 m.data
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to m.nr - 1 do
+    Format.fprintf ppf "[";
+    for j = 0 to m.nc - 1 do
+      if j > 0 then Format.fprintf ppf ", ";
+      Cx.pp ppf (get m i j)
+    done;
+    Format.fprintf ppf "]";
+    if i < m.nr - 1 then Format.fprintf ppf "@,"
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,25 @@
+(** Dense complex matrices and vectors, row-major storage. *)
+
+type t
+
+type vec = Cx.t array
+
+val create : int -> int -> t
+val init : int -> int -> (int -> int -> Cx.t) -> t
+val identity : int -> t
+val of_real : Mat.t -> t
+
+val lincomb : Cx.t -> Mat.t -> Cx.t -> Mat.t -> t
+(** [lincomb a ma b mb] computes [a*ma + b*mb] as a complex matrix.
+    This is how [G + s*C] pencils are formed. *)
+
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> Cx.t
+val set : t -> int -> int -> Cx.t -> unit
+val copy : t -> t
+val mul : t -> t -> t
+val mulv : t -> vec -> vec
+val swap_rows : t -> int -> int -> unit
+val max_abs : t -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,40 @@
+(** Complex number helpers on top of [Stdlib.Complex]. *)
+
+type t = Complex.t
+
+val zero : t
+val one : t
+val i : t
+
+val re : float -> t
+(** [re x] is the complex number [x + 0i]. *)
+
+val make : float -> float -> t
+(** [make re im] builds [re + im*i]. *)
+
+val ( +: ) : t -> t -> t
+val ( -: ) : t -> t -> t
+val ( *: ) : t -> t -> t
+val ( /: ) : t -> t -> t
+
+val neg : t -> t
+val conj : t -> t
+val inv : t -> t
+val scale : float -> t -> t
+val norm : t -> float
+(** Modulus |z|. *)
+
+val norm2 : t -> float
+(** Squared modulus. *)
+
+val arg : t -> float
+val exp : t -> t
+val log : t -> t
+val sqrt : t -> t
+
+val is_finite : t -> bool
+val approx_equal : ?tol:float -> t -> t -> bool
+(** Absolute-difference comparison on both components. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,28 @@
+(** Eigenvalues of dense real (generally unsymmetric) matrices.
+
+    Pipeline: Parlett–Reinsch balancing → Householder reduction to upper
+    Hessenberg form → Francis implicit double-shift QR iteration. Only
+    eigenvalues are computed; this is all vector-fitting pole relocation
+    needs (new poles = eigenvalues of [A − b·c̃ᵀ/d̃]). *)
+
+exception No_convergence
+(** Raised when the QR iteration fails to deflate within the iteration
+    budget (extremely rare on balanced matrices). *)
+
+val balance : Mat.t -> Mat.t
+(** Diagonal similarity scaling that roughly equalizes row/column norms. *)
+
+val hessenberg : Mat.t -> Mat.t
+(** Orthogonal similarity reduction to upper Hessenberg form. *)
+
+val eigenvalues : Mat.t -> Cx.t array
+(** Eigenvalues of a square real matrix, in no particular order. Complex
+    eigenvalues appear in conjugate pairs. *)
+
+val companion : float array -> Mat.t
+(** [companion [|c0; c1; ...; c_{n-1}|]] is the companion matrix of the
+    monic polynomial [x^n + c_{n-1} x^{n-1} + ... + c0]. *)
+
+val poly_roots : float array -> Cx.t array
+(** Roots of a polynomial given coefficients in increasing-degree order
+    [[|a0; a1; ...; an|]] (with [an <> 0]). *)

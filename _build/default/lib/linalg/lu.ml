@@ -1,0 +1,73 @@
+exception Singular of int
+
+type t = { lu : Mat.t; perm : int array; sign : float }
+
+(* Doolittle factorization with partial pivoting, stored packed in [lu]. *)
+let factor a =
+  let n = Mat.rows a in
+  if Mat.cols a <> n then invalid_arg "Lu.factor: matrix not square";
+  let lu = Mat.copy a in
+  let perm = Array.init n (fun i -> i) in
+  let sign = ref 1.0 in
+  for k = 0 to n - 1 do
+    (* pivot search in column k *)
+    let piv = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs (Mat.get lu i k) > Float.abs (Mat.get lu !piv k) then piv := i
+    done;
+    if !piv <> k then begin
+      Mat.swap_rows lu k !piv;
+      let tmp = perm.(k) in
+      perm.(k) <- perm.(!piv);
+      perm.(!piv) <- tmp;
+      sign := -. !sign
+    end;
+    let pivot = Mat.get lu k k in
+    if pivot = 0.0 || not (Float.is_finite pivot) then raise (Singular k);
+    for i = k + 1 to n - 1 do
+      let m = Mat.get lu i k /. pivot in
+      Mat.set lu i k m;
+      if m <> 0.0 then
+        for j = k + 1 to n - 1 do
+          Mat.set lu i j (Mat.get lu i j -. (m *. Mat.get lu k j))
+        done
+    done
+  done;
+  { lu; perm; sign = !sign }
+
+let solve { lu; perm; _ } b =
+  let n = Mat.rows lu in
+  if Array.length b <> n then invalid_arg "Lu.solve: dimension mismatch";
+  let x = Array.init n (fun i -> b.(perm.(i))) in
+  (* forward substitution (unit lower) *)
+  for i = 1 to n - 1 do
+    let acc = ref x.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (Mat.get lu i j *. x.(j))
+    done;
+    x.(i) <- !acc
+  done;
+  (* back substitution *)
+  for i = n - 1 downto 0 do
+    let acc = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (Mat.get lu i j *. x.(j))
+    done;
+    x.(i) <- !acc /. Mat.get lu i i
+  done;
+  x
+
+let solve_mat f b =
+  let cols = Array.init (Mat.cols b) (fun j -> solve f (Mat.col b j)) in
+  Mat.init (Mat.rows b) (Mat.cols b) (fun i j -> cols.(j).(i))
+
+let det { lu; sign; _ } =
+  let n = Mat.rows lu in
+  let d = ref sign in
+  for i = 0 to n - 1 do
+    d := !d *. Mat.get lu i i
+  done;
+  !d
+
+let solve_system a b = solve (factor a) b
+let inverse a = solve_mat (factor a) (Mat.identity (Mat.rows a))

@@ -1,0 +1,23 @@
+(** LU factorization with partial pivoting for dense real matrices. *)
+
+exception Singular of int
+(** Raised with the pivot column index when a zero (or numerically
+    negligible) pivot is encountered. *)
+
+type t
+(** A factorization [P*A = L*U] of a square matrix. *)
+
+val factor : Mat.t -> t
+(** Factorize a square matrix. Raises {!Singular} if rank-deficient. *)
+
+val solve : t -> Vec.t -> Vec.t
+(** Solve [A x = b] using the factorization. *)
+
+val solve_mat : t -> Mat.t -> Mat.t
+(** Solve [A X = B] column-wise. *)
+
+val det : t -> float
+val solve_system : Mat.t -> Vec.t -> Vec.t
+(** One-shot [factor] + [solve]. *)
+
+val inverse : Mat.t -> Mat.t

@@ -1,0 +1,142 @@
+type t = { nr : int; nc : int; data : float array }
+
+let create nr nc =
+  if nr < 0 || nc < 0 then invalid_arg "Mat.create";
+  { nr; nc; data = Array.make (nr * nc) 0.0 }
+
+let init nr nc f =
+  let data = Array.make (nr * nc) 0.0 in
+  for i = 0 to nr - 1 do
+    for j = 0 to nc - 1 do
+      data.((i * nc) + j) <- f i j
+    done
+  done;
+  { nr; nc; data }
+
+let identity n = init n n (fun i j -> if i = j then 1.0 else 0.0)
+
+let of_arrays rows =
+  let nr = Array.length rows in
+  if nr = 0 then { nr = 0; nc = 0; data = [||] }
+  else begin
+    let nc = Array.length rows.(0) in
+    Array.iter
+      (fun r -> if Array.length r <> nc then invalid_arg "Mat.of_arrays: ragged")
+      rows;
+    init nr nc (fun i j -> rows.(i).(j))
+  end
+
+let rows m = m.nr
+let cols m = m.nc
+let get m i j = m.data.((i * m.nc) + j)
+let set m i j x = m.data.((i * m.nc) + j) <- x
+let update m i j f = m.data.((i * m.nc) + j) <- f m.data.((i * m.nc) + j)
+let to_arrays m = Array.init m.nr (fun i -> Array.init m.nc (fun j -> get m i j))
+let copy m = { m with data = Array.copy m.data }
+let transpose m = init m.nc m.nr (fun i j -> get m j i)
+
+let check_same a b =
+  if a.nr <> b.nr || a.nc <> b.nc then invalid_arg "Mat: dimension mismatch"
+
+let add a b =
+  check_same a b;
+  { a with data = Array.mapi (fun k x -> x +. b.data.(k)) a.data }
+
+let sub a b =
+  check_same a b;
+  { a with data = Array.mapi (fun k x -> x -. b.data.(k)) a.data }
+
+let scale k m = { m with data = Array.map (fun x -> k *. x) m.data }
+
+let mul a b =
+  if a.nc <> b.nr then invalid_arg "Mat.mul: dimension mismatch";
+  let c = create a.nr b.nc in
+  for i = 0 to a.nr - 1 do
+    for k = 0 to a.nc - 1 do
+      let aik = get a i k in
+      if aik <> 0.0 then
+        for j = 0 to b.nc - 1 do
+          c.data.((i * c.nc) + j) <- c.data.((i * c.nc) + j) +. (aik *. get b k j)
+        done
+    done
+  done;
+  c
+
+let mulv a x =
+  if a.nc <> Array.length x then invalid_arg "Mat.mulv: dimension mismatch";
+  Array.init a.nr (fun i ->
+      let acc = ref 0.0 in
+      for j = 0 to a.nc - 1 do
+        acc := !acc +. (get a i j *. x.(j))
+      done;
+      !acc)
+
+let mulv_t a x =
+  if a.nr <> Array.length x then invalid_arg "Mat.mulv_t: dimension mismatch";
+  let y = Array.make a.nc 0.0 in
+  for i = 0 to a.nr - 1 do
+    let xi = x.(i) in
+    if xi <> 0.0 then
+      for j = 0 to a.nc - 1 do
+        y.(j) <- y.(j) +. (get a i j *. xi)
+      done
+  done;
+  y
+
+let row m i = Array.init m.nc (fun j -> get m i j)
+let col m j = Array.init m.nr (fun i -> get m i j)
+
+let set_row m i v =
+  if Array.length v <> m.nc then invalid_arg "Mat.set_row";
+  Array.blit v 0 m.data (i * m.nc) m.nc
+
+let set_col m j v =
+  if Array.length v <> m.nr then invalid_arg "Mat.set_col";
+  for i = 0 to m.nr - 1 do
+    set m i j v.(i)
+  done
+
+let swap_rows m i1 i2 =
+  if i1 <> i2 then
+    for j = 0 to m.nc - 1 do
+      let tmp = get m i1 j in
+      set m i1 j (get m i2 j);
+      set m i2 j tmp
+    done
+
+let map f m = { m with data = Array.map f m.data }
+
+let frobenius m =
+  sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 m.data)
+
+let norm_inf m =
+  let best = ref 0.0 in
+  for i = 0 to m.nr - 1 do
+    let s = ref 0.0 in
+    for j = 0 to m.nc - 1 do
+      s := !s +. Float.abs (get m i j)
+    done;
+    if !s > !best then best := !s
+  done;
+  !best
+
+let max_abs m = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0.0 m.data
+
+let approx_equal ?(tol = 1e-9) a b =
+  a.nr = b.nr && a.nc = b.nc
+  && Array.for_all2 (fun x y -> Float.abs (x -. y) <= tol) a.data b.data
+
+let random st nr nc = init nr nc (fun _ _ -> Random.State.float st 2.0 -. 1.0)
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to m.nr - 1 do
+    Format.fprintf ppf "[";
+    for j = 0 to m.nc - 1 do
+      if j > 0 then Format.fprintf ppf ", ";
+      Format.fprintf ppf "%10.4g" (get m i j)
+    done;
+    Format.fprintf ppf "]";
+    if i < m.nr - 1 then Format.fprintf ppf "@,"
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,99 @@
+exception Rank_deficient of int
+
+(* Householder vectors are stored below the diagonal of [qr] with the
+   scaling factors in [beta]; the diagonal of R is in [rdiag]. *)
+type t = { qr : Mat.t; beta : float array; rdiag : float array }
+
+let factor a =
+  let m = Mat.rows a and n = Mat.cols a in
+  if m < n then invalid_arg "Qr.factor: requires rows >= cols";
+  let qr = Mat.copy a in
+  let beta = Array.make n 0.0 in
+  let rdiag = Array.make n 0.0 in
+  for k = 0 to n - 1 do
+    (* norm of column k below row k *)
+    let nrm = ref 0.0 in
+    for i = k to m - 1 do
+      let x = Mat.get qr i k in
+      nrm := !nrm +. (x *. x)
+    done;
+    let nrm = sqrt !nrm in
+    if nrm = 0.0 then begin
+      beta.(k) <- 0.0;
+      rdiag.(k) <- 0.0
+    end
+    else begin
+      let akk = Mat.get qr k k in
+      let alpha = if akk >= 0.0 then -.nrm else nrm in
+      (* v = x - alpha*e1, stored in place; v_k below *)
+      Mat.set qr k k (akk -. alpha);
+      let vtv = ref 0.0 in
+      for i = k to m - 1 do
+        let v = Mat.get qr i k in
+        vtv := !vtv +. (v *. v)
+      done;
+      beta.(k) <- (if !vtv = 0.0 then 0.0 else 2.0 /. !vtv);
+      rdiag.(k) <- alpha;
+      (* apply H = I - beta v vT to remaining columns *)
+      for j = k + 1 to n - 1 do
+        let dot = ref 0.0 in
+        for i = k to m - 1 do
+          dot := !dot +. (Mat.get qr i k *. Mat.get qr i j)
+        done;
+        let s = beta.(k) *. !dot in
+        if s <> 0.0 then
+          for i = k to m - 1 do
+            Mat.set qr i j (Mat.get qr i j -. (s *. Mat.get qr i k))
+          done
+      done
+    end
+  done;
+  { qr; beta; rdiag }
+
+let r { qr; rdiag; _ } =
+  let n = Mat.cols qr in
+  Mat.init n n (fun i j ->
+      if i = j then rdiag.(i) else if i < j then Mat.get qr i j else 0.0)
+
+let apply_qt { qr; beta; _ } b =
+  let m = Mat.rows qr and n = Mat.cols qr in
+  if Array.length b <> m then invalid_arg "Qr.apply_qt: dimension mismatch";
+  let y = Array.copy b in
+  for k = 0 to n - 1 do
+    if beta.(k) <> 0.0 then begin
+      let dot = ref 0.0 in
+      for i = k to m - 1 do
+        dot := !dot +. (Mat.get qr i k *. y.(i))
+      done;
+      let s = beta.(k) *. !dot in
+      if s <> 0.0 then
+        for i = k to m - 1 do
+          y.(i) <- y.(i) -. (s *. Mat.get qr i k)
+        done
+    end
+  done;
+  y
+
+let solve_r { qr; rdiag; _ } c =
+  let n = Mat.cols qr in
+  let scale = ref 0.0 in
+  for k = 0 to n - 1 do
+    scale := Float.max !scale (Float.abs rdiag.(k))
+  done;
+  let tol = !scale *. float_of_int n *. epsilon_float in
+  let x = Array.make n 0.0 in
+  for i = n - 1 downto 0 do
+    if Float.abs rdiag.(i) <= tol then raise (Rank_deficient i);
+    let acc = ref c.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (Mat.get qr i j *. x.(j))
+    done;
+    x.(i) <- !acc /. rdiag.(i)
+  done;
+  x
+
+let least_squares a b =
+  let f = factor a in
+  solve_r f (apply_qt f b)
+
+let residual_norm a x b = Vec.norm2 (Vec.sub (Mat.mulv a x) b)

@@ -1,0 +1,28 @@
+(** Householder QR factorization and linear least squares.
+
+    The vector-fitting identification steps are all overdetermined
+    least-squares problems; they are solved here via QR without forming
+    normal equations. *)
+
+exception Rank_deficient of int
+
+type t
+(** Implicit factorization [A = Q·R] of an [m×n] matrix with [m ≥ n]. *)
+
+val factor : Mat.t -> t
+
+val r : t -> Mat.t
+(** The upper-triangular [n×n] factor. *)
+
+val apply_qt : t -> Vec.t -> Vec.t
+(** [apply_qt f b] computes [Qᵀ b] (length [m]). *)
+
+val solve_r : t -> Vec.t -> Vec.t
+(** Back-substitute [R x = c] given the first [n] entries of [c].
+    Raises {!Rank_deficient} on a negligible diagonal. *)
+
+val least_squares : Mat.t -> Vec.t -> Vec.t
+(** Minimize [‖A x − b‖₂] for [A] of size [m×n], [m ≥ n], full rank. *)
+
+val residual_norm : Mat.t -> Vec.t -> Vec.t -> float
+(** [residual_norm a x b] is [‖A x − b‖₂]; a convenience for tests. *)

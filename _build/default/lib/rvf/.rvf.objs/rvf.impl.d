@@ -1,0 +1,1 @@
+lib/rvf/rvf.ml: Array Assemble Complex Float Hammerstein Logs Ratfn Recursion Signal Stdlib Sys Tft Vf

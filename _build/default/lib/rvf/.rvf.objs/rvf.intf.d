@@ -1,0 +1,1 @@
+lib/rvf/rvf.mli: Assemble Hammerstein Ratfn Recursion Tft Vf

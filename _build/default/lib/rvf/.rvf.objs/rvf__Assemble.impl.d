@@ -1,0 +1,1 @@
+lib/rvf/assemble.ml: Array Complex Float Hammerstein List Vf

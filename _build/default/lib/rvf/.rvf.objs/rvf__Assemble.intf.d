@@ -1,0 +1,1 @@
+lib/rvf/assemble.mli: Complex Hammerstein

@@ -1,0 +1,1 @@
+lib/rvf/ratfn.ml: Array Buffer Complex Float Hammerstein List Printf Vf

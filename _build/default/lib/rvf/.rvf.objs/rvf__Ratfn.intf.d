@@ -1,0 +1,1 @@
+lib/rvf/ratfn.mli: Hammerstein Vf

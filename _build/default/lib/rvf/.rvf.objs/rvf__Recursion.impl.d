@@ -1,0 +1,1 @@
+lib/rvf/recursion.ml: Array Complex Float List Stdlib Vf

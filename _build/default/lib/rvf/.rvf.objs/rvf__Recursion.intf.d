@@ -1,0 +1,1 @@
+lib/rvf/recursion.mli:

@@ -1,0 +1,26 @@
+let hammerstein ~name ~freq_poles ~stage ~static_path =
+  let branches = ref [] in
+  List.iter
+    (fun slot ->
+      match slot with
+      | Vf.Pole.Single k ->
+          let a = freq_poles.(k).Complex.re in
+          branches :=
+            Hammerstein.Hmodel.First_order { a; f = stage k } :: !branches
+      | Vf.Pole.Pair_first k ->
+          let pole = freq_poles.(k) in
+          let fa = stage k and fb = stage (k + 1) in
+          (* input-shifted residues, eq. (14): f1 = F_re + F_im, f2 = F_re − F_im *)
+          branches :=
+            Hammerstein.Hmodel.Second_order
+              {
+                alpha = pole.Complex.re;
+                beta = Float.abs pole.Complex.im;
+                f1 = Hammerstein.Static_fn.add fa fb;
+                f2 = Hammerstein.Static_fn.sub fa fb;
+              }
+            :: !branches)
+    (Vf.Pole.structure freq_poles);
+  Hammerstein.Hmodel.make ~name
+    ~branches:(Array.of_list (List.rev !branches))
+    ~static_path ()

@@ -1,0 +1,15 @@
+(** Hammerstein assembly from a common frequency-pole set and integrated
+    residue stages — shared by the RVF backend and the CAFFEINE baseline
+    (which differ only in how the residue functions are regressed and
+    integrated). *)
+
+val hammerstein :
+  name:string ->
+  freq_poles:Complex.t array ->
+  stage:(int -> Hammerstein.Static_fn.t) ->
+  static_path:Hammerstein.Static_fn.t ->
+  Hammerstein.Hmodel.t
+(** [stage p] must return the integrated residue trace for pole slot [p]
+    (already anchored so that it vanishes at the trajectory's DC starting
+    point). Complex pole pairs are combined into the input-shifted
+    second-order blocks of eq. (14). *)

@@ -1,0 +1,1 @@
+lib/signal/fourier.ml: Array Complex Float Stdlib Waveform

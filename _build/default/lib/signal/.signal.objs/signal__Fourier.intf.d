@@ -1,0 +1,1 @@
+lib/signal/fourier.mli: Complex Waveform

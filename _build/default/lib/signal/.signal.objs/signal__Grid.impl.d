@@ -1,0 +1,1 @@
+lib/signal/grid.ml: Array Complex Float Stdlib

@@ -1,0 +1,1 @@
+lib/signal/grid.mli: Complex

@@ -1,0 +1,1 @@
+lib/signal/metrics.mli: Complex

@@ -1,0 +1,46 @@
+let two_pi = 2.0 *. Float.pi
+
+(* trapezoidal ∫ y(t)·e^{−jωt} dt over [a, b] on a fine resampled grid *)
+let correlate w ~freq ~a ~b =
+  let n = 2048 in
+  let omega = two_pi *. freq in
+  let re = ref 0.0 and im = ref 0.0 in
+  let dt = (b -. a) /. float_of_int n in
+  for k = 0 to n do
+    let t = a +. (float_of_int k *. dt) in
+    let y = Waveform.value_at w t in
+    let weight = if k = 0 || k = n then 0.5 else 1.0 in
+    re := !re +. (weight *. y *. cos (omega *. t));
+    im := !im -. (weight *. y *. sin (omega *. t))
+  done;
+  { Complex.re = 2.0 *. !re *. dt /. (b -. a); im = 2.0 *. !im *. dt /. (b -. a) }
+
+let component w ~freq =
+  let ts = Waveform.times w in
+  correlate w ~freq ~a:ts.(0) ~b:ts.(Array.length ts - 1)
+
+let analysis_window w ~f0 =
+  let ts = Waveform.times w in
+  let t_end = ts.(Array.length ts - 1) and t_start = ts.(0) in
+  let period = 1.0 /. f0 in
+  let periods = Float.to_int ((t_end -. t_start) /. period) in
+  if periods < 2 then
+    invalid_arg "Fourier: waveform shorter than two fundamental periods";
+  (* use the trailing half (whole periods) to skip startup transients *)
+  let use = Stdlib.max 1 (periods / 2) in
+  (t_end -. (float_of_int use *. period), t_end)
+
+let harmonics w ~f0 ~count =
+  if count < 1 then invalid_arg "Fourier.harmonics: count must be >= 1";
+  let a, b = analysis_window w ~f0 in
+  Array.init count (fun k ->
+      Complex.norm (correlate w ~freq:(float_of_int (k + 1) *. f0) ~a ~b))
+
+let thd w ~f0 ?(harmonics_count = 5) () =
+  let h = harmonics w ~f0 ~count:harmonics_count in
+  let higher = ref 0.0 in
+  for k = 1 to harmonics_count - 1 do
+    higher := !higher +. (h.(k) *. h.(k))
+  done;
+  if h.(0) = 0.0 then invalid_arg "Fourier.thd: zero fundamental"
+  else sqrt !higher /. h.(0)

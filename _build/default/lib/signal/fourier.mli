@@ -1,0 +1,22 @@
+(** Single-frequency Fourier analysis of waveforms (Goertzel-style direct
+    correlation — no FFT needed for a handful of harmonics).
+
+    Used to compare the harmonic content of the transistor-level circuit
+    and the extracted Hammerstein model under sinusoidal drive: a
+    behavioural model with the right static nonlinearity must reproduce
+    the distortion products, not just the fundamental. *)
+
+val component : Waveform.t -> freq:float -> Complex.t
+(** Complex Fourier coefficient [2/T ∫ y(t)·e^{−j2πft} dt] over the
+    waveform's span, trapezoidal quadrature on the sample grid. For a
+    pure sinusoid [A·sin] at [freq] the modulus is [A]. *)
+
+val harmonics : Waveform.t -> f0:float -> count:int -> float array
+(** Amplitudes of the first [count] harmonics of [f0] ([index 0] is the
+    fundamental). Uses an integer number of fundamental periods from the
+    end of the waveform to avoid startup transients; raises
+    [Invalid_argument] if the waveform is shorter than two periods. *)
+
+val thd : Waveform.t -> f0:float -> ?harmonics_count:int -> unit -> float
+(** Total harmonic distortion [√(Σ_{k≥2} A_k²) / A_1], default 5
+    harmonics. *)

@@ -1,0 +1,82 @@
+type t = float -> float
+
+let dc v = fun _ -> v
+
+let sine ?(offset = 0.0) ?(phase = 0.0) ~freq ~ampl () =
+  let w = 2.0 *. Float.pi *. freq in
+  fun t -> offset +. (ampl *. sin ((w *. t) +. phase))
+
+(* Raised-cosine ramp from 0 to 1 over [0, rise]. *)
+let ramp rise t =
+  if rise <= 0.0 then if t >= 0.0 then 1.0 else 0.0
+  else if t <= 0.0 then 0.0
+  else if t >= rise then 1.0
+  else 0.5 *. (1.0 -. cos (Float.pi *. t /. rise))
+
+let step ?(t0 = 0.0) ?(rise = 0.0) ~from ~to_ () =
+ fun t -> from +. ((to_ -. from) *. ramp rise (t -. t0))
+
+let pulse ?(t0 = 0.0) ?(rise = 0.0) ~low ~high ~width ~period () =
+  if period <= 0.0 then invalid_arg "Source.pulse: period must be > 0";
+  fun t ->
+    let tau = Float.rem (t -. t0) period in
+    let tau = if tau < 0.0 then tau +. period else tau in
+    let up = ramp rise tau in
+    let down = ramp rise (tau -. width) in
+    low +. ((high -. low) *. (up -. down))
+
+let pwl points =
+  let pts = Array.of_list points in
+  let n = Array.length pts in
+  if n = 0 then invalid_arg "Source.pwl: empty breakpoint list";
+  for k = 1 to n - 1 do
+    if fst pts.(k) < fst pts.(k - 1) then
+      invalid_arg "Source.pwl: breakpoints must be sorted by time"
+  done;
+  fun t ->
+    if t <= fst pts.(0) then snd pts.(0)
+    else if t >= fst pts.(n - 1) then snd pts.(n - 1)
+    else begin
+      (* binary search for the segment containing t *)
+      let lo = ref 0 and hi = ref (n - 1) in
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        if fst pts.(mid) <= t then lo := mid else hi := mid
+      done;
+      let t0, v0 = pts.(!lo) and t1, v1 = pts.(!hi) in
+      if t1 = t0 then v1 else v0 +. ((v1 -. v0) *. (t -. t0) /. (t1 -. t0))
+    end
+
+let prbs_bits ~seed ~length =
+  let state = ref (if seed land 0x7f = 0 then 0x5a else seed land 0x7f) in
+  Array.init length (fun _ ->
+      let s = !state in
+      let bit = (s lxor (s lsr 1)) land 1 in
+      state := (s lsr 1) lor (bit lsl 6);
+      s land 1 = 1)
+
+let bit_pattern ?(t0 = 0.0) ?(rise = 0.0) ~bits ~rate ~low ~high () =
+  if rate <= 0.0 then invalid_arg "Source.bit_pattern: rate must be > 0";
+  let n = Array.length bits in
+  if n = 0 then invalid_arg "Source.bit_pattern: empty pattern";
+  let tbit = 1.0 /. rate in
+  let level k = if bits.(Stdlib.max 0 (Stdlib.min (n - 1) k)) then high else low in
+  fun t ->
+    let tau = t -. t0 in
+    if tau <= 0.0 then level 0
+    else begin
+      let k = int_of_float (Float.floor (tau /. tbit)) in
+      if k >= n - 1 then
+        (* last bit: still allow the final edge to complete *)
+        let prev = level (n - 2) and cur = level (n - 1) in
+        if n = 1 then cur
+        else prev +. ((cur -. prev) *. ramp rise (tau -. (float_of_int (n - 1) *. tbit)))
+      else begin
+        let prev = if k = 0 then level 0 else level (k - 1) in
+        let cur = level k in
+        let in_bit = tau -. (float_of_int k *. tbit) in
+        prev +. ((cur -. prev) *. ramp rise in_bit)
+      end
+    end
+
+let sample src times = Array.map src times

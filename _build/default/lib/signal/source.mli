@@ -1,0 +1,29 @@
+(** Time-domain excitation sources. A source is a total function of time. *)
+
+type t = float -> float
+
+val dc : float -> t
+val sine : ?offset:float -> ?phase:float -> freq:float -> ampl:float -> unit -> t
+
+val step : ?t0:float -> ?rise:float -> from:float -> to_:float -> unit -> t
+(** Smooth (raised-cosine) step from [from] to [to_] starting at [t0]
+    over [rise] seconds. [rise = 0] gives an ideal step. *)
+
+val pulse :
+  ?t0:float -> ?rise:float -> low:float -> high:float -> width:float ->
+  period:float -> unit -> t
+
+val pwl : (float * float) list -> t
+(** Piecewise-linear source through the given (time, value) breakpoints,
+    held constant outside the range. Breakpoints must be sorted by time. *)
+
+val prbs_bits : seed:int -> length:int -> bool array
+(** Deterministic pseudo-random bit sequence (7-bit LFSR, x^7+x^6+1). *)
+
+val bit_pattern :
+  ?t0:float -> ?rise:float -> bits:bool array -> rate:float -> low:float ->
+  high:float -> unit -> t
+(** NRZ bit pattern at [rate] bits/s with raised-cosine edges of duration
+    [rise]; the "spectrally-rich bit pattern" test input of the paper. *)
+
+val sample : t -> float array -> float array

@@ -1,0 +1,1 @@
+lib/tft/dataset.ml: Array Complex Engine Estimator Float Linalg List Signal

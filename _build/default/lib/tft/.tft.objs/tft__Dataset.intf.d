@@ -1,0 +1,1 @@
+lib/tft/dataset.mli: Complex Engine Estimator Linalg

@@ -1,0 +1,1 @@
+lib/tft/estimator.mli:

@@ -1,0 +1,1 @@
+lib/tft/tpw.ml: Array Engine Float Linalg List Signal Stdlib

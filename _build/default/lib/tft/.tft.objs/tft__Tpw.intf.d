@@ -1,0 +1,1 @@
+lib/tft/tpw.mli: Engine Signal

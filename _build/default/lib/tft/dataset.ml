@@ -1,0 +1,96 @@
+type sample = {
+  time : float;
+  x : float array;
+  u : float array;
+  y : float array;
+  h : Linalg.Cmat.t array;
+  h0 : Linalg.Cmat.t;
+}
+
+type t = {
+  freqs_hz : float array;
+  samples : sample array;
+  n_inputs : int;
+  n_outputs : int;
+}
+
+let of_snapshots ~mna ~estimator ~freqs_hz snapshots =
+  let b = Engine.Mna.b_matrix mna in
+  let d = Engine.Mna.d_matrix mna in
+  let mi = Linalg.Mat.cols b and mo = Linalg.Mat.cols d in
+  if mi = 0 || mo = 0 then
+    invalid_arg "Dataset.of_snapshots: system needs designated inputs and outputs";
+  (* the estimator needs the input signal u(t); inputs are per-source *)
+  let u_fun time = (Engine.Mna.input_values mna time).(0) in
+  let samples =
+    Array.map
+      (fun (snap : Engine.Tran.snapshot) ->
+        let h =
+          Array.map
+            (fun f ->
+              Engine.Ac.transfer_at ~g:snap.Engine.Tran.g_mat
+                ~c:snap.Engine.Tran.c_mat ~b ~d ~s:(Signal.Grid.s_of_hz f))
+            freqs_hz
+        in
+        let h0 =
+          Engine.Ac.transfer_at ~g:snap.Engine.Tran.g_mat
+            ~c:snap.Engine.Tran.c_mat ~b ~d ~s:Complex.zero
+        in
+        {
+          time = snap.Engine.Tran.time;
+          x = Estimator.coords estimator ~u:u_fun snap.Engine.Tran.time;
+          u = Array.copy snap.Engine.Tran.inputs;
+          y = Array.copy snap.Engine.Tran.outputs;
+          h;
+          h0;
+        })
+      snapshots
+  in
+  { freqs_hz; samples; n_inputs = mi; n_outputs = mo }
+
+let dynamic_part t =
+  let samples =
+    Array.map
+      (fun s ->
+        let h =
+          Array.map
+            (fun hm ->
+              Linalg.Cmat.init (Linalg.Cmat.rows hm) (Linalg.Cmat.cols hm)
+                (fun r c ->
+                  Complex.sub (Linalg.Cmat.get hm r c) (Linalg.Cmat.get s.h0 r c)))
+            s.h
+        in
+        { s with h })
+      t.samples
+  in
+  { t with samples }
+
+let siso t ~input ~output =
+  let xs = Array.map (fun s -> s.x) t.samples in
+  let data =
+    Array.map
+      (fun s -> Array.map (fun hm -> Linalg.Cmat.get hm output input) s.h)
+      t.samples
+  in
+  (xs, data)
+
+let dc_trace t ~input ~output =
+  Array.map (fun s -> (Linalg.Cmat.get s.h0 output input).Complex.re) t.samples
+
+let thin t ~min_dx =
+  let kept = ref [] in
+  let close a b =
+    let worst = ref 0.0 in
+    Array.iteri (fun k x -> worst := Float.max !worst (Float.abs (x -. b.(k)))) a;
+    !worst < min_dx
+  in
+  Array.iter
+    (fun s ->
+      if not (List.exists (fun k -> close s.x k.x) !kept) then kept := s :: !kept)
+    t.samples;
+  { t with samples = Array.of_list (List.rev !kept) }
+
+let sort_by_x0 t =
+  let samples = Array.copy t.samples in
+  Array.sort (fun a b -> Float.compare a.x.(0) b.x.(0)) samples;
+  { t with samples }

@@ -1,0 +1,52 @@
+(** Transfer Function Trajectory datasets.
+
+    Each sample is one state-space location [k] (one accepted transient
+    time point) carrying the state-estimator coordinates [x(k)] and the
+    transfer matrix [H^(k)(s_l)] evaluated on the shared frequency grid —
+    eq. (3) of the paper. *)
+
+type sample = {
+  time : float;
+  x : float array;  (** state-estimator coordinates *)
+  u : float array;  (** raw input values *)
+  y : float array;  (** circuit outputs at the sample *)
+  h : Linalg.Cmat.t array;  (** per frequency: n_outputs × n_inputs *)
+  h0 : Linalg.Cmat.t;  (** DC transfer H^(k)(0) (instantaneous conductance) *)
+}
+
+type t = {
+  freqs_hz : float array;
+  samples : sample array;
+  n_inputs : int;
+  n_outputs : int;
+}
+
+val of_snapshots :
+  mna:Engine.Mna.t ->
+  estimator:Estimator.t ->
+  freqs_hz:float array ->
+  Engine.Tran.snapshot array ->
+  t
+(** Evaluate [H^(k)(s) = Dᵀ(G_k + s·C_k)⁻¹B] on the frequency grid for
+    every snapshot. The estimator is evaluated from the designated input
+    sources of the MNA system. *)
+
+val dynamic_part : t -> t
+(** Subtract [H^(k)(0)] from every frequency sample: the remaining purely
+    dynamical part [H̄^(k)(s)], which vanishes at DC. *)
+
+val siso : t -> input:int -> output:int -> (float array array * Complex.t array array)
+(** Slice one (input, output) channel: [(xs, data)] with [xs.(k)] the
+    estimator coordinates and [data.(k).(l)] = [H^(k)_{lm}(s_l)]. *)
+
+val dc_trace : t -> input:int -> output:int -> float array
+(** [H^(k)(0)] for one channel, per sample (real part). *)
+
+val thin : t -> min_dx:float -> t
+(** Drop samples whose estimator coordinates are within [min_dx]
+    (infinity-norm) of an already kept sample; keeps endpoints of the
+    trajectory. Controls training-set redundancy. *)
+
+val sort_by_x0 : t -> t
+(** Order samples by the first estimator coordinate (for printing the
+    hyperplane figures). *)

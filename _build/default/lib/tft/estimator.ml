@@ -1,0 +1,31 @@
+type t = { delays : float array }
+
+let make ?(delays = []) () =
+  List.iter
+    (fun d -> if d <= 0.0 then invalid_arg "Estimator.make: delays must be > 0")
+    delays;
+  { delays = Array.of_list delays }
+
+let dimension t = 1 + Array.length t.delays
+
+let coords t ~u time =
+  Array.init
+    (1 + Array.length t.delays)
+    (fun j -> if j = 0 then u time else u (time -. t.delays.(j - 1)))
+
+let ambiguity ~xs ~values ~radius =
+  let n = Array.length xs in
+  if Array.length values <> n then invalid_arg "Estimator.ambiguity: lengths differ";
+  let dist a b =
+    let acc = ref 0.0 in
+    Array.iteri (fun k x -> acc := !acc +. ((x -. b.(k)) ** 2.0)) a;
+    sqrt !acc
+  in
+  let worst = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if dist xs.(i) xs.(j) <= radius then
+        worst := Float.max !worst (Float.abs (values.(i) -. values.(j)))
+    done
+  done;
+  !worst

@@ -1,0 +1,23 @@
+(** State estimators: the map from the input history onto the
+    low-dimensional coordinate [x(t)] that parameterizes the trajectory,
+    eq. (4) of the paper: [x(t) = (u(t), u(t−Δ), …, u(t−(q−1)Δ))]. *)
+
+type t
+
+val make : ?delays:float list -> unit -> t
+(** [make ~delays ()] builds an estimator of dimension [1 + length delays]:
+    the instantaneous input followed by one delayed copy per entry.
+    [make ()] is the paper's validated case [x = u(t)]. Delays must be
+    positive. *)
+
+val dimension : t -> int
+
+val coords : t -> u:(float -> float) -> float -> float array
+(** [coords e ~u t] evaluates [x(t)] given the input signal. *)
+
+val ambiguity :
+  xs:float array array -> values:float array -> radius:float -> float
+(** Diagnostic for estimator uniqueness (the "each state k is uniquely
+    defined" requirement): the largest spread of [values] among sample
+    pairs whose estimator coordinates lie within [radius] of each other.
+    Large values mean the estimator dimension [q] is too small. *)

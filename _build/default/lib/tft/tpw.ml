@@ -1,0 +1,122 @@
+type t = {
+  xs : float array;  (** snapshot input values, ascending *)
+  states : Linalg.Vec.t array;
+  gs : Linalg.Mat.t array;
+  cs : Linalg.Mat.t array;
+  b : Linalg.Vec.t;  (** single input column *)
+  d : Linalg.Vec.t;  (** single output column *)
+  n : int;
+}
+
+let build ~mna snapshots =
+  if Array.length snapshots < 2 then invalid_arg "Tpw.build: need >= 2 snapshots";
+  if Engine.Mna.n_inputs mna <> 1 || Engine.Mna.n_outputs mna <> 1 then
+    invalid_arg "Tpw.build: SISO configuration required";
+  let order =
+    Array.init (Array.length snapshots) (fun k -> k)
+  in
+  Array.sort
+    (fun a b ->
+      Float.compare snapshots.(a).Engine.Tran.inputs.(0)
+        snapshots.(b).Engine.Tran.inputs.(0))
+    order;
+  (* drop duplicates in x to keep interpolation well defined *)
+  let kept = ref [] in
+  Array.iter
+    (fun k ->
+      let x = snapshots.(k).Engine.Tran.inputs.(0) in
+      match !kept with
+      | k' :: _ when Float.abs (snapshots.(k').Engine.Tran.inputs.(0) -. x) < 1e-12 -> ()
+      | _ -> kept := k :: !kept)
+    order;
+  let kept = Array.of_list (List.rev !kept) in
+  if Array.length kept < 2 then invalid_arg "Tpw.build: degenerate trajectory";
+  let pick f = Array.map (fun k -> f snapshots.(k)) kept in
+  {
+    xs = pick (fun s -> s.Engine.Tran.inputs.(0));
+    states = pick (fun s -> Linalg.Vec.copy s.Engine.Tran.state);
+    gs = pick (fun s -> Linalg.Mat.copy s.Engine.Tran.g_mat);
+    cs = pick (fun s -> Linalg.Mat.copy s.Engine.Tran.c_mat);
+    b = Linalg.Mat.col (Engine.Mna.b_matrix mna) 0;
+    d = Linalg.Mat.col (Engine.Mna.d_matrix mna) 0;
+    n = Engine.Mna.size mna;
+  }
+
+let size_in_floats t =
+  let per = (2 * t.n * t.n) + t.n + 1 in
+  (Array.length t.xs * per) + (2 * t.n)
+
+(* bracketing snapshots and interpolation weight for input value w *)
+let locate t w =
+  let m = Array.length t.xs in
+  if w <= t.xs.(0) then (0, 0, 0.0)
+  else if w >= t.xs.(m - 1) then (m - 1, m - 1, 0.0)
+  else begin
+    let lo = ref 0 and hi = ref (m - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if t.xs.(mid) <= w then lo := mid else hi := mid
+    done;
+    (!lo, !hi, (w -. t.xs.(!lo)) /. (t.xs.(!hi) -. t.xs.(!lo)))
+  end
+
+let blend_mat a b lambda =
+  if lambda = 0.0 then Linalg.Mat.copy a
+  else
+    Linalg.Mat.init (Linalg.Mat.rows a) (Linalg.Mat.cols a) (fun i j ->
+        ((1.0 -. lambda) *. Linalg.Mat.get a i j)
+        +. (lambda *. Linalg.Mat.get b i j))
+
+let blend_vec a b lambda =
+  Array.init (Array.length a) (fun i ->
+      ((1.0 -. lambda) *. a.(i)) +. (lambda *. b.(i)))
+
+(* The interpolated linearization around the point (v_star, u_star):
+   G·z + C·dz/dt = B·(u(t) − u_star)  with  z = v − v_star; trapezoidal:
+   (G + 2C/h)·z_next = B·(u_next − u_star) + rhs_history.
+   Freezing the interpolation per step keeps the update linear. *)
+let simulate t ~u ~t_stop ~dt =
+  if dt <= 0.0 || t_stop <= 0.0 then invalid_arg "Tpw.simulate: dt, t_stop > 0";
+  let steps = Stdlib.max 1 (int_of_float (Float.ceil ((t_stop /. dt) -. 1e-9))) in
+  let times = Array.make (steps + 1) 0.0 in
+  let values = Array.make (steps + 1) 0.0 in
+  (* initial state: interpolated trajectory state at u(0) *)
+  let v =
+    let k0, k1, lambda = locate t (u 0.0) in
+    ref (blend_vec t.states.(k0) t.states.(k1) lambda)
+  in
+  let dvdt = ref (Linalg.Vec.create t.n) in
+  let output v = Linalg.Vec.dot t.d v in
+  values.(0) <- output !v;
+  for k = 1 to steps do
+    let time = Float.min (float_of_int k *. dt) t_stop in
+    let h = time -. times.(k - 1) in
+    let w = u time in
+    let k0, k1, lambda = locate t w in
+    let g = blend_mat t.gs.(k0) t.gs.(k1) lambda in
+    let c = blend_mat t.cs.(k0) t.cs.(k1) lambda in
+    let v_star = blend_vec t.states.(k0) t.states.(k1) lambda in
+    let u_star = ((1.0 -. lambda) *. t.xs.(k0)) +. (lambda *. t.xs.(k1)) in
+    (* trapezoidal on z = v − v_star, using dz/dt ≈ dv/dt since v_star
+       is frozen within the step *)
+    let a =
+      Linalg.Mat.init t.n t.n (fun i j ->
+          Linalg.Mat.get g i j +. (2.0 /. h *. Linalg.Mat.get c i j))
+    in
+    let z_n = Linalg.Vec.sub !v v_star in
+    let hist =
+      Linalg.Mat.mulv c
+        (Array.init t.n (fun i -> ((2.0 /. h) *. z_n.(i)) +. (!dvdt).(i)))
+    in
+    let rhs =
+      Array.init t.n (fun i -> (t.b.(i) *. (w -. u_star)) +. hist.(i))
+    in
+    let z_next = Linalg.Lu.solve_system a rhs in
+    let v_next = Linalg.Vec.add v_star z_next in
+    dvdt :=
+      Array.init t.n (fun i -> ((v_next.(i) -. (!v).(i)) *. 2.0 /. h) -. (!dvdt).(i));
+    v := v_next;
+    times.(k) <- time;
+    values.(k) <- output !v
+  done;
+  Signal.Waveform.make times values

@@ -1,0 +1,1 @@
+lib/vf/basis.ml: Array Complex Linalg List Pole

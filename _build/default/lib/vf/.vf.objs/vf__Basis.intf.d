@@ -1,0 +1,1 @@
+lib/vf/basis.mli: Complex Linalg

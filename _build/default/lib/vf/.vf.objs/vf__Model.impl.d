@@ -1,0 +1,1 @@
+lib/vf/model.ml: Array Basis Complex Float Format Linalg Stdlib

@@ -1,0 +1,1 @@
+lib/vf/model.mli: Complex Format

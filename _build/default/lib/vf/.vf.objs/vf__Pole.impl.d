@@ -1,0 +1,1 @@
+lib/vf/pole.ml: Array Complex Float List

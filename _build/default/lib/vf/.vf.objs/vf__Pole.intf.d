@@ -1,0 +1,1 @@
+lib/vf/pole.mli: Complex

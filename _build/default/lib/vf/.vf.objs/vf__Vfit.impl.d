@@ -1,0 +1,1 @@
+lib/vf/vfit.ml: Array Basis Complex Float Linalg Logs Model Pole Printf Stdlib

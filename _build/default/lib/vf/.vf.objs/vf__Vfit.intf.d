@@ -1,0 +1,1 @@
+lib/vf/vfit.mli: Complex Model

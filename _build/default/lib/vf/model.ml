@@ -1,0 +1,51 @@
+type t = {
+  poles : Complex.t array;
+  coeffs : float array array;
+  consts : float array;
+  slopes : float array;
+}
+
+let n_elements t = Array.length t.coeffs
+let n_poles t = Array.length t.poles
+
+let eval t ~elem z =
+  let phi = Basis.row t.poles z in
+  let acc = ref { Complex.re = t.consts.(elem); im = 0.0 } in
+  acc := Complex.add !acc (Complex.mul { Complex.re = t.slopes.(elem); im = 0.0 } z);
+  Array.iteri
+    (fun p c ->
+      if c <> 0.0 then
+        acc := Complex.add !acc { Complex.re = c *. phi.(p).Complex.re;
+                                  im = c *. phi.(p).Complex.im })
+    t.coeffs.(elem);
+  !acc
+
+let eval_real t ~elem x = (eval t ~elem { Complex.re = x; im = 0.0 }).Complex.re
+
+let residues t ~elem = Basis.residues_of_coeffs t.poles t.coeffs.(elem)
+
+let errors t ~points ~data =
+  let e = n_elements t in
+  if Array.length data <> e then invalid_arg "Model.errors: element count mismatch";
+  let sum2 = ref 0.0 and count = ref 0 and worst = ref 0.0 in
+  for el = 0 to e - 1 do
+    Array.iteri
+      (fun l z ->
+        let d = Complex.norm (Complex.sub (eval t ~elem:el z) data.(el).(l)) in
+        sum2 := !sum2 +. (d *. d);
+        worst := Float.max !worst d;
+        incr count)
+      points
+  done;
+  (sqrt (!sum2 /. float_of_int (Stdlib.max 1 !count)), !worst)
+
+let rms_error t ~points ~data = fst (errors t ~points ~data)
+let max_error t ~points ~data = snd (errors t ~points ~data)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>pole-residue model: %d poles, %d element(s)@,"
+    (n_poles t) (n_elements t);
+  Array.iteri
+    (fun k a -> Format.fprintf ppf "  pole %d: %a@," k Linalg.Cx.pp a)
+    t.poles;
+  Format.fprintf ppf "@]"

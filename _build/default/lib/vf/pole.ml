@@ -1,0 +1,102 @@
+type slot = Single of int | Pair_first of int
+
+let is_conj_pair a b =
+  let scale = Float.max (Complex.norm a) 1e-300 in
+  Float.abs (a.Complex.re -. b.Complex.re) <= 1e-9 *. scale
+  && Float.abs (a.Complex.im +. b.Complex.im) <= 1e-9 *. scale
+
+let structure poles =
+  let p = Array.length poles in
+  let rec loop k acc =
+    if k >= p then List.rev acc
+    else if poles.(k).Complex.im = 0.0 then loop (k + 1) (Single k :: acc)
+    else if k + 1 < p && is_conj_pair poles.(k) poles.(k + 1) then
+      loop (k + 2) (Pair_first k :: acc)
+    else invalid_arg "Pole.structure: pole array is not in normalized layout"
+  in
+  loop 0 []
+
+let initial_frequency ~f_min ~f_max ~count =
+  if count < 2 || count mod 2 <> 0 then
+    invalid_arg "Pole.initial_frequency: count must be even and >= 2";
+  if f_min <= 0.0 || f_max <= f_min then
+    invalid_arg "Pole.initial_frequency: need 0 < f_min < f_max";
+  let pairs = count / 2 in
+  let ws =
+    Array.init pairs (fun k ->
+        let frac =
+          if pairs = 1 then 0.5
+          else float_of_int k /. float_of_int (pairs - 1)
+        in
+        2.0 *. Float.pi *. f_min *. ((f_max /. f_min) ** frac))
+  in
+  Array.init count (fun k ->
+      let w = ws.(k / 2) in
+      let a = { Complex.re = -.w /. 100.0; im = w } in
+      if k mod 2 = 0 then a else Complex.conj a)
+
+let initial_real_axis ~lo ~hi ~count =
+  if count < 2 || count mod 2 <> 0 then
+    invalid_arg "Pole.initial_real_axis: count must be even and >= 2";
+  if hi <= lo then invalid_arg "Pole.initial_real_axis: need lo < hi";
+  let pairs = count / 2 in
+  let width = (hi -. lo) /. float_of_int pairs in
+  Array.init count (fun k ->
+      let m = k / 2 in
+      let beta = lo +. ((float_of_int m +. 0.5) *. (hi -. lo) /. float_of_int pairs) in
+      let a = { Complex.re = beta; im = width } in
+      if k mod 2 = 0 then a else Complex.conj a)
+
+let normalize ?(enforce_stable = false) ?(min_imag = 0.0) poles =
+  (* split into reals and positive-imaginary representatives *)
+  let reals = ref [] and pairs = ref [] in
+  Array.iter
+    (fun a ->
+      let scale = Float.max (Complex.norm a) 1e-300 in
+      if Float.abs a.Complex.im <= 1e-12 *. scale then
+        reals := a.Complex.re :: !reals
+      else if a.Complex.im > 0.0 then pairs := a :: !pairs
+      else ())
+    poles;
+  (* count sanity: every negative-imag pole should have had a conjugate;
+     trust the self-conjugacy of real-matrix eigenvalues *)
+  let reals = List.sort Float.compare !reals in
+  let pairs =
+    List.sort (fun a b -> Float.compare (Complex.norm a) (Complex.norm b)) !pairs
+  in
+  let stabilize a =
+    if not enforce_stable then a
+    else begin
+      let re =
+        if a.Complex.re < 0.0 then a.Complex.re
+        else if a.Complex.re > 0.0 then -.a.Complex.re
+        else -1e-3 *. Float.max (Complex.norm a) 1.0
+      in
+      { a with Complex.re = re }
+    end
+  in
+  let widen a =
+    if min_imag > 0.0 && a.Complex.im < min_imag then
+      { a with Complex.im = min_imag }
+    else a
+  in
+  let pairs = List.map (fun a -> widen (stabilize a)) pairs in
+  let reals, extra_pairs =
+    if min_imag > 0.0 then begin
+      (* merge leftover reals two-by-two into complex pairs *)
+      let rec merge acc = function
+        | r1 :: r2 :: rest ->
+            let beta = 0.5 *. (r1 +. r2) in
+            let alpha = Float.max min_imag (0.5 *. Float.abs (r2 -. r1)) in
+            merge ({ Complex.re = beta; im = alpha } :: acc) rest
+        | [ r ] -> merge ({ Complex.re = r; im = min_imag } :: acc) []
+        | [] -> List.rev acc
+      in
+      ([], List.map stabilize (merge [] reals))
+    end
+    else (List.map (fun r -> stabilize { Complex.re = r; im = 0.0 }) reals, [])
+  in
+  let out = ref [] in
+  List.iter (fun a -> out := Complex.conj a :: a :: !out) (pairs @ extra_pairs);
+  List.iter (fun a -> out := a :: !out) reals;
+  Array.of_list (List.rev !out)

@@ -1,0 +1,33 @@
+(** Pole-set construction and normalization.
+
+    Pole arrays are kept {e self-conjugate with pairs adjacent}: a complex
+    pole with positive imaginary part is immediately followed by its
+    conjugate; real poles occupy single slots. All of [Basis], [Model]
+    and [Vfit] rely on this layout. *)
+
+type slot = Single of int | Pair_first of int
+
+val structure : Complex.t array -> slot list
+(** The slot decomposition of a normalized pole array. Raises
+    [Invalid_argument] if the array is not in normalized layout. *)
+
+val initial_frequency : f_min:float -> f_max:float -> count:int -> Complex.t array
+(** Starting poles for frequency-domain fitting: complex pairs
+    [−ω/100 ± jω] with [ω = 2πf] log-spaced over the band (the classic
+    vector-fitting heuristic). [count] must be even and ≥ 2. *)
+
+val initial_real_axis : lo:float -> hi:float -> count:int -> Complex.t array
+(** Starting poles for fitting a real function on [lo, hi] (the
+    state-space axis): complex pairs [β ± jα] with centers [β] spread
+    across the interval and width [α] proportional to the spacing — the
+    paper's "complex pairs with opposite-sign real part" basis, seen in
+    the x-plane. [count] must be even and ≥ 2. *)
+
+val normalize :
+  ?enforce_stable:bool -> ?min_imag:float -> Complex.t array -> Complex.t array
+(** Bring an arbitrary self-conjugate multiset of poles (e.g. eigensolver
+    output) into normalized layout. [enforce_stable] reflects poles into
+    the open left half plane. [min_imag > 0] forbids real poles: leftover
+    real values are merged two-by-two into complex pairs and small
+    imaginary parts are inflated to [min_imag] (state-space mode, where
+    the closed-form integrals require strictly complex pairs). *)

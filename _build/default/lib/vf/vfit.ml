@@ -1,0 +1,354 @@
+type weighting = Uniform | Inv_magnitude | Inv_sqrt
+
+type opts = {
+  iterations : int;
+  with_const : bool;
+  with_slope : bool;
+  enforce_stable : bool;
+  min_imag : float;
+  relax : bool;
+  weighting : weighting;
+  max_magnitude : float;
+}
+
+let default_frequency_opts =
+  {
+    iterations = 10;
+    with_const = true;
+    with_slope = false;
+    enforce_stable = true;
+    min_imag = 0.0;
+    relax = true;
+    weighting = Inv_sqrt;
+    max_magnitude = 0.0;
+  }
+
+let default_state_opts =
+  {
+    iterations = 10;
+    with_const = true;
+    with_slope = false;
+    enforce_stable = false;
+    min_imag = 1e-6;
+    relax = true;
+    weighting = Uniform;
+    max_magnitude = 0.0;
+  }
+
+type info = {
+  rms : float;
+  max_err : float;
+  iterations_run : int;
+  pole_count : int;
+}
+
+let src = Logs.Src.create "vf" ~doc:"vector fitting"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let weights_of opts data =
+  Array.map
+    (fun row ->
+      match opts.weighting with
+      | Uniform -> Array.map (fun _ -> 1.0) row
+      | Inv_magnitude | Inv_sqrt ->
+          let base =
+            Array.fold_left (fun m z -> Float.max m (Complex.norm z)) 0.0 row
+          in
+          let floor_mag = Float.max (1e-4 *. base) 1e-300 in
+          Array.map
+            (fun z ->
+              let m = Float.max (Complex.norm z) floor_mag in
+              match opts.weighting with
+              | Inv_magnitude -> 1.0 /. m
+              | Inv_sqrt -> 1.0 /. sqrt m
+              | Uniform -> 1.0)
+            row)
+    data
+
+(* Column scales make the basis columns O(1); the same scales are applied
+   to the residue columns and the sigma columns so that solutions can be
+   unscaled independently per column. *)
+let column_scales phi_table points n_points p =
+  let scales = Array.make p 1.0 in
+  for col = 0 to p - 1 do
+    let m = ref 0.0 in
+    for l = 0 to n_points - 1 do
+      m := Float.max !m (Complex.norm phi_table.(l).(col))
+    done;
+    if !m > 0.0 then scales.(col) <- 1.0 /. !m
+  done;
+  let zmax =
+    Array.fold_left (fun m z -> Float.max m (Complex.norm z)) 0.0 points
+  in
+  (scales, if zmax > 0.0 then 1.0 /. zmax else 1.0)
+
+(* Solve for the sigma coefficients (c-tilde, d-tilde) given current
+   poles. Returns None if the least squares degenerates. *)
+let sigma_step ~opts ~poles ~points ~data ~weights ~relax =
+  let p = Array.length poles in
+  let n_points = Array.length points in
+  let n_elems = Array.length data in
+  let phi = Basis.table poles points in
+  let scales, zscale = column_scales phi points n_points p in
+  let n1 = p + (if opts.with_const then 1 else 0) + (if opts.with_slope then 1 else 0) in
+  let n2 = if relax then p + 1 else p in
+  if 2 * n_points < n1 + n2 then
+    invalid_arg
+      (Printf.sprintf "Vfit: %d points cannot determine %d unknowns" n_points
+         (n1 + n2));
+  let stacked_rows = (n_elems * n2) + if relax then 1 else 0 in
+  let big = Linalg.Mat.create stacked_rows n2 in
+  let big_rhs = Linalg.Vec.create stacked_rows in
+  let row_cursor = ref 0 in
+  for e = 0 to n_elems - 1 do
+    let a = Linalg.Mat.create (2 * n_points) (n1 + n2) in
+    let rhs = Linalg.Vec.create (2 * n_points) in
+    for l = 0 to n_points - 1 do
+      let w = weights.(e).(l) in
+      let f = data.(e).(l) in
+      let re_row = 2 * l and im_row = (2 * l) + 1 in
+      (* per-element columns: residues, const, slope *)
+      for c = 0 to p - 1 do
+        let v = phi.(l).(c) in
+        Linalg.Mat.set a re_row c (w *. v.Complex.re *. scales.(c));
+        Linalg.Mat.set a im_row c (w *. v.Complex.im *. scales.(c))
+      done;
+      let cursor = ref p in
+      if opts.with_const then begin
+        Linalg.Mat.set a re_row !cursor w;
+        incr cursor
+      end;
+      if opts.with_slope then begin
+        Linalg.Mat.set a re_row !cursor (w *. points.(l).Complex.re *. zscale);
+        Linalg.Mat.set a im_row !cursor (w *. points.(l).Complex.im *. zscale);
+        incr cursor
+      end;
+      (* sigma columns: −w·F·φ (and −w·F for d-tilde in relaxed mode) *)
+      for c = 0 to p - 1 do
+        let v = Complex.mul f phi.(l).(c) in
+        Linalg.Mat.set a re_row (n1 + c) (-.w *. v.Complex.re *. scales.(c));
+        Linalg.Mat.set a im_row (n1 + c) (-.w *. v.Complex.im *. scales.(c))
+      done;
+      if relax then begin
+        Linalg.Mat.set a re_row (n1 + p) (-.w *. f.Complex.re);
+        Linalg.Mat.set a im_row (n1 + p) (-.w *. f.Complex.im)
+      end
+      else begin
+        (* non-relaxed: sigma = 1 + Σ c̃φ, the "1" moves to the RHS *)
+        rhs.(re_row) <- w *. f.Complex.re;
+        rhs.(im_row) <- w *. f.Complex.im
+      end
+    done;
+    (* condense: only the trailing n2×n2 block of R couples the shared
+       unknowns (fast VF of ref. [9]) *)
+    match Linalg.Qr.factor a with
+    | exception Linalg.Qr.Rank_deficient _ -> ()
+    | qr ->
+        let r = Linalg.Qr.r qr in
+        let qtb =
+          if relax then Linalg.Vec.create (2 * n_points)
+          else Linalg.Qr.apply_qt qr rhs
+        in
+        for k = 0 to n2 - 1 do
+          for c = 0 to n2 - 1 do
+            Linalg.Mat.set big (!row_cursor + k) c
+              (Linalg.Mat.get r (n1 + k) (n1 + c))
+          done;
+          big_rhs.(!row_cursor + k) <- (if relax then 0.0 else qtb.(n1 + k))
+        done;
+        row_cursor := !row_cursor + n2
+  done;
+  if relax then begin
+    (* nontriviality: Σ_l Re σ(z_l) = n_points *)
+    let w_relax =
+      let acc = ref 0.0 and cnt = ref 0 in
+      Array.iteri
+        (fun e row ->
+          Array.iteri
+            (fun l z ->
+              acc := !acc +. (weights.(e).(l) *. Complex.norm z);
+              incr cnt)
+            row)
+        data;
+      Float.max (!acc /. float_of_int (Stdlib.max 1 !cnt)) 1e-12
+    in
+    for c = 0 to p - 1 do
+      let s = ref 0.0 in
+      for l = 0 to n_points - 1 do
+        s := !s +. phi.(l).(c).Complex.re
+      done;
+      Linalg.Mat.set big !row_cursor c (w_relax *. !s *. scales.(c))
+    done;
+    Linalg.Mat.set big !row_cursor p (w_relax *. float_of_int n_points);
+    big_rhs.(!row_cursor) <- w_relax *. float_of_int n_points;
+    incr row_cursor
+  end;
+  let rows_used = !row_cursor in
+  if rows_used < n2 then None
+  else begin
+    let m = Linalg.Mat.init rows_used n2 (fun r c -> Linalg.Mat.get big r c) in
+    let rhs = Array.sub big_rhs 0 rows_used in
+    match Linalg.Qr.least_squares m rhs with
+    | exception Linalg.Qr.Rank_deficient _ -> None
+    | sol ->
+        let c_tilde = Array.init p (fun c -> sol.(c) *. scales.(c)) in
+        let d_tilde = if relax then sol.(p) else 1.0 in
+        Some (c_tilde, d_tilde)
+  end
+
+let relocate_poles ~opts ~poles ~points ~data ~weights =
+  let attempt relax =
+    match sigma_step ~opts ~poles ~points ~data ~weights ~relax with
+    | None -> None
+    | Some (c_tilde, d_tilde) ->
+        if relax && Float.abs d_tilde < 1e-8 then None
+        else begin
+          let a, b = Basis.state_matrices poles in
+          let p = Array.length poles in
+          let m =
+            Linalg.Mat.init p p (fun r c ->
+                Linalg.Mat.get a r c -. (b.(r) *. c_tilde.(c) /. d_tilde))
+          in
+          match Linalg.Eig.eigenvalues m with
+          | exception Linalg.Eig.No_convergence -> None
+          | eigs ->
+              let eigs =
+                if opts.max_magnitude <= 0.0 then eigs
+                else
+                  Array.map
+                    (fun a ->
+                      let m = Complex.norm a in
+                      if m > opts.max_magnitude then
+                        Linalg.Cx.scale (opts.max_magnitude /. m) a
+                      else a)
+                    eigs
+              in
+              Some
+                (Pole.normalize ~enforce_stable:opts.enforce_stable
+                   ~min_imag:opts.min_imag eigs)
+        end
+  in
+  match attempt opts.relax with
+  | Some poles' -> Some poles'
+  | None -> if opts.relax then attempt false else None
+
+(* Residue identification with fixed poles: independent small LS per
+   element. *)
+let identify ~opts ~poles ~points ~data ~weights =
+  let p = Array.length poles in
+  let n_points = Array.length points in
+  let phi = Basis.table poles points in
+  let scales, zscale = column_scales phi points n_points p in
+  let n1 = p + (if opts.with_const then 1 else 0) + (if opts.with_slope then 1 else 0) in
+  let coeffs = Array.map (fun _ -> Array.make p 0.0) data in
+  let consts = Array.map (fun _ -> 0.0) data in
+  let slopes = Array.map (fun _ -> 0.0) data in
+  Array.iteri
+    (fun e row ->
+      let a = Linalg.Mat.create (2 * n_points) n1 in
+      let rhs = Linalg.Vec.create (2 * n_points) in
+      for l = 0 to n_points - 1 do
+        let w = weights.(e).(l) in
+        let re_row = 2 * l and im_row = (2 * l) + 1 in
+        for c = 0 to p - 1 do
+          let v = phi.(l).(c) in
+          Linalg.Mat.set a re_row c (w *. v.Complex.re *. scales.(c));
+          Linalg.Mat.set a im_row c (w *. v.Complex.im *. scales.(c))
+        done;
+        let cursor = ref p in
+        if opts.with_const then begin
+          Linalg.Mat.set a re_row !cursor w;
+          incr cursor
+        end;
+        if opts.with_slope then begin
+          Linalg.Mat.set a re_row !cursor (w *. points.(l).Complex.re *. zscale);
+          Linalg.Mat.set a im_row !cursor (w *. points.(l).Complex.im *. zscale);
+          incr cursor
+        end;
+        rhs.(re_row) <- w *. row.(l).Complex.re;
+        rhs.(im_row) <- w *. row.(l).Complex.im
+      done;
+      match Linalg.Qr.least_squares a rhs with
+      | exception Linalg.Qr.Rank_deficient _ ->
+          Log.warn (fun m -> m "residue identification rank-deficient (element %d)" e)
+      | sol ->
+          for c = 0 to p - 1 do
+            coeffs.(e).(c) <- sol.(c) *. scales.(c)
+          done;
+          let cursor = ref p in
+          if opts.with_const then begin
+            consts.(e) <- sol.(!cursor);
+            incr cursor
+          end;
+          if opts.with_slope then slopes.(e) <- sol.(!cursor) *. zscale)
+    data;
+  { Model.poles; coeffs; consts; slopes }
+
+let fit ?(opts = default_frequency_opts) ~poles ~points ~data () =
+  if Array.length data = 0 then invalid_arg "Vfit.fit: no elements";
+  Array.iter
+    (fun row ->
+      if Array.length row <> Array.length points then
+        invalid_arg "Vfit.fit: data/points length mismatch")
+    data;
+  let weights = weights_of opts data in
+  let poles = ref (Pole.normalize ~enforce_stable:opts.enforce_stable
+                     ~min_imag:opts.min_imag poles) in
+  let iterations_run = ref 0 in
+  (try
+     for it = 1 to opts.iterations do
+       match relocate_poles ~opts ~poles:!poles ~points ~data ~weights with
+       | Some poles' ->
+           iterations_run := it;
+           poles := poles'
+       | None ->
+           Log.debug (fun m -> m "pole relocation stalled at iteration %d" it);
+           raise Exit
+     done
+   with Exit -> ());
+  let model = identify ~opts ~poles:!poles ~points ~data ~weights in
+  let rms = Model.rms_error model ~points ~data in
+  let max_err = Model.max_error model ~points ~data in
+  ( model,
+    {
+      rms;
+      max_err;
+      iterations_run = !iterations_run;
+      pole_count = Array.length !poles;
+    } )
+
+let fit_auto ?(opts = default_frequency_opts) ~make_poles ?(start = 2) ?(step = 2)
+    ?(max_poles = 40) ~tol ~points ~data () =
+  let rec loop count best =
+    if count > max_poles then begin
+      match best with
+      | Some (m, i) -> (m, i)
+      | None -> invalid_arg "Vfit.fit_auto: no successful fit"
+    end
+    else begin
+      match fit ~opts ~poles:(make_poles count) ~points ~data () with
+      | exception Invalid_argument msg -> begin
+          (* typically: too few points for this many unknowns — stop
+             escalating and keep the best admissible model *)
+          Log.info (fun m -> m "fit_auto: stopping at %d poles (%s)" count msg);
+          match best with
+          | Some (m, i) -> (m, i)
+          | None -> invalid_arg msg
+        end
+      | model, info ->
+          Log.info (fun m ->
+              m "fit_auto: %d poles -> rms %.3e (tol %.3e)" info.pole_count
+                info.rms tol);
+          if info.rms <= tol then (model, info)
+          else begin
+            let best =
+              match best with
+              | Some (_, bi) when bi.rms <= info.rms -> best
+              | Some _ | None -> Some (model, info)
+            in
+            loop (count + step) best
+          end
+    end
+  in
+  loop start None

@@ -1,0 +1,73 @@
+(** Relaxed Vector Fitting with common poles across many elements.
+
+    This is the regression engine used twice by the paper's flow: once on
+    the frequency axis (elements = trajectory samples [k], points
+    [z = jω_l]) and once on the state-space axis (elements = residue
+    trajectories, points [z = x_k] real) — "both frequency and
+    state-dependent data is fitted using the same regression engine".
+
+    Implementation notes: the pole-identification step uses the relaxed
+    nontriviality constraint of Gustavsen (2006) and the fast per-element
+    QR condensation of Deschrijver et al. (2008), ref. [9] of the paper.
+    Pole relocation computes the zeros of the weighting function σ as
+    eigenvalues of [A − b·c̃ᵀ/d̃]. *)
+
+type weighting = Uniform | Inv_magnitude | Inv_sqrt
+
+type opts = {
+  iterations : int;  (** pole-relocation sweeps (default 10) *)
+  with_const : bool;  (** include a constant term d per element *)
+  with_slope : bool;  (** include a linear term h·z per element *)
+  enforce_stable : bool;  (** reflect poles into the left half plane *)
+  min_imag : float;  (** > 0 forbids real poles (state-space mode) *)
+  relax : bool;  (** relaxed σ normalization *)
+  weighting : weighting;
+  max_magnitude : float;
+      (** clamp relocated poles to this modulus (0 disables); keeps
+          runaway spurious poles from leaving the sampled band *)
+}
+
+val default_frequency_opts : opts
+(** Stable poles enforced, inverse-square-root weighting, and a constant
+    term per element: the dynamic TFT part [H(s) − H(0)] tends to
+    [−H(0) ≠ 0] as [s → ∞], so a state-dependent direct feedthrough
+    [d(x)] is required (its integral is folded into the model's static
+    path). *)
+
+val default_state_opts : opts
+(** Real poles forbidden (min_imag set per-fit from the data range),
+    constant term enabled, uniform weighting. *)
+
+type info = {
+  rms : float;  (** unweighted absolute RMS deviation *)
+  max_err : float;
+  iterations_run : int;
+  pole_count : int;
+}
+
+val fit :
+  ?opts:opts ->
+  poles:Complex.t array ->
+  points:Complex.t array ->
+  data:Complex.t array array ->
+  unit ->
+  Model.t * info
+(** [fit ~poles ~points ~data ()] fits [data.(e).(l) ≈ model_e(points.(l))]
+    with common poles, starting the relocation from [poles].
+    Requires [2·length points ≥ unknowns]. *)
+
+val fit_auto :
+  ?opts:opts ->
+  make_poles:(int -> Complex.t array) ->
+  ?start:int ->
+  ?step:int ->
+  ?max_poles:int ->
+  tol:float ->
+  points:Complex.t array ->
+  data:Complex.t array array ->
+  unit ->
+  Model.t * info
+(** Escalate the pole count ([start], [start+step], …) until the RMS
+    error drops below [tol] (Algorithm 1's "while error > ε: P ← P+2").
+    Returns the first model meeting the tolerance, or the best one found
+    if [max_poles] is exhausted. *)

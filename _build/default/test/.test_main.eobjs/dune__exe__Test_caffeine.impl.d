@@ -1,0 +1,1 @@
+test/test_caffeine.ml: Alcotest Array Caffeine Circuit Circuits Engine Float Fun Hammerstein List Printf QCheck QCheck_alcotest Signal String Tft

@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Array Circuit Circuits Complex Engine Float Hammerstein Linalg List Printf QCheck QCheck_alcotest Signal String Tft Vf

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Circuit Circuits Complex Engine Float Linalg List Printf QCheck QCheck_alcotest Random Signal

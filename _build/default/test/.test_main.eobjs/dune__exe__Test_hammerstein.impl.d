@@ -1,0 +1,1 @@
+test/test_hammerstein.ml: Alcotest Array Complex Float Hammerstein List Printf Signal String

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Array Circuit Circuits Complex Engine Float Hammerstein List Printf Signal String Tft Tft_rvf

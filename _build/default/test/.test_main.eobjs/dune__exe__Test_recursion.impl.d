@@ -1,0 +1,1 @@
+test/test_recursion.ml: Alcotest Array Printf Rvf Signal

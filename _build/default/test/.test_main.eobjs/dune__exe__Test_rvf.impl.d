@@ -1,0 +1,1 @@
+test/test_rvf.ml: Alcotest Array Circuit Circuits Complex Engine Float Hammerstein List Printf Rvf Signal String Tft Tft_rvf Vf

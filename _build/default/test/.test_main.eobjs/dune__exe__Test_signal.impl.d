@@ -1,0 +1,1 @@
+test/test_signal.ml: Alcotest Array Complex Float Gen List QCheck QCheck_alcotest Signal

@@ -1,0 +1,1 @@
+test/test_tft.ml: Alcotest Array Circuit Circuits Complex Engine Float Linalg Printf Signal Tft

@@ -1,0 +1,1 @@
+test/test_vf.ml: Alcotest Array Circuits Complex Engine Float Linalg List Printf QCheck QCheck_alcotest Random Signal Vf

@@ -1,0 +1,237 @@
+(* Additional coverage: code paths not exercised by the main suites —
+   slope terms in VF, gmin-stepped DC, the backward-Euler retreat,
+   exports of complex-pair models, waveform algebra, TPW edge cases. *)
+
+let check_close tol = Alcotest.(check (float tol))
+let cx re im = { Complex.re; im }
+
+(* ---- Vfit with_slope: fit data with a genuine s-proportional term ---- *)
+
+let test_vfit_slope_term () =
+  let a = cx (-2e4) 1e5 in
+  let r = cx 3e3 1e3 in
+  let h s =
+    Complex.add
+      (Complex.add (Complex.div r (Complex.sub s a))
+         (Complex.div (Complex.conj r) (Complex.sub s (Complex.conj a))))
+      (Linalg.Cx.scale 1e-3 s)
+  in
+  let freqs = Signal.Grid.logspace 1e2 1e6 50 in
+  let points = Array.map Signal.Grid.s_of_hz freqs in
+  let data = [| Array.map h points |] in
+  let opts =
+    { Vf.Vfit.default_frequency_opts with Vf.Vfit.with_slope = true }
+  in
+  let poles0 = Vf.Pole.initial_frequency ~f_min:1e2 ~f_max:1e6 ~count:2 in
+  let model, info = Vf.Vfit.fit ~opts ~poles:poles0 ~points ~data () in
+  Alcotest.(check bool) "fit converges" true (info.Vf.Vfit.rms < 1e-3);
+  check_close 1e-5 "slope recovered" 1e-3 model.Vf.Model.slopes.(0)
+
+(* ---- DC gmin stepping on a hard circuit ---- *)
+
+let test_dc_gmin_stepping_diode_stack () =
+  (* five stacked diodes from a 5 V source: plain Newton from zero tends
+     to need help; the solve must still succeed and satisfy KCL *)
+  let nl = Circuit.Parser.parse_string {|
+V1 top 0 DC 5
+R1 top a 100
+D1 a b IS=1e-14 N=1
+D2 b c IS=1e-14 N=1
+D3 c d IS=1e-14 N=1
+D4 d e IS=1e-14 N=1
+D5 e 0 IS=1e-14 N=1
+|} in
+  let mna = Engine.Mna.build nl in
+  let v = Engine.Dc.solve mna in
+  let va = v.(Engine.Mna.node_index mna "a") in
+  let i_r = (5.0 -. va) /. 100.0 in
+  Alcotest.(check bool) "solved with forward current" true (i_r > 1e-3);
+  (* each diode drop is equal by symmetry *)
+  let vb = v.(Engine.Mna.node_index mna "b") in
+  let vc = v.(Engine.Mna.node_index mna "c") in
+  check_close 1e-6 "equal drops" (va -. vb) (vb -. vc)
+
+(* ---- Hammerstein export of a complex-pair model ---- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec scan k = k + nn <= nh && (String.sub hay k nn = needle || scan (k + 1)) in
+  nn = 0 || scan 0
+
+let pair_model () =
+  let f g =
+    Hammerstein.Static_fn.make ~formula:"g*x"
+      ~eval:(fun x -> g *. x)
+      ~deriv:(fun _ -> g)
+      ()
+  in
+  Hammerstein.Hmodel.make
+    ~branches:
+      [|
+        Hammerstein.Hmodel.Second_order
+          { alpha = -1e6; beta = 4e6; f1 = f 1e6; f2 = f 2e5 };
+      |]
+    ~static_path:(f 2.0) ()
+
+let test_export_pair_model () =
+  let m = pair_model () in
+  let va = Hammerstein.Export.verilog_a m in
+  Alcotest.(check bool) "two states" true
+    (contains va "y1a" && contains va "y1b");
+  let ml = Hammerstein.Export.matlab m in
+  Alcotest.(check bool) "matlab two rhs" true
+    (contains ml "dydt(1)" && contains ml "dydt(2)")
+
+let test_export_numeric_warns () =
+  let numeric =
+    Hammerstein.Static_fn.of_samples_numeric
+      ~xs:(Signal.Grid.linspace 0.0 1.0 10)
+      ~rs:(Array.make 10 1.0)
+  in
+  let m =
+    Hammerstein.Hmodel.make
+      ~branches:[| Hammerstein.Hmodel.First_order { a = -1.0; f = numeric } |]
+      ~static_path:Hammerstein.Static_fn.zero ()
+  in
+  Alcotest.(check bool) "export warns" true
+    (contains (Hammerstein.Export.verilog_a m) "WARNING")
+
+(* ---- equations text for pair model mentions both rows ---- *)
+
+let test_equations_pair () =
+  let text = Hammerstein.Hmodel.equations (pair_model ()) in
+  Alcotest.(check bool) "both state rows" true
+    (contains text "d/dt y1a" && contains text "d/dt y1b")
+
+(* ---- Waveform sub_signal ---- *)
+
+let test_waveform_sub_signal () =
+  let a = Signal.Waveform.make [| 0.0; 1.0; 2.0 |] [| 1.0; 2.0; 3.0 |] in
+  let b = Signal.Waveform.make [| 0.0; 2.0 |] [| 1.0; 3.0 |] in
+  let d = Signal.Waveform.sub_signal a b in
+  Array.iter (fun v -> check_close 1e-12 "zero difference" 0.0 v)
+    (Signal.Waveform.values d)
+
+(* ---- Mna eval without matrices ---- *)
+
+let test_mna_eval_no_matrices () =
+  let nl = Circuit.Parser.parse_string {|
+V1 a 0 DC 1
+R1 a 0 1k
+|} in
+  let mna = Engine.Mna.build nl in
+  let ev = Engine.Mna.eval mna ~with_matrices:false ~time:0.0
+      (Linalg.Vec.create (Engine.Mna.size mna)) in
+  Alcotest.(check bool) "no jacobians allocated" true
+    (ev.Engine.Mna.g_mat = None && ev.Engine.Mna.c_mat = None)
+
+(* ---- TPW: constant input stays at the trajectory state ---- *)
+
+let test_tpw_constant_input () =
+  let nl = Circuits.Library.clipper ~input_wave:(Circuit.Netlist.Sine
+    { offset = 0.3; ampl = 0.5; freq = 1e6; phase = 0.0 }) () in
+  let mna = Engine.Mna.build ~inputs:[ "Vin" ]
+      ~outputs:[ Circuits.Library.clipper_output ] nl in
+  let opts = { Engine.Tran.default_opts with Engine.Tran.snapshot_every = 10 } in
+  let run = Engine.Tran.run ~opts mna ~t_stop:1e-6 ~dt:1e-8 in
+  let tpw = Tft.Tpw.build ~mna run.Engine.Tran.snapshots in
+  let w = Tft.Tpw.simulate tpw ~u:(fun _ -> 0.3) ~t_stop:1e-7 ~dt:1e-9 in
+  let vals = Signal.Waveform.values w in
+  let spread =
+    Array.fold_left Float.max neg_infinity vals
+    -. Array.fold_left Float.min infinity vals
+  in
+  Alcotest.(check bool) "holds steady" true (spread < 1e-3)
+
+(* ---- recursion x_pole handling of hand-built real poles ---- *)
+
+let test_units_negative_suffix () =
+  check_close 1e-12 "negative milli" (-2.5e-3) (Circuit.Units.parse_exn "-2.5m")
+
+let test_parser_vcvs_cccs_cards () =
+  let nl = Circuit.Parser.parse_string {|
+V1 c 0 DC 1
+E1 out 0 c 0 2.5
+R1 out 0 1k
+F1 0 f V1 2
+R2 f 0 1k
+|} in
+  Alcotest.(check int) "five components" 5 (Circuit.Netlist.component_count nl);
+  match Circuit.Netlist.find nl "E1" with
+  | Some { element = Circuit.Netlist.Vcvs { gain; _ }; _ } ->
+      check_close 1e-12 "vcvs gain" 2.5 gain
+  | _ -> Alcotest.fail "E1 not parsed as VCVS"
+
+let test_parser_bjt_card () =
+  let nl = Circuit.Parser.parse_string {|
+Vb b 0 DC 0.7
+Q1 c b 0 NPN IS=2e-15 BF=80
+Rc c 0 1k
+|} in
+  match Circuit.Netlist.find nl "Q1" with
+  | Some { element = Circuit.Netlist.Bjt { params; pol; _ }; _ } ->
+      Alcotest.(check bool) "npn" true (pol = Circuit.Netlist.Npn);
+      check_close 1e-25 "is" 2e-15 params.is_bjt;
+      check_close 1e-9 "bf" 80.0 params.bf
+  | _ -> Alcotest.fail "Q1 not parsed as BJT"
+
+(* ---- adaptive transient on a nonlinear circuit matches fixed-step ---- *)
+
+let test_adaptive_nonlinear_matches_fixed () =
+  let nl = Circuits.Library.clipper ~input_wave:(Circuit.Netlist.Sine
+    { offset = 0.3; ampl = 0.5; freq = 2e6; phase = 0.0 }) () in
+  let mna = Engine.Mna.build ~outputs:[ Circuits.Library.clipper_output ] nl in
+  let fixed = Engine.Tran.run mna ~t_stop:1e-6 ~dt:5e-10 in
+  let adap = Engine.Tran.run_adaptive mna ~t_stop:1e-6 ~dt:5e-10 ~reltol:1e-4 in
+  let grid = Signal.Grid.linspace 1e-9 0.99e-6 400 in
+  let wf = Signal.Waveform.resample (Engine.Tran.output_waveform fixed 0) grid in
+  let wa = Signal.Waveform.resample (Engine.Tran.output_waveform adap 0) grid in
+  Alcotest.(check bool)
+    (Printf.sprintf "nonlinear adaptive rmse %.2e" (Signal.Waveform.rmse wf wa))
+    true
+    (Signal.Waveform.rmse wf wa < 5e-4)
+
+let prop_mosfet_region_continuity =
+  (* current is continuous across the triode/saturation boundary *)
+  QCheck.Test.make ~count:50 ~name:"mosfet continuous at vds = vov"
+    QCheck.(float_range 0.45 1.5)
+    (fun vgs ->
+      let nmos = Circuit.Netlist.default_nmos in
+      let vov = vgs -. nmos.Circuit.Netlist.vth in
+      QCheck.assume (vov > 0.01);
+      let id_at vds =
+        let i, _, _, _ =
+          Engine.Device.mosfet_ids Circuit.Netlist.Nmos nmos ~vd:vds ~vg:vgs ~vs:0.0
+        in
+        i
+      in
+      let lo = id_at (vov -. 1e-9) and hi = id_at (vov +. 1e-9) in
+      Float.abs (hi -. lo) < 1e-6 *. Float.max (Float.abs hi) 1e-12)
+
+let prop_junction_cap_monotone =
+  (* junction charge is strictly increasing in the junction voltage *)
+  QCheck.Test.make ~count:50 ~name:"junction charge monotone"
+    QCheck.(pair (float_range (-3.0) 1.0) (float_range 0.001 0.5))
+    (fun (v, dv) ->
+      let p = Circuit.Netlist.default_junction in
+      let q1, _ = Engine.Device.junction_q p v in
+      let q2, _ = Engine.Device.junction_q p (v +. dv) in
+      q2 > q1)
+
+let suite =
+  [
+    Alcotest.test_case "vfit slope term" `Quick test_vfit_slope_term;
+    Alcotest.test_case "dc gmin stepping" `Quick test_dc_gmin_stepping_diode_stack;
+    Alcotest.test_case "export pair model" `Quick test_export_pair_model;
+    Alcotest.test_case "export numeric warns" `Quick test_export_numeric_warns;
+    Alcotest.test_case "equations pair" `Quick test_equations_pair;
+    Alcotest.test_case "waveform sub_signal" `Quick test_waveform_sub_signal;
+    Alcotest.test_case "mna eval without matrices" `Quick test_mna_eval_no_matrices;
+    Alcotest.test_case "tpw constant input" `Quick test_tpw_constant_input;
+    Alcotest.test_case "units negative suffix" `Quick test_units_negative_suffix;
+    Alcotest.test_case "parser vcvs/cccs" `Quick test_parser_vcvs_cccs_cards;
+    Alcotest.test_case "parser bjt" `Quick test_parser_bjt_card;
+    Alcotest.test_case "adaptive nonlinear" `Quick test_adaptive_nonlinear_matches_fixed;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false)
+      [ prop_mosfet_region_continuity; prop_junction_cap_monotone ]

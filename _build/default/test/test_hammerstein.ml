@@ -1,0 +1,293 @@
+(* Tests for the Hammerstein model container, its frozen-state transfer
+   function, time-domain simulation against closed-form LTI responses,
+   and the exporters. *)
+
+let check_close tol = Alcotest.(check (float tol))
+
+let linear_static gain =
+  Hammerstein.Static_fn.make ~formula:(Printf.sprintf "%g*x" gain)
+    ~eval:(fun x -> gain *. x)
+    ~deriv:(fun _ -> gain)
+    ()
+
+(* ---------------- Static_fn ---------------- *)
+
+let test_static_fn_algebra () =
+  let f = linear_static 2.0 and g = linear_static 3.0 in
+  let s = Hammerstein.Static_fn.add f g in
+  check_close 1e-12 "add eval" 5.0 (s.Hammerstein.Static_fn.eval 1.0);
+  let d = Hammerstein.Static_fn.sub f g in
+  check_close 1e-12 "sub eval" (-1.0) (d.Hammerstein.Static_fn.eval 1.0);
+  let k = Hammerstein.Static_fn.scale 4.0 f in
+  check_close 1e-12 "scale deriv" 8.0 (k.Hammerstein.Static_fn.deriv 0.0);
+  Alcotest.(check bool) "analytic propagates" true s.Hammerstein.Static_fn.analytic
+
+let test_static_fn_numeric_table () =
+  let xs = Signal.Grid.linspace 0.0 1.0 101 in
+  let rs = Array.map (fun x -> 2.0 *. x) xs in
+  let f = Hammerstein.Static_fn.of_samples_numeric ~xs ~rs in
+  Alcotest.(check bool) "not analytic" false f.Hammerstein.Static_fn.analytic;
+  (* integral of 2x from 0 is x^2 *)
+  check_close 1e-3 "integral" 0.25 (f.Hammerstein.Static_fn.eval 0.5);
+  check_close 1e-9 "deriv interpolates" 1.0 (f.Hammerstein.Static_fn.deriv 0.5);
+  (* linear extrapolation beyond the table *)
+  check_close 1e-3 "extrapolated" (1.0 +. (2.0 *. 0.5))
+    (f.Hammerstein.Static_fn.eval 1.5)
+
+(* ---------------- Hmodel structure ---------------- *)
+
+let first_order_model ~a ~gain =
+  Hammerstein.Hmodel.make
+    ~branches:[| Hammerstein.Hmodel.First_order { a; f = linear_static gain } |]
+    ~static_path:Hammerstein.Static_fn.zero ()
+
+let test_hmodel_order () =
+  let m = first_order_model ~a:(-1e6) ~gain:1e6 in
+  Alcotest.(check int) "order 1" 1 (Hammerstein.Hmodel.order m);
+  let m2 =
+    Hammerstein.Hmodel.make
+      ~branches:
+        [|
+          Hammerstein.Hmodel.Second_order
+            {
+              alpha = -1e6;
+              beta = 2e6;
+              f1 = linear_static 1.0;
+              f2 = linear_static 0.0;
+            };
+          Hammerstein.Hmodel.First_order { a = -3e6; f = linear_static 1.0 };
+        |]
+      ~static_path:Hammerstein.Static_fn.zero ()
+  in
+  Alcotest.(check int) "order 3" 3 (Hammerstein.Hmodel.order m2)
+
+let test_hmodel_rejects_unstable () =
+  Alcotest.(check bool) "unstable real pole rejected" true
+    (match first_order_model ~a:1e6 ~gain:1.0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_hmodel_analytic_flag () =
+  let numeric =
+    Hammerstein.Static_fn.of_samples_numeric
+      ~xs:(Signal.Grid.linspace 0.0 1.0 10)
+      ~rs:(Array.make 10 1.0)
+  in
+  let m =
+    Hammerstein.Hmodel.make
+      ~branches:[| Hammerstein.Hmodel.First_order { a = -1.0; f = numeric } |]
+      ~static_path:Hammerstein.Static_fn.zero ()
+  in
+  Alcotest.(check bool) "numeric stage breaks analyticity" false
+    (Hammerstein.Hmodel.analytic m)
+
+(* ---------------- transfer ---------------- *)
+
+let test_transfer_first_order () =
+  (* branch r/(s-a) with r = gain (since f' = gain) *)
+  let a = -1e6 and gain = 2e6 in
+  let m = first_order_model ~a ~gain in
+  let s = Signal.Grid.s_of_hz 1e5 in
+  let expected = Complex.div { Complex.re = gain; im = 0.0 } (Complex.sub s { Complex.re = a; im = 0.0 }) in
+  let t = Hammerstein.Hmodel.transfer m ~x:0.0 ~s in
+  Alcotest.(check bool) "first-order transfer" true
+    (Complex.norm (Complex.sub t expected) < 1e-9)
+
+let test_transfer_second_order_matches_pair () =
+  (* the input-shifted 2x2 block realizes r/(s-a) + conj both *)
+  let alpha = -2e6 and beta = 8e6 in
+  let c = 1.5e6 and d = -0.5e6 in
+  (* f1' = c + d, f2' = c - d *)
+  let m =
+    Hammerstein.Hmodel.make
+      ~branches:
+        [|
+          Hammerstein.Hmodel.Second_order
+            {
+              alpha;
+              beta;
+              f1 = linear_static (c +. d);
+              f2 = linear_static (c -. d);
+            };
+        |]
+      ~static_path:Hammerstein.Static_fn.zero ()
+  in
+  let a = { Complex.re = alpha; im = beta } in
+  let r = { Complex.re = c; im = d } in
+  let s = Signal.Grid.s_of_hz 3e5 in
+  let expected =
+    Complex.add
+      (Complex.div r (Complex.sub s a))
+      (Complex.div (Complex.conj r) (Complex.sub s (Complex.conj a)))
+  in
+  let t = Hammerstein.Hmodel.transfer m ~x:0.0 ~s in
+  Alcotest.(check bool) "pair transfer" true
+    (Complex.norm (Complex.sub t expected) < 1e-6)
+
+let test_dc_gain_includes_static_path () =
+  let m =
+    Hammerstein.Hmodel.make ~branches:[||] ~static_path:(linear_static 2.5) ()
+  in
+  check_close 1e-12 "static dc gain" 2.5 (Hammerstein.Hmodel.dc_gain m ~x:0.3)
+
+(* ---------------- simulate ---------------- *)
+
+let test_simulate_first_order_step () =
+  (* linear first-order lowpass: y' = a y + (-a) u, H(0) = 1 *)
+  let a = -1e7 in
+  let m = first_order_model ~a ~gain:(-.a) in
+  let u t = if t >= 1e-8 then 1.0 else 0.0 in
+  let w = Hammerstein.Hmodel.simulate m ~u ~t_stop:1e-6 ~dt:5e-10 in
+  (* analytic: y(t) = 1 - exp(a (t - 1e-8)) after the step *)
+  List.iter
+    (fun t ->
+      let expected = 1.0 -. exp (a *. (t -. 1e-8)) in
+      check_close 2e-3 (Printf.sprintf "step response at %g" t) expected
+        (Signal.Waveform.value_at w t))
+    [ 5e-8; 1e-7; 3e-7; 9e-7 ]
+
+let test_simulate_starts_at_steady_state () =
+  let m = first_order_model ~a:(-1e7) ~gain:1e7 in
+  let u _ = 0.7 in
+  let w = Hammerstein.Hmodel.simulate m ~u ~t_stop:1e-7 ~dt:1e-9 in
+  (* constant input: output stays at DC steady state 0.7 *)
+  Array.iter
+    (fun v -> check_close 1e-9 "steady" 0.7 v)
+    (Signal.Waveform.values w)
+
+let test_simulate_second_order_sine_gain () =
+  (* drive the 2x2 block with a sine and compare the steady-state
+     amplitude with |T(j w0)| *)
+  let alpha = -5e6 and beta = 3e7 in
+  let m =
+    Hammerstein.Hmodel.make
+      ~branches:
+        [|
+          Hammerstein.Hmodel.Second_order
+            {
+              alpha;
+              beta;
+              f1 = linear_static 3e7;
+              f2 = linear_static 1e7;
+            };
+        |]
+      ~static_path:Hammerstein.Static_fn.zero ()
+  in
+  let f0 = 2e6 in
+  let u t = sin (2.0 *. Float.pi *. f0 *. t) in
+  let w = Hammerstein.Hmodel.simulate m ~u ~t_stop:4e-6 ~dt:2.5e-10 in
+  (* measure amplitude over the last period *)
+  let t0 = 3.5e-6 in
+  let samples =
+    Array.init 400 (fun k -> Signal.Waveform.value_at w (t0 +. (float_of_int k *. 1.25e-9)))
+  in
+  let amp =
+    0.5
+    *. (Array.fold_left Float.max neg_infinity samples
+       -. Array.fold_left Float.min infinity samples)
+  in
+  let expected =
+    Complex.norm (Hammerstein.Hmodel.transfer m ~x:0.0 ~s:(Signal.Grid.s_of_hz f0))
+  in
+  check_close (0.01 *. expected) "sine steady-state gain" expected amp
+
+let test_simulate_linearized_matches_transfer_small_signal () =
+  (* nonlinear static stage: a small sine around x0 sees gain |T(x0, jw)| *)
+  let f =
+    Hammerstein.Static_fn.make ~formula:"tanh" ~eval:(fun x -> 1e7 *. tanh x)
+      ~deriv:(fun x -> 1e7 /. (cosh x ** 2.0))
+      ()
+  in
+  let m =
+    Hammerstein.Hmodel.make
+      ~branches:[| Hammerstein.Hmodel.First_order { a = -1e7; f } |]
+      ~static_path:Hammerstein.Static_fn.zero ()
+  in
+  let x0 = 0.4 and ampl = 1e-3 and f0 = 1e6 in
+  let u t = x0 +. (ampl *. sin (2.0 *. Float.pi *. f0 *. t)) in
+  let w = Hammerstein.Hmodel.simulate m ~u ~t_stop:5e-6 ~dt:1e-9 in
+  let t0 = 4e-6 in
+  let samples =
+    Array.init 1000 (fun k -> Signal.Waveform.value_at w (t0 +. (float_of_int k *. 1e-9)))
+  in
+  let amp =
+    0.5
+    *. (Array.fold_left Float.max neg_infinity samples
+       -. Array.fold_left Float.min infinity samples)
+  in
+  let expected =
+    ampl
+    *. Complex.norm (Hammerstein.Hmodel.transfer m ~x:x0 ~s:(Signal.Grid.s_of_hz f0))
+  in
+  check_close (0.02 *. expected) "small-signal consistency" expected amp
+
+let test_dc_output_matches_simulation () =
+  (* dc_output is exactly where simulate settles for a constant input *)
+  let f =
+    Hammerstein.Static_fn.make ~formula:"nl" ~eval:(fun x -> 1e6 *. tanh x)
+      ~deriv:(fun x -> 1e6 /. (cosh x ** 2.0))
+      ()
+  in
+  let m =
+    Hammerstein.Hmodel.make
+      ~branches:
+        [|
+          Hammerstein.Hmodel.First_order { a = -2e6; f };
+          Hammerstein.Hmodel.Second_order
+            { alpha = -1e6; beta = 3e6; f1 = f; f2 = Hammerstein.Static_fn.scale 0.5 f };
+        |]
+      ~static_path:(Hammerstein.Static_fn.scale 1e-6 f) ()
+  in
+  List.iter
+    (fun x0 ->
+      let w = Hammerstein.Hmodel.simulate m ~u:(fun _ -> x0) ~t_stop:1e-5 ~dt:1e-8 in
+      let final = Signal.Waveform.value_at w 1e-5 in
+      check_close 1e-6 (Printf.sprintf "settles at dc_output(%g)" x0)
+        (Hammerstein.Hmodel.dc_output m ~x:x0) final)
+    [ -0.5; 0.0; 0.8 ]
+
+(* ---------------- export / equations ---------------- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec scan k = k + nn <= nh && (String.sub hay k nn = needle || scan (k + 1)) in
+  nn = 0 || scan 0
+
+let test_equations_text () =
+  let m = first_order_model ~a:(-1e6) ~gain:2.0 in
+  let text = Hammerstein.Hmodel.equations m in
+  Alcotest.(check bool) "has ODE" true (contains text "d/dt y1");
+  Alcotest.(check bool) "has static path" true (contains text "F0(x)")
+
+let test_verilog_a_export () =
+  let m = first_order_model ~a:(-1e6) ~gain:2.0 in
+  let va = Hammerstein.Export.verilog_a m in
+  Alcotest.(check bool) "module header" true (contains va "module tft_rvf_model");
+  Alcotest.(check bool) "ddt statements" true (contains va "ddt(V(y1))");
+  Alcotest.(check bool) "contribution" true (contains va "V(out) <+")
+
+let test_matlab_export () =
+  let m = first_order_model ~a:(-1e6) ~gain:2.0 in
+  let ml = Hammerstein.Export.matlab m in
+  Alcotest.(check bool) "function header" true (contains ml "function");
+  Alcotest.(check bool) "rhs" true (contains ml "dydt(1)")
+
+let suite =
+  [
+    Alcotest.test_case "static_fn algebra" `Quick test_static_fn_algebra;
+    Alcotest.test_case "static_fn numeric table" `Quick test_static_fn_numeric_table;
+    Alcotest.test_case "hmodel order" `Quick test_hmodel_order;
+    Alcotest.test_case "hmodel rejects unstable" `Quick test_hmodel_rejects_unstable;
+    Alcotest.test_case "hmodel analytic flag" `Quick test_hmodel_analytic_flag;
+    Alcotest.test_case "transfer first order" `Quick test_transfer_first_order;
+    Alcotest.test_case "transfer pair" `Quick test_transfer_second_order_matches_pair;
+    Alcotest.test_case "dc gain static path" `Quick test_dc_gain_includes_static_path;
+    Alcotest.test_case "dc output vs simulate" `Quick test_dc_output_matches_simulation;
+    Alcotest.test_case "simulate step" `Quick test_simulate_first_order_step;
+    Alcotest.test_case "simulate steady start" `Quick test_simulate_starts_at_steady_state;
+    Alcotest.test_case "simulate sine gain" `Quick test_simulate_second_order_sine_gain;
+    Alcotest.test_case "simulate small signal" `Quick test_simulate_linearized_matches_transfer_small_signal;
+    Alcotest.test_case "equations text" `Quick test_equations_text;
+    Alcotest.test_case "verilog-a export" `Quick test_verilog_a_export;
+    Alcotest.test_case "matlab export" `Quick test_matlab_export;
+  ]

@@ -1,0 +1,383 @@
+(* Unit and property tests for the dense linear algebra kernels. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let mat_of = Linalg.Mat.of_arrays
+
+let rand_state seed = Random.State.make [| seed; 0x5eed |]
+
+(* a random diagonally-dominant matrix is comfortably invertible *)
+let random_dd_matrix st n =
+  let a = Linalg.Mat.random st n n in
+  for i = 0 to n - 1 do
+    Linalg.Mat.update a i i (fun x -> x +. float_of_int n)
+  done;
+  a
+
+(* ---------------- Vec ---------------- *)
+
+let test_vec_dot () =
+  check_float "dot" 32.0 (Linalg.Vec.dot [| 1.0; 2.0; 3.0 |] [| 4.0; 5.0; 6.0 |])
+
+let test_vec_norms () =
+  check_float "norm2" 5.0 (Linalg.Vec.norm2 [| 3.0; 4.0 |]);
+  check_float "norm_inf" 4.0 (Linalg.Vec.norm_inf [| 3.0; -4.0 |]);
+  check_float "dist_inf" 7.0 (Linalg.Vec.dist_inf [| 3.0; -4.0 |] [| 3.0; 3.0 |])
+
+let test_vec_axpy () =
+  let y = [| 1.0; 1.0 |] in
+  Linalg.Vec.axpy 2.0 [| 1.0; 2.0 |] y;
+  check_float "axpy0" 3.0 y.(0);
+  check_float "axpy1" 5.0 y.(1)
+
+let test_vec_mismatch () =
+  Alcotest.check_raises "dot mismatch" (Invalid_argument "Vec: dimension mismatch")
+    (fun () -> ignore (Linalg.Vec.dot [| 1.0 |] [| 1.0; 2.0 |]))
+
+(* ---------------- Mat ---------------- *)
+
+let test_mat_mul_identity () =
+  let st = rand_state 1 in
+  let a = Linalg.Mat.random st 4 4 in
+  let i = Linalg.Mat.identity 4 in
+  Alcotest.(check bool)
+    "A*I = A" true
+    (Linalg.Mat.approx_equal (Linalg.Mat.mul a i) a)
+
+let test_mat_mul_assoc () =
+  let st = rand_state 2 in
+  let a = Linalg.Mat.random st 3 4 in
+  let b = Linalg.Mat.random st 4 5 in
+  let c = Linalg.Mat.random st 5 2 in
+  let lhs = Linalg.Mat.mul (Linalg.Mat.mul a b) c in
+  let rhs = Linalg.Mat.mul a (Linalg.Mat.mul b c) in
+  Alcotest.(check bool) "(AB)C = A(BC)" true (Linalg.Mat.approx_equal ~tol:1e-12 lhs rhs)
+
+let test_mat_transpose_involution () =
+  let st = rand_state 3 in
+  let a = Linalg.Mat.random st 5 3 in
+  Alcotest.(check bool)
+    "transpose twice" true
+    (Linalg.Mat.approx_equal (Linalg.Mat.transpose (Linalg.Mat.transpose a)) a)
+
+let test_mat_mulv_t () =
+  let st = rand_state 4 in
+  let a = Linalg.Mat.random st 4 3 in
+  let x = [| 1.0; -2.0; 0.5; 3.0 |] in
+  let expected = Linalg.Mat.mulv (Linalg.Mat.transpose a) x in
+  Alcotest.(check bool)
+    "mulv_t = (A^T)x" true
+    (Linalg.Vec.approx_equal (Linalg.Mat.mulv_t a x) expected)
+
+let test_mat_row_col () =
+  let a = mat_of [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  Alcotest.(check bool) "row" true (Linalg.Vec.approx_equal (Linalg.Mat.row a 1) [| 3.0; 4.0 |]);
+  Alcotest.(check bool) "col" true (Linalg.Vec.approx_equal (Linalg.Mat.col a 1) [| 2.0; 4.0 |])
+
+(* ---------------- Lu ---------------- *)
+
+let test_lu_solve_known () =
+  let a = mat_of [| [| 2.0; 1.0 |]; [| 1.0; 3.0 |] |] in
+  let x = Linalg.Lu.solve_system a [| 5.0; 10.0 |] in
+  check_float "x0" 1.0 x.(0);
+  check_float "x1" 3.0 x.(1)
+
+let test_lu_det () =
+  let a = mat_of [| [| 2.0; 0.0 |]; [| 0.0; 3.0 |] |] in
+  check_float "det diag" 6.0 (Linalg.Lu.det (Linalg.Lu.factor a));
+  let p = mat_of [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+  check_float "det permutation" (-1.0) (Linalg.Lu.det (Linalg.Lu.factor p))
+
+let test_lu_singular () =
+  let a = mat_of [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+  Alcotest.(check bool) "raises Singular" true
+    (match Linalg.Lu.factor a with
+    | exception Linalg.Lu.Singular _ -> true
+    | _ -> false)
+
+let test_lu_inverse () =
+  let st = rand_state 5 in
+  let a = random_dd_matrix st 6 in
+  let inv = Linalg.Lu.inverse a in
+  Alcotest.(check bool)
+    "A * A^-1 = I" true
+    (Linalg.Mat.approx_equal ~tol:1e-10 (Linalg.Mat.mul a inv) (Linalg.Mat.identity 6))
+
+let prop_lu_residual =
+  QCheck.Test.make ~count:50 ~name:"lu solves random dd systems"
+    QCheck.(pair (int_range 1 12) (int_bound 10000))
+    (fun (n, seed) ->
+      let st = rand_state seed in
+      let a = random_dd_matrix st n in
+      let b = Array.init n (fun k -> Random.State.float st 2.0 -. 1.0 +. float_of_int k) in
+      let x = Linalg.Lu.solve_system a b in
+      Linalg.Vec.dist_inf (Linalg.Mat.mulv a x) b < 1e-8)
+
+(* ---------------- Qr ---------------- *)
+
+let test_qr_r_upper_triangular () =
+  let st = rand_state 6 in
+  let a = Linalg.Mat.random st 6 4 in
+  let r = Linalg.Qr.r (Linalg.Qr.factor a) in
+  let ok = ref true in
+  for i = 1 to 3 do
+    for j = 0 to i - 1 do
+      if Float.abs (Linalg.Mat.get r i j) > 1e-14 then ok := false
+    done
+  done;
+  Alcotest.(check bool) "R upper triangular" true !ok
+
+let test_qr_least_squares_exact () =
+  (* overdetermined but consistent system *)
+  let a = mat_of [| [| 1.0; 0.0 |]; [| 0.0; 1.0 |]; [| 1.0; 1.0 |] |] in
+  let x_true = [| 2.0; -1.0 |] in
+  let b = Linalg.Mat.mulv a x_true in
+  let x = Linalg.Qr.least_squares a b in
+  Alcotest.(check bool) "exact recovery" true (Linalg.Vec.approx_equal ~tol:1e-12 x x_true)
+
+let test_qr_vs_normal_equations () =
+  let st = rand_state 7 in
+  let a = Linalg.Mat.random st 10 4 in
+  let b = Array.init 10 (fun _ -> Random.State.float st 2.0 -. 1.0) in
+  let x = Linalg.Qr.least_squares a b in
+  (* normal equations: A^T A x = A^T b *)
+  let ata = Linalg.Mat.mul (Linalg.Mat.transpose a) a in
+  let atb = Linalg.Mat.mulv_t a b in
+  let x_ne = Linalg.Lu.solve_system ata atb in
+  Alcotest.(check bool) "matches normal equations" true
+    (Linalg.Vec.approx_equal ~tol:1e-8 x x_ne)
+
+let test_qr_rank_deficient () =
+  let a = mat_of [| [| 1.0; 1.0 |]; [| 1.0; 1.0 |]; [| 1.0; 1.0 |] |] in
+  Alcotest.(check bool) "raises Rank_deficient" true
+    (match Linalg.Qr.least_squares a [| 1.0; 2.0; 3.0 |] with
+    | exception Linalg.Qr.Rank_deficient _ -> true
+    | _ -> false)
+
+let prop_qr_residual_orthogonal =
+  QCheck.Test.make ~count:50 ~name:"qr residual orthogonal to range"
+    QCheck.(pair (int_range 2 6) (int_bound 10000))
+    (fun (n, seed) ->
+      let st = rand_state (seed + 77) in
+      let m = n + 4 in
+      let a = Linalg.Mat.random st m n in
+      let b = Array.init m (fun _ -> Random.State.float st 2.0 -. 1.0) in
+      match Linalg.Qr.least_squares a b with
+      | exception Linalg.Qr.Rank_deficient _ -> QCheck.assume_fail ()
+      | x ->
+          let r = Linalg.Vec.sub (Linalg.Mat.mulv a x) b in
+          Linalg.Vec.norm_inf (Linalg.Mat.mulv_t a r) < 1e-8)
+
+(* ---------------- Eig ---------------- *)
+
+let sorted_reals eigs =
+  let rs = Array.map (fun z -> z.Complex.re) eigs in
+  Array.sort Float.compare rs;
+  rs
+
+let test_eig_diagonal () =
+  let a = mat_of [| [| 3.0; 0.0 |]; [| 0.0; -1.0 |] |] in
+  let e = sorted_reals (Linalg.Eig.eigenvalues a) in
+  check_float "e0" (-1.0) e.(0);
+  check_float "e1" 3.0 e.(1)
+
+let test_eig_rotation () =
+  (* [[0,1],[-1,0]] has eigenvalues ±i *)
+  let a = mat_of [| [| 0.0; 1.0 |]; [| -1.0; 0.0 |] |] in
+  let e = Linalg.Eig.eigenvalues a in
+  let ims = Array.map (fun z -> z.Complex.im) e in
+  Array.sort Float.compare ims;
+  check_float "im0" (-1.0) ims.(0);
+  check_float "im1" 1.0 ims.(1);
+  Array.iter (fun z -> check_float "re" 0.0 z.Complex.re) e
+
+let test_poly_roots_cubic () =
+  (* (x-1)(x-2)(x-3) *)
+  let roots = sorted_reals (Linalg.Eig.poly_roots [| -6.0; 11.0; -6.0; 1.0 |]) in
+  check_float "r0" 1.0 roots.(0);
+  check_float "r1" 2.0 roots.(1);
+  check_float "r2" 3.0 roots.(2)
+
+let test_poly_roots_complex () =
+  let roots = Linalg.Eig.poly_roots [| 1.0; 0.0; 1.0 |] in
+  Array.iter (fun z -> check_float "unit modulus" 1.0 (Complex.norm z)) roots
+
+let test_hessenberg_preserves_eigs () =
+  let st = rand_state 8 in
+  let a = Linalg.Mat.random st 6 6 in
+  let h = Linalg.Eig.hessenberg a in
+  (* structurally Hessenberg *)
+  let ok = ref true in
+  for i = 2 to 5 do
+    for j = 0 to i - 2 do
+      if Float.abs (Linalg.Mat.get h i j) > 1e-12 then ok := false
+    done
+  done;
+  Alcotest.(check bool) "hessenberg structure" true !ok;
+  let tr m =
+    let acc = ref 0.0 in
+    for i = 0 to 5 do
+      acc := !acc +. Linalg.Mat.get m i i
+    done;
+    !acc
+  in
+  check_float "similarity preserves trace" (tr a) (tr h)
+
+let prop_eig_trace =
+  QCheck.Test.make ~count:40 ~name:"sum of eigenvalues = trace"
+    QCheck.(pair (int_range 2 10) (int_bound 10000))
+    (fun (n, seed) ->
+      let st = rand_state (seed + 13) in
+      let a = Linalg.Mat.random st n n in
+      let e = Linalg.Eig.eigenvalues a in
+      let tr = ref 0.0 in
+      for i = 0 to n - 1 do
+        tr := !tr +. Linalg.Mat.get a i i
+      done;
+      let s = Array.fold_left (fun acc z -> acc +. z.Complex.re) 0.0 e in
+      let im = Array.fold_left (fun acc z -> acc +. z.Complex.im) 0.0 e in
+      Float.abs (s -. !tr) < 1e-6 *. Float.max 1.0 (Float.abs !tr)
+      && Float.abs im < 1e-8)
+
+let prop_eig_det =
+  QCheck.Test.make ~count:40 ~name:"product of eigenvalues = det"
+    QCheck.(pair (int_range 2 8) (int_bound 10000))
+    (fun (n, seed) ->
+      let st = rand_state (seed + 29) in
+      let a = Linalg.Mat.random st n n in
+      let e = Linalg.Eig.eigenvalues a in
+      let det = Linalg.Lu.det (Linalg.Lu.factor a) in
+      let prod = Array.fold_left Complex.mul Complex.one e in
+      Float.abs (prod.Complex.re -. det) < 1e-6 *. Float.max 1.0 (Float.abs det)
+      && Float.abs prod.Complex.im < 1e-6 *. Float.max 1.0 (Float.abs det))
+
+let prop_poly_roots_reconstruct =
+  QCheck.Test.make ~count:30 ~name:"poly_roots finds zeros"
+    QCheck.(list_of_size (Gen.int_range 1 5) (float_range (-3.0) 3.0))
+    (fun roots ->
+      QCheck.assume (roots <> []);
+      (* build polynomial from roots, find them again *)
+      let coeffs = ref [| 1.0 |] in
+      List.iter
+        (fun r ->
+          let c = !coeffs in
+          let n = Array.length c in
+          let next = Array.make (n + 1) 0.0 in
+          for k = 0 to n - 1 do
+            next.(k + 1) <- next.(k + 1) +. c.(k);
+            next.(k) <- next.(k) -. (r *. c.(k))
+          done;
+          coeffs := next)
+        roots;
+      let found = Linalg.Eig.poly_roots !coeffs in
+      (* every true root is close to some found root *)
+      List.for_all
+        (fun r ->
+          Array.exists
+            (fun z -> Complex.norm (Complex.sub z { Complex.re = r; im = 0.0 }) < 1e-4)
+            found)
+        roots)
+
+(* ---------------- Cmat / Clu ---------------- *)
+
+let test_clu_solve () =
+  let g = mat_of [| [| 1.0; 0.5 |]; [| 0.25; 2.0 |] |] in
+  let c = mat_of [| [| 1e-3; 0.0 |]; [| 0.0; 2e-3 |] |] in
+  let s = { Complex.re = 0.0; im = 10.0 } in
+  let a = Linalg.Cmat.lincomb Complex.one g s c in
+  let b = [| Complex.one; Complex.i |] in
+  let x = Linalg.Clu.solve_system a b in
+  let back = Linalg.Cmat.mulv a x in
+  Array.iteri
+    (fun k z ->
+      Alcotest.(check bool)
+        "residual small" true
+        (Complex.norm (Complex.sub z b.(k)) < 1e-12))
+    back
+
+let test_cmat_mul_identity () =
+  let a =
+    Linalg.Cmat.init 3 3 (fun i j ->
+        { Complex.re = float_of_int ((i * 3) + j); im = float_of_int (i - j) })
+  in
+  let i3 = Linalg.Cmat.identity 3 in
+  let prod = Linalg.Cmat.mul a i3 in
+  let ok = ref true in
+  for i = 0 to 2 do
+    for j = 0 to 2 do
+      if
+        Complex.norm (Complex.sub (Linalg.Cmat.get prod i j) (Linalg.Cmat.get a i j))
+        > 1e-14
+      then ok := false
+    done
+  done;
+  Alcotest.(check bool) "A*I = A (complex)" true !ok
+
+let prop_clu_residual =
+  QCheck.Test.make ~count:30 ~name:"complex lu solves random pencils"
+    QCheck.(pair (int_range 1 8) (int_bound 10000))
+    (fun (n, seed) ->
+      let st = rand_state (seed + 41) in
+      let g = random_dd_matrix st n in
+      let c = Linalg.Mat.random st n n in
+      let s = { Complex.re = 0.0; im = Random.State.float st 100.0 } in
+      let a = Linalg.Cmat.lincomb Complex.one g s c in
+      let b =
+        Array.init n (fun _ ->
+            {
+              Complex.re = Random.State.float st 2.0 -. 1.0;
+              im = Random.State.float st 2.0 -. 1.0;
+            })
+      in
+      match Linalg.Clu.solve_system a b with
+      | exception Linalg.Clu.Singular _ -> QCheck.assume_fail ()
+      | x ->
+          let back = Linalg.Cmat.mulv a x in
+          Array.for_all2
+            (fun z bz -> Complex.norm (Complex.sub z bz) < 1e-7)
+            back b)
+
+(* ---------------- Cx ---------------- *)
+
+let test_cx_ops () =
+  let z = Linalg.Cx.make 3.0 4.0 in
+  check_float "norm" 5.0 (Linalg.Cx.norm z);
+  check_float "norm2" 25.0 (Linalg.Cx.norm2 z);
+  let w = Linalg.Cx.(z *: conj z) in
+  check_float "z * conj z" 25.0 w.Complex.re;
+  check_float "imag zero" 0.0 w.Complex.im;
+  Alcotest.(check bool) "inv" true
+    (Linalg.Cx.approx_equal Linalg.Cx.(inv (inv z)) z)
+
+let qsuite = [ prop_lu_residual; prop_qr_residual_orthogonal; prop_eig_trace;
+               prop_eig_det; prop_poly_roots_reconstruct; prop_clu_residual ]
+
+let suite =
+  [
+    Alcotest.test_case "vec dot" `Quick test_vec_dot;
+    Alcotest.test_case "vec norms" `Quick test_vec_norms;
+    Alcotest.test_case "vec axpy" `Quick test_vec_axpy;
+    Alcotest.test_case "vec mismatch" `Quick test_vec_mismatch;
+    Alcotest.test_case "mat mul identity" `Quick test_mat_mul_identity;
+    Alcotest.test_case "mat mul assoc" `Quick test_mat_mul_assoc;
+    Alcotest.test_case "mat transpose involution" `Quick test_mat_transpose_involution;
+    Alcotest.test_case "mat mulv_t" `Quick test_mat_mulv_t;
+    Alcotest.test_case "mat row/col" `Quick test_mat_row_col;
+    Alcotest.test_case "lu solve known" `Quick test_lu_solve_known;
+    Alcotest.test_case "lu det" `Quick test_lu_det;
+    Alcotest.test_case "lu singular" `Quick test_lu_singular;
+    Alcotest.test_case "lu inverse" `Quick test_lu_inverse;
+    Alcotest.test_case "qr upper triangular" `Quick test_qr_r_upper_triangular;
+    Alcotest.test_case "qr exact recovery" `Quick test_qr_least_squares_exact;
+    Alcotest.test_case "qr vs normal equations" `Quick test_qr_vs_normal_equations;
+    Alcotest.test_case "qr rank deficient" `Quick test_qr_rank_deficient;
+    Alcotest.test_case "eig diagonal" `Quick test_eig_diagonal;
+    Alcotest.test_case "eig rotation" `Quick test_eig_rotation;
+    Alcotest.test_case "poly roots cubic" `Quick test_poly_roots_cubic;
+    Alcotest.test_case "poly roots complex" `Quick test_poly_roots_complex;
+    Alcotest.test_case "hessenberg structure" `Quick test_hessenberg_preserves_eigs;
+    Alcotest.test_case "clu pencil solve" `Quick test_clu_solve;
+    Alcotest.test_case "cmat identity" `Quick test_cmat_mul_identity;
+    Alcotest.test_case "cx ops" `Quick test_cx_ops;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite

@@ -1,0 +1,18 @@
+(* Aggregated test runner: `dune runtest`. *)
+
+let () =
+  Alcotest.run "tft_rvf"
+    [
+      ("linalg", Test_linalg.suite);
+      ("signal", Test_signal.suite);
+      ("circuit", Test_circuit.suite);
+      ("engine", Test_engine.suite);
+      ("tft", Test_tft.suite);
+      ("vf", Test_vf.suite);
+      ("rvf", Test_rvf.suite);
+      ("recursion", Test_recursion.suite);
+      ("hammerstein", Test_hammerstein.suite);
+      ("caffeine", Test_caffeine.suite);
+      ("pipeline", Test_pipeline.suite);
+      ("coverage", Test_coverage.suite);
+    ]

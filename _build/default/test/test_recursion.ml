@@ -1,0 +1,97 @@
+(* Tests for the multivariate (gridded) RVF recursion of eq. (16). *)
+
+let check_close tol = Alcotest.(check (float tol))
+
+let grid_xy () =
+  (Signal.Grid.linspace 0.0 2.0 41, Signal.Grid.linspace (-1.0) 1.0 31)
+
+let tensor f xs ys =
+  Array.map (fun x -> Array.map (fun y -> f x y) ys) xs
+
+let test_fit_separable () =
+  (* f(x, y) = g(x)·h(y) with rational-friendly factors *)
+  let f x y =
+    (1.0 /. (((x -. 1.0) ** 2.0) +. 0.25)) *. (1.0 +. (0.5 *. y))
+  in
+  let xs, ys = grid_xy () in
+  let data = tensor f xs ys in
+  let t = Rvf.Recursion.fit ~xs ~ys ~data () in
+  let rms = Rvf.Recursion.rms_error t ~xs ~ys ~data in
+  Alcotest.(check bool)
+    (Printf.sprintf "rms %.2e small" rms)
+    true (rms < 1e-3);
+  (* pointwise off-grid check *)
+  check_close 5e-3 "off-grid point" (f 0.77 0.33)
+    (Rvf.Recursion.eval t ~x:0.77 ~y:0.33)
+
+let test_fit_nonseparable () =
+  (* genuinely coupled: a saturating surface whose knee moves with y *)
+  let f x y = tanh (3.0 *. (x -. 1.0 -. (0.3 *. y))) in
+  let xs, ys = grid_xy () in
+  let data = tensor f xs ys in
+  let t = Rvf.Recursion.fit ~eps:2e-3 ~xs ~ys ~data () in
+  let rms = Rvf.Recursion.rms_error t ~xs ~ys ~data in
+  Alcotest.(check bool)
+    (Printf.sprintf "rms %.2e below 2e-2" rms)
+    true (rms < 2e-2);
+  check_close 5e-2 "moving knee tracked" (f 1.2 0.5)
+    (Rvf.Recursion.eval t ~x:1.2 ~y:0.5)
+
+let test_integral_fundamental_theorem () =
+  let f x y = (2.0 *. (x -. 0.9)) /. (((x -. 0.9) ** 2.0) +. 0.16) *. (1.0 -. (0.2 *. y)) in
+  let xs, ys = grid_xy () in
+  let data = tensor f xs ys in
+  let t = Rvf.Recursion.fit ~xs ~ys ~data () in
+  (* d/dx integral_x = eval *)
+  let y = 0.4 and x = 1.3 and h = 1e-5 in
+  let fd =
+    (Rvf.Recursion.integral_x t ~x0:0.1 ~x:(x +. h) ~y
+    -. Rvf.Recursion.integral_x t ~x0:0.1 ~x:(x -. h) ~y)
+    /. (2.0 *. h)
+  in
+  check_close 1e-4 "derivative of integral" (Rvf.Recursion.eval t ~x ~y) fd;
+  (* integral vanishes at the anchor *)
+  check_close 1e-12 "anchored" 0.0 (Rvf.Recursion.integral_x t ~x0:0.1 ~x:0.1 ~y)
+
+let test_integral_matches_quadrature () =
+  let f x y = tanh (2.0 *. (x -. 1.0)) *. (1.0 +. (0.4 *. y *. y)) in
+  let xs, ys = grid_xy () in
+  let data = tensor f xs ys in
+  let t = Rvf.Recursion.fit ~eps:2e-3 ~xs ~ys ~data () in
+  let y = -0.5 and a = 0.3 and b = 1.8 in
+  let n = 4000 in
+  let quad = ref 0.0 in
+  for k = 0 to n - 1 do
+    let t0 = a +. ((b -. a) *. float_of_int k /. float_of_int n) in
+    let t1 = a +. ((b -. a) *. float_of_int (k + 1) /. float_of_int n) in
+    quad :=
+      !quad
+      +. (0.5 *. (Rvf.Recursion.eval t ~x:t0 ~y +. Rvf.Recursion.eval t ~x:t1 ~y)
+         *. (t1 -. t0))
+  done;
+  check_close 1e-5 "closed form = quadrature" !quad
+    (Rvf.Recursion.integral_x t ~x0:a ~x:b ~y)
+
+let test_fit_validation () =
+  let xs, ys = grid_xy () in
+  Alcotest.(check bool) "ragged data rejected" true
+    (match Rvf.Recursion.fit ~xs ~ys ~data:[| [| 1.0 |] |] () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_pole_counts_exposed () =
+  let f x y = (1.0 +. (0.1 *. y)) /. (((x -. 1.0) ** 2.0) +. 0.25) in
+  let xs, ys = grid_xy () in
+  let t = Rvf.Recursion.fit ~xs ~ys ~data:(tensor f xs ys) () in
+  Alcotest.(check bool) "x poles > 0" true (Rvf.Recursion.x_pole_count t > 0);
+  Alcotest.(check bool) "y poles > 0" true (Rvf.Recursion.y_pole_count t > 0)
+
+let suite =
+  [
+    Alcotest.test_case "fit separable" `Quick test_fit_separable;
+    Alcotest.test_case "fit nonseparable" `Quick test_fit_nonseparable;
+    Alcotest.test_case "integral derivative" `Quick test_integral_fundamental_theorem;
+    Alcotest.test_case "integral quadrature" `Quick test_integral_matches_quadrature;
+    Alcotest.test_case "fit validation" `Quick test_fit_validation;
+    Alcotest.test_case "pole counts" `Quick test_pole_counts_exposed;
+  ]

@@ -1,0 +1,258 @@
+(* Tests for grids, sources, waveforms and metrics. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close tol = Alcotest.(check (float tol))
+
+(* ---------------- Grid ---------------- *)
+
+let test_linspace () =
+  let g = Signal.Grid.linspace 0.0 1.0 5 in
+  Alcotest.(check int) "length" 5 (Array.length g);
+  check_float "first" 0.0 g.(0);
+  check_float "last" 1.0 g.(4);
+  check_float "mid" 0.5 g.(2)
+
+let test_linspace_single () =
+  let g = Signal.Grid.linspace 3.0 9.0 1 in
+  Alcotest.(check int) "length" 1 (Array.length g);
+  check_float "value" 3.0 g.(0)
+
+let test_logspace () =
+  let g = Signal.Grid.logspace 1.0 100.0 3 in
+  check_float "first" 1.0 g.(0);
+  check_close 1e-9 "mid" 10.0 g.(1);
+  check_close 1e-9 "last" 100.0 g.(2)
+
+let test_logspace_invalid () =
+  Alcotest.check_raises "negative endpoint"
+    (Invalid_argument "Grid.logspace: endpoints must be > 0") (fun () ->
+      ignore (Signal.Grid.logspace (-1.0) 10.0 3))
+
+let test_s_of_hz () =
+  let s = Signal.Grid.s_of_hz 1.0 in
+  check_float "re" 0.0 s.Complex.re;
+  check_close 1e-12 "im" (2.0 *. Float.pi) s.Complex.im
+
+(* ---------------- Source ---------------- *)
+
+let test_dc () = check_float "dc" 2.5 (Signal.Source.dc 2.5 42.0)
+
+let test_sine () =
+  let s = Signal.Source.sine ~offset:1.0 ~freq:1.0 ~ampl:2.0 () in
+  check_close 1e-12 "t=0" 1.0 (s 0.0);
+  check_close 1e-9 "quarter period" 3.0 (s 0.25)
+
+let test_step_ideal () =
+  let s = Signal.Source.step ~from:0.0 ~to_:1.0 () in
+  check_float "before" 0.0 (s (-1e-9));
+  check_float "after" 1.0 (s 0.0)
+
+let test_step_smooth () =
+  let s = Signal.Source.step ~t0:1.0 ~rise:2.0 ~from:0.0 ~to_:4.0 () in
+  check_float "before" 0.0 (s 0.5);
+  check_close 1e-12 "midpoint" 2.0 (s 2.0);
+  check_float "after" 4.0 (s 3.5);
+  (* raised cosine is monotone on the ramp *)
+  Alcotest.(check bool) "monotone" true (s 1.5 < s 2.0 && s 2.0 < s 2.5)
+
+let test_pulse_period () =
+  let s = Signal.Source.pulse ~low:0.0 ~high:1.0 ~width:1.0 ~period:2.0 () in
+  check_float "high" 1.0 (s 0.5);
+  check_float "low" 0.0 (s 1.5);
+  check_float "periodic" 1.0 (s 2.5)
+
+let test_pwl () =
+  let s = Signal.Source.pwl [ (0.0, 0.0); (1.0, 2.0); (3.0, 2.0); (4.0, 0.0) ] in
+  check_float "interp" 1.0 (s 0.5);
+  check_float "flat" 2.0 (s 2.0);
+  check_float "clamp left" 0.0 (s (-5.0));
+  check_float "clamp right" 0.0 (s 9.0)
+
+let test_pwl_unsorted () =
+  Alcotest.check_raises "unsorted"
+    (Invalid_argument "Source.pwl: breakpoints must be sorted by time") (fun () ->
+      let (_ : Signal.Source.t) = Signal.Source.pwl [ (1.0, 0.0); (0.0, 1.0) ] in
+      ())
+
+let test_prbs_deterministic () =
+  let a = Signal.Source.prbs_bits ~seed:5 ~length:64 in
+  let b = Signal.Source.prbs_bits ~seed:5 ~length:64 in
+  Alcotest.(check bool) "same seed same bits" true (a = b);
+  let c = Signal.Source.prbs_bits ~seed:6 ~length:64 in
+  Alcotest.(check bool) "different seed differs" true (a <> c);
+  (* the 7-bit LFSR has period 127 and is balanced-ish *)
+  let ones = Array.fold_left (fun acc b -> acc + if b then 1 else 0) 0 a in
+  Alcotest.(check bool) "not constant" true (ones > 8 && ones < 56)
+
+let test_bit_pattern_levels () =
+  let bits = [| true; false; true; true |] in
+  let s = Signal.Source.bit_pattern ~bits ~rate:1.0 ~low:0.0 ~high:1.0 () in
+  check_float "bit0" 1.0 (s 0.5);
+  check_float "bit1" 0.0 (s 1.5);
+  check_float "bit2" 1.0 (s 2.5);
+  check_float "bit3 (held)" 1.0 (s 10.0)
+
+let test_bit_pattern_rise () =
+  let bits = [| false; true |] in
+  let s = Signal.Source.bit_pattern ~rise:0.2 ~bits ~rate:1.0 ~low:0.0 ~high:1.0 () in
+  check_float "before edge" 0.0 (s 0.9);
+  check_close 1e-12 "mid edge" 0.5 (s 1.1);
+  check_float "after edge" 1.0 (s 1.4)
+
+(* ---------------- Waveform ---------------- *)
+
+let mk_wave () =
+  Signal.Waveform.make [| 0.0; 1.0; 2.0; 3.0 |] [| 0.0; 1.0; 4.0; 9.0 |]
+
+let test_waveform_interp () =
+  let w = mk_wave () in
+  check_float "node" 4.0 (Signal.Waveform.value_at w 2.0);
+  check_float "interp" 2.5 (Signal.Waveform.value_at w 1.5);
+  check_float "clamp lo" 0.0 (Signal.Waveform.value_at w (-1.0));
+  check_float "clamp hi" 9.0 (Signal.Waveform.value_at w 99.0)
+
+let test_waveform_validation () =
+  Alcotest.check_raises "non-increasing"
+    (Invalid_argument "Waveform.make: times must be strictly increasing")
+    (fun () -> ignore (Signal.Waveform.make [| 0.0; 0.0 |] [| 1.0; 2.0 |]));
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Waveform.make: length mismatch") (fun () ->
+      ignore (Signal.Waveform.make [| 0.0; 1.0 |] [| 1.0 |]))
+
+let test_waveform_rmse_self () =
+  let w = mk_wave () in
+  check_float "rmse self" 0.0 (Signal.Waveform.rmse w w);
+  check_float "nrmse self" 0.0 (Signal.Waveform.nrmse w w)
+
+let test_waveform_rmse_shift () =
+  let w = mk_wave () in
+  let v = Signal.Waveform.map (fun x -> x +. 1.0) w in
+  check_float "rmse shift" 1.0 (Signal.Waveform.rmse w v)
+
+let test_waveform_peak_to_peak () =
+  check_float "p2p" 9.0 (Signal.Waveform.peak_to_peak (mk_wave ()))
+
+let test_waveform_resample () =
+  let w = mk_wave () in
+  let r = Signal.Waveform.resample w [| 0.5; 1.5; 2.5 |] in
+  check_float "resampled" 2.5 (Signal.Waveform.value_at r 1.5)
+
+(* ---------------- Metrics ---------------- *)
+
+let test_db20 () =
+  check_float "db20 of 1" 0.0 (Signal.Metrics.db20 1.0);
+  check_float "db20 of 10" 20.0 (Signal.Metrics.db20 10.0);
+  check_float "db20 of 0 floors" (-400.0) (Signal.Metrics.db20 0.0)
+
+let test_rmse () =
+  check_float "rmse" 5.0 (Signal.Metrics.rmse [| 0.0; 0.0 |] [| 5.0; -5.0 |]);
+  check_float "max err" 5.0 (Signal.Metrics.max_abs_err [| 0.0; 0.0 |] [| 5.0; -3.0 |])
+
+let test_relative_rmse () =
+  check_float "relative"
+    (1.0 /. 5.0)
+    (Signal.Metrics.relative_rmse ~reference:[| 5.0; -5.0 |] [| 6.0; -4.0 |])
+
+let test_mean () = check_float "mean" 2.0 (Signal.Metrics.mean [| 1.0; 2.0; 3.0 |])
+
+let prop_source_sample_matches =
+  QCheck.Test.make ~count:30 ~name:"sample matches pointwise application"
+    QCheck.(list_of_size (Gen.int_range 1 20) (float_range 0.0 10.0))
+    (fun ts ->
+      let ts = Array.of_list ts in
+      let s = Signal.Source.sine ~freq:2.0 ~ampl:1.5 () in
+      Signal.Source.sample s ts = Array.map s ts)
+
+let prop_waveform_interp_between =
+  QCheck.Test.make ~count:50 ~name:"interpolation stays within segment bounds"
+    QCheck.(float_range 0.0 3.0)
+    (fun t ->
+      let w = mk_wave () in
+      let v = Signal.Waveform.value_at w t in
+      let vals = Signal.Waveform.values w in
+      let lo = Array.fold_left Float.min Float.infinity vals in
+      let hi = Array.fold_left Float.max Float.neg_infinity vals in
+      v >= lo -. 1e-12 && v <= hi +. 1e-12)
+
+(* ---------------- Fourier ---------------- *)
+
+let sine_wave ?(f0 = 1e6) ?(ampl = 1.0) ?(periods = 8.0) () =
+  let t_stop = periods /. f0 in
+  let ts = Signal.Grid.linspace 0.0 t_stop 4001 in
+  Signal.Waveform.of_fun (fun t -> ampl *. sin (2.0 *. Float.pi *. f0 *. t)) ts
+
+let test_fourier_pure_sine () =
+  let w = sine_wave ~ampl:0.7 () in
+  let c = Signal.Fourier.component w ~freq:1e6 in
+  check_close 1e-3 "fundamental amplitude" 0.7 (Complex.norm c)
+
+let test_fourier_harmonics_of_square () =
+  (* square wave: odd harmonics at 1/k amplitude ratios *)
+  let f0 = 1e6 in
+  let ts = Signal.Grid.linspace 0.0 (8.0 /. f0) 8001 in
+  let w =
+    Signal.Waveform.of_fun
+      (fun t -> if sin (2.0 *. Float.pi *. f0 *. t) >= 0.0 then 1.0 else -1.0)
+      ts
+  in
+  let h = Signal.Fourier.harmonics w ~f0 ~count:3 in
+  check_close 2e-2 "fundamental 4/pi" (4.0 /. Float.pi) h.(0);
+  Alcotest.(check bool) "2nd harmonic suppressed" true (h.(1) < 0.05 *. h.(0));
+  check_close 5e-2 "3rd harmonic 1/3" (h.(0) /. 3.0) h.(2)
+
+let test_fourier_thd () =
+  let w = sine_wave () in
+  Alcotest.(check bool) "pure sine thd ~ 0" true
+    (Signal.Fourier.thd w ~f0:1e6 () < 1e-2);
+  (* soft-clipped sine has visible distortion *)
+  let ts = Signal.Grid.linspace 0.0 8e-6 4001 in
+  let clipped =
+    Signal.Waveform.of_fun
+      (fun t -> tanh (2.0 *. sin (2.0 *. Float.pi *. 1e6 *. t)))
+      ts
+  in
+  Alcotest.(check bool) "clipped sine distorts" true
+    (Signal.Fourier.thd clipped ~f0:1e6 () > 0.05)
+
+let test_fourier_short_waveform () =
+  let ts = Signal.Grid.linspace 0.0 1e-6 50 in
+  let w = Signal.Waveform.of_fun (fun _ -> 1.0) ts in
+  Alcotest.(check bool) "short waveform rejected" true
+    (match Signal.Fourier.harmonics w ~f0:1e6 ~count:2 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "linspace" `Quick test_linspace;
+    Alcotest.test_case "linspace single" `Quick test_linspace_single;
+    Alcotest.test_case "logspace" `Quick test_logspace;
+    Alcotest.test_case "logspace invalid" `Quick test_logspace_invalid;
+    Alcotest.test_case "s_of_hz" `Quick test_s_of_hz;
+    Alcotest.test_case "dc source" `Quick test_dc;
+    Alcotest.test_case "sine source" `Quick test_sine;
+    Alcotest.test_case "ideal step" `Quick test_step_ideal;
+    Alcotest.test_case "smooth step" `Quick test_step_smooth;
+    Alcotest.test_case "pulse periodicity" `Quick test_pulse_period;
+    Alcotest.test_case "pwl" `Quick test_pwl;
+    Alcotest.test_case "pwl unsorted" `Quick test_pwl_unsorted;
+    Alcotest.test_case "prbs deterministic" `Quick test_prbs_deterministic;
+    Alcotest.test_case "bit pattern levels" `Quick test_bit_pattern_levels;
+    Alcotest.test_case "bit pattern rise" `Quick test_bit_pattern_rise;
+    Alcotest.test_case "waveform interp" `Quick test_waveform_interp;
+    Alcotest.test_case "waveform validation" `Quick test_waveform_validation;
+    Alcotest.test_case "waveform rmse self" `Quick test_waveform_rmse_self;
+    Alcotest.test_case "waveform rmse shift" `Quick test_waveform_rmse_shift;
+    Alcotest.test_case "waveform p2p" `Quick test_waveform_peak_to_peak;
+    Alcotest.test_case "waveform resample" `Quick test_waveform_resample;
+    Alcotest.test_case "db20" `Quick test_db20;
+    Alcotest.test_case "rmse/max" `Quick test_rmse;
+    Alcotest.test_case "relative rmse" `Quick test_relative_rmse;
+    Alcotest.test_case "mean" `Quick test_mean;
+    Alcotest.test_case "fourier pure sine" `Quick test_fourier_pure_sine;
+    Alcotest.test_case "fourier square harmonics" `Quick test_fourier_harmonics_of_square;
+    Alcotest.test_case "fourier thd" `Quick test_fourier_thd;
+    Alcotest.test_case "fourier short waveform" `Quick test_fourier_short_waveform;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false)
+      [ prop_source_sample_matches; prop_waveform_interp_between ]

@@ -1,0 +1,191 @@
+(* Tests for the state estimator and TFT dataset construction. *)
+
+let check_close tol = Alcotest.(check (float tol))
+
+(* ---------------- Estimator ---------------- *)
+
+let test_estimator_dimension () =
+  Alcotest.(check int) "q=1" 1 (Tft.Estimator.dimension (Tft.Estimator.make ()));
+  Alcotest.(check int) "q=3" 3
+    (Tft.Estimator.dimension (Tft.Estimator.make ~delays:[ 1e-9; 2e-9 ] ()))
+
+let test_estimator_coords () =
+  let u t = 2.0 *. t in
+  let e = Tft.Estimator.make ~delays:[ 0.5 ] () in
+  let x = Tft.Estimator.coords e ~u 3.0 in
+  check_close 1e-12 "x0 = u(t)" 6.0 x.(0);
+  check_close 1e-12 "x1 = u(t - 0.5)" 5.0 x.(1)
+
+let test_estimator_negative_delay () =
+  Alcotest.(check bool) "negative delay rejected" true
+    (match Tft.Estimator.make ~delays:[ -1.0 ] () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_estimator_ambiguity () =
+  (* two samples with identical x but different values: ambiguity = spread *)
+  let xs = [| [| 1.0 |]; [| 1.0 |]; [| 2.0 |] |] in
+  let values = [| 0.0; 3.0; 100.0 |] in
+  check_close 1e-12 "ambiguity" 3.0
+    (Tft.Estimator.ambiguity ~xs ~values ~radius:0.1)
+
+(* ---------------- Dataset ---------------- *)
+
+let clipper_dataset ?(snapshot_every = 10) ?(freq_points = 20) () =
+  let nl =
+    Circuits.Library.clipper
+      ~input_wave:
+        (Circuit.Netlist.Sine { offset = 0.3; ampl = 0.5; freq = 1e6; phase = 0.0 })
+      ()
+  in
+  let mna =
+    Engine.Mna.build ~inputs:[ Circuits.Library.clipper_input ]
+      ~outputs:[ Circuits.Library.clipper_output ] nl
+  in
+  let opts = { Engine.Tran.default_opts with Engine.Tran.snapshot_every } in
+  let run = Engine.Tran.run ~opts mna ~t_stop:1e-6 ~dt:1e-8 in
+  ( mna,
+    Tft.Dataset.of_snapshots ~mna ~estimator:(Tft.Estimator.make ())
+      ~freqs_hz:(Signal.Grid.logspace 1e4 1e9 freq_points)
+      run.Engine.Tran.snapshots )
+
+let test_dataset_shapes () =
+  let _, ds = clipper_dataset () in
+  Alcotest.(check int) "samples" 11 (Array.length ds.Tft.Dataset.samples);
+  Alcotest.(check int) "freqs" 20 (Array.length ds.Tft.Dataset.freqs_hz);
+  Alcotest.(check int) "inputs" 1 ds.Tft.Dataset.n_inputs;
+  Alcotest.(check int) "outputs" 1 ds.Tft.Dataset.n_outputs;
+  Array.iter
+    (fun (s : Tft.Dataset.sample) ->
+      Alcotest.(check int) "per-sample freq count" 20 (Array.length s.Tft.Dataset.h);
+      Alcotest.(check int) "estimator dim" 1 (Array.length s.Tft.Dataset.x))
+    ds.Tft.Dataset.samples
+
+let test_dataset_h0_is_low_freq_limit () =
+  (* H(0) equals the limit of H(s) at very low frequency *)
+  let _, ds = clipper_dataset () in
+  let s = ds.Tft.Dataset.samples.(4) in
+  let h_low = Linalg.Cmat.get s.Tft.Dataset.h.(0) 0 0 in
+  let h0 = Linalg.Cmat.get s.Tft.Dataset.h0 0 0 in
+  Alcotest.(check bool) "H(1e4) close to H(0)" true
+    (Complex.norm (Complex.sub h_low h0) < 1e-2 *. Float.max (Complex.norm h0) 1e-3);
+  check_close 1e-12 "H(0) real" 0.0 h0.Complex.im
+
+let test_dataset_dynamic_part_zero_at_dc () =
+  let _, ds = clipper_dataset () in
+  let dyn = Tft.Dataset.dynamic_part ds in
+  Array.iter
+    (fun (s : Tft.Dataset.sample) ->
+      (* subtracting H0 leaves the low-frequency sample nearly zero *)
+      let h_low = Linalg.Cmat.get s.Tft.Dataset.h.(0) 0 0 in
+      Alcotest.(check bool) "dynamic part small at low f" true
+        (Complex.norm h_low < 2e-2))
+    dyn.Tft.Dataset.samples
+
+let test_dataset_matches_ac_at_dc_point () =
+  (* the first snapshot is the DC operating point: its H row must equal an
+     independent AC sweep of the circuit linearized there *)
+  let mna, ds = clipper_dataset () in
+  let s0 = ds.Tft.Dataset.samples.(0) in
+  let freqs = ds.Tft.Dataset.freqs_hz in
+  let at = Engine.Dc.solve mna in
+  let h_ac = Engine.Ac.sweep_siso mna ~at ~freqs_hz:freqs in
+  Array.iteri
+    (fun l f ->
+      let h_tft = Linalg.Cmat.get s0.Tft.Dataset.h.(l) 0 0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "H at %g Hz" f)
+        true
+        (Complex.norm (Complex.sub h_tft h_ac.(l)) < 1e-9))
+    freqs
+
+let test_dataset_siso_slice () =
+  let _, ds = clipper_dataset () in
+  let xs, data = Tft.Dataset.siso ds ~input:0 ~output:0 in
+  Alcotest.(check int) "rows = samples" (Array.length ds.Tft.Dataset.samples)
+    (Array.length xs);
+  Alcotest.(check int) "cols = freqs" 20 (Array.length data.(0));
+  let direct = Linalg.Cmat.get ds.Tft.Dataset.samples.(3).Tft.Dataset.h.(7) 0 0 in
+  Alcotest.(check bool) "values match" true (data.(3).(7) = direct)
+
+let test_dataset_dc_trace_varies () =
+  (* the clipper's DC small-signal gain varies strongly along the sweep *)
+  let _, ds = clipper_dataset () in
+  let dc = Tft.Dataset.dc_trace ds ~input:0 ~output:0 in
+  let lo = Array.fold_left Float.min Float.infinity dc in
+  let hi = Array.fold_left Float.max Float.neg_infinity dc in
+  Alcotest.(check bool) "gain compresses" true (hi -. lo > 0.2)
+
+let test_dataset_thin () =
+  let _, ds = clipper_dataset ~snapshot_every:2 () in
+  let thinned = Tft.Dataset.thin ds ~min_dx:0.1 in
+  Alcotest.(check bool) "fewer samples" true
+    (Array.length thinned.Tft.Dataset.samples
+    < Array.length ds.Tft.Dataset.samples);
+  (* kept samples are pairwise separated *)
+  let kept = thinned.Tft.Dataset.samples in
+  Array.iteri
+    (fun i a ->
+      Array.iteri
+        (fun j b ->
+          if i < j then
+            Alcotest.(check bool) "separation" true
+              (Float.abs (a.Tft.Dataset.x.(0) -. b.Tft.Dataset.x.(0)) >= 0.1 -. 1e-12))
+        kept)
+    kept
+
+let test_dataset_sort_by_x0 () =
+  let _, ds = clipper_dataset () in
+  let sorted = Tft.Dataset.sort_by_x0 ds in
+  let xs = Array.map (fun s -> s.Tft.Dataset.x.(0)) sorted.Tft.Dataset.samples in
+  let ok = ref true in
+  for k = 1 to Array.length xs - 1 do
+    if xs.(k) < xs.(k - 1) then ok := false
+  done;
+  Alcotest.(check bool) "sorted" true !ok
+
+let test_ambiguity_detects_training_hysteresis () =
+  (* fast pump: the 1-D estimator is ambiguous (up/down sweeps disagree);
+     slow pump: it is not. This is the diagnostic behind the paper's
+     requirement that each state be "uniquely defined" by x(t). *)
+  let dataset_at freq =
+    let period = 1.0 /. freq in
+    let mna = Circuits.Buffer.mna ~input_wave:(Circuits.Buffer.training_wave ~freq ()) () in
+    let opts = { Engine.Tran.default_opts with Engine.Tran.snapshot_every = 4 } in
+    let run = Engine.Tran.run ~opts mna ~t_stop:period ~dt:(period /. 400.0) in
+    Tft.Dataset.of_snapshots ~mna ~estimator:(Tft.Estimator.make ())
+      ~freqs_hz:[| 1e9 |] run.Engine.Tran.snapshots
+  in
+  let ambiguity ds =
+    let xs = Array.map (fun (s : Tft.Dataset.sample) -> s.Tft.Dataset.x) ds.Tft.Dataset.samples in
+    let values =
+      Array.map
+        (fun (s : Tft.Dataset.sample) ->
+          Complex.norm (Linalg.Cmat.get s.Tft.Dataset.h.(0) 0 0))
+        ds.Tft.Dataset.samples
+    in
+    Tft.Estimator.ambiguity ~xs ~values ~radius:0.005
+  in
+  let fast = ambiguity (dataset_at 100e6) in
+  let slow = ambiguity (dataset_at 1e6) in
+  Alcotest.(check bool)
+    (Printf.sprintf "fast pump ambiguous (%.3f) vs slow (%.4f)" fast slow)
+    true
+    (fast > 5.0 *. Float.max slow 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "estimator dimension" `Quick test_estimator_dimension;
+    Alcotest.test_case "estimator coords" `Quick test_estimator_coords;
+    Alcotest.test_case "estimator negative delay" `Quick test_estimator_negative_delay;
+    Alcotest.test_case "estimator ambiguity" `Quick test_estimator_ambiguity;
+    Alcotest.test_case "dataset shapes" `Quick test_dataset_shapes;
+    Alcotest.test_case "dataset h0 low-freq limit" `Quick test_dataset_h0_is_low_freq_limit;
+    Alcotest.test_case "dataset dynamic part" `Quick test_dataset_dynamic_part_zero_at_dc;
+    Alcotest.test_case "dataset matches ac" `Quick test_dataset_matches_ac_at_dc_point;
+    Alcotest.test_case "dataset siso slice" `Quick test_dataset_siso_slice;
+    Alcotest.test_case "dataset dc trace" `Quick test_dataset_dc_trace_varies;
+    Alcotest.test_case "dataset thin" `Quick test_dataset_thin;
+    Alcotest.test_case "dataset sort" `Quick test_dataset_sort_by_x0;
+    Alcotest.test_case "ambiguity detects hysteresis" `Slow test_ambiguity_detects_training_hysteresis;
+  ]

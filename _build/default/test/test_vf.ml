@@ -1,0 +1,427 @@
+(* Tests for pole handling, the partial-fraction basis and vector fitting. *)
+
+let cx re im = { Complex.re; im }
+let check_close tol = Alcotest.(check (float tol))
+
+(* ---------------- Pole ---------------- *)
+
+let test_pole_initial_frequency () =
+  let poles = Vf.Pole.initial_frequency ~f_min:1e3 ~f_max:1e9 ~count:8 in
+  Alcotest.(check int) "count" 8 (Array.length poles);
+  (* pairs adjacent, stable, imag spans the band *)
+  ignore (Vf.Pole.structure poles);
+  Array.iter
+    (fun a -> Alcotest.(check bool) "stable" true (a.Complex.re < 0.0))
+    poles;
+  let w_lo = 2.0 *. Float.pi *. 1e3 and w_hi = 2.0 *. Float.pi *. 1e9 in
+  check_close 1.0 "lowest" w_lo (Float.abs poles.(0).Complex.im);
+  check_close (w_hi /. 1e6) "highest" w_hi (Float.abs poles.(7).Complex.im)
+
+let test_pole_initial_real_axis () =
+  let poles = Vf.Pole.initial_real_axis ~lo:0.4 ~hi:1.4 ~count:6 in
+  Alcotest.(check int) "count" 6 (Array.length poles);
+  ignore (Vf.Pole.structure poles);
+  Array.iter
+    (fun a ->
+      Alcotest.(check bool) "centers in range" true
+        (a.Complex.re >= 0.4 && a.Complex.re <= 1.4);
+      Alcotest.(check bool) "nonzero width" true (a.Complex.im <> 0.0))
+    poles
+
+let test_pole_initial_odd_rejected () =
+  Alcotest.(check bool) "odd count rejected" true
+    (match Vf.Pole.initial_frequency ~f_min:1.0 ~f_max:10.0 ~count:3 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_pole_structure () =
+  let poles = [| cx (-1.0) 0.0; cx (-2.0) 3.0; cx (-2.0) (-3.0) |] in
+  match Vf.Pole.structure poles with
+  | [ Vf.Pole.Single 0; Vf.Pole.Pair_first 1 ] -> ()
+  | _ -> Alcotest.fail "unexpected structure"
+
+let test_pole_structure_rejects_unpaired () =
+  Alcotest.(check bool) "unpaired complex rejected" true
+    (match Vf.Pole.structure [| cx (-1.0) 2.0 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_pole_normalize_stabilize () =
+  let out = Vf.Pole.normalize ~enforce_stable:true [| cx 2.0 5.0; cx 2.0 (-5.0) |] in
+  Array.iter
+    (fun a -> Alcotest.(check bool) "flipped to LHP" true (a.Complex.re < 0.0))
+    out;
+  Alcotest.(check int) "count preserved" 2 (Array.length out)
+
+let test_pole_normalize_min_imag () =
+  (* two real eigenvalues merge into a complex pair in state-space mode *)
+  let out = Vf.Pole.normalize ~min_imag:0.05 [| cx 1.0 0.0; cx 1.2 0.0 |] in
+  Alcotest.(check int) "count preserved" 2 (Array.length out);
+  Array.iter
+    (fun a ->
+      Alcotest.(check bool) "imag >= min" true (Float.abs a.Complex.im >= 0.05))
+    out;
+  ignore (Vf.Pole.structure out)
+
+(* ---------------- Basis ---------------- *)
+
+let test_basis_real_pole () =
+  let poles = [| cx (-2.0) 0.0 |] in
+  let row = Vf.Basis.row poles (cx 1.0 0.0) in
+  check_close 1e-12 "1/(z-a)" (1.0 /. 3.0) row.(0).Complex.re
+
+let test_basis_pair_real_on_real_axis () =
+  (* pair basis functions are real at real points *)
+  let poles = [| cx 0.9 0.2; cx 0.9 (-0.2) |] in
+  let row = Vf.Basis.row poles (cx 0.5 0.0) in
+  check_close 1e-14 "phi1 imag" 0.0 row.(0).Complex.im;
+  check_close 1e-14 "phi2 imag" 0.0 row.(1).Complex.im;
+  (* analytic values: phi1 = 2(x-b)/D, phi2 = -2a/D with D=(x-b)^2+a^2 *)
+  let d = ((0.5 -. 0.9) ** 2.0) +. 0.04 in
+  check_close 1e-12 "phi1 value" (2.0 *. (0.5 -. 0.9) /. d) row.(0).Complex.re;
+  check_close 1e-12 "phi2 value" (-2.0 *. 0.2 /. d) row.(1).Complex.re
+
+let test_basis_residue_roundtrip () =
+  let poles = [| cx (-1.0) 0.0; cx (-2.0) 3.0; cx (-2.0) (-3.0) |] in
+  let coeffs = [| 1.5; 0.25; -0.75 |] in
+  let residues = Vf.Basis.residues_of_coeffs poles coeffs in
+  let back = Vf.Basis.coeffs_of_residues poles residues in
+  Array.iteri
+    (fun k c -> check_close 1e-14 (Printf.sprintf "coeff %d" k) c back.(k))
+    coeffs;
+  (* conjugate symmetry *)
+  Alcotest.(check bool) "conjugate pair" true
+    (Linalg.Cx.approx_equal residues.(2) (Complex.conj residues.(1)))
+
+let test_basis_state_matrices_transfer () =
+  (* c^T (zI - A)^{-1} b equals the basis combination *)
+  let poles = [| cx (-2.0) 3.0; cx (-2.0) (-3.0); cx (-5.0) 0.0 |] in
+  let poles = Vf.Pole.normalize poles in
+  let a, b = Vf.Basis.state_matrices poles in
+  let c = [| 0.7; -0.3; 1.1 |] in
+  let z = cx 0.5 1.5 in
+  (* evaluate via basis *)
+  let row = Vf.Basis.row poles z in
+  let direct = ref Complex.zero in
+  Array.iteri
+    (fun k phi -> direct := Complex.add !direct (Linalg.Cx.scale c.(k) phi))
+    row;
+  (* evaluate via state space: solve (zI - A) w = b *)
+  let n = Array.length c in
+  let zi_a =
+    Linalg.Cmat.init n n (fun i j ->
+        let aij = Linalg.Mat.get a i j in
+        if i = j then Complex.sub z (cx aij 0.0) else cx (-.aij) 0.0)
+  in
+  let w = Linalg.Clu.solve_system zi_a (Array.map (fun x -> cx x 0.0) b) in
+  let ss = ref Complex.zero in
+  Array.iteri (fun k ck -> ss := Complex.add !ss (Linalg.Cx.scale ck w.(k))) c;
+  Alcotest.(check bool) "realization matches basis" true
+    (Complex.norm (Complex.sub !direct !ss) < 1e-10)
+
+(* ---------------- Vfit: frequency domain ---------------- *)
+
+let synth_h poles residues d s =
+  let acc = ref (cx d 0.0) in
+  Array.iteri
+    (fun k a -> acc := Complex.add !acc (Complex.div residues.(k) (Complex.sub s a)))
+    poles;
+  !acc
+
+let test_vfit_exact_recovery () =
+  let true_poles = [| cx (-5e3) 0.0; cx (-2e4) 1.5e5; cx (-2e4) (-1.5e5) |] in
+  let true_res = [| cx 3e4 0.0; cx 2e4 4e4; cx 2e4 (-4e4) |] in
+  let freqs = Signal.Grid.logspace 1e2 1e6 60 in
+  let points = Array.map Signal.Grid.s_of_hz freqs in
+  let data = [| Array.map (synth_h true_poles true_res 0.0) points |] in
+  let poles0 = Vf.Pole.initial_frequency ~f_min:1e2 ~f_max:1e6 ~count:4 in
+  let model, info = Vf.Vfit.fit ~poles:poles0 ~points ~data () in
+  Alcotest.(check bool) "tiny rms" true (info.Vf.Vfit.rms < 1e-8);
+  (* true poles recovered among the fitted ones *)
+  Array.iter
+    (fun a ->
+      Alcotest.(check bool)
+        (Printf.sprintf "pole %s found" (Linalg.Cx.to_string a))
+        true
+        (Array.exists
+           (fun b -> Complex.norm (Complex.sub a b) < 1e-3 *. Complex.norm a)
+           model.Vf.Model.poles))
+    true_poles
+
+let test_vfit_stability_enforced () =
+  (* data from an unstable system still yields stable poles *)
+  let true_poles = [| cx 2e4 1.5e5; cx 2e4 (-1.5e5) |] in
+  let true_res = [| cx 1e4 2e4; cx 1e4 (-2e4) |] in
+  let freqs = Signal.Grid.logspace 1e3 1e6 50 in
+  let points = Array.map Signal.Grid.s_of_hz freqs in
+  let data = [| Array.map (synth_h true_poles true_res 0.0) points |] in
+  let poles0 = Vf.Pole.initial_frequency ~f_min:1e3 ~f_max:1e6 ~count:6 in
+  let model, _ = Vf.Vfit.fit ~poles:poles0 ~points ~data () in
+  Array.iter
+    (fun a -> Alcotest.(check bool) "pole stable" true (a.Complex.re < 0.0))
+    model.Vf.Model.poles
+
+let test_vfit_common_poles_multi_element () =
+  (* many elements share poles; residues vary *)
+  let true_poles = [| cx (-3e4) 2e5; cx (-3e4) (-2e5) |] in
+  let freqs = Signal.Grid.logspace 1e3 1e6 40 in
+  let points = Array.map Signal.Grid.s_of_hz freqs in
+  let data =
+    Array.init 20 (fun e ->
+        let r = cx (1e4 +. (500.0 *. float_of_int e)) (2e4 -. (300.0 *. float_of_int e)) in
+        Array.map (synth_h true_poles [| r; Complex.conj r |] 0.0) points)
+  in
+  let poles0 = Vf.Pole.initial_frequency ~f_min:1e3 ~f_max:1e6 ~count:2 in
+  let model, info = Vf.Vfit.fit ~poles:poles0 ~points ~data () in
+  Alcotest.(check bool) "rms small" true (info.Vf.Vfit.rms < 1e-6);
+  Alcotest.(check int) "element count" 20 (Vf.Model.n_elements model);
+  (* residues recovered per element *)
+  let r5 = (Vf.Model.residues model ~elem:5).(0) in
+  let expected = cx (1e4 +. 2500.0) (2e4 -. 1500.0) in
+  Alcotest.(check bool) "residue recovered" true
+    (Complex.norm (Complex.sub r5 expected) < 1.0
+    || Complex.norm (Complex.sub (Complex.conj r5) expected) < 1.0)
+
+let test_vfit_constant_term () =
+  let true_poles = [| cx (-1e4) 5e4; cx (-1e4) (-5e4) |] in
+  let true_res = [| cx 5e3 1e3; cx 5e3 (-1e3) |] in
+  let freqs = Signal.Grid.logspace 1e2 1e6 50 in
+  let points = Array.map Signal.Grid.s_of_hz freqs in
+  let data = [| Array.map (synth_h true_poles true_res 0.7) points |] in
+  let opts = { Vf.Vfit.default_frequency_opts with Vf.Vfit.with_const = true } in
+  let poles0 = Vf.Pole.initial_frequency ~f_min:1e2 ~f_max:1e6 ~count:2 in
+  let model, info = Vf.Vfit.fit ~opts ~poles:poles0 ~points ~data () in
+  Alcotest.(check bool) "rms small" true (info.Vf.Vfit.rms < 1e-6);
+  check_close 1e-4 "constant recovered" 0.7 model.Vf.Model.consts.(0)
+
+let test_vfit_auto_escalation () =
+  (* 6-pole system: fit_auto must escalate beyond the start count *)
+  let true_poles =
+    [| cx (-1e4) 6e4; cx (-1e4) (-6e4); cx (-4e4) 2.5e5; cx (-4e4) (-2.5e5);
+       cx (-8e3) 0.0; cx (-9e5) 0.0 |]
+  in
+  let true_res =
+    [| cx 1e4 3e3; cx 1e4 (-3e3); cx (-2e4) 5e3; cx (-2e4) (-5e3);
+       cx 4e3 0.0; cx 8e5 0.0 |]
+  in
+  let freqs = Signal.Grid.logspace 1e2 1e6 80 in
+  let points = Array.map Signal.Grid.s_of_hz freqs in
+  let data = [| Array.map (synth_h true_poles true_res 0.0) points |] in
+  let mk n = Vf.Pole.initial_frequency ~f_min:1e2 ~f_max:1e6 ~count:n in
+  let _, info =
+    Vf.Vfit.fit_auto ~make_poles:mk ~start:2 ~tol:1e-6 ~points ~data ()
+  in
+  Alcotest.(check bool) "escalated" true (info.Vf.Vfit.pole_count >= 6);
+  Alcotest.(check bool) "met tolerance" true (info.Vf.Vfit.rms <= 1e-6)
+
+let test_vfit_too_few_points () =
+  let points = Array.map Signal.Grid.s_of_hz [| 1e3; 2e3 |] in
+  let data = [| [| Complex.one; Complex.one |] |] in
+  let poles0 = Vf.Pole.initial_frequency ~f_min:1e2 ~f_max:1e6 ~count:8 in
+  Alcotest.(check bool) "underdetermined rejected" true
+    (match Vf.Vfit.fit ~poles:poles0 ~points ~data () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ---------------- Vfit: state domain ---------------- *)
+
+let test_vfit_state_domain_lorentzian () =
+  (* exact recovery of a Lorentzian pair on the real axis *)
+  let f x = (3.0 *. (x -. 0.8)) /. (((x -. 0.8) ** 2.0) +. 0.09) in
+  let xs = Signal.Grid.linspace 0.0 2.0 81 in
+  let points = Array.map (fun x -> cx x 0.0) xs in
+  let data = [| Array.map (fun z -> cx (f z.Complex.re) 0.0) points |] in
+  let opts = { Vf.Vfit.default_state_opts with Vf.Vfit.min_imag = 0.01 } in
+  let poles0 = Vf.Pole.initial_real_axis ~lo:0.0 ~hi:2.0 ~count:2 in
+  let model, info = Vf.Vfit.fit ~opts ~poles:poles0 ~points ~data () in
+  Alcotest.(check bool) "rms tiny" true (info.Vf.Vfit.rms < 1e-9);
+  (* pole at 0.8 +/- 0.3j in the x plane *)
+  let found = model.Vf.Model.poles.(0) in
+  check_close 1e-6 "center" 0.8 found.Complex.re;
+  check_close 1e-6 "width" 0.3 (Float.abs found.Complex.im)
+
+let test_vfit_state_domain_tanh () =
+  let f x = tanh (4.0 *. (x -. 1.0)) in
+  let xs = Signal.Grid.linspace 0.0 2.0 101 in
+  let points = Array.map (fun x -> cx x 0.0) xs in
+  let data = [| Array.map (fun z -> cx (f z.Complex.re) 0.0) points |] in
+  let opts = { Vf.Vfit.default_state_opts with Vf.Vfit.min_imag = 0.02 } in
+  let mk n = Vf.Pole.initial_real_axis ~lo:0.0 ~hi:2.0 ~count:n in
+  let model, info =
+    Vf.Vfit.fit_auto ~opts ~make_poles:mk ~start:2 ~tol:1e-4 ~points ~data ()
+  in
+  Alcotest.(check bool) "fit meets tol" true (info.Vf.Vfit.rms <= 1e-4);
+  (* model is real on the real axis *)
+  let z = Vf.Model.eval model ~elem:0 (cx 0.77 0.0) in
+  check_close 1e-10 "real-valued" 0.0 z.Complex.im;
+  check_close 1e-3 "matches target" (f 0.77) z.Complex.re
+
+let test_vfit_state_no_real_poles () =
+  (* min_imag forbids real poles so closed-form integration always works *)
+  let f x = 1.0 /. (x +. 3.0) in
+  let xs = Signal.Grid.linspace 0.0 2.0 60 in
+  let points = Array.map (fun x -> cx x 0.0) xs in
+  let data = [| Array.map (fun z -> cx (f z.Complex.re) 0.0) points |] in
+  let opts = { Vf.Vfit.default_state_opts with Vf.Vfit.min_imag = 0.05 } in
+  let mk n = Vf.Pole.initial_real_axis ~lo:0.0 ~hi:2.0 ~count:n in
+  let model, _ =
+    Vf.Vfit.fit_auto ~opts ~make_poles:mk ~start:2 ~tol:1e-5 ~points ~data ()
+  in
+  Array.iter
+    (fun a ->
+      Alcotest.(check bool) "no real poles" true (Float.abs a.Complex.im >= 0.05))
+    model.Vf.Model.poles
+
+(* ---------------- Model ---------------- *)
+
+let test_model_eval_real_matches_eval () =
+  let poles = Vf.Pole.initial_real_axis ~lo:0.0 ~hi:1.0 ~count:4 in
+  let model =
+    {
+      Vf.Model.poles;
+      coeffs = [| [| 1.0; 2.0; -0.5; 0.3 |] |];
+      consts = [| 0.25 |];
+      slopes = [| 0.0 |];
+    }
+  in
+  let x = 0.42 in
+  check_close 1e-12 "eval_real consistent"
+    (Vf.Model.eval model ~elem:0 (cx x 0.0)).Complex.re
+    (Vf.Model.eval_real model ~elem:0 x)
+
+let test_model_errors_zero_for_own_samples () =
+  let poles = [| cx (-1.0) 2.0; cx (-1.0) (-2.0) |] in
+  let model =
+    { Vf.Model.poles; coeffs = [| [| 1.0; 0.5 |] |]; consts = [| 0.0 |]; slopes = [| 0.0 |] }
+  in
+  let points = Array.map (fun x -> cx 0.0 x) [| 1.0; 2.0; 5.0 |] in
+  let data = [| Array.map (Vf.Model.eval model ~elem:0) points |] in
+  check_close 1e-14 "self rms" 0.0 (Vf.Model.rms_error model ~points ~data)
+
+let test_vfit_stable_under_noise () =
+  (* the paper: "the model is guaranteed stable by construction" — even
+     fitting noisy data must never produce right-half-plane poles *)
+  let st = Random.State.make [| 2024 |] in
+  let true_poles = [| cx (-3e4) 2e5; cx (-3e4) (-2e5); cx (-8e3) 0.0 |] in
+  let true_res = [| cx 1e4 2e4; cx 1e4 (-2e4); cx 5e3 0.0 |] in
+  let freqs = Signal.Grid.logspace 1e3 1e6 60 in
+  let points = Array.map Signal.Grid.s_of_hz freqs in
+  let noisy z =
+    let n () = 0.05 *. (Random.State.float st 2.0 -. 1.0) in
+    Complex.add z
+      { Complex.re = n () *. Complex.norm z; im = n () *. Complex.norm z }
+  in
+  let data =
+    Array.init 8 (fun _ ->
+        Array.map (fun p -> noisy (synth_h true_poles true_res 0.0 p)) points)
+  in
+  let mk n = Vf.Pole.initial_frequency ~f_min:1e3 ~f_max:1e6 ~count:n in
+  (* force escalation to the cap: even overfitted poles stay stable *)
+  let model, _ =
+    Vf.Vfit.fit_auto ~make_poles:mk ~start:2 ~max_poles:12 ~tol:1e-12 ~points
+      ~data ()
+  in
+  Array.iter
+    (fun a ->
+      Alcotest.(check bool)
+        (Printf.sprintf "pole %s stable" (Linalg.Cx.to_string a))
+        true (a.Complex.re < 0.0))
+    model.Vf.Model.poles
+
+let prop_fit_residues_conjugate =
+  QCheck.Test.make ~count:15 ~name:"fitted residues are conjugate-symmetric"
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let st = Random.State.make [| seed; 99 |] in
+      let a = cx (-.(1e4 +. Random.State.float st 1e5)) (2e5 +. Random.State.float st 1e5) in
+      let r = cx (Random.State.float st 1e4) (Random.State.float st 1e4) in
+      let freqs = Signal.Grid.logspace 1e3 1e6 40 in
+      let points = Array.map Signal.Grid.s_of_hz freqs in
+      let data = [| Array.map (synth_h [| a; Complex.conj a |] [| r; Complex.conj r |] 0.0) points |] in
+      let poles0 = Vf.Pole.initial_frequency ~f_min:1e3 ~f_max:1e6 ~count:2 in
+      let model, _ = Vf.Vfit.fit ~poles:poles0 ~points ~data () in
+      let res = Vf.Model.residues model ~elem:0 in
+      List.for_all
+        (fun slot ->
+          match slot with
+          | Vf.Pole.Single k -> res.(k).Complex.im = 0.0
+          | Vf.Pole.Pair_first k ->
+              Linalg.Cx.approx_equal ~tol:1e-6 res.(k + 1) (Complex.conj res.(k)))
+        (Vf.Pole.structure model.Vf.Model.poles))
+
+let prop_vfit_recovers_random_pairs =
+  QCheck.Test.make ~count:15 ~name:"vfit recovers random 2-pole systems"
+    QCheck.(triple (float_range 0.1 0.9) (float_range 0.3 3.0) (float_range (-2.0) 2.0))
+    (fun (damp, wmag, rre) ->
+      let w = wmag *. 1e5 in
+      let a = cx (-.damp *. w) w in
+      let r = cx (rre *. 1e4) 5e3 in
+      let freqs = Signal.Grid.logspace 1e2 1e6 50 in
+      let points = Array.map Signal.Grid.s_of_hz freqs in
+      let data =
+        [| Array.map (synth_h [| a; Complex.conj a |] [| r; Complex.conj r |] 0.0) points |]
+      in
+      let poles0 = Vf.Pole.initial_frequency ~f_min:1e2 ~f_max:1e6 ~count:2 in
+      let _, info = Vf.Vfit.fit ~poles:poles0 ~points ~data () in
+      info.Vf.Vfit.rms < 1e-6 *. Complex.norm r)
+
+let test_vfit_lc_ladder_response () =
+  (* classic VF use case: fit a resonant passive network's simulated
+     frequency response; the fit must be stable and accurate, and the
+     model must reproduce the passband/stopband levels *)
+  let nl = Circuits.Library.lc_ladder () in
+  let mna =
+    Engine.Mna.build ~inputs:[ Circuits.Library.lc_input ]
+      ~outputs:[ Circuits.Library.lc_output ] nl
+  in
+  let at = Engine.Dc.solve mna in
+  let freqs = Signal.Grid.logspace 1e4 1e7 80 in
+  let h = Engine.Ac.sweep_siso mna ~at ~freqs_hz:freqs in
+  let points = Array.map Signal.Grid.s_of_hz freqs in
+  let mk n = Vf.Pole.initial_frequency ~f_min:1e4 ~f_max:1e7 ~count:n in
+  let model, info =
+    Vf.Vfit.fit_auto ~make_poles:mk ~start:2 ~max_poles:10 ~tol:1e-8
+      ~points ~data:[| h |] ()
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "5th-order network fitted (rms %.1e, %d poles)"
+       info.Vf.Vfit.rms info.Vf.Vfit.pole_count)
+    true
+    (info.Vf.Vfit.rms < 1e-8);
+  Array.iter
+    (fun a -> Alcotest.(check bool) "stable" true (a.Complex.re < 0.0))
+    model.Vf.Model.poles;
+  (* passband level 0.5 (matched 50-ohm divider), strong stopband rolloff *)
+  let eval f = Complex.norm (Vf.Model.eval model ~elem:0 (Signal.Grid.s_of_hz f)) in
+  check_close 1e-3 "passband" 0.5 (eval 2e4);
+  Alcotest.(check bool) "stopband rolloff" true (eval 1e7 < 5e-3)
+
+let suite =
+  [
+    Alcotest.test_case "pole initial frequency" `Quick test_pole_initial_frequency;
+    Alcotest.test_case "pole initial real axis" `Quick test_pole_initial_real_axis;
+    Alcotest.test_case "pole odd count" `Quick test_pole_initial_odd_rejected;
+    Alcotest.test_case "pole structure" `Quick test_pole_structure;
+    Alcotest.test_case "pole unpaired" `Quick test_pole_structure_rejects_unpaired;
+    Alcotest.test_case "pole stabilize" `Quick test_pole_normalize_stabilize;
+    Alcotest.test_case "pole min imag merge" `Quick test_pole_normalize_min_imag;
+    Alcotest.test_case "basis real pole" `Quick test_basis_real_pole;
+    Alcotest.test_case "basis pair real on axis" `Quick test_basis_pair_real_on_real_axis;
+    Alcotest.test_case "basis residue roundtrip" `Quick test_basis_residue_roundtrip;
+    Alcotest.test_case "basis realization" `Quick test_basis_state_matrices_transfer;
+    Alcotest.test_case "vfit exact recovery" `Quick test_vfit_exact_recovery;
+    Alcotest.test_case "vfit stability" `Quick test_vfit_stability_enforced;
+    Alcotest.test_case "vfit common poles" `Quick test_vfit_common_poles_multi_element;
+    Alcotest.test_case "vfit constant term" `Quick test_vfit_constant_term;
+    Alcotest.test_case "vfit auto escalation" `Quick test_vfit_auto_escalation;
+    Alcotest.test_case "vfit underdetermined" `Quick test_vfit_too_few_points;
+    Alcotest.test_case "vfit lorentzian" `Quick test_vfit_state_domain_lorentzian;
+    Alcotest.test_case "vfit tanh" `Quick test_vfit_state_domain_tanh;
+    Alcotest.test_case "vfit no real poles" `Quick test_vfit_state_no_real_poles;
+    Alcotest.test_case "model eval_real" `Quick test_model_eval_real_matches_eval;
+    Alcotest.test_case "model self error" `Quick test_model_errors_zero_for_own_samples;
+    Alcotest.test_case "vfit stable under noise" `Quick test_vfit_stable_under_noise;
+    Alcotest.test_case "vfit lc ladder" `Quick test_vfit_lc_ladder_response;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false)
+      [ prop_vfit_recovers_random_pairs; prop_fit_residues_conjugate ]
