@@ -4,11 +4,15 @@
 
    Usage:
      dune exec bench/main.exe                  # everything
-     dune exec bench/main.exe fig6|fig7|fig8|fig9|table1|ablation|kernels
+     dune exec bench/main.exe fig6|fig7|fig8|fig9|table1|ablation|kernels|parallel
      dune exec bench/main.exe fig6 --full      # undecimated grids
+     dune exec bench/main.exe parallel --domains 8
+     dune exec bench/main.exe parallel --quick # smoke mode (see @bench-smoke)
 *)
 
 let full_grids = ref false
+let quick = ref false
+let domains = ref 4
 
 (* ------------------------------------------------------------------ *)
 (* shared experiment state: one extraction of the output buffer, the
@@ -500,6 +504,101 @@ let kernels () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* Domain-parallel TFT construction: wall-clock speedup + bit-identity  *)
+
+let cmat_equal a b =
+  Linalg.Cmat.rows a = Linalg.Cmat.rows b
+  && Linalg.Cmat.cols a = Linalg.Cmat.cols b
+  &&
+  let ok = ref true in
+  for i = 0 to Linalg.Cmat.rows a - 1 do
+    for j = 0 to Linalg.Cmat.cols a - 1 do
+      (* bitwise comparison: the parallel path promises identical floats *)
+      if Linalg.Cmat.get a i j <> Linalg.Cmat.get b i j then ok := false
+    done
+  done;
+  !ok
+
+let dataset_equal (a : Tft.Dataset.t) (b : Tft.Dataset.t) =
+  Array.length a.Tft.Dataset.samples = Array.length b.Tft.Dataset.samples
+  && Array.for_all2
+       (fun (sa : Tft.Dataset.sample) (sb : Tft.Dataset.sample) ->
+         sa.Tft.Dataset.time = sb.Tft.Dataset.time
+         && sa.Tft.Dataset.x = sb.Tft.Dataset.x
+         && cmat_equal sa.Tft.Dataset.h0 sb.Tft.Dataset.h0
+         && Array.for_all2 cmat_equal sa.Tft.Dataset.h sb.Tft.Dataset.h)
+       a.Tft.Dataset.samples b.Tft.Dataset.samples
+
+let parallel () =
+  let snapshots = if !quick then 12 else 100 in
+  let points = if !quick then 8 else 40 in
+  let reps = if !quick then 1 else 3 in
+  Printf.printf
+    "## Domain-parallel TFT dataset construction (%d snapshots x %d freqs, \
+     wall-clock best of %d)\n"
+    snapshots points reps;
+  let base = Tft_rvf.Pipeline.buffer_config ~snapshots () in
+  let config =
+    {
+      base with
+      Tft_rvf.Pipeline.freqs_hz =
+        Signal.Grid.frequencies_hz ~f_min:1.0 ~f_max:1e10 ~points;
+    }
+  in
+  let netlist = Circuits.Buffer.netlist () in
+  let mna =
+    Engine.Mna.build ~inputs:[ Circuits.Buffer.input_name ]
+      ~outputs:[ Circuits.Buffer.output ]
+      (Circuit.Netlist.make
+         (List.map
+            (fun (c : Circuit.Netlist.component) ->
+              if c.Circuit.Netlist.name = Circuits.Buffer.input_name then
+                Circuit.Netlist.vsource ~name:c.Circuit.Netlist.name "in" "0"
+                  config.Tft_rvf.Pipeline.training.Tft_rvf.Pipeline.wave
+              else c)
+            netlist.Circuit.Netlist.components))
+  in
+  let opts =
+    {
+      Engine.Tran.default_opts with
+      Engine.Tran.snapshot_every =
+        config.Tft_rvf.Pipeline.training.Tft_rvf.Pipeline.snapshot_every;
+    }
+  in
+  let run =
+    Engine.Tran.run ~opts mna
+      ~t_stop:config.Tft_rvf.Pipeline.training.Tft_rvf.Pipeline.t_stop
+      ~dt:config.Tft_rvf.Pipeline.training.Tft_rvf.Pipeline.dt
+  in
+  let estimator = Tft.Estimator.make () in
+  let build ?pool () =
+    Tft.Dataset.of_snapshots ?pool ~mna ~estimator
+      ~freqs_hz:config.Tft_rvf.Pipeline.freqs_hz run.Engine.Tran.snapshots
+  in
+  let best f =
+    let t = ref infinity and last = ref None in
+    for _ = 1 to reps do
+      let t0 = Clock.now () in
+      last := Some (f ());
+      t := Float.min !t (Clock.elapsed t0)
+    done;
+    (Option.get !last, !t)
+  in
+  let ds_seq, t_seq = best (fun () -> build ()) in
+  Printf.printf "%-24s %10.4f s\n" "sequential" t_seq;
+  List.iter
+    (fun d ->
+      Exec.with_pool ~domains:d (fun pool ->
+          let ds_par, t_par = best (fun () -> build ~pool ()) in
+          Printf.printf "%-24s %10.4f s   speedup %5.2fx   bit-identical %b\n"
+            (Printf.sprintf "pool (domains = %d)" d)
+            t_par (t_seq /. t_par) (dataset_equal ds_seq ds_par)))
+    (List.sort_uniq compare [ 2; Stdlib.max 2 !domains ]);
+  Printf.printf
+    "# host: %d core(s) available (Domain.recommended_domain_count)\n"
+    (Domain.recommended_domain_count ())
+
+(* ------------------------------------------------------------------ *)
 
 let all_targets =
   [
@@ -510,20 +609,25 @@ let all_targets =
     ("table1", table1);
     ("ablation", ablation);
     ("kernels", kernels);
+    ("parallel", parallel);
   ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let args =
-    List.filter
-      (fun a ->
-        if a = "--full" then begin
-          full_grids := true;
-          false
-        end
-        else true)
-      args
+  let rec parse_flags = function
+    | "--full" :: rest ->
+        full_grids := true;
+        parse_flags rest
+    | "--quick" :: rest ->
+        quick := true;
+        parse_flags rest
+    | "--domains" :: n :: rest ->
+        domains := int_of_string n;
+        parse_flags rest
+    | a :: rest -> a :: parse_flags rest
+    | [] -> []
   in
+  let args = parse_flags args in
   let targets =
     match args with
     | [] -> List.map fst all_targets

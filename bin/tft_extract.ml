@@ -6,7 +6,7 @@
 *)
 
 let run netlist_path input output output_diff train_freq train_ampl train_offset
-    f_min f_max points eps snapshots out_path export_format verbose =
+    f_min f_max points eps snapshots domains out_path export_format verbose =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Info)
@@ -37,7 +37,9 @@ let run netlist_path input output output_diff train_freq train_ampl train_offset
     }
   in
   let config =
-    let base = Tft_rvf.Pipeline.default_config_for ~points ~f_min ~f_max ~training () in
+    let base =
+      Tft_rvf.Pipeline.default_config_for ~points ~domains ~f_min ~f_max ~training ()
+    in
     { base with Tft_rvf.Pipeline.rvf = { base.Tft_rvf.Pipeline.rvf with Rvf.eps } }
   in
   let outcome = Tft_rvf.Pipeline.extract ~config ~netlist ~input ~output:out_spec () in
@@ -92,6 +94,14 @@ let points_arg =
 let snapshots_arg =
   Arg.(value & opt int 100 & info [ "snapshots" ] ~doc:"TFT trajectory samples.")
 
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Fan the TFT pencil solves out across $(docv) OCaml domains \
+           (bit-identical to the sequential result; 1 = sequential).")
+
 let out_arg =
   Arg.(
     value
@@ -123,6 +133,6 @@ let cmd =
       $ ffloat [ "fmax" ] ~default:1e10 ~doc:"Highest TFT frequency [Hz]."
       $ points_arg
       $ ffloat [ "eps" ] ~default:1e-3 ~doc:"RVF error bound (relative)."
-      $ snapshots_arg $ out_arg $ format_arg $ verbose_arg)
+      $ snapshots_arg $ domains_arg $ out_arg $ format_arg $ verbose_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,5 @@
+(* CLOCK_MONOTONIC via the bechamel stubs already linked by the bench
+   harness; nanoseconds since an arbitrary origin. *)
+
+let now () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+let elapsed t0 = now () -. t0

@@ -1,0 +1,13 @@
+(** Monotonic wall-clock timing.
+
+    [Sys.time] reports {e process CPU} time, which sums the work of all
+    running domains — under a domain pool it double-counts and hides any
+    parallel speedup. Pipeline stage timings and benchmarks use this
+    monotonic wall clock instead. *)
+
+val now : unit -> float
+(** Seconds from an arbitrary fixed origin; monotonic, unaffected by
+    system clock adjustments. *)
+
+val elapsed : float -> float
+(** [elapsed t0] is [now () -. t0]. *)

@@ -1,0 +1,119 @@
+type t = {
+  size : int;  (** total parallelism: workers + the submitting domain *)
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let rec worker_loop pool =
+  Mutex.lock pool.mutex;
+  while Queue.is_empty pool.queue && not pool.closed do
+    Condition.wait pool.work_ready pool.mutex
+  done;
+  if Queue.is_empty pool.queue && pool.closed then Mutex.unlock pool.mutex
+  else begin
+    let task = Queue.pop pool.queue in
+    Mutex.unlock pool.mutex;
+    task ();
+    worker_loop pool
+  end
+
+let create ?domains () =
+  let size =
+    match domains with
+    | Some d -> Stdlib.max 1 d
+    | None -> Domain.recommended_domain_count ()
+  in
+  let pool =
+    {
+      size;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      queue = Queue.create ();
+      closed = false;
+      workers = [];
+    }
+  in
+  pool.workers <-
+    List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let domains pool = pool.size
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  let workers = pool.workers in
+  pool.closed <- true;
+  pool.workers <- [];
+  Condition.broadcast pool.work_ready;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join workers
+
+let with_pool ?domains f =
+  let pool = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(* Chunked fan-out: [size] fixed contiguous chunks, workers take chunks
+   1..size-1 from the queue while the submitting domain runs chunk 0,
+   then waits for the stragglers. Each chunk writes disjoint slots of
+   [results], so no ordering decision ever reaches the output. *)
+let run_ws pool make_ws n f =
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    let run_chunk lo hi =
+      let ws = make_ws () in
+      for i = lo to hi - 1 do
+        results.(i) <- Some (f ws i)
+      done
+    in
+    (match pool with
+    | None -> run_chunk 0 n
+    | Some pool when pool.size <= 1 || n <= 1 -> run_chunk 0 n
+    | Some pool ->
+        let chunks = Stdlib.min pool.size n in
+        let bound c = c * n / chunks in
+        let remaining = ref (chunks - 1) in
+        let first_exn = ref None in
+        let done_cond = Condition.create () in
+        let task c () =
+          (try run_chunk (bound c) (bound (c + 1))
+           with exn ->
+             Mutex.lock pool.mutex;
+             if !first_exn = None then first_exn := Some exn;
+             Mutex.unlock pool.mutex);
+          Mutex.lock pool.mutex;
+          decr remaining;
+          if !remaining = 0 then Condition.signal done_cond;
+          Mutex.unlock pool.mutex
+        in
+        Mutex.lock pool.mutex;
+        for c = 1 to chunks - 1 do
+          Queue.add (task c) pool.queue
+        done;
+        Condition.broadcast pool.work_ready;
+        Mutex.unlock pool.mutex;
+        let own_exn = (try run_chunk 0 (bound 1); None with exn -> Some exn) in
+        Mutex.lock pool.mutex;
+        while !remaining > 0 do
+          Condition.wait done_cond pool.mutex
+        done;
+        Mutex.unlock pool.mutex;
+        (match (own_exn, !first_exn) with
+        | Some exn, _ | None, Some exn -> raise exn
+        | None, None -> ()));
+    Array.map
+      (function Some v -> v | None -> assert false (* every chunk ran *))
+      results
+  end
+
+let parallel_init_ws ?pool ~ws n f = run_ws pool ws n f
+let parallel_init ?pool n f = run_ws pool (fun () -> ()) n (fun () i -> f i)
+
+let parallel_map_ws ?pool ~ws f arr =
+  run_ws pool ws (Array.length arr) (fun w i -> f w arr.(i))
+
+let parallel_map ?pool f arr =
+  run_ws pool (fun () -> ()) (Array.length arr) (fun () i -> f arr.(i))

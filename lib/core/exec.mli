@@ -1,0 +1,57 @@
+(** A reusable pool of OCaml 5 domains for data-parallel sweeps.
+
+    The pool fans independent index ranges out across domains with
+    {e fixed, deterministic chunk boundaries}: element [i] of the result
+    is always produced by evaluating [f] on input [i] alone, workers
+    write disjoint slots of a shared result array, and no reduction or
+    reordering happens — so for a pure [f] the output is bit-identical
+    to the sequential path regardless of the domain count.
+
+    Workspace variants ([parallel_init_ws]/[parallel_map_ws]) allocate
+    one scratch workspace per chunk (hence at most one per domain) so
+    hot kernels can run allocation-free; the workspace must only carry
+    buffers that each call fully overwrites, never state that affects
+    results across elements. *)
+
+type t
+(** A pool of worker domains. One [t] must only be used from the domain
+    that created it, and only one [parallel_*] call may run at a time. *)
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] makes a pool with a total parallelism of
+    [domains] (the calling domain participates, so [domains - 1] worker
+    domains are spawned). Defaults to
+    [Domain.recommended_domain_count ()]; values [<= 1] spawn nothing
+    and make every [parallel_*] call run sequentially in the caller. *)
+
+val domains : t -> int
+(** Total parallelism of the pool (workers + the calling domain). *)
+
+val shutdown : t -> unit
+(** Join all worker domains. The pool must not be used afterwards.
+    Idempotent. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool and shuts it down
+    afterwards, also on exceptions. *)
+
+val parallel_init : ?pool:t -> int -> (int -> 'a) -> 'a array
+(** [parallel_init ?pool n f] is [Array.init n f] with the index range
+    chunked across the pool. [f] must be pure (or at least safe to call
+    concurrently from several domains). Without [pool], or with a
+    1-domain pool, it runs sequentially in the caller. The first
+    exception raised by any chunk is re-raised in the caller after all
+    chunks finish. *)
+
+val parallel_map : ?pool:t -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map ?pool f arr] is [Array.map f arr], chunked likewise. *)
+
+val parallel_init_ws :
+  ?pool:t -> ws:(unit -> 'w) -> int -> ('w -> int -> 'a) -> 'a array
+(** Like {!parallel_init} but [ws ()] is evaluated once per chunk and
+    passed to every [f] call of that chunk, so scratch buffers are
+    reused across the chunk instead of reallocated per element. *)
+
+val parallel_map_ws :
+  ?pool:t -> ws:(unit -> 'w) -> ('w -> 'a -> 'b) -> 'a array -> 'b array
+(** Workspace variant of {!parallel_map}. *)

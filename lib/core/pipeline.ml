@@ -10,15 +10,23 @@ type config = {
   freqs_hz : float array;
   estimator_delays : float list;
   rvf : Rvf.config;
+  domains : int;
 }
 
-let default_config_for ?(points = 40) ~f_min ~f_max ~training () =
+let default_config_for ?(points = 40) ?(domains = 1) ~f_min ~f_max ~training () =
   {
     training;
     freqs_hz = Signal.Grid.frequencies_hz ~f_min ~f_max ~points;
     estimator_delays = [];
     rvf = Rvf.default_config;
+    domains;
   }
+
+(* the pool only exists for the stages that fan out; [domains <= 1]
+   never spawns and takes the sequential paths throughout *)
+let with_opt_pool ~domains f =
+  if domains <= 1 then f None
+  else Exec.with_pool ~domains (fun pool -> f (Some pool))
 
 type timing = {
   train_seconds : float;
@@ -69,7 +77,7 @@ let extract ~config ~netlist ~input ~output () =
     with_wave netlist ~input ~wave:config.training.wave
   in
   let mna = Engine.Mna.build ~inputs:[ input ] ~outputs:[ output ] training_netlist in
-  let t0 = Sys.time () in
+  let t0 = Clock.now () in
   let tran_opts =
     {
       Engine.Tran.default_opts with
@@ -80,15 +88,16 @@ let extract ~config ~netlist ~input ~output () =
     Engine.Tran.run ~opts:tran_opts mna ~t_stop:config.training.t_stop
       ~dt:config.training.dt
   in
-  let t1 = Sys.time () in
+  let t1 = Clock.now () in
   let estimator = Tft.Estimator.make ~delays:config.estimator_delays () in
   let dataset =
-    Tft.Dataset.of_snapshots ~mna ~estimator ~freqs_hz:config.freqs_hz
-      training_run.Engine.Tran.snapshots
+    with_opt_pool ~domains:config.domains (fun pool ->
+        Tft.Dataset.of_snapshots ?pool ~mna ~estimator ~freqs_hz:config.freqs_hz
+          training_run.Engine.Tran.snapshots)
   in
-  let t2 = Sys.time () in
+  let t2 = Clock.now () in
   let rvf = Rvf.extract ~config:config.rvf ~dataset ~input:0 ~output:0 () in
-  let t3 = Sys.time () in
+  let t3 = Clock.now () in
   {
     model = rvf.Rvf.model;
     rvf;
@@ -107,7 +116,7 @@ let extract_simo ~config ~netlist ~input ~outputs () =
   if outputs = [] then invalid_arg "Pipeline.extract_simo: no outputs";
   let training_netlist = with_wave netlist ~input ~wave:config.training.wave in
   let mna = Engine.Mna.build ~inputs:[ input ] ~outputs training_netlist in
-  let t0 = Sys.time () in
+  let t0 = Clock.now () in
   let tran_opts =
     {
       Engine.Tran.default_opts with
@@ -118,34 +127,37 @@ let extract_simo ~config ~netlist ~input ~outputs () =
     Engine.Tran.run ~opts:tran_opts mna ~t_stop:config.training.t_stop
       ~dt:config.training.dt
   in
-  let t1 = Sys.time () in
+  let t1 = Clock.now () in
   let estimator = Tft.Estimator.make ~delays:config.estimator_delays () in
-  let dataset =
-    Tft.Dataset.of_snapshots ~mna ~estimator ~freqs_hz:config.freqs_hz
-      training_run.Engine.Tran.snapshots
-  in
-  let t2 = Sys.time () in
-  List.mapi
-    (fun j _ ->
-      let t3 = Sys.time () in
-      let rvf = Rvf.extract ~config:config.rvf ~dataset ~input:0 ~output:j () in
-      let t4 = Sys.time () in
-      {
-        model = rvf.Rvf.model;
-        rvf;
-        dataset;
-        mna;
-        training_run;
-        timing =
-          {
-            train_seconds = t1 -. t0;
-            tft_seconds = t2 -. t1;
-            fit_seconds = t4 -. t3;
-          };
-      })
-    outputs
+  with_opt_pool ~domains:config.domains (fun pool ->
+      let dataset =
+        Tft.Dataset.of_snapshots ?pool ~mna ~estimator ~freqs_hz:config.freqs_hz
+          training_run.Engine.Tran.snapshots
+      in
+      let t2 = Clock.now () in
+      (* the per-output fits are independent too: reuse the same pool *)
+      let outcomes =
+        Exec.parallel_init ?pool (List.length outputs) (fun j ->
+            let t3 = Clock.now () in
+            let rvf = Rvf.extract ~config:config.rvf ~dataset ~input:0 ~output:j () in
+            let t4 = Clock.now () in
+            {
+              model = rvf.Rvf.model;
+              rvf;
+              dataset;
+              mna;
+              training_run;
+              timing =
+                {
+                  train_seconds = t1 -. t0;
+                  tft_seconds = t2 -. t1;
+                  fit_seconds = t4 -. t3;
+                };
+            })
+      in
+      Array.to_list outcomes)
 
-let buffer_config ?(snapshots = 100) () =
+let buffer_config ?(snapshots = 100) ?(domains = 1) () =
   let freq = 1e6 in
   let period = 1.0 /. freq in
   let steps_per_snapshot = 4 in
@@ -167,6 +179,7 @@ let buffer_config ?(snapshots = 100) () =
         max_state_poles = 24;
         min_imag_fraction = 0.03;
       };
+    domains;
   }
 
 let extract_buffer ?config () =

@@ -18,18 +18,31 @@ type config = {
   freqs_hz : float array;  (** frequency grid for the TFT transform *)
   estimator_delays : float list;  (** extra state-estimator delays (eq. 4) *)
   rvf : Rvf.config;
+  domains : int;
+      (** parallelism of the TFT transform (and the per-output fits of
+          {!extract_simo}): [1] (the default) stays sequential, [n > 1]
+          fans out across an [Exec] pool of [n] domains with
+          bit-identical results. *)
 }
 
 val default_config_for :
-  ?points:int -> f_min:float -> f_max:float -> training:training -> unit -> config
+  ?points:int ->
+  ?domains:int ->
+  f_min:float ->
+  f_max:float ->
+  training:training ->
+  unit ->
+  config
 (** Log frequency grid with [points] samples (default 40) and the
-    default RVF settings. *)
+    default RVF settings; sequential unless [domains > 1]. *)
 
 type timing = {
   train_seconds : float;  (** transient + snapshot capture *)
   tft_seconds : float;  (** frequency-domain transform of the snapshots *)
   fit_seconds : float;  (** RVF (both stages) + integration + assembly *)
 }
+(** Stage durations in wall-clock seconds ({!Clock}), so parallel runs
+    report real elapsed time rather than summed per-domain CPU time. *)
 
 type outcome = {
   model : Hammerstein.Hmodel.t;
@@ -50,7 +63,7 @@ val extract :
 (** Runs the whole flow for a SISO channel. The [input] source's wave is
     replaced by [config.training.wave] during training. *)
 
-val buffer_config : ?snapshots:int -> unit -> config
+val buffer_config : ?snapshots:int -> ?domains:int -> unit -> config
 (** The Section-IV experiment configuration for {!Circuits.Buffer}:
     one period of the low-frequency high-amplitude training sine,
     ~[snapshots] (default 100) TFT samples, 1 Hz – 10 GHz grid. *)

@@ -64,14 +64,14 @@ let validate ~model ~netlist ~input ~output ~wave ~t_stop ~dt () =
          netlist.Circuit.Netlist.components)
   in
   let mna = Engine.Mna.build ~inputs:[ input ] ~outputs:[ output ] test_netlist in
-  let t0 = Sys.time () in
+  let t0 = Clock.now () in
   let run = Engine.Tran.run mna ~t_stop ~dt in
-  let t1 = Sys.time () in
+  let t1 = Clock.now () in
   let reference = Engine.Tran.output_waveform run 0 in
   let u = Circuit.Netlist.wave_to_source wave in
-  let t2 = Sys.time () in
+  let t2 = Clock.now () in
   let modeled = Hammerstein.Hmodel.simulate model ~u ~t_stop ~dt in
-  let t3 = Sys.time () in
+  let t3 = Clock.now () in
   let rmse = Signal.Waveform.rmse reference modeled in
   let nrmse = Signal.Waveform.nrmse reference modeled in
   {

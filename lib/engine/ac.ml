@@ -1,8 +1,34 @@
-let transfer_at ~g ~c ~b ~d ~s =
-  let pencil = Linalg.Cmat.lincomb Linalg.Cx.one g s c in
-  let rhs = Linalg.Cmat.of_real b in
-  let x = Linalg.Clu.solve_mat (Linalg.Clu.factor pencil) rhs in
-  (* H = Dᵀ X *)
+(* Workspace for repeated pencil solves sharing one (B, D) pair: the
+   pencil buffer, the LU workspace and the column scratch are allocated
+   once and fully overwritten per frequency, so a whole K×L TFT sweep
+   allocates only its small n_outputs × n_inputs results. *)
+type ws = {
+  b : Linalg.Mat.t;
+  d : Linalg.Mat.t;
+  pencil : Linalg.Cmat.t;  (** G + s·C, rebuilt in place per frequency *)
+  lu : Linalg.Clu.t;
+  rhs : Linalg.Cmat.t;  (** complex copy of B, fixed *)
+  bcol : Linalg.Cmat.vec;
+  xcol : Linalg.Cmat.vec;
+  x : Linalg.Cmat.t;  (** (G + s·C)⁻¹ B solution buffer *)
+}
+
+let make_ws ~b ~d =
+  let n = Linalg.Mat.rows b and mi = Linalg.Mat.cols b in
+  if Linalg.Mat.rows d <> n then invalid_arg "Ac.make_ws: B/D row mismatch";
+  {
+    b;
+    d;
+    pencil = Linalg.Cmat.create n n;
+    lu = Linalg.Clu.workspace n;
+    rhs = Linalg.Cmat.of_real b;
+    bcol = Array.make n Linalg.Cx.zero;
+    xcol = Array.make n Linalg.Cx.zero;
+    x = Linalg.Cmat.create n mi;
+  }
+
+(* H = Dᵀ X, allocating only the small output matrix *)
+let output_transfer ~d ~x =
   let mo = Linalg.Mat.cols d and mi = Linalg.Cmat.cols x in
   let n = Linalg.Mat.rows d in
   Linalg.Cmat.init mo mi (fun o i ->
@@ -14,6 +40,20 @@ let transfer_at ~g ~c ~b ~d ~s =
       done;
       !acc)
 
+let transfer_ws ws ~g ~c ~s =
+  Linalg.Cmat.lincomb_into ws.pencil Linalg.Cx.one g s c;
+  Linalg.Clu.factor_into ws.lu ws.pencil;
+  for j = 0 to Linalg.Cmat.cols ws.rhs - 1 do
+    Linalg.Cmat.get_col ws.rhs j ws.bcol;
+    Linalg.Clu.solve_into ws.lu ws.bcol ws.xcol;
+    Linalg.Cmat.set_col ws.x j ws.xcol
+  done;
+  output_transfer ~d:ws.d ~x:ws.x
+
+let transfer_sweep ws ~g ~c ~ss = Array.map (fun s -> transfer_ws ws ~g ~c ~s) ss
+
+let transfer_at ~g ~c ~b ~d ~s = transfer_ws (make_ws ~b ~d) ~g ~c ~s
+
 let sweep mna ~at ~freqs_hz =
   let ev = Mna.eval mna ~with_matrices:true ~time:0.0 at in
   let g, c =
@@ -21,10 +61,8 @@ let sweep mna ~at ~freqs_hz =
     | Some g, Some c -> (g, c)
     | _, _ -> assert false
   in
-  let b = Mna.b_matrix mna and d = Mna.d_matrix mna in
-  Array.map
-    (fun f -> transfer_at ~g ~c ~b ~d ~s:(Signal.Grid.s_of_hz f))
-    freqs_hz
+  let ws = make_ws ~b:(Mna.b_matrix mna) ~d:(Mna.d_matrix mna) in
+  transfer_sweep ws ~g ~c ~ss:(Array.map Signal.Grid.s_of_hz freqs_hz)
 
 let sweep_siso mna ~at ~freqs_hz =
   Array.map (fun h -> Linalg.Cmat.get h 0 0) (sweep mna ~at ~freqs_hz)

@@ -3,7 +3,31 @@
 
     [H(s) = Dᵀ (G + s·C)⁻¹ B] — the same pencil solve used per-snapshot
     by the TFT transform, exposed here for validation against the
-    extracted models. *)
+    extracted models.
+
+    The sweep entry points share a {!ws} workspace holding the pencil
+    buffer, the LU workspace and the solve scratch, so evaluating a
+    whole trajectory (K snapshots × L frequencies) allocates nothing
+    beyond the small per-point transfer matrices. One workspace must
+    only be used by one domain at a time. *)
+
+type ws
+(** Preallocated solve buffers bound to one (B, D) input/output pair. *)
+
+val make_ws : b:Linalg.Mat.t -> d:Linalg.Mat.t -> ws
+(** Allocate a workspace for systems of [B]'s row dimension. [b] and
+    [d] are captured by reference and must not be mutated while the
+    workspace is in use. *)
+
+val transfer_ws : ws -> g:Linalg.Mat.t -> c:Linalg.Mat.t -> s:Complex.t -> Linalg.Cmat.t
+(** Pencil solve at one complex frequency, reusing the workspace.
+    Returns the freshly allocated [n_outputs × n_inputs] transfer
+    matrix. Bit-identical to {!transfer_at} on the same operands. *)
+
+val transfer_sweep :
+  ws -> g:Linalg.Mat.t -> c:Linalg.Mat.t -> ss:Complex.t array -> Linalg.Cmat.t array
+(** [transfer_ws] over a grid of complex frequencies: one in-place
+    pencil build + factorization per grid point. *)
 
 val transfer_at :
   g:Linalg.Mat.t ->
@@ -12,8 +36,8 @@ val transfer_at :
   d:Linalg.Mat.t ->
   s:Complex.t ->
   Linalg.Cmat.t
-(** Dense pencil solve returning the [n_outputs × n_inputs] transfer
-    matrix at one complex frequency. *)
+(** One-shot convenience: {!make_ws} + {!transfer_ws} at a single
+    frequency. *)
 
 val sweep :
   Mna.t -> at:Linalg.Vec.t -> freqs_hz:float array -> Linalg.Cmat.t array

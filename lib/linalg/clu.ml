@@ -2,11 +2,22 @@ exception Singular of int
 
 type t = { lu : Cmat.t; perm : int array }
 
-let factor a =
+let workspace n =
+  if n <= 0 then invalid_arg "Clu.workspace: size must be positive";
+  { lu = Cmat.create n n; perm = Array.init n (fun i -> i) }
+
+(* In-place Doolittle with partial pivoting, overwriting the workspace.
+   This is the one implementation; [factor] wraps it with a fresh
+   workspace, so both paths perform identical floating-point ops. *)
+let factor_into ws a =
   let n = Cmat.rows a in
-  if Cmat.cols a <> n then invalid_arg "Clu.factor: matrix not square";
-  let lu = Cmat.copy a in
-  let perm = Array.init n (fun i -> i) in
+  if Cmat.cols a <> n then invalid_arg "Clu.factor_into: matrix not square";
+  if Cmat.rows ws.lu <> n then invalid_arg "Clu.factor_into: workspace size mismatch";
+  let lu = ws.lu and perm = ws.perm in
+  Cmat.blit ~src:a ~dst:lu;
+  for i = 0 to n - 1 do
+    perm.(i) <- i
+  done;
   for k = 0 to n - 1 do
     let piv = ref k in
     for i = k + 1 to n - 1 do
@@ -30,13 +41,23 @@ let factor a =
           Cmat.set lu i j Cx.(luij -: (m *: lukj))
         done
     done
-  done;
-  { lu; perm }
+  done
 
-let solve { lu; perm } b =
+let factor a =
+  let ws = workspace (Cmat.rows a) in
+  factor_into ws a;
+  ws
+
+(* Forward/back substitution into a caller-owned [x]; [x] and [b] must
+   be distinct buffers (the permuted load reads b out of order). *)
+let solve_into { lu; perm } b x =
   let n = Cmat.rows lu in
-  if Array.length b <> n then invalid_arg "Clu.solve: dimension mismatch";
-  let x = Array.init n (fun i -> b.(perm.(i))) in
+  if Array.length b <> n || Array.length x <> n then
+    invalid_arg "Clu.solve_into: dimension mismatch";
+  if b == x then invalid_arg "Clu.solve_into: b and x must not alias";
+  for i = 0 to n - 1 do
+    x.(i) <- b.(perm.(i))
+  done;
   for i = 1 to n - 1 do
     let acc = ref x.(i) in
     for j = 0 to i - 1 do
@@ -53,7 +74,11 @@ let solve { lu; perm } b =
     done;
     let luii = Cmat.get lu i i in
     x.(i) <- Cx.(!acc /: luii)
-  done;
+  done
+
+let solve f b =
+  let x = Array.make (Array.length b) Cx.zero in
+  solve_into f b x;
   x
 
 let solve_mat f b =

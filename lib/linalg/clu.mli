@@ -1,13 +1,43 @@
 (** LU factorization with partial pivoting for dense complex matrices.
 
     Used to evaluate the MNA pencil solves [(G + s·C)⁻¹ B] that turn
-    Jacobian snapshots into transfer-function samples. *)
+    Jacobian snapshots into transfer-function samples.
+
+    The factorization state doubles as a reusable workspace: the TFT
+    sweep allocates one {!workspace} per domain and re-factors into it
+    for every (snapshot, frequency) pair, so the hot path allocates
+    nothing. [factor] and [solve] are thin wrappers over the [_into]
+    kernels and perform bit-identical floating-point operations. *)
 
 exception Singular of int
 
 type t
+(** A factorization [P*A = L*U]; also the caller-owned workspace that
+    {!factor_into} overwrites. *)
+
+val workspace : int -> t
+(** [workspace n] preallocates buffers for [n×n] factorizations. The
+    contents are meaningless until the first {!factor_into}. *)
+
+val factor_into : t -> Cmat.t -> unit
+(** [factor_into ws a] factors [a] into [ws], fully overwriting any
+    previous factorization. [a] is left untouched. Raises {!Singular}
+    on a zero or non-finite pivot, and [Invalid_argument] if [ws] was
+    created for a different size. *)
 
 val factor : Cmat.t -> t
+(** [factor a] is [factor_into] on a fresh workspace. *)
+
+val solve_into : t -> Cmat.vec -> Cmat.vec -> unit
+(** [solve_into f b x] writes the solution of [A x = b] into the
+    caller-owned [x]. [b] and [x] must be distinct buffers; [b] is left
+    untouched. *)
+
 val solve : t -> Cmat.vec -> Cmat.vec
+(** Allocating wrapper over {!solve_into}. *)
+
 val solve_mat : t -> Cmat.t -> Cmat.t
+(** Solve [A X = B] column-wise. *)
+
 val solve_system : Cmat.t -> Cmat.vec -> Cmat.vec
+(** One-shot [factor] + [solve]. *)

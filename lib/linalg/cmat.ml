@@ -21,11 +21,42 @@ let lincomb a ma b mb =
   init (Mat.rows ma) (Mat.cols ma) (fun r c ->
       Cx.(scale (Mat.get ma r c) a +: scale (Mat.get mb r c) b))
 
+let lincomb_into dst a ma b mb =
+  if
+    Mat.rows ma <> dst.nr || Mat.cols ma <> dst.nc
+    || Mat.rows mb <> dst.nr || Mat.cols mb <> dst.nc
+  then invalid_arg "Cmat.lincomb_into: dimension mismatch";
+  for r = 0 to dst.nr - 1 do
+    for c = 0 to dst.nc - 1 do
+      dst.data.((r * dst.nc) + c) <-
+        Cx.(scale (Mat.get ma r c) a +: scale (Mat.get mb r c) b)
+    done
+  done
+
 let rows m = m.nr
 let cols m = m.nc
 let get m i j = m.data.((i * m.nc) + j)
 let set m i j x = m.data.((i * m.nc) + j) <- x
 let copy m = { m with data = Array.copy m.data }
+
+let blit ~src ~dst =
+  if src.nr <> dst.nr || src.nc <> dst.nc then
+    invalid_arg "Cmat.blit: dimension mismatch";
+  Array.blit src.data 0 dst.data 0 (Array.length src.data)
+
+let get_col src j dst =
+  if Array.length dst <> src.nr || j < 0 || j >= src.nc then
+    invalid_arg "Cmat.get_col: dimension mismatch";
+  for i = 0 to src.nr - 1 do
+    dst.(i) <- src.data.((i * src.nc) + j)
+  done
+
+let set_col dst j src =
+  if Array.length src <> dst.nr || j < 0 || j >= dst.nc then
+    invalid_arg "Cmat.set_col: dimension mismatch";
+  for i = 0 to dst.nr - 1 do
+    dst.data.((i * dst.nc) + j) <- src.(i)
+  done
 
 let mul a b =
   if a.nc <> b.nr then invalid_arg "Cmat.mul: dimension mismatch";

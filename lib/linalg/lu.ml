@@ -1,14 +1,24 @@
 exception Singular of int
 
-type t = { lu : Mat.t; perm : int array; sign : float }
+type t = { lu : Mat.t; perm : int array; mutable sign : float }
 
-(* Doolittle factorization with partial pivoting, stored packed in [lu]. *)
-let factor a =
+let workspace n =
+  if n <= 0 then invalid_arg "Lu.workspace: size must be positive";
+  { lu = Mat.create n n; perm = Array.init n (fun i -> i); sign = 1.0 }
+
+(* Doolittle factorization with partial pivoting, stored packed in the
+   workspace's [lu]. [factor] wraps this with a fresh workspace, so both
+   paths perform identical floating-point ops. *)
+let factor_into ws a =
   let n = Mat.rows a in
-  if Mat.cols a <> n then invalid_arg "Lu.factor: matrix not square";
-  let lu = Mat.copy a in
-  let perm = Array.init n (fun i -> i) in
-  let sign = ref 1.0 in
+  if Mat.cols a <> n then invalid_arg "Lu.factor_into: matrix not square";
+  if Mat.rows ws.lu <> n then invalid_arg "Lu.factor_into: workspace size mismatch";
+  let lu = ws.lu and perm = ws.perm in
+  Mat.blit ~src:a ~dst:lu;
+  for i = 0 to n - 1 do
+    perm.(i) <- i
+  done;
+  ws.sign <- 1.0;
   for k = 0 to n - 1 do
     (* pivot search in column k *)
     let piv = ref k in
@@ -20,7 +30,7 @@ let factor a =
       let tmp = perm.(k) in
       perm.(k) <- perm.(!piv);
       perm.(!piv) <- tmp;
-      sign := -. !sign
+      ws.sign <- -.ws.sign
     end;
     let pivot = Mat.get lu k k in
     if pivot = 0.0 || not (Float.is_finite pivot) then raise (Singular k);
@@ -32,13 +42,23 @@ let factor a =
           Mat.set lu i j (Mat.get lu i j -. (m *. Mat.get lu k j))
         done
     done
-  done;
-  { lu; perm; sign = !sign }
+  done
 
-let solve { lu; perm; _ } b =
+let factor a =
+  let ws = workspace (Mat.rows a) in
+  factor_into ws a;
+  ws
+
+(* substitution into a caller-owned [x]; [b] and [x] must be distinct
+   (the permuted load reads b out of order). *)
+let solve_into { lu; perm; _ } b x =
   let n = Mat.rows lu in
-  if Array.length b <> n then invalid_arg "Lu.solve: dimension mismatch";
-  let x = Array.init n (fun i -> b.(perm.(i))) in
+  if Array.length b <> n || Array.length x <> n then
+    invalid_arg "Lu.solve_into: dimension mismatch";
+  if b == x then invalid_arg "Lu.solve_into: b and x must not alias";
+  for i = 0 to n - 1 do
+    x.(i) <- b.(perm.(i))
+  done;
   (* forward substitution (unit lower) *)
   for i = 1 to n - 1 do
     let acc = ref x.(i) in
@@ -54,7 +74,11 @@ let solve { lu; perm; _ } b =
       acc := !acc -. (Mat.get lu i j *. x.(j))
     done;
     x.(i) <- !acc /. Mat.get lu i i
-  done;
+  done
+
+let solve f b =
+  let x = Array.make (Array.length b) 0.0 in
+  solve_into f b x;
   x
 
 let solve_mat f b =

@@ -5,10 +5,26 @@ exception Singular of int
     negligible) pivot is encountered. *)
 
 type t
-(** A factorization [P*A = L*U] of a square matrix. *)
+(** A factorization [P*A = L*U] of a square matrix; also the
+    caller-owned workspace that {!factor_into} overwrites, so time
+    steppers can re-factor every step without allocating. *)
+
+val workspace : int -> t
+(** [workspace n] preallocates buffers for [n×n] factorizations. The
+    contents are meaningless until the first {!factor_into}. *)
+
+val factor_into : t -> Mat.t -> unit
+(** [factor_into ws a] factors [a] into [ws], fully overwriting any
+    previous factorization; [a] is left untouched. Raises {!Singular}
+    if rank-deficient. Performs the same floating-point operations as
+    {!factor}. *)
 
 val factor : Mat.t -> t
 (** Factorize a square matrix. Raises {!Singular} if rank-deficient. *)
+
+val solve_into : t -> Vec.t -> Vec.t -> unit
+(** [solve_into f b x] writes the solution of [A x = b] into the
+    caller-owned [x]. [b] and [x] must be distinct buffers. *)
 
 val solve : t -> Vec.t -> Vec.t
 (** Solve [A x = b] using the factorization. *)

@@ -38,6 +38,17 @@ let transpose m = init m.nc m.nr (fun i j -> get m j i)
 let check_same a b =
   if a.nr <> b.nr || a.nc <> b.nc then invalid_arg "Mat: dimension mismatch"
 
+let blit ~src ~dst =
+  check_same src dst;
+  Array.blit src.data 0 dst.data 0 (Array.length src.data)
+
+let lincomb_into dst a ma b mb =
+  check_same dst ma;
+  check_same dst mb;
+  for k = 0 to Array.length dst.data - 1 do
+    dst.data.(k) <- (a *. ma.data.(k)) +. (b *. mb.data.(k))
+  done
+
 let add a b =
   check_same a b;
   { a with data = Array.mapi (fun k x -> x +. b.data.(k)) a.data }
@@ -70,6 +81,18 @@ let mulv a x =
         acc := !acc +. (get a i j *. x.(j))
       done;
       !acc)
+
+let mulv_into a x y =
+  if a.nc <> Array.length x || a.nr <> Array.length y then
+    invalid_arg "Mat.mulv_into: dimension mismatch";
+  if x == y then invalid_arg "Mat.mulv_into: x and y must not alias";
+  for i = 0 to a.nr - 1 do
+    let acc = ref 0.0 in
+    for j = 0 to a.nc - 1 do
+      acc := !acc +. (get a i j *. x.(j))
+    done;
+    y.(i) <- !acc
+  done
 
 let mulv_t a x =
   if a.nr <> Array.length x then invalid_arg "Mat.mulv_t: dimension mismatch";

@@ -15,12 +15,24 @@ val get : t -> int -> int -> float
 val set : t -> int -> int -> float -> unit
 val update : t -> int -> int -> (float -> float) -> unit
 val copy : t -> t
+
+val blit : src:t -> dst:t -> unit
+(** Overwrite [dst] with the contents of [src] (same shape required). *)
+
+val lincomb_into : t -> float -> t -> float -> t -> unit
+(** [lincomb_into dst a ma b mb] overwrites [dst] with [a*ma + b*mb]:
+    allocation-free matrix blends for time steppers. *)
+
 val transpose : t -> t
 val add : t -> t -> t
 val sub : t -> t -> t
 val scale : float -> t -> t
 val mul : t -> t -> t
 val mulv : t -> Vec.t -> Vec.t
+
+val mulv_into : t -> Vec.t -> Vec.t -> unit
+(** [mulv_into a x y] writes [a*x] into the caller-owned [y]; [x] and
+    [y] must be distinct buffers. *)
 
 val mulv_t : t -> Vec.t -> Vec.t
 (** [mulv_t a x] computes [aᵀ x] without forming the transpose. *)

@@ -14,7 +14,7 @@ type t = {
   n_outputs : int;
 }
 
-let of_snapshots ~mna ~estimator ~freqs_hz snapshots =
+let of_snapshots ?pool ~mna ~estimator ~freqs_hz snapshots =
   let b = Engine.Mna.b_matrix mna in
   let d = Engine.Mna.d_matrix mna in
   let mi = Linalg.Mat.cols b and mo = Linalg.Mat.cols d in
@@ -22,20 +22,17 @@ let of_snapshots ~mna ~estimator ~freqs_hz snapshots =
     invalid_arg "Dataset.of_snapshots: system needs designated inputs and outputs";
   (* the estimator needs the input signal u(t); inputs are per-source *)
   let u_fun time = (Engine.Mna.input_values mna time).(0) in
+  let ss = Array.map Signal.Grid.s_of_hz freqs_hz in
+  (* snapshots are independent: fan them out across the pool, one solve
+     workspace per domain. Each sample depends only on its own snapshot,
+     so the result is bit-identical to the sequential path. *)
   let samples =
-    Array.map
-      (fun (snap : Engine.Tran.snapshot) ->
-        let h =
-          Array.map
-            (fun f ->
-              Engine.Ac.transfer_at ~g:snap.Engine.Tran.g_mat
-                ~c:snap.Engine.Tran.c_mat ~b ~d ~s:(Signal.Grid.s_of_hz f))
-            freqs_hz
-        in
-        let h0 =
-          Engine.Ac.transfer_at ~g:snap.Engine.Tran.g_mat
-            ~c:snap.Engine.Tran.c_mat ~b ~d ~s:Complex.zero
-        in
+    Exec.parallel_map_ws ?pool
+      ~ws:(fun () -> Engine.Ac.make_ws ~b ~d)
+      (fun ws (snap : Engine.Tran.snapshot) ->
+        let g = snap.Engine.Tran.g_mat and c = snap.Engine.Tran.c_mat in
+        let h = Engine.Ac.transfer_sweep ws ~g ~c ~ss in
+        let h0 = Engine.Ac.transfer_ws ws ~g ~c ~s:Complex.zero in
         {
           time = snap.Engine.Tran.time;
           x = Estimator.coords estimator ~u:u_fun snap.Engine.Tran.time;

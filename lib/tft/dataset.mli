@@ -22,6 +22,7 @@ type t = {
 }
 
 val of_snapshots :
+  ?pool:Exec.t ->
   mna:Engine.Mna.t ->
   estimator:Estimator.t ->
   freqs_hz:float array ->
@@ -29,7 +30,12 @@ val of_snapshots :
   t
 (** Evaluate [H^(k)(s) = Dᵀ(G_k + s·C_k)⁻¹B] on the frequency grid for
     every snapshot. The estimator is evaluated from the designated input
-    sources of the MNA system. *)
+    sources of the MNA system.
+
+    With [?pool], snapshots are partitioned across the pool's domains
+    with one preallocated solve workspace per domain; the result is
+    bit-identical to the sequential path for any domain count (fixed
+    chunk boundaries, per-sample independence, no reductions). *)
 
 val dynamic_part : t -> t
 (** Subtract [H^(k)(0)] from every frequency sample: the remaining purely

@@ -60,12 +60,9 @@ let locate t w =
     (!lo, !hi, (w -. t.xs.(!lo)) /. (t.xs.(!hi) -. t.xs.(!lo)))
   end
 
-let blend_mat a b lambda =
-  if lambda = 0.0 then Linalg.Mat.copy a
-  else
-    Linalg.Mat.init (Linalg.Mat.rows a) (Linalg.Mat.cols a) (fun i j ->
-        ((1.0 -. lambda) *. Linalg.Mat.get a i j)
-        +. (lambda *. Linalg.Mat.get b i j))
+let blend_mat_into dst a b lambda =
+  if lambda = 0.0 then Linalg.Mat.blit ~src:a ~dst
+  else Linalg.Mat.lincomb_into dst (1.0 -. lambda) a lambda b
 
 let blend_vec a b lambda =
   Array.init (Array.length a) (fun i ->
@@ -86,6 +83,15 @@ let simulate t ~u ~t_stop ~dt =
     ref (blend_vec t.states.(k0) t.states.(k1) lambda)
   in
   let dvdt = ref (Linalg.Vec.create t.n) in
+  (* per-step scratch, blended/factored into in place: the old path
+     allocated G, C and the full A = G + 2C/h matrix every step *)
+  let g = Linalg.Mat.create t.n t.n in
+  let c = Linalg.Mat.create t.n t.n in
+  let a = Linalg.Mat.create t.n t.n in
+  let lu = Linalg.Lu.workspace t.n in
+  let zdot = Linalg.Vec.create t.n in
+  let hist = Linalg.Vec.create t.n in
+  let z_next = Linalg.Vec.create t.n in
   let output v = Linalg.Vec.dot t.d v in
   values.(0) <- output !v;
   for k = 1 to steps do
@@ -93,25 +99,23 @@ let simulate t ~u ~t_stop ~dt =
     let h = time -. times.(k - 1) in
     let w = u time in
     let k0, k1, lambda = locate t w in
-    let g = blend_mat t.gs.(k0) t.gs.(k1) lambda in
-    let c = blend_mat t.cs.(k0) t.cs.(k1) lambda in
+    blend_mat_into g t.gs.(k0) t.gs.(k1) lambda;
+    blend_mat_into c t.cs.(k0) t.cs.(k1) lambda;
     let v_star = blend_vec t.states.(k0) t.states.(k1) lambda in
     let u_star = ((1.0 -. lambda) *. t.xs.(k0)) +. (lambda *. t.xs.(k1)) in
     (* trapezoidal on z = v − v_star, using dz/dt ≈ dv/dt since v_star
        is frozen within the step *)
-    let a =
-      Linalg.Mat.init t.n t.n (fun i j ->
-          Linalg.Mat.get g i j +. (2.0 /. h *. Linalg.Mat.get c i j))
-    in
+    Linalg.Mat.lincomb_into a 1.0 g (2.0 /. h) c;
+    Linalg.Lu.factor_into lu a;
     let z_n = Linalg.Vec.sub !v v_star in
-    let hist =
-      Linalg.Mat.mulv c
-        (Array.init t.n (fun i -> ((2.0 /. h) *. z_n.(i)) +. (!dvdt).(i)))
-    in
+    for i = 0 to t.n - 1 do
+      zdot.(i) <- ((2.0 /. h) *. z_n.(i)) +. (!dvdt).(i)
+    done;
+    Linalg.Mat.mulv_into c zdot hist;
     let rhs =
       Array.init t.n (fun i -> (t.b.(i) *. (w -. u_star)) +. hist.(i))
     in
-    let z_next = Linalg.Lu.solve_system a rhs in
+    Linalg.Lu.solve_into lu rhs z_next;
     let v_next = Linalg.Vec.add v_star z_next in
     dvdt :=
       Array.init t.n (fun i -> ((v_next.(i) -. (!v).(i)) *. 2.0 /. h) -. (!dvdt).(i));

@@ -1,0 +1,111 @@
+(* Tests for the domain pool: deterministic ordering, sequential
+   equivalence, workspace reuse and exception propagation. *)
+
+let test_parallel_init_matches_sequential () =
+  Exec.with_pool ~domains:4 (fun pool ->
+      let f i = (i * i) - (3 * i) in
+      List.iter
+        (fun n ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "n = %d" n)
+            (Array.init n f)
+            (Exec.parallel_init ~pool n f))
+        [ 0; 1; 2; 3; 7; 64; 1000 ])
+
+let test_parallel_map_matches_sequential () =
+  Exec.with_pool ~domains:3 (fun pool ->
+      let arr = Array.init 101 (fun i -> float_of_int i /. 7.0) in
+      let f x = sin x +. (x *. x) in
+      Alcotest.(check (array (float 0.0)))
+        "map identical" (Array.map f arr)
+        (Exec.parallel_map ~pool f arr))
+
+let test_single_domain_pool_is_sequential () =
+  Exec.with_pool ~domains:1 (fun pool ->
+      Alcotest.(check int) "no workers" 1 (Exec.domains pool);
+      Alcotest.(check (array int))
+        "still correct" (Array.init 10 succ)
+        (Exec.parallel_init ~pool 10 succ))
+
+let test_workspace_per_chunk () =
+  (* each chunk gets its own workspace: with [domains] chunks working on
+     disjoint slots, reusing a buffer inside a chunk must never race *)
+  Exec.with_pool ~domains:4 (fun pool ->
+      let made = Atomic.make 0 in
+      let out =
+        Exec.parallel_init_ws ~pool
+          ~ws:(fun () ->
+            ignore (Atomic.fetch_and_add made 1);
+            Bytes.create 8)
+          64
+          (fun buf i ->
+            (* overwrite the whole workspace, then read it back *)
+            Bytes.set_int64_le buf 0 (Int64.of_int (i * 17));
+            Int64.to_int (Bytes.get_int64_le buf 0))
+      in
+      Alcotest.(check (array int)) "values" (Array.init 64 (fun i -> i * 17)) out;
+      Alcotest.(check bool)
+        (Printf.sprintf "at most one ws per domain (%d)" (Atomic.get made))
+        true
+        (Atomic.get made <= 4))
+
+let exception_of_pool domains =
+  Exec.with_pool ~domains (fun pool ->
+      match
+        Exec.parallel_init ~pool 32 (fun i ->
+            if i = 13 then failwith "boom" else i)
+      with
+      | _ -> None
+      | exception exn -> Some exn)
+
+let test_exception_propagates () =
+  match exception_of_pool 4 with
+  | Some (Failure msg) when msg = "boom" -> ()
+  | Some exn -> Alcotest.failf "wrong exception: %s" (Printexc.to_string exn)
+  | None -> Alcotest.fail "no exception raised"
+
+let test_exception_sequential_fallback () =
+  match exception_of_pool 1 with
+  | Some (Failure msg) when msg = "boom" -> ()
+  | Some exn -> Alcotest.failf "wrong exception: %s" (Printexc.to_string exn)
+  | None -> Alcotest.fail "no exception raised"
+
+let test_pool_reusable_after_exception () =
+  Exec.with_pool ~domains:4 (fun pool ->
+      (try ignore (Exec.parallel_init ~pool 16 (fun _ -> failwith "first"))
+       with Failure _ -> ());
+      Alcotest.(check (array int))
+        "second fan-out fine" (Array.init 16 (fun i -> 2 * i))
+        (Exec.parallel_init ~pool 16 (fun i -> 2 * i)))
+
+let test_shutdown_idempotent () =
+  let pool = Exec.create ~domains:3 () in
+  Alcotest.(check int) "domains" 3 (Exec.domains pool);
+  Exec.shutdown pool;
+  Exec.shutdown pool
+
+let test_clock_monotonic () =
+  let t0 = Clock.now () in
+  let acc = ref 0.0 in
+  for i = 1 to 100_000 do
+    acc := !acc +. float_of_int i
+  done;
+  ignore !acc;
+  let dt = Clock.elapsed t0 in
+  Alcotest.(check bool) (Printf.sprintf "elapsed %g >= 0" dt) true (dt >= 0.0);
+  Alcotest.(check bool) "still monotone" true (Clock.now () >= t0 +. dt)
+
+let suite =
+  [
+    Alcotest.test_case "parallel_init = Array.init" `Quick
+      test_parallel_init_matches_sequential;
+    Alcotest.test_case "parallel_map = Array.map" `Quick
+      test_parallel_map_matches_sequential;
+    Alcotest.test_case "single-domain pool" `Quick test_single_domain_pool_is_sequential;
+    Alcotest.test_case "workspace per chunk" `Quick test_workspace_per_chunk;
+    Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+    Alcotest.test_case "exception sequential" `Quick test_exception_sequential_fallback;
+    Alcotest.test_case "pool reusable after exn" `Quick test_pool_reusable_after_exception;
+    Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
+    Alcotest.test_case "clock monotonic" `Quick test_clock_monotonic;
+  ]

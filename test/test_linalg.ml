@@ -337,6 +337,86 @@ let prop_clu_residual =
             (fun z bz -> Complex.norm (Complex.sub z bz) < 1e-7)
             back b)
 
+(* ---------------- workspace kernels ---------------- *)
+
+let random_cpencil st n =
+  let g = random_dd_matrix st n in
+  let c = Linalg.Mat.random st n n in
+  let s = { Complex.re = 0.0; im = Random.State.float st 100.0 } in
+  Linalg.Cmat.lincomb Complex.one g s c
+
+(* the [_into] kernels promise bit-identical results to the allocating
+   wrappers, so these compare with exact float equality *)
+let prop_lu_factor_into_agrees =
+  QCheck.Test.make ~count:50 ~name:"lu factor_into/solve_into = factor/solve"
+    QCheck.(pair (int_range 1 10) (int_bound 10000))
+    (fun (n, seed) ->
+      let st = rand_state (seed + 57) in
+      let a = random_dd_matrix st n in
+      let b = Array.init n (fun _ -> Random.State.float st 2.0 -. 1.0) in
+      let x_ref = Linalg.Lu.solve_system a b in
+      let ws = Linalg.Lu.workspace n in
+      (* reuse the workspace twice: a stale factorization must not leak *)
+      Linalg.Lu.factor_into ws (random_dd_matrix st n);
+      Linalg.Lu.factor_into ws a;
+      let x = Array.make n 0.0 in
+      Linalg.Lu.solve_into ws b x;
+      x = x_ref)
+
+let prop_clu_factor_into_agrees =
+  QCheck.Test.make ~count:50 ~name:"clu factor_into/solve_into = factor/solve"
+    QCheck.(pair (int_range 1 8) (int_bound 10000))
+    (fun (n, seed) ->
+      let st = rand_state (seed + 91) in
+      let a = random_cpencil st n in
+      let b =
+        Array.init n (fun _ ->
+            {
+              Complex.re = Random.State.float st 2.0 -. 1.0;
+              im = Random.State.float st 2.0 -. 1.0;
+            })
+      in
+      let x_ref = Linalg.Clu.solve_system a b in
+      let ws = Linalg.Clu.workspace n in
+      Linalg.Clu.factor_into ws (random_cpencil st n);
+      Linalg.Clu.factor_into ws a;
+      let x = Array.make n Complex.zero in
+      Linalg.Clu.solve_into ws b x;
+      x = x_ref)
+
+let prop_lincomb_into_agrees =
+  QCheck.Test.make ~count:50 ~name:"cmat lincomb_into = lincomb"
+    QCheck.(pair (int_range 1 8) (int_bound 10000))
+    (fun (n, seed) ->
+      let st = rand_state (seed + 23) in
+      let g = Linalg.Mat.random st n n and c = Linalg.Mat.random st n n in
+      let s = { Complex.re = Random.State.float st 2.0; im = Random.State.float st 100.0 } in
+      let expected = Linalg.Cmat.lincomb Complex.one g s c in
+      let dst = Linalg.Cmat.create n n in
+      Linalg.Cmat.lincomb_into dst Complex.one g s c;
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if Linalg.Cmat.get dst i j <> Linalg.Cmat.get expected i j then ok := false
+        done
+      done;
+      !ok)
+
+let test_solve_into_rejects_aliasing () =
+  let a = mat_of [| [| 2.0; 1.0 |]; [| 1.0; 3.0 |] |] in
+  let f = Linalg.Lu.factor a in
+  let b = [| 5.0; 10.0 |] in
+  Alcotest.check_raises "aliasing rejected"
+    (Invalid_argument "Lu.solve_into: b and x must not alias") (fun () ->
+      Linalg.Lu.solve_into f b b)
+
+let test_workspace_size_mismatch () =
+  let ws = Linalg.Lu.workspace 3 in
+  Alcotest.(check bool) "size mismatch rejected" true
+    (match Linalg.Lu.factor_into ws (Linalg.Mat.identity 2) with
+    | exception Invalid_argument _ -> true
+    | () -> false)
+
 (* ---------------- Cx ---------------- *)
 
 let test_cx_ops () =
@@ -350,7 +430,9 @@ let test_cx_ops () =
     (Linalg.Cx.approx_equal Linalg.Cx.(inv (inv z)) z)
 
 let qsuite = [ prop_lu_residual; prop_qr_residual_orthogonal; prop_eig_trace;
-               prop_eig_det; prop_poly_roots_reconstruct; prop_clu_residual ]
+               prop_eig_det; prop_poly_roots_reconstruct; prop_clu_residual;
+               prop_lu_factor_into_agrees; prop_clu_factor_into_agrees;
+               prop_lincomb_into_agrees ]
 
 let suite =
   [
@@ -379,5 +461,8 @@ let suite =
     Alcotest.test_case "clu pencil solve" `Quick test_clu_solve;
     Alcotest.test_case "cmat identity" `Quick test_cmat_mul_identity;
     Alcotest.test_case "cx ops" `Quick test_cx_ops;
+    Alcotest.test_case "solve_into rejects aliasing" `Quick
+      test_solve_into_rejects_aliasing;
+    Alcotest.test_case "workspace size mismatch" `Quick test_workspace_size_mismatch;
   ]
   @ List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite

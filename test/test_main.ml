@@ -4,6 +4,7 @@ let () =
   Alcotest.run "tft_rvf"
     [
       ("linalg", Test_linalg.suite);
+      ("exec", Test_exec.suite);
       ("signal", Test_signal.suite);
       ("circuit", Test_circuit.suite);
       ("engine", Test_engine.suite);

@@ -144,6 +144,60 @@ let test_dataset_sort_by_x0 () =
   done;
   Alcotest.(check bool) "sorted" true !ok
 
+let cmat_identical a b =
+  Linalg.Cmat.rows a = Linalg.Cmat.rows b
+  && Linalg.Cmat.cols a = Linalg.Cmat.cols b
+  &&
+  let ok = ref true in
+  for i = 0 to Linalg.Cmat.rows a - 1 do
+    for j = 0 to Linalg.Cmat.cols a - 1 do
+      (* bitwise float comparison: parallel construction promises it *)
+      if Linalg.Cmat.get a i j <> Linalg.Cmat.get b i j then ok := false
+    done
+  done;
+  !ok
+
+let sample_identical (a : Tft.Dataset.sample) (b : Tft.Dataset.sample) =
+  a.Tft.Dataset.time = b.Tft.Dataset.time
+  && a.Tft.Dataset.x = b.Tft.Dataset.x
+  && a.Tft.Dataset.u = b.Tft.Dataset.u
+  && a.Tft.Dataset.y = b.Tft.Dataset.y
+  && cmat_identical a.Tft.Dataset.h0 b.Tft.Dataset.h0
+  && Array.length a.Tft.Dataset.h = Array.length b.Tft.Dataset.h
+  && Array.for_all2 cmat_identical a.Tft.Dataset.h b.Tft.Dataset.h
+
+let test_dataset_pool_bit_identical () =
+  (* the paper's buffer circuit: of_snapshots through a domain pool must
+     be bit-identical to the sequential path for any domain count *)
+  let mna =
+    Circuits.Buffer.mna ~input_wave:(Circuits.Buffer.training_wave ~freq:1e6 ()) ()
+  in
+  let opts = { Engine.Tran.default_opts with Engine.Tran.snapshot_every = 4 } in
+  let run = Engine.Tran.run ~opts mna ~t_stop:1e-6 ~dt:(1e-6 /. 80.0) in
+  let estimator = Tft.Estimator.make () in
+  let freqs_hz = Signal.Grid.frequencies_hz ~f_min:1.0 ~f_max:1e10 ~points:6 in
+  let build ?pool () =
+    Tft.Dataset.of_snapshots ?pool ~mna ~estimator ~freqs_hz
+      run.Engine.Tran.snapshots
+  in
+  let seq = build () in
+  Alcotest.(check bool) "has samples" true (Array.length seq.Tft.Dataset.samples > 4);
+  List.iter
+    (fun domains ->
+      let par = Exec.with_pool ~domains (fun pool -> build ~pool ()) in
+      Alcotest.(check int)
+        (Printf.sprintf "samples (domains = %d)" domains)
+        (Array.length seq.Tft.Dataset.samples)
+        (Array.length par.Tft.Dataset.samples);
+      Array.iteri
+        (fun k sa ->
+          Alcotest.(check bool)
+            (Printf.sprintf "sample %d bit-identical (domains = %d)" k domains)
+            true
+            (sample_identical sa par.Tft.Dataset.samples.(k)))
+        seq.Tft.Dataset.samples)
+    [ 1; 2; 4 ]
+
 let test_ambiguity_detects_training_hysteresis () =
   (* fast pump: the 1-D estimator is ambiguous (up/down sweeps disagree);
      slow pump: it is not. This is the diagnostic behind the paper's
@@ -187,5 +241,7 @@ let suite =
     Alcotest.test_case "dataset dc trace" `Quick test_dataset_dc_trace_varies;
     Alcotest.test_case "dataset thin" `Quick test_dataset_thin;
     Alcotest.test_case "dataset sort" `Quick test_dataset_sort_by_x0;
+    Alcotest.test_case "dataset pool bit-identical" `Quick
+      test_dataset_pool_bit_identical;
     Alcotest.test_case "ambiguity detects hysteresis" `Slow test_ambiguity_detects_training_hysteresis;
   ]
