@@ -3,48 +3,12 @@
      tft_extract -i netlist.cir --input Vin --output out \
        --train-freq 1e6 --train-ampl 0.5 --train-offset 0.3 \
        --fmin 1e4 --fmax 1e9 -o model.va
-*)
 
-let run netlist_path input output output_diff train_freq train_ampl train_offset
-    f_min f_max points eps snapshots domains out_path export_format verbose =
-  if verbose then begin
-    Logs.set_reporter (Logs.format_reporter ());
-    Logs.set_level (Some Logs.Info)
-  end;
-  let netlist = Circuit.Parser.parse_file netlist_path in
-  let out_spec =
-    match (output, output_diff) with
-    | Some node, None -> Engine.Mna.Node node
-    | None, Some (p, n) -> Engine.Mna.Diff (p, n)
-    | Some _, Some _ -> failwith "give either --output or --output-diff, not both"
-    | None, None -> failwith "an output (--output or --output-diff) is required"
-  in
-  let period = 1.0 /. train_freq in
-  let steps = snapshots * 4 in
-  let training =
-    {
-      Tft_rvf.Pipeline.wave =
-        Circuit.Netlist.Sine
-          {
-            offset = train_offset;
-            ampl = train_ampl;
-            freq = train_freq;
-            phase = -.Float.pi /. 2.0;
-          };
-      t_stop = period;
-      dt = period /. float_of_int steps;
-      snapshot_every = 4;
-    }
-  in
-  let config =
-    let base =
-      Tft_rvf.Pipeline.default_config_for ~points ~domains ~f_min ~f_max ~training ()
-    in
-    { base with Tft_rvf.Pipeline.rvf = { base.Tft_rvf.Pipeline.rvf with Rvf.eps } }
-  in
-  let outcome = Tft_rvf.Pipeline.extract ~config ~netlist ~input ~output:out_spec () in
-  print_string (Tft_rvf.Report.summary outcome);
-  let model = outcome.Tft_rvf.Pipeline.model in
+   `--builtin buffer` swaps the netlist file for the programmatic
+   Section-IV buffer example; `--diag diag.json` runs the non-raising
+   pipeline and writes the structured telemetry report. *)
+
+let export_model ~export_format ~out_path model =
   let text =
     match export_format with
     | "verilog-a" -> Hammerstein.Export.verilog_a model
@@ -60,13 +24,119 @@ let run netlist_path input output output_diff train_freq train_ampl train_offset
       close_out oc;
       Printf.printf "wrote %s\n" path
 
+let run netlist_path builtin input output output_diff train_freq train_ampl
+    train_offset f_min f_max points eps snapshots domains out_path
+    export_format diag_path verbose =
+  if verbose then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.Info)
+  end;
+  let netlist, input, out_spec, config =
+    match (builtin, netlist_path) with
+    | Some "buffer", None ->
+        let base = Tft_rvf.Pipeline.buffer_config ~snapshots ~domains () in
+        let config =
+          {
+            base with
+            Tft_rvf.Pipeline.rvf = { base.Tft_rvf.Pipeline.rvf with Rvf.eps };
+          }
+        in
+        ( Circuits.Buffer.netlist (),
+          Circuits.Buffer.input_name,
+          Circuits.Buffer.output,
+          config )
+    | Some other, None ->
+        failwith (Printf.sprintf "unknown builtin circuit %S (try: buffer)" other)
+    | Some _, Some _ -> failwith "give either --builtin or --netlist, not both"
+    | None, None -> failwith "a netlist (-i) or --builtin is required"
+    | None, Some path ->
+        let netlist = Circuit.Parser.parse_file path in
+        let out_spec =
+          match (output, output_diff) with
+          | Some node, None -> Engine.Mna.Node node
+          | None, Some (p, n) -> Engine.Mna.Diff (p, n)
+          | Some _, Some _ ->
+              failwith "give either --output or --output-diff, not both"
+          | None, None ->
+              failwith "an output (--output or --output-diff) is required"
+        in
+        let period = 1.0 /. train_freq in
+        let steps = snapshots * 4 in
+        let training =
+          {
+            Tft_rvf.Pipeline.wave =
+              Circuit.Netlist.Sine
+                {
+                  offset = train_offset;
+                  ampl = train_ampl;
+                  freq = train_freq;
+                  phase = -.Float.pi /. 2.0;
+                };
+            t_stop = period;
+            dt = period /. float_of_int steps;
+            snapshot_every = 4;
+          }
+        in
+        let config =
+          let base =
+            Tft_rvf.Pipeline.default_config_for ~points ~domains ~f_min ~f_max
+              ~training ()
+          in
+          {
+            base with
+            Tft_rvf.Pipeline.rvf = { base.Tft_rvf.Pipeline.rvf with Rvf.eps };
+          }
+        in
+        (netlist, input, out_spec, config)
+  in
+  match (diag_path, verbose) with
+  | None, false ->
+      let outcome =
+        Tft_rvf.Pipeline.extract ~config ~netlist ~input ~output:out_spec ()
+      in
+      print_string (Tft_rvf.Report.summary outcome);
+      export_model ~export_format ~out_path outcome.Tft_rvf.Pipeline.model
+  | _ -> (
+      (* diagnostics requested: run the non-raising pipeline so a failed
+         extraction still produces a report naming the failing stage *)
+      let outcome, report =
+        Tft_rvf.Pipeline.try_extract ~config ~netlist ~input ~output:out_spec ()
+      in
+      (match diag_path with
+      | None -> ()
+      | Some path ->
+          let oc = open_out path in
+          output_string oc (Tft_rvf.Report.diag_json report);
+          close_out oc;
+          Printf.eprintf "wrote diagnostics to %s\n%!" path);
+      if verbose then prerr_string (Tft_rvf.Report.diag_summary report);
+      match outcome with
+      | None ->
+          prerr_endline "extraction failed; see the diagnostics report";
+          exit 1
+      | Some outcome ->
+          print_string (Tft_rvf.Report.summary outcome);
+          export_model ~export_format ~out_path outcome.Tft_rvf.Pipeline.model)
+
 open Cmdliner
 
 let netlist_arg =
   Arg.(
-    required
+    value
     & opt (some file) None
-    & info [ "i"; "netlist" ] ~docv:"FILE" ~doc:"SPICE-like netlist file.")
+    & info [ "i"; "netlist" ] ~docv:"FILE"
+        ~doc:"SPICE-like netlist file (or use $(b,--builtin)).")
+
+let builtin_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "builtin" ] ~docv:"NAME"
+        ~doc:
+          "Use a built-in example circuit instead of a netlist file. \
+           Currently: $(b,buffer) (the paper's Section-IV four-stage \
+           buffer, with its tuned training wave, grid and input/output \
+           selection).")
 
 let input_arg =
   Arg.(
@@ -114,8 +184,24 @@ let format_arg =
     & info [ "format" ] ~docv:"FMT"
         ~doc:"Export format: equations, verilog-a or matlab.")
 
+let diag_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "diag" ] ~docv:"FILE"
+        ~doc:
+          "Write a structured JSON diagnostics report (per-stage timings, \
+           Newton/fitting counters, warnings) to $(docv). Implies the \
+           non-raising pipeline: a failed extraction still writes the \
+           report (naming the failing stage) and exits with status 1.")
+
 let verbose_arg =
-  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log fitting progress.")
+  Arg.(
+    value & flag
+    & info [ "v"; "verbose" ]
+        ~doc:
+          "Log fitting progress and print the diagnostics summary to \
+           stderr.")
 
 let cmd =
   let doc =
@@ -125,7 +211,8 @@ let cmd =
   Cmd.v
     (Cmd.info "tft_extract" ~doc)
     Term.(
-      const run $ netlist_arg $ input_arg $ output_arg $ output_diff_arg
+      const run $ netlist_arg $ builtin_arg $ input_arg $ output_arg
+      $ output_diff_arg
       $ ffloat [ "train-freq" ] ~default:1e6 ~doc:"Training sine frequency [Hz]."
       $ ffloat [ "train-ampl" ] ~default:0.5 ~doc:"Training sine amplitude [V]."
       $ ffloat [ "train-offset" ] ~default:0.0 ~doc:"Training sine offset [V]."
@@ -133,6 +220,7 @@ let cmd =
       $ ffloat [ "fmax" ] ~default:1e10 ~doc:"Highest TFT frequency [Hz]."
       $ points_arg
       $ ffloat [ "eps" ] ~default:1e-3 ~doc:"RVF error bound (relative)."
-      $ snapshots_arg $ domains_arg $ out_arg $ format_arg $ verbose_arg)
+      $ snapshots_arg $ domains_arg $ out_arg $ format_arg $ diag_arg
+      $ verbose_arg)
 
 let () = exit (Cmd.eval cmd)

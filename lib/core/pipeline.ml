@@ -72,12 +72,10 @@ let with_wave netlist ~input ~wave =
     invalid_arg (Printf.sprintf "Pipeline.extract: no source named %S" input);
   Circuit.Netlist.make components
 
-let extract ~config ~netlist ~input ~output () =
-  let training_netlist =
-    with_wave netlist ~input ~wave:config.training.wave
-  in
-  let mna = Engine.Mna.build ~inputs:[ input ] ~outputs:[ output ] training_netlist in
-  let t0 = Clock.now () in
+(* training transient + snapshot capture, shared by every entry point *)
+let train_stage ?diag ~config ~netlist ~input ~outputs () =
+  let training_netlist = with_wave netlist ~input ~wave:config.training.wave in
+  let mna = Engine.Mna.build ~inputs:[ input ] ~outputs training_netlist in
   let tran_opts =
     {
       Engine.Tran.default_opts with
@@ -85,18 +83,31 @@ let extract ~config ~netlist ~input ~output () =
     }
   in
   let training_run =
-    Engine.Tran.run ~opts:tran_opts mna ~t_stop:config.training.t_stop
-      ~dt:config.training.dt
+    Diag.span diag "pipeline.train" (fun () ->
+        Engine.Tran.run ~opts:tran_opts ?diag mna
+          ~t_stop:config.training.t_stop ~dt:config.training.dt)
+  in
+  (mna, training_run)
+
+let tft_stage ?diag ~config ~mna ~training_run () =
+  let estimator = Tft.Estimator.make ~delays:config.estimator_delays () in
+  Diag.span diag "pipeline.tft" (fun () ->
+      with_opt_pool ~domains:config.domains (fun pool ->
+          Tft.Dataset.of_snapshots ?pool ~mna ~estimator
+            ~freqs_hz:config.freqs_hz training_run.Engine.Tran.snapshots))
+
+let extract ?diag ~config ~netlist ~input ~output () =
+  let t0 = Clock.now () in
+  let mna, training_run =
+    train_stage ?diag ~config ~netlist ~input ~outputs:[ output ] ()
   in
   let t1 = Clock.now () in
-  let estimator = Tft.Estimator.make ~delays:config.estimator_delays () in
-  let dataset =
-    with_opt_pool ~domains:config.domains (fun pool ->
-        Tft.Dataset.of_snapshots ?pool ~mna ~estimator ~freqs_hz:config.freqs_hz
-          training_run.Engine.Tran.snapshots)
-  in
+  let dataset = tft_stage ?diag ~config ~mna ~training_run () in
   let t2 = Clock.now () in
-  let rvf = Rvf.extract ~config:config.rvf ~dataset ~input:0 ~output:0 () in
+  let rvf =
+    Diag.span diag "pipeline.fit" (fun () ->
+        Rvf.extract ~config:config.rvf ?diag ~dataset ~input:0 ~output:0 ())
+  in
   let t3 = Clock.now () in
   {
     model = rvf.Rvf.model;
@@ -112,50 +123,225 @@ let extract ~config ~netlist ~input ~output () =
       };
   }
 
-let extract_simo ~config ~netlist ~input ~outputs () =
+let extract_simo ?diag ~config ~netlist ~input ~outputs () =
   if outputs = [] then invalid_arg "Pipeline.extract_simo: no outputs";
-  let training_netlist = with_wave netlist ~input ~wave:config.training.wave in
-  let mna = Engine.Mna.build ~inputs:[ input ] ~outputs training_netlist in
   let t0 = Clock.now () in
-  let tran_opts =
-    {
-      Engine.Tran.default_opts with
-      Engine.Tran.snapshot_every = config.training.snapshot_every;
-    }
-  in
-  let training_run =
-    Engine.Tran.run ~opts:tran_opts mna ~t_stop:config.training.t_stop
-      ~dt:config.training.dt
-  in
+  let mna, training_run = train_stage ?diag ~config ~netlist ~input ~outputs () in
   let t1 = Clock.now () in
   let estimator = Tft.Estimator.make ~delays:config.estimator_delays () in
   with_opt_pool ~domains:config.domains (fun pool ->
       let dataset =
-        Tft.Dataset.of_snapshots ?pool ~mna ~estimator ~freqs_hz:config.freqs_hz
-          training_run.Engine.Tran.snapshots
+        Diag.span diag "pipeline.tft" (fun () ->
+            Tft.Dataset.of_snapshots ?pool ~mna ~estimator
+              ~freqs_hz:config.freqs_hz training_run.Engine.Tran.snapshots)
       in
       let t2 = Clock.now () in
-      (* the per-output fits are independent too: reuse the same pool *)
-      let outcomes =
-        Exec.parallel_init ?pool (List.length outputs) (fun j ->
-            let t3 = Clock.now () in
-            let rvf = Rvf.extract ~config:config.rvf ~dataset ~input:0 ~output:j () in
-            let t4 = Clock.now () in
+      (* the per-output fits are independent too: reuse the same pool.
+         The diag collector is single-owner mutable state, so the fits
+         only fan out when no collector is attached. *)
+      let fit_one ?diag j =
+        let t3 = Clock.now () in
+        let rvf =
+          Rvf.extract ~config:config.rvf ?diag ~dataset ~input:0 ~output:j ()
+        in
+        let t4 = Clock.now () in
+        {
+          model = rvf.Rvf.model;
+          rvf;
+          dataset;
+          mna;
+          training_run;
+          timing =
             {
-              model = rvf.Rvf.model;
-              rvf;
-              dataset;
-              mna;
-              training_run;
-              timing =
-                {
-                  train_seconds = t1 -. t0;
-                  tft_seconds = t2 -. t1;
-                  fit_seconds = t4 -. t3;
-                };
-            })
+              train_seconds = t1 -. t0;
+              tft_seconds = t2 -. t1;
+              fit_seconds = t4 -. t3;
+            };
+        }
       in
-      Array.to_list outcomes)
+      let n = List.length outputs in
+      match diag with
+      | None -> Array.to_list (Exec.parallel_init ?pool n (fun j -> fit_one j))
+      | Some _ ->
+          Diag.span diag "pipeline.fit" (fun () ->
+              List.init n (fun j -> fit_one ?diag j)))
+
+(* --- graceful degradation ------------------------------------------- *)
+
+let escalation_ladder (rvf : Rvf.config) =
+  let open Rvf in
+  let more_poles c =
+    {
+      c with
+      freq_start = Stdlib.min (c.freq_start + 4) c.max_freq_poles;
+      state_start = Stdlib.min (c.state_start + 4) c.max_state_poles;
+    }
+  in
+  let switch_weighting c =
+    let flip (o : Vf.Vfit.opts) =
+      {
+        o with
+        Vf.Vfit.weighting =
+          (match o.Vf.Vfit.weighting with
+          | Vf.Vfit.Uniform -> Vf.Vfit.Inv_sqrt
+          | Vf.Vfit.Inv_sqrt | Vf.Vfit.Inv_magnitude -> Vf.Vfit.Uniform);
+      }
+    in
+    { c with freq_opts = flip c.freq_opts }
+  in
+  let relax_min_imag c =
+    { c with min_imag_fraction = c.min_imag_fraction /. 4.0 }
+  in
+  [
+    (* the first rung is the untouched config: when it succeeds the
+       non-raising path is bit-for-bit the raising one *)
+    ("base", rvf);
+    ("more-start-poles", more_poles rvf);
+    ("switched-weighting", switch_weighting rvf);
+    ("relaxed-min-imag", relax_min_imag rvf);
+    ("combined", relax_min_imag (switch_weighting (more_poles rvf)));
+  ]
+
+let describe_exn = function
+  | Invalid_argument m -> "Invalid_argument: " ^ m
+  | Failure m -> "Failure: " ^ m
+  | Engine.Dc.No_convergence m -> "No_convergence: " ^ m
+  | e -> Printexc.to_string e
+
+(* run [f ()] under [stage]; on a recoverable numerical failure record
+   an Error event naming the stage and return None instead of raising *)
+let guard diag ~stage f =
+  try Some (f ())
+  with
+  | (Invalid_argument _ | Failure _ | Engine.Dc.No_convergence _) as e ->
+    Diag.error diag ~stage (describe_exn e);
+    None
+
+let fit_with_ladder ~diag ~(config : config) ~dataset ~output =
+  let rec attempt = function
+    | [] ->
+        Diag.error diag ~stage:"pipeline.fit"
+          (Printf.sprintf
+             "all %d escalation rungs failed for output %d; returning no model"
+             (List.length (escalation_ladder config.rvf))
+             output);
+        None
+    | (rung, rvf_config) :: rest -> (
+        match
+          try
+            Some
+              (Diag.span diag "pipeline.fit" (fun () ->
+                   Rvf.extract ~config:rvf_config ?diag ~dataset ~input:0
+                     ~output ()))
+          with
+          | (Invalid_argument _ | Failure _ | Engine.Dc.No_convergence _) as e
+            ->
+            Diag.incr diag "pipeline.fit_retries";
+            Diag.warn diag ~stage:"pipeline.fit"
+              (Printf.sprintf "rung %S failed: %s" rung (describe_exn e));
+            None
+        with
+        | Some rvf ->
+            Diag.note diag "pipeline.ladder_rung" rung;
+            if rung <> "base" then
+              Diag.warn diag ~stage:"pipeline.fit"
+                (Printf.sprintf
+                   "degraded extraction: base config failed, rung %S produced \
+                    the model"
+                   rung);
+            Some rvf
+        | None -> attempt rest)
+  in
+  attempt (escalation_ladder config.rvf)
+
+let try_extract ~config ~netlist ~input ~output () =
+  let d = Diag.create () in
+  let diag = Some d in
+  let t0 = Clock.now () in
+  let outcome =
+    match
+      guard diag ~stage:"pipeline.train" (fun () ->
+          train_stage ?diag ~config ~netlist ~input ~outputs:[ output ] ())
+    with
+    | None -> None
+    | Some (mna, training_run) -> (
+        let t1 = Clock.now () in
+        match
+          guard diag ~stage:"pipeline.tft" (fun () ->
+              tft_stage ?diag ~config ~mna ~training_run ())
+        with
+        | None -> None
+        | Some dataset -> (
+            let t2 = Clock.now () in
+            match fit_with_ladder ~diag ~config ~dataset ~output:0 with
+            | None -> None
+            | Some rvf ->
+                let t3 = Clock.now () in
+                Some
+                  {
+                    model = rvf.Rvf.model;
+                    rvf;
+                    dataset;
+                    mna;
+                    training_run;
+                    timing =
+                      {
+                        train_seconds = t1 -. t0;
+                        tft_seconds = t2 -. t1;
+                        fit_seconds = t3 -. t2;
+                      };
+                  }))
+  in
+  (outcome, Diag.report d)
+
+let try_extract_simo ~config ~netlist ~input ~outputs () =
+  let d = Diag.create () in
+  let diag = Some d in
+  if outputs = [] then begin
+    Diag.error diag ~stage:"pipeline.train" "no outputs requested";
+    ([], Diag.report d)
+  end
+  else
+    let t0 = Clock.now () in
+    match
+      guard diag ~stage:"pipeline.train" (fun () ->
+          train_stage ?diag ~config ~netlist ~input ~outputs ())
+    with
+    | None -> (List.map (fun _ -> None) outputs, Diag.report d)
+    | Some (mna, training_run) -> (
+        let t1 = Clock.now () in
+        match
+          guard diag ~stage:"pipeline.tft" (fun () ->
+              tft_stage ?diag ~config ~mna ~training_run ())
+        with
+        | None -> (List.map (fun _ -> None) outputs, Diag.report d)
+        | Some dataset ->
+            let t2 = Clock.now () in
+            let outcomes =
+              List.mapi
+                (fun j _ ->
+                  let t3 = Clock.now () in
+                  match fit_with_ladder ~diag ~config ~dataset ~output:j with
+                  | None -> None
+                  | Some rvf ->
+                      let t4 = Clock.now () in
+                      Some
+                        {
+                          model = rvf.Rvf.model;
+                          rvf;
+                          dataset;
+                          mna;
+                          training_run;
+                          timing =
+                            {
+                              train_seconds = t1 -. t0;
+                              tft_seconds = t2 -. t1;
+                              fit_seconds = t4 -. t3;
+                            };
+                        })
+                outputs
+            in
+            (outcomes, Diag.report d))
 
 let buffer_config ?(snapshots = 100) ?(domains = 1) () =
   let freq = 1e6 in

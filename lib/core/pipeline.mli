@@ -54,6 +54,7 @@ type outcome = {
 }
 
 val extract :
+  ?diag:Diag.t ->
   config:config ->
   netlist:Circuit.Netlist.t ->
   input:string ->
@@ -61,7 +62,13 @@ val extract :
   unit ->
   outcome
 (** Runs the whole flow for a SISO channel. The [input] source's wave is
-    replaced by [config.training.wave] during training. *)
+    replaced by [config.training.wave] during training.
+
+    With [diag], records spans for the three pipeline stages
+    ([pipeline.train], [pipeline.tft], [pipeline.fit]) and threads the
+    collector into the transient engine and the RVF stages. Telemetry
+    never changes the numerics: the extracted model is bit-for-bit the
+    same with or without a collector. *)
 
 val buffer_config : ?snapshots:int -> ?domains:int -> unit -> config
 (** The Section-IV experiment configuration for {!Circuits.Buffer}:
@@ -72,6 +79,7 @@ val extract_buffer : ?config:config -> unit -> outcome
 (** Convenience wrapper reproducing the paper's example end-to-end. *)
 
 val extract_simo :
+  ?diag:Diag.t ->
   config:config ->
   netlist:Circuit.Netlist.t ->
   input:string ->
@@ -82,4 +90,53 @@ val extract_simo :
     systems is very straightforward" — the training transient, snapshot
     capture and TFT pencil solves are shared across channels; only the
     fitting stages run per output. Returns one outcome per requested
-    output (all sharing the same dataset and training run). *)
+    output (all sharing the same dataset and training run).
+
+    A [diag] collector is single-owner mutable state, so attaching one
+    runs the per-output fits sequentially (the results are bit-identical
+    either way; only wall-clock changes). *)
+
+(** {2 Graceful degradation}
+
+    The raising entry points above propagate the first numerical failure
+    ([Invalid_argument], [Failure], {!Engine.Dc.No_convergence}). The
+    [try_]* variants below never raise on those: they climb an
+    escalation ladder of progressively more permissive RVF
+    configurations and, when every rung fails, return [None] together
+    with a {!Diag.report} whose events name the failing stage and every
+    retried rung. *)
+
+val escalation_ladder : Rvf.config -> (string * Rvf.config) list
+(** The retry ladder used by {!try_extract}, most-preferred first:
+    ["base"] (the untouched config — when it succeeds the result is
+    bit-for-bit the raising path's), ["more-start-poles"] (start the
+    pole escalation higher), ["switched-weighting"] (flip the
+    frequency-stage weighting between uniform and inverse-square-root),
+    ["relaxed-min-imag"] (divide [min_imag_fraction] by 4) and
+    ["combined"] (all of the above). *)
+
+val try_extract :
+  config:config ->
+  netlist:Circuit.Netlist.t ->
+  input:string ->
+  output:Engine.Mna.output ->
+  unit ->
+  outcome option * Diag.report
+(** Non-raising {!extract}. Always returns a populated report: spans and
+    counters for the stages that ran, a [Warning] event per failed
+    ladder rung (counter [pipeline.fit_retries]), a note
+    [pipeline.ladder_rung] naming the rung that produced the model, and
+    an [Error] event naming the failing stage when the outcome is
+    [None]. A model produced by any rung above ["base"] carries a
+    degraded-extraction [Warning]. *)
+
+val try_extract_simo :
+  config:config ->
+  netlist:Circuit.Netlist.t ->
+  input:string ->
+  outputs:Engine.Mna.output list ->
+  unit ->
+  outcome option list * Diag.report
+(** Non-raising {!extract_simo}: one [outcome option] per requested
+    output (the ladder runs independently per output) and a single
+    shared report. A training or TFT failure yields all-[None]. *)

@@ -85,6 +85,127 @@ let validate ~model ~netlist ~input ~output ~wave ~t_stop ~dt () =
     modeled;
   }
 
+(* --- diagnostics serialization --------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* non-finite floats have no JSON number form; encode them as strings *)
+let json_float x =
+  if Float.is_nan x then {|"nan"|}
+  else if x = Float.infinity then {|"inf"|}
+  else if x = Float.neg_infinity then {|"-inf"|}
+  else Printf.sprintf "%.17g" x
+
+let diag_json (r : Diag.report) =
+  let buf = Buffer.create 4096 in
+  let sep = ref "" in
+  let item fmt =
+    Buffer.add_string buf !sep;
+    sep := ",";
+    Printf.bprintf buf fmt
+  in
+  let fresh () = sep := "" in
+  Buffer.add_string buf "{\n  \"schema_version\": 1,\n  \"spans\": [";
+  fresh ();
+  List.iter
+    (fun (s : Diag.span) ->
+      item "\n    {\"stage\": \"%s\", \"seconds\": %s}" (json_escape s.stage)
+        (json_float s.seconds))
+    r.Diag.spans;
+  Buffer.add_string buf "\n  ],\n  \"counters\": {";
+  fresh ();
+  List.iter
+    (fun (name, n) -> item "\n    \"%s\": %d" (json_escape name) n)
+    r.Diag.counters;
+  Buffer.add_string buf "\n  },\n  \"stats\": [";
+  fresh ();
+  List.iter
+    (fun (s : Diag.stat) ->
+      item
+        "\n    {\"name\": \"%s\", \"samples\": %d, \"total\": %s, \"min\": \
+         %s, \"max\": %s, \"last\": %s, \"mean\": %s}"
+        (json_escape s.Diag.name) s.Diag.samples (json_float s.Diag.total)
+        (json_float s.Diag.min) (json_float s.Diag.max)
+        (json_float s.Diag.last)
+        (json_float (Diag.mean s)))
+    r.Diag.stats;
+  Buffer.add_string buf "\n  ],\n  \"events\": [";
+  fresh ();
+  List.iter
+    (fun (e : Diag.event) ->
+      item "\n    {\"level\": \"%s\", \"stage\": \"%s\", \"message\": \"%s\"}"
+        (Diag.level_to_string e.Diag.level)
+        (json_escape e.Diag.stage)
+        (json_escape e.Diag.message))
+    r.Diag.events;
+  Buffer.add_string buf "\n  ],\n  \"notes\": {";
+  fresh ();
+  List.iter
+    (fun (k, v) -> item "\n    \"%s\": \"%s\"" (json_escape k) (json_escape v))
+    r.Diag.notes;
+  Buffer.add_string buf "\n  }\n}\n";
+  Buffer.contents buf
+
+let diag_summary (r : Diag.report) =
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "extraction diagnostics\n";
+  if r.Diag.spans <> [] then begin
+    Printf.bprintf buf "  stages:\n";
+    List.iter
+      (fun (s : Diag.span) ->
+        Printf.bprintf buf "    %-24s %8.3fs\n" s.Diag.stage s.Diag.seconds)
+      r.Diag.spans
+  end;
+  if r.Diag.counters <> [] then begin
+    Printf.bprintf buf "  counters:\n";
+    List.iter
+      (fun (name, n) -> Printf.bprintf buf "    %-32s %d\n" name n)
+      r.Diag.counters
+  end;
+  if r.Diag.stats <> [] then begin
+    Printf.bprintf buf "  stats:\n";
+    List.iter
+      (fun (s : Diag.stat) ->
+        Printf.bprintf buf
+          "    %-32s n=%d last=%.3e mean=%.3e min=%.3e max=%.3e\n"
+          s.Diag.name s.Diag.samples s.Diag.last (Diag.mean s) s.Diag.min
+          s.Diag.max)
+      r.Diag.stats
+  end;
+  if r.Diag.notes <> [] then begin
+    Printf.bprintf buf "  notes:\n";
+    List.iter
+      (fun (k, v) -> Printf.bprintf buf "    %-32s %s\n" k v)
+      r.Diag.notes
+  end;
+  let interesting =
+    List.filter (fun (e : Diag.event) -> e.Diag.level <> Diag.Info) r.Diag.events
+  in
+  if interesting <> [] then begin
+    Printf.bprintf buf "  events:\n";
+    List.iter
+      (fun (e : Diag.event) ->
+        Printf.bprintf buf "    [%s] %s: %s\n"
+          (Diag.level_to_string e.Diag.level)
+          e.Diag.stage e.Diag.message)
+      interesting
+  end;
+  Buffer.contents buf
+
 let summary (o : Pipeline.outcome) =
   let r = o.Pipeline.rvf in
   let se =

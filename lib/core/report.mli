@@ -40,3 +40,14 @@ val validate :
 
 val summary : Pipeline.outcome -> string
 (** A human-readable extraction report. *)
+
+val diag_json : Diag.report -> string
+(** Serialize a telemetry report as a self-contained JSON document:
+    [{"schema_version": 1, "spans": [...], "counters": {...},
+    "stats": [...], "events": [...], "notes": {...}}]. Strings are
+    escaped; non-finite floats are encoded as the strings ["nan"],
+    ["inf"] and ["-inf"]. *)
+
+val diag_summary : Diag.report -> string
+(** A compact human-readable rendering of a telemetry report (stages,
+    counters, stats, notes, and any warning/error events). *)

@@ -17,14 +17,17 @@ module Log = (val Logs.src_log src : Logs.LOG)
 
 (* One Newton run at a fixed gmin level. [residual_of] must fill i_vec with
    the full residual and g_mat/c_mat with the Jacobians; the dynamic term
-   is folded in by the caller. Returns (solution, last eval) or None. *)
+   is folded in by the caller. Returns ((solution, last eval) option,
+   iterations actually run) — the count is meaningful on failure too. *)
 let newton ~opts ~mna ~gmin ~residual_of ~jac_of ~initial =
   let n = Mna.size mna in
   let n_nodes = Mna.n_nodes mna in
   let v = Linalg.Vec.copy initial in
+  let iters = ref 0 in
   let rec iterate it =
     if it >= opts.max_iter then None
     else begin
+      incr iters;
       let ev : Mna.eval = residual_of v in
       let f = ev.Mna.i_vec in
       let j =
@@ -58,44 +61,58 @@ let newton ~opts ~mna ~gmin ~residual_of ~jac_of ~initial =
           else iterate (it + 1)
     end
   in
-  iterate 0
+  (* bind before building the pair: OCaml evaluates tuple components
+     right-to-left, so [(iterate 0, !iters)] would read a stale 0 *)
+  let result = iterate 0 in
+  (result, !iters)
 
 let dc_residual mna time v =
   let ev = Mna.eval mna ~with_matrices:true ~time v in
   (* DC: drop the dq/dt term entirely *)
   ev
 
-let solve ?(opts = default_opts) ?initial ?(time = 0.0) mna =
+let solve ?(opts = default_opts) ?diag ?initial ?(time = 0.0) mna =
   let n = Mna.size mna in
   let initial =
     match initial with Some v -> v | None -> Linalg.Vec.create n
   in
   let jac_of (ev : Mna.eval) = ev.Mna.g_mat in
   let attempt gmin start =
-    newton ~opts ~mna ~gmin ~residual_of:(dc_residual mna time) ~jac_of
-      ~initial:start
+    let r, iters =
+      newton ~opts ~mna ~gmin ~residual_of:(dc_residual mna time) ~jac_of
+        ~initial:start
+    in
+    Diag.add diag "dc.newton_iterations" iters;
+    r
   in
   match attempt opts.gmin_final initial with
   | Some (v, _) -> v
   | None ->
       (* gmin stepping continuation *)
       Log.debug (fun m -> m "plain Newton failed; starting gmin stepping");
+      Diag.incr diag "dc.gmin_continuations";
       let levels = [ 1e-2; 1e-3; 1e-4; 1e-5; 1e-6; 1e-7; 1e-8; 1e-10; 1e-12 ] in
       let rec steps v_start = function
-        | [] -> raise (No_convergence "gmin stepping exhausted")
+        | [] ->
+            Diag.error diag ~stage:"engine.dc" "gmin stepping exhausted";
+            raise (No_convergence "gmin stepping exhausted")
         | gmin :: rest -> begin
+            Diag.incr diag "dc.gmin_levels";
             match attempt (Float.max gmin opts.gmin_final) v_start with
             | Some (v, _) -> if rest = [] then v else steps v rest
             | None ->
                 (* restart the level from the best guess we have *)
-                if rest = [] then raise (No_convergence "gmin stepping failed")
+                if rest = [] then begin
+                  Diag.error diag ~stage:"engine.dc" "gmin stepping failed";
+                  raise (No_convergence "gmin stepping failed")
+                end
                 else steps v_start rest
           end
       in
       steps initial levels
 
-let newton_dynamic ?(opts = default_opts) ~mna ~time ~alpha ~q_prev ~qdot_term
-    ~initial () =
+let newton_dynamic ?(opts = default_opts) ?diag ~mna ~time ~alpha ~q_prev
+    ~qdot_term ~initial () =
   let n = Mna.size mna in
   let residual_of v =
     let ev = Mna.eval mna ~with_matrices:true ~time v in
@@ -120,13 +137,17 @@ let newton_dynamic ?(opts = default_opts) ~mna ~time ~alpha ~q_prev ~qdot_term
         Some g
     | _, _ -> None
   in
-  match
+  let result, iters =
     newton ~opts ~mna ~gmin:opts.gmin_final ~residual_of ~jac_of ~initial
-  with
+  in
+  (* the count covers failed attempts too, so the diagnostics layer sees
+     the true cost of steps that later retreat to another integrator *)
+  Diag.add diag "dc.newton_iterations" iters;
+  match result with
   | Some (v, _) ->
       (* re-evaluate to return clean (unmodified) Jacobians at the solution *)
       let ev = Mna.eval mna ~with_matrices:true ~time v in
-      (v, ev)
+      (v, ev, iters)
   | None ->
       raise
         (No_convergence (Printf.sprintf "transient Newton failed at t=%.6e" time))

@@ -12,13 +12,23 @@ val default_opts : opts
 
 exception No_convergence of string
 
-val solve : ?opts:opts -> ?initial:Linalg.Vec.t -> ?time:float -> Mna.t -> Linalg.Vec.t
+val solve :
+  ?opts:opts ->
+  ?diag:Diag.t ->
+  ?initial:Linalg.Vec.t ->
+  ?time:float ->
+  Mna.t ->
+  Linalg.Vec.t
 (** Solve [i(v) = s(time)] (capacitors open, inductors short). Applies
     gmin stepping automatically when plain Newton fails. Raises
-    {!No_convergence} when even the stepped continuation fails. *)
+    {!No_convergence} when even the stepped continuation fails.
+    With [diag], accumulates the [dc.newton_iterations] counter (one
+    bump per actual Newton iteration, across all gmin levels) and the
+    [dc.gmin_levels]/[dc.gmin_continuations] counters. *)
 
 val newton_dynamic :
   ?opts:opts ->
+  ?diag:Diag.t ->
   mna:Mna.t ->
   time:float ->
   alpha:float ->
@@ -26,8 +36,11 @@ val newton_dynamic :
   qdot_term:Linalg.Vec.t ->
   initial:Linalg.Vec.t ->
   unit ->
-  Linalg.Vec.t * Mna.eval
+  Linalg.Vec.t * Mna.eval * int
 (** Newton solve of the discretized transient equation
     [i(v) − s(t) + alpha·(q(v) − q_prev) − qdot_term = 0]; shared by the
-    integration methods in {!Tran}. Returns the solution and the final
-    evaluation (with Jacobians) at the solution. *)
+    integration methods in {!Tran}. Returns the solution, the final
+    evaluation (with Jacobians) at the solution, and the number of
+    Newton iterations actually run. On {!No_convergence} the iterations
+    spent on the failed attempt are still accumulated into [diag]
+    ([dc.newton_iterations]). *)

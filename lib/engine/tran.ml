@@ -24,6 +24,8 @@ type result = {
   outputs : Linalg.Mat.t;
   snapshots : snapshot array;
   newton_iterations : int;
+  be_fallbacks : int;
+  step_rejections : int;
 }
 
 let matrices_of_eval (ev : Mna.eval) =
@@ -31,7 +33,7 @@ let matrices_of_eval (ev : Mna.eval) =
   | Some g, Some c -> (g, c)
   | _, _ -> invalid_arg "Tran: evaluation without Jacobians"
 
-let run ?(opts = default_opts) ?initial mna ~t_stop ~dt =
+let run ?(opts = default_opts) ?diag ?initial mna ~t_stop ~dt =
   if dt <= 0.0 || t_stop <= 0.0 then invalid_arg "Tran.run: dt and t_stop must be > 0";
   let n = Mna.size mna in
   (* the small slack avoids a spurious zero-length final step when
@@ -40,7 +42,7 @@ let run ?(opts = default_opts) ?initial mna ~t_stop ~dt =
   let v0 =
     match initial with
     | Some v -> Linalg.Vec.copy v
-    | None -> Dc.solve ~opts:opts.newton ~time:0.0 mna
+    | None -> Dc.solve ~opts:opts.newton ?diag ~time:0.0 mna
   in
   let ev0 = Mna.eval mna ~with_matrices:true ~time:0.0 v0 in
   let times = Array.make (steps + 1) 0.0 in
@@ -67,6 +69,7 @@ let run ?(opts = default_opts) ?initial mna ~t_stop ~dt =
   in
   if opts.snapshot_every > 0 then take_snapshot 0.0 v0 ev0;
   let newton_count = ref 0 in
+  let fallback_count = ref 0 in
   let q_prev = ref ev0.Mna.q_vec in
   let qdot_prev = ref (Linalg.Vec.create n) in
   let v_prev = ref v0 in
@@ -78,24 +81,45 @@ let run ?(opts = default_opts) ?initial mna ~t_stop ~dt =
       | Backward_euler -> (1.0 /. h, Linalg.Vec.create n)
       | Trapezoidal -> (2.0 /. h, Linalg.Vec.copy !qdot_prev)
     in
-    let v, ev =
+    (* [fell_back] records which integrator actually produced this step,
+       so the qdot update below can use the matching formula *)
+    let v, ev, iters, fell_back =
       try
-        Dc.newton_dynamic ~opts:opts.newton ~mna ~time ~alpha ~q_prev:!q_prev
-          ~qdot_term ~initial:!v_prev ()
-      with Dc.No_convergence _ ->
+        let v, ev, iters =
+          Dc.newton_dynamic ~opts:opts.newton ?diag ~mna ~time ~alpha
+            ~q_prev:!q_prev ~qdot_term ~initial:!v_prev ()
+        in
+        (v, ev, iters, false)
+      with Dc.No_convergence _ when opts.integration = Trapezoidal ->
         (* retreat to backward Euler for this step *)
-        Dc.newton_dynamic ~opts:opts.newton ~mna ~time ~alpha:(1.0 /. h)
-          ~q_prev:!q_prev ~qdot_term:(Linalg.Vec.create n) ~initial:!v_prev ()
+        incr fallback_count;
+        Diag.incr diag "tran.be_fallbacks";
+        Diag.warn diag ~stage:"engine.tran"
+          (Printf.sprintf
+             "trapezoidal step at t=%.6e retreated to backward Euler" time);
+        let v, ev, iters =
+          Dc.newton_dynamic ~opts:opts.newton ?diag ~mna ~time
+            ~alpha:(1.0 /. h) ~q_prev:!q_prev
+            ~qdot_term:(Linalg.Vec.create n) ~initial:!v_prev ()
+        in
+        (v, ev, iters, true)
     in
-    newton_count := !newton_count + 1;
+    newton_count := !newton_count + iters;
     let q_new = ev.Mna.q_vec in
     let qdot_new =
-      match opts.integration with
-      | Backward_euler ->
-          Array.init n (fun j -> (q_new.(j) -. (!q_prev).(j)) /. h)
-      | Trapezoidal ->
-          Array.init n (fun j ->
-              ((2.0 /. h) *. (q_new.(j) -. (!q_prev).(j))) -. (!qdot_prev).(j))
+      (* the derivative estimate must match the integrator that actually
+         produced the step: applying the trapezoidal formula to a
+         backward-Euler step would feed a persistent qdot error into
+         every subsequent trapezoidal step *)
+      if fell_back then
+        Array.init n (fun j -> (q_new.(j) -. (!q_prev).(j)) /. h)
+      else
+        match opts.integration with
+        | Backward_euler ->
+            Array.init n (fun j -> (q_new.(j) -. (!q_prev).(j)) /. h)
+        | Trapezoidal ->
+            Array.init n (fun j ->
+                ((2.0 /. h) *. (q_new.(j) -. (!q_prev).(j))) -. (!qdot_prev).(j))
     in
     times.(k) <- time;
     states.(k) <- Linalg.Vec.copy v;
@@ -106,19 +130,23 @@ let run ?(opts = default_opts) ?initial mna ~t_stop ~dt =
     qdot_prev := qdot_new;
     v_prev := v
   done;
+  Diag.add diag "tran.steps" steps;
+  Diag.add diag "tran.newton_iterations" !newton_count;
   {
     times;
     states;
     outputs;
     snapshots = Array.of_list (List.rev !snapshots);
     newton_iterations = !newton_count;
+    be_fallbacks = !fallback_count;
+    step_rejections = 0;
   }
 
 let output_waveform r j =
   Signal.Waveform.make r.times (Linalg.Mat.col r.outputs j)
 
-let run_adaptive ?(opts = default_opts) ?initial ?(reltol = 1e-3) ?(abstol = 1e-6)
-    ?dt_min ?dt_max mna ~t_stop ~dt =
+let run_adaptive ?(opts = default_opts) ?diag ?initial ?(reltol = 1e-3)
+    ?(abstol = 1e-6) ?dt_min ?dt_max mna ~t_stop ~dt =
   if dt <= 0.0 || t_stop <= 0.0 then
     invalid_arg "Tran.run_adaptive: dt and t_stop must be > 0";
   let dt_min = match dt_min with Some v -> v | None -> dt /. 1e6 in
@@ -127,7 +155,7 @@ let run_adaptive ?(opts = default_opts) ?initial ?(reltol = 1e-3) ?(abstol = 1e-
   let v0 =
     match initial with
     | Some v -> Linalg.Vec.copy v
-    | None -> Dc.solve ~opts:opts.newton ~time:0.0 mna
+    | None -> Dc.solve ~opts:opts.newton ?diag ~time:0.0 mna
   in
   let ev0 = Mna.eval mna ~with_matrices:true ~time:0.0 v0 in
   let times = ref [ 0.0 ] in
@@ -149,6 +177,7 @@ let run_adaptive ?(opts = default_opts) ?initial ?(reltol = 1e-3) ?(abstol = 1e-
   in
   if opts.snapshot_every > 0 then take_snapshot 0.0 v0 ev0;
   let newton_count = ref 0 in
+  let rejections = ref 0 in
   let q_prev = ref ev0.Mna.q_vec in
   let qdot_prev = ref (Linalg.Vec.create n) in
   let v_prev = ref v0 in
@@ -160,21 +189,26 @@ let run_adaptive ?(opts = default_opts) ?initial ?(reltol = 1e-3) ?(abstol = 1e-
     let time = !t_now +. h_try in
     let step_ok, v_new, ev_new =
       try
-        let v, ev =
-          Dc.newton_dynamic ~opts:opts.newton ~mna ~time ~alpha:(2.0 /. h_try)
-            ~q_prev:!q_prev ~qdot_term:(Linalg.Vec.copy !qdot_prev)
-            ~initial:!v_prev ()
+        let v, ev, iters =
+          Dc.newton_dynamic ~opts:opts.newton ?diag ~mna ~time
+            ~alpha:(2.0 /. h_try) ~q_prev:!q_prev
+            ~qdot_term:(Linalg.Vec.copy !qdot_prev) ~initial:!v_prev ()
         in
+        newton_count := !newton_count + iters;
         (true, v, ev)
       with Dc.No_convergence _ -> (false, !v_prev, ev0)
     in
-    incr newton_count;
     if not step_ok then begin
       (* convergence failure: halve the step *)
+      incr rejections;
+      Diag.incr diag "tran.step_rejections";
       h := Float.max dt_min (0.5 *. h_try);
-      if h_try <= dt_min *. 1.0000001 then
+      if h_try <= dt_min *. 1.0000001 then begin
+        Diag.error diag ~stage:"engine.tran"
+          (Printf.sprintf "adaptive step underflow at t=%.6e" time);
         raise (Dc.No_convergence
                  (Printf.sprintf "adaptive step underflow at t=%.6e" time))
+      end
     end
     else begin
       (* predictor: forward Euler with the previous dv/dt estimate *)
@@ -193,9 +227,12 @@ let run_adaptive ?(opts = default_opts) ?initial ?(reltol = 1e-3) ?(abstol = 1e-
           let scale = abstol +. (reltol *. Float.max (Float.abs vi) (Float.abs (!v_prev).(i))) in
           err := Float.max !err (Float.abs (vi -. pred) /. scale))
         v_new;
-      if !err > 2.0 && h_try > dt_min *. 1.0000001 then
+      if !err > 2.0 && h_try > dt_min *. 1.0000001 then begin
         (* reject: shrink *)
+        incr rejections;
+        Diag.incr diag "tran.step_rejections";
         h := Float.max dt_min (h_try *. Float.max 0.2 (0.9 /. sqrt !err))
+      end
       else begin
         (* accept *)
         let q_new = ev_new.Mna.q_vec in
@@ -226,10 +263,14 @@ let run_adaptive ?(opts = default_opts) ?initial ?(reltol = 1e-3) ?(abstol = 1e-
   Array.iteri
     (fun k row -> Array.iteri (fun j v -> Linalg.Mat.set outputs k j v) row)
     outs;
+  Diag.add diag "tran.steps" !accepted;
+  Diag.add diag "tran.newton_iterations" !newton_count;
   {
     times;
     states;
     outputs;
     snapshots = Array.of_list (List.rev !snapshots);
     newton_iterations = !newton_count;
+    be_fallbacks = 0;
+    step_rejections = !rejections;
   }

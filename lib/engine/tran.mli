@@ -30,21 +30,41 @@ type result = {
   states : Linalg.Vec.t array;
   outputs : Linalg.Mat.t;  (** (steps+1) × n_outputs *)
   snapshots : snapshot array;
-  newton_iterations : int;  (** total, a cost proxy *)
+  newton_iterations : int;
+      (** total Newton iterations actually run across all accepted
+          steps (not the step count) *)
+  be_fallbacks : int;
+      (** trapezoidal steps that retreated to backward Euler
+          (always 0 for {!run_adaptive} and pure-BE runs) *)
+  step_rejections : int;
+      (** rejected step attempts of {!run_adaptive} (always 0 for
+          fixed-step {!run}) *)
 }
 
 val run :
-  ?opts:opts -> ?initial:Linalg.Vec.t -> Mna.t -> t_stop:float -> dt:float ->
+  ?opts:opts ->
+  ?diag:Diag.t ->
+  ?initial:Linalg.Vec.t ->
+  Mna.t ->
+  t_stop:float ->
+  dt:float ->
   result
 (** Fixed-step integration from a DC solution at [t = 0] (or [initial]).
     Raises {!Dc.No_convergence} if a step fails even after an internal
-    retreat to backward Euler for that step. *)
+    retreat to backward Euler for that step. When a trapezoidal step
+    does retreat, the charge-derivative estimate for that step uses the
+    backward-Euler difference quotient (matching the integrator that
+    actually produced the step) so subsequent trapezoidal steps are not
+    poisoned by a stale [qdot]. With [diag], records [tran.steps],
+    [tran.newton_iterations], [tran.be_fallbacks] counters and a
+    warning event per fallback. *)
 
 val output_waveform : result -> int -> Signal.Waveform.t
 (** Extract output channel [j] as a waveform. *)
 
 val run_adaptive :
   ?opts:opts ->
+  ?diag:Diag.t ->
   ?initial:Linalg.Vec.t ->
   ?reltol:float ->
   ?abstol:float ->

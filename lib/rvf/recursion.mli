@@ -26,13 +26,20 @@ val fit :
   ?eps:float ->
   ?max_x_poles:int ->
   ?max_y_poles:int ->
+  ?diag:Diag.t ->
   xs:float array ->
   ys:float array ->
   data:float array array ->
   unit ->
   t
 (** [fit ~xs ~ys ~data ()] fits [data.(i).(j) ≈ f(xs.(i), ys.(j))].
-    [eps] (default 1e−3) is the relative RMS target per stage. *)
+    [eps] (default 1e−3) is the relative RMS target per stage.
+
+    With [diag], records spans for the two recursion stages
+    ([recursion.x_stage], [recursion.y_stage]), threads the collector
+    into both {!Vf.Vfit.fit_auto} passes (labels [recursion.x],
+    [recursion.y]) and notes the recursion depth and settled pole count
+    per variable. *)
 
 val eval : t -> x:float -> y:float -> float
 

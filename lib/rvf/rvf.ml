@@ -67,10 +67,14 @@ type freq_stage = {
   dc : float array;
 }
 
-let frequency_stage ?(config = default_config) ~dataset ~input ~output () =
+let frequency_stage ?(config = default_config) ?diag ~dataset ~input ~output () =
   let samples = dataset.Tft.Dataset.samples in
-  if Array.length samples < 4 then
-    invalid_arg "Rvf.extract: need at least 4 trajectory samples";
+  if Array.length samples < 4 then begin
+    Diag.error diag ~stage:"rvf.freq"
+      (Printf.sprintf "need at least 4 trajectory samples, got %d"
+         (Array.length samples));
+    invalid_arg "Rvf.extract: need at least 4 trajectory samples"
+  end;
   if Array.length samples.(0).Tft.Dataset.x <> 1 then
     invalid_arg
       "Rvf.extract: state estimator must be one-dimensional (use Recursion for \
@@ -117,10 +121,11 @@ let frequency_stage ?(config = default_config) ~dataset ~input ~output () =
     }
   in
   let freq_model, freq_info =
-    Vf.Vfit.fit_auto ~opts:freq_opts ~make_poles:make_freq_poles
-      ~start:config.freq_start ~step:config.freq_step
-      ~max_poles:config.max_freq_poles ~tol:(config.eps *. freq_scale)
-      ~points:points_f ~data:dyn_data ()
+    Diag.span diag "rvf.frequency_stage" (fun () ->
+        Vf.Vfit.fit_auto ~opts:freq_opts ?diag ~label:"vf.freq"
+          ~make_poles:make_freq_poles ~start:config.freq_start
+          ~step:config.freq_step ~max_poles:config.max_freq_poles
+          ~tol:(config.eps *. freq_scale) ~points:points_f ~data:dyn_data ())
   in
   Log.info (fun m ->
       m "frequency stage: %d poles, rms %.3e (scale %.3e)"
@@ -140,9 +145,9 @@ let frequency_stage ?(config = default_config) ~dataset ~input ~output () =
     dc = Tft.Dataset.dc_trace dataset ~input ~output;
   }
 
-let extract ?(config = default_config) ~dataset ~input ~output () =
-  let t_start = Sys.time () in
-  let stage = frequency_stage ~config ~dataset ~input ~output () in
+let extract ?(config = default_config) ?diag ~dataset ~input ~output () =
+  let t_start = Clock.now () in
+  let stage = frequency_stage ~config ?diag ~dataset ~input ~output () in
   let freq_model = stage.fs_model and freq_info = stage.fs_info in
   let xs = stage.xs and x_lo = stage.x_lo and x_hi = stage.x_hi in
   (* --- state stage: fit every residue coefficient trace over x --- *)
@@ -179,11 +184,28 @@ let extract ?(config = default_config) ~dataset ~input ~output () =
   let state_opts = { config.state_opts with Vf.Vfit.min_imag } in
   let make_state_poles count = Vf.Pole.initial_real_axis ~lo:x_lo ~hi:x_hi ~count in
   let residue_model, residue_info =
-    Vf.Vfit.fit_auto ~opts:state_opts ~make_poles:make_state_poles
-      ~start:config.state_start ~step:config.state_step
-      ~max_poles:config.max_state_poles ~tol:config.eps ~points:points_x
-      ~data:trace_data ()
+    Diag.span diag "rvf.state_stage" (fun () ->
+        Vf.Vfit.fit_auto ~opts:state_opts ?diag ~label:"vf.state"
+          ~make_poles:make_state_poles ~start:config.state_start
+          ~step:config.state_step ~max_poles:config.max_state_poles
+          ~tol:config.eps ~points:points_x ~data:trace_data ())
   in
+  (* per-trace fit quality: one RMS per residue trajectory, so a single
+     badly-fitted trace is visible even when the pooled RMS looks fine *)
+  (match diag with
+  | None -> ()
+  | Some _ ->
+      for pi = 0 to n_traces - 1 do
+        let acc = ref 0.0 in
+        Array.iteri
+          (fun l z ->
+            let err = Complex.sub (Vf.Model.eval residue_model ~elem:pi z)
+                        trace_data.(pi).(l) in
+            acc := !acc +. Complex.norm2 err)
+          points_x;
+        let rms = sqrt (!acc /. float_of_int (Array.length points_x)) in
+        Diag.observe diag "rvf.residue_trace_rms" rms
+      done);
   let residue_model =
     {
       residue_model with
@@ -210,10 +232,12 @@ let extract ?(config = default_config) ~dataset ~input ~output () =
   in
   let static_scale = Float.max (rms_of_rows static_data) 1e-300 in
   let static_model, static_info =
-    Vf.Vfit.fit_auto ~opts:state_opts ~make_poles:make_state_poles
-      ~start:config.state_start ~step:config.state_step
-      ~max_poles:config.max_state_poles ~tol:(config.eps *. static_scale)
-      ~points:points_x ~data:static_data ()
+    Diag.span diag "rvf.static_stage" (fun () ->
+        Vf.Vfit.fit_auto ~opts:state_opts ?diag ~label:"vf.static"
+          ~make_poles:make_state_poles ~start:config.state_start
+          ~step:config.state_step ~max_poles:config.max_state_poles
+          ~tol:(config.eps *. static_scale) ~points:points_x
+          ~data:static_data ())
   in
   (* --- integration and Hammerstein assembly --- *)
   let x0 = stage.x0 and y0 = stage.y0 in
@@ -235,6 +259,12 @@ let extract ?(config = default_config) ~dataset ~input ~output () =
     Assemble.hammerstein ~name:"rvf" ~freq_poles:freq_model.Vf.Model.poles
       ~stage:stage_fn ~static_path
   in
+  Diag.note diag "rvf.freq_poles"
+    (string_of_int freq_info.Vf.Vfit.pole_count);
+  Diag.note diag "rvf.state_poles"
+    (string_of_int residue_info.Vf.Vfit.pole_count);
+  Diag.note diag "rvf.static_poles"
+    (string_of_int static_info.Vf.Vfit.pole_count);
   {
     model;
     freq_model;
@@ -244,5 +274,5 @@ let extract ?(config = default_config) ~dataset ~input ~output () =
     static_model;
     static_info;
     x_range = (x_lo, x_hi);
-    build_seconds = Sys.time () -. t_start;
+    build_seconds = Clock.now () -. t_start;
   }

@@ -46,11 +46,20 @@ type result = {
 }
 
 val extract :
-  ?config:config -> dataset:Tft.Dataset.t -> input:int -> output:int -> unit ->
+  ?config:config ->
+  ?diag:Diag.t ->
+  dataset:Tft.Dataset.t -> input:int -> output:int -> unit ->
   result
 (** Requires a one-dimensional state estimator (the paper's validated
     case [x = u(t)]); multidimensional gridded recursion lives in
-    {!Recursion}. Raises [Invalid_argument] on dimension mismatches. *)
+    {!Recursion}. Raises [Invalid_argument] on dimension mismatches.
+
+    With [diag], records spans for the three fitting stages
+    ([rvf.frequency_stage], [rvf.state_stage], [rvf.static_stage]),
+    threads the collector into every {!Vf.Vfit.fit_auto} call (labels
+    [vf.freq], [vf.state], [vf.static]), observes a per-residue-trace
+    fit RMS ([rvf.residue_trace_rms]) and notes the settled pole count
+    of each stage. *)
 
 (** {2 Shared frequency stage}
 
@@ -69,5 +78,7 @@ type freq_stage = {
 }
 
 val frequency_stage :
-  ?config:config -> dataset:Tft.Dataset.t -> input:int -> output:int -> unit ->
+  ?config:config ->
+  ?diag:Diag.t ->
+  dataset:Tft.Dataset.t -> input:int -> output:int -> unit ->
   freq_stage

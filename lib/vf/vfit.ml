@@ -83,6 +83,18 @@ let column_scales phi_table points n_points p =
   in
   (scales, if zmax > 0.0 then 1.0 /. zmax else 1.0)
 
+(* per-relocation telemetry: how far sigma is from its constant part
+   (→ 0 as the poles converge), the relaxation constant, the spread of
+   the column scales (a conditioning proxy for the stacked LS system)
+   and how many relocated poles had to be reflected into the left half
+   plane *)
+type reloc_diag = {
+  sigma_rms : float;
+  d_tilde : float;
+  scale_spread : float;
+  flips : int;
+}
+
 (* Solve for the sigma coefficients (c-tilde, d-tilde) given current
    poles. Returns None if the least squares degenerates. *)
 let sigma_step ~opts ~poles ~points ~data ~weights ~relax =
@@ -194,14 +206,39 @@ let sigma_step ~opts ~poles ~points ~data ~weights ~relax =
     | sol ->
         let c_tilde = Array.init p (fun c -> sol.(c) *. scales.(c)) in
         let d_tilde = if relax then sol.(p) else 1.0 in
-        Some (c_tilde, d_tilde)
+        (* RMS of sigma's non-constant part over the fit points *)
+        let sigma_rms =
+          let acc = ref 0.0 in
+          for l = 0 to n_points - 1 do
+            let z = ref Complex.zero in
+            for c = 0 to p - 1 do
+              z :=
+                Complex.add !z
+                  (Linalg.Cx.scale c_tilde.(c) phi.(l).(c))
+            done;
+            acc := !acc +. Complex.norm2 !z
+          done;
+          sqrt (!acc /. float_of_int (Stdlib.max 1 n_points))
+        in
+        let scale_spread =
+          let lo = ref Float.infinity and hi = ref 0.0 in
+          Array.iter
+            (fun s ->
+              if s > 0.0 then begin
+                lo := Float.min !lo s;
+                hi := Float.max !hi s
+              end)
+            scales;
+          if !hi > 0.0 && Float.is_finite !lo then !hi /. !lo else 1.0
+        in
+        Some (c_tilde, d_tilde, sigma_rms, scale_spread)
   end
 
 let relocate_poles ~opts ~poles ~points ~data ~weights =
   let attempt relax =
     match sigma_step ~opts ~poles ~points ~data ~weights ~relax with
     | None -> None
-    | Some (c_tilde, d_tilde) ->
+    | Some (c_tilde, d_tilde, sigma_rms, scale_spread) ->
         if relax && Float.abs d_tilde < 1e-8 then None
         else begin
           let a, b = Basis.state_matrices poles in
@@ -224,13 +261,21 @@ let relocate_poles ~opts ~poles ~points ~data ~weights =
                       else a)
                     eigs
               in
+              let flips =
+                if not opts.enforce_stable then 0
+                else
+                  Array.fold_left
+                    (fun acc a -> if a.Complex.re >= 0.0 then acc + 1 else acc)
+                    0 eigs
+              in
               Some
-                (Pole.normalize ~enforce_stable:opts.enforce_stable
-                   ~min_imag:opts.min_imag eigs)
+                ( Pole.normalize ~enforce_stable:opts.enforce_stable
+                    ~min_imag:opts.min_imag eigs,
+                  { sigma_rms; d_tilde; scale_spread; flips } )
         end
   in
   match attempt opts.relax with
-  | Some poles' -> Some poles'
+  | Some result -> Some result
   | None -> if opts.relax then attempt false else None
 
 (* Residue identification with fixed poles: independent small LS per
@@ -285,7 +330,8 @@ let identify ~opts ~poles ~points ~data ~weights =
     data;
   { Model.poles; coeffs; consts; slopes }
 
-let fit ?(opts = default_frequency_opts) ~poles ~points ~data () =
+let fit ?(opts = default_frequency_opts) ?diag ?(label = "vfit") ~poles ~points
+    ~data () =
   if Array.length data = 0 then invalid_arg "Vfit.fit: no elements";
   Array.iter
     (fun row ->
@@ -299,17 +345,23 @@ let fit ?(opts = default_frequency_opts) ~poles ~points ~data () =
   (try
      for it = 1 to opts.iterations do
        match relocate_poles ~opts ~poles:!poles ~points ~data ~weights with
-       | Some poles' ->
+       | Some (poles', rd) ->
            iterations_run := it;
-           poles := poles'
+           poles := poles';
+           Diag.observe diag (label ^ ".sigma_rms") rd.sigma_rms;
+           Diag.observe diag (label ^ ".column_scale_spread") rd.scale_spread;
+           if rd.flips > 0 then
+             Diag.add diag (label ^ ".unstable_pole_flips") rd.flips
        | None ->
            Log.debug (fun m -> m "pole relocation stalled at iteration %d" it);
+           Diag.incr diag (label ^ ".stalled_relocations");
            raise Exit
      done
    with Exit -> ());
   let model = identify ~opts ~poles:!poles ~points ~data ~weights in
   let rms = Model.rms_error model ~points ~data in
   let max_err = Model.max_error model ~points ~data in
+  Diag.observe diag (label ^ ".fit_rms") rms;
   ( model,
     {
       rms;
@@ -318,30 +370,53 @@ let fit ?(opts = default_frequency_opts) ~poles ~points ~data () =
       pole_count = Array.length !poles;
     } )
 
-let fit_auto ?(opts = default_frequency_opts) ~make_poles ?(start = 2) ?(step = 2)
-    ?(max_poles = 40) ~tol ~points ~data () =
+let fit_auto ?(opts = default_frequency_opts) ?diag ?(label = "vfit")
+    ~make_poles ?(start = 2) ?(step = 2) ?(max_poles = 40) ~tol ~points ~data
+    () =
+  (* the last per-attempt failure, kept so that a fully unsuccessful
+     escalation can report *why* instead of a bare "no successful fit" *)
+  let last_failure = ref None in
+  let fail_no_fit () =
+    let detail =
+      match !last_failure with
+      | Some (count, msg) ->
+          Printf.sprintf " (last attempt: %d poles, %s)" count msg
+      | None ->
+          Printf.sprintf " (no pole count attempted: start %d > max_poles %d)"
+            start max_poles
+    in
+    Diag.error diag ~stage:label ("fit_auto: no successful fit" ^ detail);
+    invalid_arg ("Vfit.fit_auto: no successful fit" ^ detail)
+  in
+  let settle (model, (info : info)) =
+    Diag.note diag (label ^ ".settled_poles") (string_of_int info.pole_count);
+    Diag.observe diag (label ^ ".settled_rms") info.rms;
+    (model, info)
+  in
   let rec loop count best =
     if count > max_poles then begin
-      match best with
-      | Some (m, i) -> (m, i)
-      | None -> invalid_arg "Vfit.fit_auto: no successful fit"
+      match best with Some mi -> settle mi | None -> fail_no_fit ()
     end
     else begin
-      match fit ~opts ~poles:(make_poles count) ~points ~data () with
+      Diag.incr diag (label ^ ".attempts");
+      match fit ~opts ?diag ~label ~poles:(make_poles count) ~points ~data () with
       | exception Invalid_argument msg -> begin
           (* typically: too few points for this many unknowns — stop
              escalating and keep the best admissible model *)
           Log.info (fun m -> m "fit_auto: stopping at %d poles (%s)" count msg);
-          match best with
-          | Some (m, i) -> (m, i)
-          | None -> invalid_arg msg
+          last_failure := Some (count, msg);
+          Diag.warn diag ~stage:label
+            (Printf.sprintf "attempt with %d poles failed: %s" count msg);
+          match best with Some mi -> settle mi | None -> fail_no_fit ()
         end
       | model, info ->
           Log.info (fun m ->
               m "fit_auto: %d poles -> rms %.3e (tol %.3e)" info.pole_count
                 info.rms tol);
-          if info.rms <= tol then (model, info)
+          if info.rms <= tol then settle (model, info)
           else begin
+            last_failure :=
+              Some (count, Printf.sprintf "rms %.3e above tol %.3e" info.rms tol);
             let best =
               match best with
               | Some (_, bi) when bi.rms <= info.rms -> best

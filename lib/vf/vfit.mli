@@ -47,6 +47,8 @@ type info = {
 
 val fit :
   ?opts:opts ->
+  ?diag:Diag.t ->
+  ?label:string ->
   poles:Complex.t array ->
   points:Complex.t array ->
   data:Complex.t array array ->
@@ -54,10 +56,20 @@ val fit :
   Model.t * info
 (** [fit ~poles ~points ~data ()] fits [data.(e).(l) ≈ model_e(points.(l))]
     with common poles, starting the relocation from [poles].
-    Requires [2·length points ≥ unknowns]. *)
+    Requires [2·length points ≥ unknowns].
+
+    With [diag], each relocation sweep records (prefixed by [label],
+    default ["vfit"]): the per-iteration sigma RMS
+    ([<label>.sigma_rms], the non-constant part of σ — goes to zero as
+    the poles converge), the column-scale spread conditioning proxy
+    ([<label>.column_scale_spread]) and the number of relocated poles
+    reflected into the left half plane
+    ([<label>.unstable_pole_flips]). *)
 
 val fit_auto :
   ?opts:opts ->
+  ?diag:Diag.t ->
+  ?label:string ->
   make_poles:(int -> Complex.t array) ->
   ?start:int ->
   ?step:int ->
@@ -70,4 +82,10 @@ val fit_auto :
 (** Escalate the pole count ([start], [start+step], …) until the RMS
     error drops below [tol] (Algorithm 1's "while error > ε: P ← P+2").
     Returns the first model meeting the tolerance, or the best one found
-    if [max_poles] is exhausted. *)
+    if [max_poles] is exhausted.
+
+    Raises [Invalid_argument] when no pole count yields a model at all;
+    the message (and, with [diag], an [Error] event) carries the last
+    per-attempt failure reason instead of a bare "no successful fit".
+    With [diag], also records the attempt count and which pole count
+    the escalation settled on ([<label>.settled_poles] note). *)

@@ -15,5 +15,6 @@ let () =
       ("hammerstein", Test_hammerstein.suite);
       ("caffeine", Test_caffeine.suite);
       ("pipeline", Test_pipeline.suite);
+      ("diag", Test_diag.suite);
       ("coverage", Test_coverage.suite);
     ]
