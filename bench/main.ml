@@ -8,11 +8,28 @@
      dune exec bench/main.exe fig6 --full      # undecimated grids
      dune exec bench/main.exe parallel --domains 8
      dune exec bench/main.exe parallel --quick # smoke mode (see @bench-smoke)
+     dune exec bench/main.exe table1 kernels parallel --quick --json out.json
+     dune exec bench/main.exe compare BENCH_baseline.json out.json
 *)
 
 let full_grids = ref false
 let quick = ref false
 let domains = ref 4
+let threshold = ref 1.5
+
+(* --json FILE: accumulate every quantitative result printed by the
+   targets into a flat name -> float table and serialize it (plus the
+   trace-derived stage self times of the shared experiment) at exit, so
+   runs can be archived and diffed by the `compare` target below *)
+let json_path : string option ref = ref None
+let json_entries : (string * float) list ref = ref []
+
+let record name v =
+  if !json_path <> None then json_entries := (name, v) :: !json_entries
+
+(* set when a correctness check (parallel bit-identity) fails; the whole
+   bench run then exits nonzero so @bench-smoke catches the regression *)
+let bench_failed = ref false
 
 (* ------------------------------------------------------------------ *)
 (* shared experiment state: one extraction of the output buffer, the
@@ -25,9 +42,17 @@ type experiment = {
   v_caffeine : Tft_rvf.Report.validation;
 }
 
+(* only forced in --json mode: the shared extraction then runs traced so
+   the bench JSON can report per-stage self times from the real span tree *)
+let tracer = lazy (Trace.create ())
+
 let experiment =
   lazy
-    (let outcome = Tft_rvf.Pipeline.extract_buffer () in
+    (let trace =
+       if !json_path <> None then Some (Trace.main (Lazy.force tracer))
+       else None
+     in
+     let outcome = Tft_rvf.Pipeline.extract_buffer ?trace () in
      let caffeine =
        Caffeine.Cfit.extract ~dataset:outcome.Tft_rvf.Pipeline.dataset ~input:0
          ~output:0 ()
@@ -185,6 +210,14 @@ let table1 () =
                       +. e.outcome.timing.tft_seconds)
     +. e.caffeine.Caffeine.Cfit.build_seconds
   in
+  record "table1.rvf_build_seconds" rvf_build;
+  record "table1.caffeine_build_seconds" caf_build;
+  record "table1.rvf_surface_rms_db" se_rvf.Tft_rvf.Report.rms_db;
+  record "table1.caffeine_surface_rms_db" se_caf.Tft_rvf.Report.rms_db;
+  record "table1.rvf_time_rmse" e.v_rvf.Tft_rvf.Report.rmse;
+  record "table1.caffeine_time_rmse" e.v_caffeine.Tft_rvf.Report.rmse;
+  record "table1.rvf_speedup" e.v_rvf.Tft_rvf.Report.speedup;
+  record "table1.caffeine_speedup" e.v_caffeine.Tft_rvf.Report.speedup;
   Printf.printf "## Table I: comparison between the RVF and CAFFEINE models\n";
   Printf.printf "# paper reference (4 GHz dual quad-core, ELDO + UMC 0.13um):\n";
   Printf.printf "#   RVF : -62 dB | 0.0098 | 2 min | 7X  | YES\n";
@@ -370,9 +403,10 @@ let ablation_tpw () =
   let t_stop = 32.0 /. 2.5e9 in
   let dt = t_stop /. 2560.0 in
   let w_ref = e.v_rvf.Tft_rvf.Report.reference in
-  let t0 = Sys.time () in
+  let t0 = Clock.now () in
   let w_tpw = Tft.Tpw.simulate tpw ~u ~t_stop ~dt in
-  let t_tpw = Sys.time () -. t0 in
+  let t_tpw = Clock.elapsed t0 in
+  record "ablation.tpw_sim_seconds" t_tpw;
   Printf.printf "%-10s %-12s %-12s %-14s\n" "model" "NRMSE [dB]" "sim time" "runtime data";
   Printf.printf "%-10s %-12.1f %-12s %-14s\n" "TPW"
     (Signal.Metrics.db20 (Signal.Waveform.nrmse w_ref w_tpw))
@@ -401,9 +435,9 @@ let ablation_eps () =
           min_imag_fraction = 0.03;
         }
       in
-      let t0 = Sys.time () in
+      let t0 = Clock.now () in
       let r = Rvf.extract ~config ~dataset:ds ~input:0 ~output:0 () in
-      let dt = Sys.time () -. t0 in
+      let dt = Clock.elapsed t0 in
       let se =
         Tft_rvf.Report.surface_error ~model:r.Rvf.model ~dataset:ds ~input:0
           ~output:0
@@ -419,12 +453,12 @@ let ablation_adaptive () =
     "\n# ablation: fixed vs adaptive-step reference transient (Fig. 9 input)\n";
   let mna = Circuits.Buffer.mna ~input_wave:(Circuits.Buffer.bit_wave ()) () in
   let t_stop = 32.0 /. 2.5e9 in
-  let t0 = Sys.time () in
+  let t0 = Clock.now () in
   let fixed = Engine.Tran.run mna ~t_stop ~dt:(t_stop /. 2560.0) in
-  let t_fixed = Sys.time () -. t0 in
-  let t1 = Sys.time () in
+  let t_fixed = Clock.elapsed t0 in
+  let t1 = Clock.now () in
   let adap = Engine.Tran.run_adaptive mna ~t_stop ~dt:(t_stop /. 2560.0) ~reltol:1e-3 in
-  let t_adap = Sys.time () -. t1 in
+  let t_adap = Clock.elapsed t1 in
   let grid = Signal.Grid.linspace (t_stop /. 1000.0) (0.999 *. t_stop) 512 in
   let wf = Signal.Waveform.resample (Engine.Tran.output_waveform fixed 0) grid in
   let wa = Signal.Waveform.resample (Engine.Tran.output_waveform adap 0) grid in
@@ -498,13 +532,25 @@ let kernels () =
       Hashtbl.iter
         (fun name ols_result ->
           match Analyze.OLS.estimates ols_result with
-          | Some [ est ] -> Printf.printf "  %-28s %12.1f ns/run\n%!" name est
+          | Some [ est ] ->
+              record (Printf.sprintf "kernels.%s_ns" name) est;
+              Printf.printf "  %-28s %12.1f ns/run\n%!" name est
           | Some _ | None -> Printf.printf "  %-28s (no estimate)\n%!" name)
         stats)
     tests
 
 (* ------------------------------------------------------------------ *)
 (* Domain-parallel TFT construction: wall-clock speedup + bit-identity  *)
+
+(* the parallel path promises the very same bit pattern, so compare the
+   raw float bits: [<>] would report a NaN as differing from an
+   identical NaN, and would miss a 0.0 vs -0.0 flip *)
+let float_bits_equal a b =
+  Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let complex_bits_equal (a : Complex.t) (b : Complex.t) =
+  float_bits_equal a.Complex.re b.Complex.re
+  && float_bits_equal a.Complex.im b.Complex.im
 
 let cmat_equal a b =
   Linalg.Cmat.rows a = Linalg.Cmat.rows b
@@ -513,8 +559,8 @@ let cmat_equal a b =
   let ok = ref true in
   for i = 0 to Linalg.Cmat.rows a - 1 do
     for j = 0 to Linalg.Cmat.cols a - 1 do
-      (* bitwise comparison: the parallel path promises identical floats *)
-      if Linalg.Cmat.get a i j <> Linalg.Cmat.get b i j then ok := false
+      if not (complex_bits_equal (Linalg.Cmat.get a i j) (Linalg.Cmat.get b i j))
+      then ok := false
     done
   done;
   !ok
@@ -523,9 +569,11 @@ let dataset_equal (a : Tft.Dataset.t) (b : Tft.Dataset.t) =
   Array.length a.Tft.Dataset.samples = Array.length b.Tft.Dataset.samples
   && Array.for_all2
        (fun (sa : Tft.Dataset.sample) (sb : Tft.Dataset.sample) ->
-         sa.Tft.Dataset.time = sb.Tft.Dataset.time
-         && sa.Tft.Dataset.x = sb.Tft.Dataset.x
+         float_bits_equal sa.Tft.Dataset.time sb.Tft.Dataset.time
+         && Array.length sa.Tft.Dataset.x = Array.length sb.Tft.Dataset.x
+         && Array.for_all2 float_bits_equal sa.Tft.Dataset.x sb.Tft.Dataset.x
          && cmat_equal sa.Tft.Dataset.h0 sb.Tft.Dataset.h0
+         && Array.length sa.Tft.Dataset.h = Array.length sb.Tft.Dataset.h
          && Array.for_all2 cmat_equal sa.Tft.Dataset.h sb.Tft.Dataset.h)
        a.Tft.Dataset.samples b.Tft.Dataset.samples
 
@@ -585,20 +633,117 @@ let parallel () =
     (Option.get !last, !t)
   in
   let ds_seq, t_seq = best (fun () -> build ()) in
+  record "parallel.sequential_seconds" t_seq;
   Printf.printf "%-24s %10.4f s\n" "sequential" t_seq;
   List.iter
     (fun d ->
       Exec.with_pool ~domains:d (fun pool ->
           let ds_par, t_par = best (fun () -> build ~pool ()) in
+          let identical = dataset_equal ds_seq ds_par in
+          if not identical then bench_failed := true;
+          record (Printf.sprintf "parallel.domains%d_seconds" d) t_par;
+          record (Printf.sprintf "parallel.domains%d_speedup" d) (t_seq /. t_par);
+          record
+            (Printf.sprintf "parallel.domains%d_bit_identical" d)
+            (if identical then 1.0 else 0.0);
           Printf.printf "%-24s %10.4f s   speedup %5.2fx   bit-identical %b\n"
             (Printf.sprintf "pool (domains = %d)" d)
-            t_par (t_seq /. t_par) (dataset_equal ds_seq ds_par)))
+            t_par (t_seq /. t_par) identical))
     (List.sort_uniq compare [ 2; Stdlib.max 2 !domains ]);
   Printf.printf
     "# host: %d core(s) available (Domain.recommended_domain_count)\n"
     (Domain.recommended_domain_count ())
 
 (* ------------------------------------------------------------------ *)
+(* machine-readable perf trajectory: --json serialization + compare     *)
+
+let write_bench_json path targets =
+  (* per-stage self times from the traced shared extraction, when a
+     target (table1, figs) forced it in this run *)
+  if Lazy.is_val tracer then
+    List.iter
+      (fun (a : Trace.agg) ->
+        record
+          (Printf.sprintf "trace.%s.self_seconds" a.Trace.agg_name)
+          a.Trace.agg_self)
+      (Trace.aggregate (Lazy.force tracer));
+  let tm = Unix.gmtime (Unix.time ()) in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n  \"schema_version\": 1,\n  \"kind\": \"bench\",\n";
+  Printf.bprintf buf "  \"date\": \"%04d-%02d-%02d\",\n" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday;
+  Printf.bprintf buf "  \"quick\": %b,\n" !quick;
+  Printf.bprintf buf "  \"targets\": [%s],\n"
+    (String.concat ", "
+       (List.map (fun t -> "\"" ^ Jsonu.escape t ^ "\"") targets));
+  Buffer.add_string buf "  \"entries\": {";
+  let sep = ref "" in
+  List.iter
+    (fun (name, v) ->
+      Printf.bprintf buf "%s\n    \"%s\": %s" !sep (Jsonu.escape name)
+        (Jsonu.float v);
+      sep := ",")
+    (List.rev !json_entries);
+  Buffer.add_string buf "\n  }\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.eprintf "# bench json written to %s\n%!" path
+
+(* regression gate: every entry whose name marks it as a timing
+   (_seconds / _ns suffix) present in both files is compared as a ratio;
+   anything slower than --threshold (default 1.5x) fails the run *)
+let timing_entry name =
+  let has_suffix s =
+    let ls = String.length s and ln = String.length name in
+    ln >= ls && String.sub name (ln - ls) ls = s
+  in
+  has_suffix "_seconds" || has_suffix "_ns"
+
+let compare_benches ~threshold old_path new_path =
+  let load what path =
+    let root =
+      try Minijson.parse_file path with
+      | Minijson.Parse_error msg | Sys_error msg ->
+          Printf.eprintf "compare: %s (%s): %s\n" path what msg;
+          exit 2
+    in
+    if Minijson.num_field root "schema_version" <> Some 1.0 then begin
+      Printf.eprintf "compare: %s (%s): unsupported schema_version\n" path what;
+      exit 2
+    end;
+    Option.value ~default:[] (Minijson.obj_field root "entries")
+  in
+  let old_entries = load "baseline" old_path in
+  let new_entries = load "candidate" new_path in
+  let compared = ref 0 and regressions = ref 0 in
+  List.iter
+    (fun (name, v) ->
+      match Minijson.as_num v with
+      | Some nv when timing_entry name -> (
+          match
+            Option.bind (List.assoc_opt name old_entries) Minijson.as_num
+          with
+          | Some ov when ov > 0.0 ->
+              incr compared;
+              let ratio = nv /. ov in
+              if ratio > threshold then begin
+                incr regressions;
+                Printf.printf "REGRESSION %-44s %11.4g -> %11.4g  (%.2fx > %.2fx)\n"
+                  name ov nv ratio threshold
+              end
+              else
+                Printf.printf "ok         %-44s %11.4g -> %11.4g  (%.2fx)\n"
+                  name ov nv ratio
+          | _ -> Printf.printf "new        %-44s %11.4g  (no baseline)\n" name nv)
+      | _ -> ())
+    new_entries;
+  Printf.printf
+    "# compared %d timing entr%s against %s (threshold %.2fx): %d regression(s)\n"
+    !compared
+    (if !compared = 1 then "y" else "ies")
+    old_path threshold !regressions;
+  if !regressions > 0 then exit 1
 
 let all_targets =
   [
@@ -624,23 +769,41 @@ let () =
     | "--domains" :: n :: rest ->
         domains := int_of_string n;
         parse_flags rest
+    | "--json" :: path :: rest ->
+        json_path := Some path;
+        parse_flags rest
+    | "--threshold" :: r :: rest ->
+        threshold := float_of_string r;
+        parse_flags rest
     | a :: rest -> a :: parse_flags rest
     | [] -> []
   in
   let args = parse_flags args in
-  let targets =
-    match args with
-    | [] -> List.map fst all_targets
-    | names -> names
-  in
-  List.iter
-    (fun name ->
-      match List.assoc_opt name all_targets with
-      | Some f ->
-          f ();
-          print_newline ()
-      | None ->
-          Printf.eprintf "unknown bench target %S (available: %s)\n" name
-            (String.concat ", " (List.map fst all_targets));
-          exit 1)
-    targets
+  match args with
+  | "compare" :: rest -> (
+      match rest with
+      | [ old_path; new_path ] ->
+          compare_benches ~threshold:!threshold old_path new_path
+      | _ ->
+          prerr_endline
+            "usage: bench compare OLD.json NEW.json [--threshold RATIO]";
+          exit 2)
+  | args ->
+      let targets =
+        match args with
+        | [] -> List.map fst all_targets
+        | names -> names
+      in
+      List.iter
+        (fun name ->
+          match List.assoc_opt name all_targets with
+          | Some f ->
+              f ();
+              print_newline ()
+          | None ->
+              Printf.eprintf "unknown bench target %S (available: %s)\n" name
+                (String.concat ", " (List.map fst all_targets));
+              exit 1)
+        targets;
+      Option.iter (fun p -> write_bench_json p targets) !json_path;
+      if !bench_failed then exit 1

@@ -1,161 +1,11 @@
 (* Smoke-test validator for `tft_extract --diag` output: parses the JSON
-   report with a tiny self-contained parser and checks the schema shape
+   report with the shared Minijson reader and checks the schema shape
    plus a few invariants a healthy buffer extraction must satisfy.
    Exits 0 and prints "diag ok" on success, 1 with a message otherwise. *)
-
-type json =
-  | Null
-  | Bool of bool
-  | Num of float
-  | Str of string
-  | Arr of json list
-  | Obj of (string * json) list
-
-exception Parse_error of string
-
-let parse (s : string) : json =
-  let n = String.length s in
-  let pos = ref 0 in
-  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let advance () = incr pos in
-  let rec skip_ws () =
-    match peek () with
-    | Some (' ' | '\t' | '\n' | '\r') ->
-        advance ();
-        skip_ws ()
-    | _ -> ()
-  in
-  let expect c =
-    match peek () with
-    | Some c' when c' = c -> advance ()
-    | _ -> fail (Printf.sprintf "expected %C" c)
-  in
-  let literal word value =
-    let l = String.length word in
-    if !pos + l <= n && String.sub s !pos l = word then begin
-      pos := !pos + l;
-      value
-    end
-    else fail (Printf.sprintf "expected %s" word)
-  in
-  let parse_string () =
-    expect '"';
-    let buf = Buffer.create 16 in
-    let rec loop () =
-      match peek () with
-      | None -> fail "unterminated string"
-      | Some '"' -> advance ()
-      | Some '\\' -> (
-          advance ();
-          match peek () with
-          | Some '"' -> advance (); Buffer.add_char buf '"'; loop ()
-          | Some '\\' -> advance (); Buffer.add_char buf '\\'; loop ()
-          | Some '/' -> advance (); Buffer.add_char buf '/'; loop ()
-          | Some 'n' -> advance (); Buffer.add_char buf '\n'; loop ()
-          | Some 'r' -> advance (); Buffer.add_char buf '\r'; loop ()
-          | Some 't' -> advance (); Buffer.add_char buf '\t'; loop ()
-          | Some 'b' -> advance (); Buffer.add_char buf '\b'; loop ()
-          | Some 'f' -> advance (); Buffer.add_char buf '\012'; loop ()
-          | Some 'u' ->
-              advance ();
-              if !pos + 4 > n then fail "truncated \\u escape";
-              let hex = String.sub s !pos 4 in
-              pos := !pos + 4;
-              let code =
-                try int_of_string ("0x" ^ hex)
-                with _ -> fail "bad \\u escape"
-              in
-              (* the report only escapes control chars; keep it simple *)
-              if code < 128 then Buffer.add_char buf (Char.chr code)
-              else Buffer.add_char buf '?';
-              loop ()
-          | _ -> fail "bad escape")
-      | Some c ->
-          advance ();
-          Buffer.add_char buf c;
-          loop ()
-    in
-    loop ();
-    Buffer.contents buf
-  in
-  let parse_number () =
-    let start = !pos in
-    let is_num_char c =
-      match c with
-      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-      | _ -> false
-    in
-    while (match peek () with Some c when is_num_char c -> true | _ -> false) do
-      advance ()
-    done;
-    if !pos = start then fail "expected number";
-    match float_of_string_opt (String.sub s start (!pos - start)) with
-    | Some f -> f
-    | None -> fail "bad number"
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | Some '{' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some '}' then begin advance (); Obj [] end
-        else begin
-          let rec members acc =
-            skip_ws ();
-            let key = parse_string () in
-            skip_ws ();
-            expect ':';
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' -> advance (); members ((key, v) :: acc)
-            | Some '}' -> advance (); Obj (List.rev ((key, v) :: acc))
-            | _ -> fail "expected ',' or '}'"
-          in
-          members []
-        end
-    | Some '[' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some ']' then begin advance (); Arr [] end
-        else begin
-          let rec elems acc =
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' -> advance (); elems (v :: acc)
-            | Some ']' -> advance (); Arr (List.rev (v :: acc))
-            | _ -> fail "expected ',' or ']'"
-          in
-          elems []
-        end
-    | Some '"' -> Str (parse_string ())
-    | Some 't' -> literal "true" (Bool true)
-    | Some 'f' -> literal "false" (Bool false)
-    | Some 'n' -> literal "null" Null
-    | Some _ -> Num (parse_number ())
-    | None -> fail "unexpected end of input"
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> n then fail "trailing garbage";
-  v
-
-(* --- schema checks ---------------------------------------------------- *)
 
 let check_failures = ref []
 
 let check cond msg = if not cond then check_failures := msg :: !check_failures
-
-let obj_field o key =
-  match o with Obj fields -> List.assoc_opt key fields | _ -> None
-
-let as_arr = function Arr l -> Some l | _ -> None
-let as_obj = function Obj l -> Some l | _ -> None
-let as_str = function Str s -> Some s | _ -> None
-let as_num = function Num f -> Some f | _ -> None
 
 let () =
   let path =
@@ -165,36 +15,26 @@ let () =
         prerr_endline "usage: diag_check <diag.json>";
         exit 2
   in
-  let text =
-    let ic = open_in_bin path in
-    let len = in_channel_length ic in
-    let b = really_input_string ic len in
-    close_in ic;
-    b
-  in
   let root =
-    try parse text
-    with Parse_error msg ->
+    try Minijson.parse_file path
+    with Minijson.Parse_error msg ->
       Printf.eprintf "diag_check: %s: invalid JSON: %s\n" path msg;
       exit 1
   in
-  check (obj_field root "schema_version" = Some (Num 1.0)) "schema_version <> 1";
-  let spans =
-    Option.value ~default:[]
-      (Option.bind (obj_field root "spans") as_arr)
-  in
-  check (obj_field root "spans" <> None) "missing spans";
+  check
+    (Minijson.num_field root "schema_version" = Some 1.0)
+    "schema_version <> 1";
+  let spans = Option.value ~default:[] (Minijson.arr_field root "spans") in
+  check (Minijson.field root "spans" <> None) "missing spans";
   let span_stages =
-    List.filter_map
-      (fun sp -> Option.bind (obj_field sp "stage") as_str)
-      spans
+    List.filter_map (fun sp -> Minijson.str_field sp "stage") spans
   in
   check
     (List.length span_stages = List.length spans)
     "a span is missing its stage";
   List.iter
     (fun sp ->
-      match Option.bind (obj_field sp "seconds") as_num with
+      match Minijson.num_field sp "seconds" with
       | Some sec -> check (sec >= 0.0) "negative span duration"
       | None -> check false "a span is missing its seconds")
     spans;
@@ -205,11 +45,12 @@ let () =
         (Printf.sprintf "missing pipeline span %S" stage))
     [ "pipeline.train"; "pipeline.tft"; "pipeline.fit" ];
   let counters =
-    Option.value ~default:[]
-      (Option.bind (obj_field root "counters") as_obj)
+    Option.value ~default:[] (Minijson.obj_field root "counters")
   in
-  check (obj_field root "counters" <> None) "missing counters";
-  let counter name = Option.bind (List.assoc_opt name counters) as_num in
+  check (Minijson.field root "counters" <> None) "missing counters";
+  let counter name =
+    Option.bind (List.assoc_opt name counters) Minijson.as_num
+  in
   let steps = Option.value ~default:0.0 (counter "tran.steps") in
   let newton =
     Option.value ~default:0.0 (counter "tran.newton_iterations")
@@ -217,26 +58,22 @@ let () =
   check (steps > 0.0) "tran.steps missing or zero";
   check (newton >= steps)
     "tran.newton_iterations < tran.steps (per-step counting regressed)";
-  let stats =
-    Option.value ~default:[] (Option.bind (obj_field root "stats") as_arr)
-  in
-  check (obj_field root "stats" <> None) "missing stats";
+  let stats = Option.value ~default:[] (Minijson.arr_field root "stats") in
+  check (Minijson.field root "stats" <> None) "missing stats";
   let stat_names =
-    List.filter_map (fun st -> Option.bind (obj_field st "name") as_str) stats
+    List.filter_map (fun st -> Minijson.str_field st "name") stats
   in
   check
     (List.exists
        (fun nm -> String.length nm >= 3 && String.sub nm 0 3 = "vf.")
        stat_names)
     "no vector-fitting stats recorded";
-  check (obj_field root "events" <> None) "missing events";
+  check (Minijson.field root "events" <> None) "missing events";
   check
-    (Option.bind (obj_field root "events") as_arr <> None)
+    (Minijson.arr_field root "events" <> None)
     "events is not an array";
-  let notes =
-    Option.value ~default:[] (Option.bind (obj_field root "notes") as_obj)
-  in
-  check (obj_field root "notes" <> None) "missing notes";
+  let notes = Option.value ~default:[] (Minijson.obj_field root "notes") in
+  check (Minijson.field root "notes" <> None) "missing notes";
   check
     (List.assoc_opt "pipeline.ladder_rung" notes <> None)
     "missing pipeline.ladder_rung note";

@@ -6,7 +6,9 @@
 
    `--builtin buffer` swaps the netlist file for the programmatic
    Section-IV buffer example; `--diag diag.json` runs the non-raising
-   pipeline and writes the structured telemetry report. *)
+   pipeline and writes the structured telemetry report; `--trace t.json`
+   records a hierarchical Chrome-trace timeline (open in Perfetto) and
+   `--metrics m.json` the counter/histogram registry. *)
 
 let export_model ~export_format ~out_path model =
   let text =
@@ -24,9 +26,14 @@ let export_model ~export_format ~out_path model =
       close_out oc;
       Printf.printf "wrote %s\n" path
 
+let write_file path text =
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc
+
 let run netlist_path builtin input output output_diff train_freq train_ampl
     train_offset f_min f_max points eps snapshots domains out_path
-    export_format diag_path verbose =
+    export_format diag_path trace_path metrics_path verbose =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Info)
@@ -89,26 +96,40 @@ let run netlist_path builtin input output output_diff train_freq train_ampl
         in
         (netlist, input, out_spec, config)
   in
-  match (diag_path, verbose) with
-  | None, false ->
+  match (diag_path, trace_path, metrics_path, verbose) with
+  | None, None, None, false ->
       let outcome =
         Tft_rvf.Pipeline.extract ~config ~netlist ~input ~output:out_spec ()
       in
       print_string (Tft_rvf.Report.summary outcome);
       export_model ~export_format ~out_path outcome.Tft_rvf.Pipeline.model
   | _ -> (
-      (* diagnostics requested: run the non-raising pipeline so a failed
-         extraction still produces a report naming the failing stage *)
+      (* telemetry requested: run the non-raising pipeline so a failed
+         extraction still produces its report, trace and metrics *)
+      let tracer = Option.map (fun _ -> Trace.create ()) trace_path in
+      let trace = Option.map Trace.main tracer in
+      let metrics = Option.map (fun _ -> Metrics.create ()) metrics_path in
       let outcome, report =
-        Tft_rvf.Pipeline.try_extract ~config ~netlist ~input ~output:out_spec ()
+        Tft_rvf.Pipeline.try_extract ?trace ?metrics ~config ~netlist ~input
+          ~output:out_spec ()
       in
       (match diag_path with
       | None -> ()
       | Some path ->
-          let oc = open_out path in
-          output_string oc (Tft_rvf.Report.diag_json report);
-          close_out oc;
+          write_file path (Tft_rvf.Report.diag_json report);
           Printf.eprintf "wrote diagnostics to %s\n%!" path);
+      (match (trace_path, tracer) with
+      | Some path, Some tr ->
+          write_file path (Trace.chrome_json tr);
+          Printf.eprintf "wrote trace to %s\n%!" path;
+          if verbose then prerr_string (Trace.summary tr)
+      | _, _ -> ());
+      (match (metrics_path, metrics) with
+      | Some path, Some m ->
+          write_file path (Metrics.to_json (Metrics.snapshot m));
+          Printf.eprintf "wrote metrics to %s\n%!" path;
+          if verbose then prerr_string (Metrics.summary (Metrics.snapshot m))
+      | _, _ -> ());
       if verbose then prerr_string (Tft_rvf.Report.diag_summary report);
       match outcome with
       | None ->
@@ -195,6 +216,30 @@ let diag_arg =
            non-raising pipeline: a failed extraction still writes the \
            report (naming the failing stage) and exits with status 1.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a hierarchical wall-clock trace of the extraction \
+           (per-stage, per-transient-step, per-chunk and per-VF-iteration \
+           spans, one track per OCaml domain) and write it to $(docv) in \
+           Chrome trace-event JSON — load it in Perfetto \
+           (ui.perfetto.dev) or chrome://tracing. Implies the non-raising \
+           pipeline; the trace is written even when extraction fails.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write the quantitative metrics registry (Newton-iteration, \
+           LU and pencil-solve timing histograms, pool load-balance \
+           ratios) to $(docv) as schema-versioned JSON. Implies the \
+           non-raising pipeline.")
+
 let verbose_arg =
   Arg.(
     value & flag
@@ -221,6 +266,6 @@ let cmd =
       $ points_arg
       $ ffloat [ "eps" ] ~default:1e-3 ~doc:"RVF error bound (relative)."
       $ snapshots_arg $ domains_arg $ out_arg $ format_arg $ diag_arg
-      $ verbose_arg)
+      $ trace_arg $ metrics_arg $ verbose_arg)
 
 let () = exit (Cmd.eval cmd)

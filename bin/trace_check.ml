@@ -1,0 +1,219 @@
+(* Smoke-test validator for `tft_extract --trace` / `--metrics` output:
+   checks that the Chrome trace-event JSON is well-formed and actually
+   hierarchical (nested spans, multiple stages, one track per domain,
+   parent links consistent, children contained in their parents) and
+   that the metrics registry carries the expected counters and
+   histograms with self-consistent buckets.
+
+     trace_check <trace.json> <metrics.json>
+
+   Exits 0 and prints "trace ok" on success, 1 with messages otherwise. *)
+
+let check_failures = ref []
+
+let check cond msg = if not cond then check_failures := msg :: !check_failures
+
+(* generous slack for float roundoff in the µs timestamps *)
+let eps_us = 0.5
+
+let check_trace root =
+  check
+    (Minijson.num_field root "schema_version" = Some 1.0)
+    "trace: schema_version <> 1";
+  let events =
+    Option.value ~default:[] (Minijson.arr_field root "traceEvents")
+  in
+  check (events <> []) "trace: no traceEvents";
+  let xs =
+    List.filter (fun e -> Minijson.str_field e "ph" = Some "X") events
+  in
+  let ms =
+    List.filter (fun e -> Minijson.str_field e "ph" = Some "M") events
+  in
+  check (xs <> []) "trace: no complete (X) events";
+  (* every X event carries ts, dur >= 0, tid, and id/parent in args *)
+  let spans =
+    List.filter_map
+      (fun e ->
+        let ts = Minijson.num_field e "ts" in
+        let dur = Minijson.num_field e "dur" in
+        let tid = Minijson.num_field e "tid" in
+        let name = Minijson.str_field e "name" in
+        let args = Option.value ~default:Minijson.Null (Minijson.field e "args") in
+        let id = Minijson.num_field args "id" in
+        let parent = Minijson.num_field args "parent" in
+        match (ts, dur, tid, name, id, parent) with
+        | Some ts, Some dur, Some tid, Some name, Some id, Some parent ->
+            check (dur >= 0.0)
+              (Printf.sprintf "trace: span %S has negative duration" name);
+            Some (int_of_float id, (name, ts, dur, int_of_float tid,
+                                    int_of_float parent))
+        | _ ->
+            check false "trace: an X event is missing ts/dur/tid/name/args.id/args.parent";
+            None)
+      xs
+  in
+  let names =
+    List.sort_uniq compare (List.map (fun (_, (n, _, _, _, _)) -> n) spans)
+  in
+  check
+    (List.length names >= 5)
+    (Printf.sprintf "trace: only %d distinct span names (want >= 5)"
+       (List.length names));
+  let tids =
+    List.sort_uniq compare (List.map (fun (_, (_, _, _, t, _)) -> t) spans)
+  in
+  check
+    (List.length tids >= 2)
+    (Printf.sprintf "trace: only %d track(s) (want >= 2 with --domains 2)"
+       (List.length tids));
+  (* ids unique *)
+  let ids = List.map fst spans in
+  check
+    (List.length (List.sort_uniq compare ids) = List.length ids)
+    "trace: duplicate span ids";
+  (* every track has thread-name metadata *)
+  let named_tids =
+    List.filter_map
+      (fun e ->
+        if Minijson.str_field e "name" = Some "thread_name" then
+          Option.map int_of_float (Minijson.num_field e "tid")
+        else None)
+      ms
+  in
+  List.iter
+    (fun t ->
+      check (List.mem t named_tids)
+        (Printf.sprintf "trace: track %d has no thread_name metadata" t))
+    tids;
+  (* parent links resolve, stay on-track nested, and children fit inside
+     their parent (so per-span self time is non-negative) *)
+  let tbl = Hashtbl.create 256 in
+  List.iter (fun (id, sp) -> Hashtbl.replace tbl id sp) spans;
+  let child_sum = Hashtbl.create 256 in
+  List.iter
+    (fun (_, (name, ts, dur, tid, parent)) ->
+      if parent >= 0 then
+        match Hashtbl.find_opt tbl parent with
+        | None ->
+            check false
+              (Printf.sprintf "trace: span %S has dangling parent %d" name
+                 parent)
+        | Some (pname, pts, pdur, ptid, _) ->
+            if ptid = tid then begin
+              check
+                (ts +. eps_us >= pts && ts +. dur <= pts +. pdur +. eps_us)
+                (Printf.sprintf "trace: span %S escapes its parent %S" name
+                   pname);
+              Hashtbl.replace child_sum parent
+                (dur
+                +. Option.value ~default:0.0
+                     (Hashtbl.find_opt child_sum parent))
+            end)
+    spans;
+  Hashtbl.iter
+    (fun parent sum ->
+      match Hashtbl.find_opt tbl parent with
+      | None -> ()
+      | Some (pname, _, pdur, _, _) ->
+          check
+            (sum <= pdur +. eps_us)
+            (Printf.sprintf
+               "trace: children of %S sum to %.1fus > parent %.1fus (self \
+                time would be negative)"
+               pname sum pdur))
+    child_sum;
+  (* hierarchy is real: at least one span has an in-track parent *)
+  check
+    (List.exists
+       (fun (_, (_, _, _, tid, parent)) ->
+         parent >= 0
+         &&
+         match Hashtbl.find_opt tbl parent with
+         | Some (_, _, _, ptid, _) -> ptid = tid
+         | None -> false)
+       spans)
+    "trace: no nested spans at all"
+
+let check_metrics root =
+  check
+    (Minijson.num_field root "schema_version" = Some 1.0)
+    "metrics: schema_version <> 1";
+  let counters =
+    Option.value ~default:[] (Minijson.obj_field root "counters")
+  in
+  check (Minijson.field root "counters" <> None) "metrics: missing counters";
+  let counter name =
+    Option.bind (List.assoc_opt name counters) Minijson.as_num
+  in
+  check
+    (Option.value ~default:0.0 (counter "tran.steps") > 0.0)
+    "metrics: tran.steps missing or zero";
+  check
+    (Option.value ~default:0.0 (counter "tran.newton_iterations") > 0.0)
+    "metrics: tran.newton_iterations missing or zero";
+  let hists =
+    Option.value ~default:[] (Minijson.arr_field root "histograms")
+  in
+  check (hists <> []) "metrics: no histograms";
+  let hist_names = List.filter_map (fun h -> Minijson.str_field h "name") hists in
+  List.iter
+    (fun name ->
+      check (List.mem name hist_names)
+        (Printf.sprintf "metrics: missing histogram %S" name))
+    [ "ac.pencil_solve_ns"; "dc.lu_factor_ns"; "tran.newton_iters_per_step" ];
+  List.iter
+    (fun h ->
+      let name =
+        Option.value ~default:"?" (Minijson.str_field h "name")
+      in
+      let count = Minijson.num_field h "count" in
+      let buckets = Option.value ~default:[] (Minijson.arr_field h "buckets") in
+      check (count <> None)
+        (Printf.sprintf "metrics: histogram %S missing count" name);
+      check (Minijson.num_field h "mean" <> None)
+        (Printf.sprintf "metrics: histogram %S missing mean" name);
+      let bucket_total =
+        List.fold_left
+          (fun acc b ->
+            acc +. Option.value ~default:0.0 (Minijson.num_field b "count"))
+          0.0 buckets
+      in
+      check
+        (Some bucket_total = count)
+        (Printf.sprintf
+           "metrics: histogram %S bucket counts sum to %.0f <> count" name
+           bucket_total);
+      (* bucket bounds strictly ascending *)
+      let les = List.filter_map (fun b -> Minijson.num_field b "le") buckets in
+      let rec ascending = function
+        | a :: (b :: _ as rest) -> a < b && ascending rest
+        | _ -> true
+      in
+      check (ascending les)
+        (Printf.sprintf "metrics: histogram %S bucket bounds not ascending"
+           name))
+    hists
+
+let () =
+  let trace_path, metrics_path =
+    match Sys.argv with
+    | [| _; t; m |] -> (t, m)
+    | _ ->
+        prerr_endline "usage: trace_check <trace.json> <metrics.json>";
+        exit 2
+  in
+  let load what path =
+    try Minijson.parse_file path
+    with Minijson.Parse_error msg ->
+      Printf.eprintf "trace_check: %s (%s): invalid JSON: %s\n" path what msg;
+      exit 1
+  in
+  check_trace (load "trace" trace_path);
+  check_metrics (load "metrics" metrics_path);
+  match !check_failures with
+  | [] -> print_endline "trace ok"
+  | failures ->
+      List.iter (fun m -> Printf.eprintf "trace_check: %s\n" m)
+        (List.rev failures);
+      exit 1

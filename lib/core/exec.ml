@@ -58,10 +58,19 @@ let with_pool ?domains f =
 (* Chunked fan-out: [size] fixed contiguous chunks, workers take chunks
    1..size-1 from the queue while the submitting domain runs chunk 0,
    then waits for the stragglers. Each chunk writes disjoint slots of
-   [results], so no ordering decision ever reaches the output. *)
-let run_ws pool make_ws n f =
+   [results], so no ordering decision ever reaches the output.
+
+   With [?trace]/[?metrics] attached, each chunk runs inside a
+   [<label>.chunk] span on the executing domain's track (worker-side
+   buffers attach under the caller's innermost open span) and
+   wait/run times land in [<label>.chunk_wait_ns]/[<label>.chunk_run_ns]
+   histograms plus a [<label>.imbalance] ratio. Instrumentation never
+   touches [results] or the chunk boundaries, and the uninstrumented
+   path performs no clock reads, so outputs stay bit-identical. *)
+let run_ws ?trace ?metrics ?(label = "exec") pool make_ws n f =
   if n = 0 then [||]
   else begin
+    let instrumented = Option.is_some trace || Option.is_some metrics in
     let results = Array.make n None in
     let run_chunk lo hi =
       let ws = make_ws () in
@@ -69,17 +78,60 @@ let run_ws pool make_ws n f =
         results.(i) <- Some (f ws i)
       done
     in
+    let seq_chunk () =
+      if not instrumented then run_chunk 0 n
+      else begin
+        let t0 = Clock.now () in
+        Fun.protect
+          ~finally:(fun () ->
+            Metrics.observe_since_ns metrics (label ^ ".chunk_run_ns") t0)
+          (fun () ->
+            Trace.span trace
+              ~args:
+                [ ("chunk", Trace.Int 0); ("lo", Trace.Int 0);
+                  ("hi", Trace.Int n) ]
+              (label ^ ".chunk")
+              (fun () -> run_chunk 0 n))
+      end
+    in
     (match pool with
-    | None -> run_chunk 0 n
-    | Some pool when pool.size <= 1 || n <= 1 -> run_chunk 0 n
+    | None -> seq_chunk ()
+    | Some pool when pool.size <= 1 || n <= 1 -> seq_chunk ()
     | Some pool ->
         let chunks = Stdlib.min pool.size n in
         let bound c = c * n / chunks in
         let remaining = ref (chunks - 1) in
         let first_exn = ref None in
         let done_cond = Condition.create () in
+        (* per-chunk slots are single-writer and only read after the
+           join below, so no extra synchronisation is needed *)
+        let run_ns = if instrumented then Array.make chunks 0.0 else [||] in
+        let wait_ns = if instrumented then Array.make chunks 0.0 else [||] in
+        let parent = Trace.current trace in
+        let t_submit = if instrumented then Clock.now () else 0.0 in
+        let timed_chunk c tbuf lo hi =
+          wait_ns.(c) <- (Clock.now () -. t_submit) *. 1e9;
+          let t0 = Clock.now () in
+          Fun.protect
+            ~finally:(fun () -> run_ns.(c) <- (Clock.now () -. t0) *. 1e9)
+            (fun () ->
+              Trace.span tbuf
+                ~args:
+                  [ ("chunk", Trace.Int c); ("lo", Trace.Int lo);
+                    ("hi", Trace.Int hi) ]
+                (label ^ ".chunk")
+                (fun () -> run_chunk lo hi))
+        in
         let task c () =
-          (try run_chunk (bound c) (bound (c + 1))
+          (try
+             if instrumented then
+               let tbuf =
+                 match trace with
+                 | None -> None
+                 | Some b -> Some (Trace.attach (Trace.owner b) ~parent ())
+               in
+               timed_chunk c tbuf (bound c) (bound (c + 1))
+             else run_chunk (bound c) (bound (c + 1))
            with exn ->
              Mutex.lock pool.mutex;
              if !first_exn = None then first_exn := Some exn;
@@ -95,12 +147,30 @@ let run_ws pool make_ws n f =
         done;
         Condition.broadcast pool.work_ready;
         Mutex.unlock pool.mutex;
-        let own_exn = (try run_chunk 0 (bound 1); None with exn -> Some exn) in
+        let own_exn =
+          try
+            (if instrumented then timed_chunk 0 trace 0 (bound 1)
+             else run_chunk 0 (bound 1));
+            None
+          with exn -> Some exn
+        in
         Mutex.lock pool.mutex;
         while !remaining > 0 do
           Condition.wait done_cond pool.mutex
         done;
         Mutex.unlock pool.mutex;
+        if instrumented then begin
+          let sum = ref 0.0 and max_run = ref 0.0 in
+          for c = 0 to chunks - 1 do
+            Metrics.observe metrics (label ^ ".chunk_run_ns") run_ns.(c);
+            Metrics.observe metrics (label ^ ".chunk_wait_ns") wait_ns.(c);
+            sum := !sum +. run_ns.(c);
+            if run_ns.(c) > !max_run then max_run := run_ns.(c)
+          done;
+          let mean = !sum /. float_of_int chunks in
+          if mean > 0.0 then
+            Metrics.observe metrics (label ^ ".imbalance") (!max_run /. mean)
+        end;
         (match (own_exn, !first_exn) with
         | Some exn, _ | None, Some exn -> raise exn
         | None, None -> ()));
@@ -109,11 +179,16 @@ let run_ws pool make_ws n f =
       results
   end
 
-let parallel_init_ws ?pool ~ws n f = run_ws pool ws n f
-let parallel_init ?pool n f = run_ws pool (fun () -> ()) n (fun () i -> f i)
+let parallel_init_ws ?pool ?trace ?metrics ?label ~ws n f =
+  run_ws ?trace ?metrics ?label pool ws n f
 
-let parallel_map_ws ?pool ~ws f arr =
-  run_ws pool ws (Array.length arr) (fun w i -> f w arr.(i))
+let parallel_init ?pool ?trace ?metrics ?label n f =
+  run_ws ?trace ?metrics ?label pool (fun () -> ()) n (fun () i -> f i)
 
-let parallel_map ?pool f arr =
-  run_ws pool (fun () -> ()) (Array.length arr) (fun () i -> f arr.(i))
+let parallel_map_ws ?pool ?trace ?metrics ?label ~ws f arr =
+  run_ws ?trace ?metrics ?label pool ws (Array.length arr) (fun w i ->
+      f w arr.(i))
+
+let parallel_map ?pool ?trace ?metrics ?label f arr =
+  run_ws ?trace ?metrics ?label pool (fun () -> ()) (Array.length arr)
+    (fun () i -> f arr.(i))

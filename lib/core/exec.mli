@@ -35,23 +35,59 @@ val with_pool : ?domains:int -> (t -> 'a) -> 'a
 (** [with_pool f] runs [f] with a fresh pool and shuts it down
     afterwards, also on exceptions. *)
 
-val parallel_init : ?pool:t -> int -> (int -> 'a) -> 'a array
+val parallel_init :
+  ?pool:t ->
+  ?trace:Trace.buf ->
+  ?metrics:Metrics.t ->
+  ?label:string ->
+  int ->
+  (int -> 'a) ->
+  'a array
 (** [parallel_init ?pool n f] is [Array.init n f] with the index range
     chunked across the pool. [f] must be pure (or at least safe to call
     concurrently from several domains). Without [pool], or with a
     1-domain pool, it runs sequentially in the caller. The first
     exception raised by any chunk is re-raised in the caller after all
-    chunks finish. *)
+    chunks finish.
 
-val parallel_map : ?pool:t -> ('a -> 'b) -> 'a array -> 'b array
+    With [?trace], each chunk records a [<label>.chunk] span (default
+    label ["exec"]) on the track of the domain that ran it, parented
+    under the caller's innermost open span; with [?metrics], per-chunk
+    wait and run times land in the [<label>.chunk_wait_ns] /
+    [<label>.chunk_run_ns] histograms and the max/mean run-time ratio in
+    [<label>.imbalance]. Instrumentation never changes chunk boundaries
+    or results, and the plain path performs no clock reads. *)
+
+val parallel_map :
+  ?pool:t ->
+  ?trace:Trace.buf ->
+  ?metrics:Metrics.t ->
+  ?label:string ->
+  ('a -> 'b) ->
+  'a array ->
+  'b array
 (** [parallel_map ?pool f arr] is [Array.map f arr], chunked likewise. *)
 
 val parallel_init_ws :
-  ?pool:t -> ws:(unit -> 'w) -> int -> ('w -> int -> 'a) -> 'a array
+  ?pool:t ->
+  ?trace:Trace.buf ->
+  ?metrics:Metrics.t ->
+  ?label:string ->
+  ws:(unit -> 'w) ->
+  int ->
+  ('w -> int -> 'a) ->
+  'a array
 (** Like {!parallel_init} but [ws ()] is evaluated once per chunk and
     passed to every [f] call of that chunk, so scratch buffers are
     reused across the chunk instead of reallocated per element. *)
 
 val parallel_map_ws :
-  ?pool:t -> ws:(unit -> 'w) -> ('w -> 'a -> 'b) -> 'a array -> 'b array
+  ?pool:t ->
+  ?trace:Trace.buf ->
+  ?metrics:Metrics.t ->
+  ?label:string ->
+  ws:(unit -> 'w) ->
+  ('w -> 'a -> 'b) ->
+  'a array ->
+  'b array
 (** Workspace variant of {!parallel_map}. *)

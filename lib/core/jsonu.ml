@@ -1,0 +1,26 @@
+(* Shared JSON *writing* helpers for the telemetry serializers
+   (Report.diag_json, Trace.chrome_json, Metrics.to_json, bench --json).
+   Reading lives in Minijson. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* non-finite floats have no JSON number form; encode them as strings *)
+let float x =
+  if Float.is_nan x then {|"nan"|}
+  else if x = Float.infinity then {|"inf"|}
+  else if x = Float.neg_infinity then {|"-inf"|}
+  else Printf.sprintf "%.17g" x

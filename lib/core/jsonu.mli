@@ -1,0 +1,10 @@
+(** JSON writing helpers shared by the telemetry serializers. *)
+
+val escape : string -> string
+(** Escape a string for inclusion between double quotes in a JSON
+    document (quotes, backslashes and control characters). *)
+
+val float : float -> string
+(** Render a float as a JSON value. Non-finite values have no JSON
+    number form and are encoded as the strings ["nan"], ["inf"] and
+    ["-inf"]. *)

@@ -1,0 +1,242 @@
+(* Counters, gauges and log-bucketed histograms behind one small mutex.
+
+   The mutex makes the registry safe to share across the Exec pool's
+   domains (per-frequency pencil solves record from workers); the
+   critical sections are a handful of hashtable operations, orders of
+   magnitude cheaper than the kernels being measured. The [None] path
+   is a single branch. *)
+
+type hist = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  h_buckets : (int, int ref) Hashtbl.t;  (* bucket index -> count *)
+}
+
+type t = {
+  mutex : Mutex.t;
+  counter_tbl : (string, int ref) Hashtbl.t;
+  mutable counter_order : string list;  (* first-seen order, reversed *)
+  gauge_tbl : (string, float ref) Hashtbl.t;
+  mutable gauge_order : string list;
+  hist_tbl : (string, hist) Hashtbl.t;
+  mutable hist_order : string list;
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    counter_tbl = Hashtbl.create 16;
+    counter_order = [];
+    gauge_tbl = Hashtbl.create 16;
+    gauge_order = [];
+    hist_tbl = Hashtbl.create 16;
+    hist_order = [];
+  }
+
+let locked m f =
+  Mutex.lock m.mutex;
+  let r = try f m with e -> Mutex.unlock m.mutex; raise e in
+  Mutex.unlock m.mutex;
+  r
+
+let add m name n =
+  match m with
+  | None -> ()
+  | Some m ->
+      locked m (fun m ->
+          match Hashtbl.find_opt m.counter_tbl name with
+          | Some r -> r := !r + n
+          | None ->
+              Hashtbl.add m.counter_tbl name (ref n);
+              m.counter_order <- name :: m.counter_order)
+
+let incr m name = add m name 1
+
+let gauge m name v =
+  match m with
+  | None -> ()
+  | Some m ->
+      locked m (fun m ->
+          match Hashtbl.find_opt m.gauge_tbl name with
+          | Some r -> r := v
+          | None ->
+              Hashtbl.add m.gauge_tbl name (ref v);
+              m.gauge_order <- name :: m.gauge_order)
+
+(* four log buckets per decade; index i covers (10^((i-1)/4), 10^(i/4)].
+   Non-positive / non-finite observations use a sentinel underflow
+   index below every representable bucket. *)
+let underflow_idx = min_int
+
+let bucket_idx v =
+  if Float.is_finite v && v > 0.0 then
+    (* the epsilon keeps exact powers (log10 = k/4 up to roundoff) in
+       their own bucket instead of spilling into the next one *)
+    int_of_float (Float.ceil ((4.0 *. Float.log10 v) -. 1e-9))
+  else underflow_idx
+
+let bucket_le idx =
+  if idx = underflow_idx then 0.0 else Float.pow 10.0 (float_of_int idx /. 4.0)
+
+let observe m name v =
+  match m with
+  | None -> ()
+  | Some m ->
+      locked m (fun m ->
+          let h =
+            match Hashtbl.find_opt m.hist_tbl name with
+            | Some h -> h
+            | None ->
+                let h =
+                  {
+                    h_count = 0;
+                    h_sum = 0.0;
+                    h_min = Float.infinity;
+                    h_max = Float.neg_infinity;
+                    h_buckets = Hashtbl.create 16;
+                  }
+                in
+                Hashtbl.add m.hist_tbl name h;
+                m.hist_order <- name :: m.hist_order;
+                h
+          in
+          h.h_count <- h.h_count + 1;
+          h.h_sum <- h.h_sum +. v;
+          h.h_min <- Float.min h.h_min v;
+          h.h_max <- Float.max h.h_max v;
+          let idx = bucket_idx v in
+          match Hashtbl.find_opt h.h_buckets idx with
+          | Some r -> Stdlib.incr r
+          | None -> Hashtbl.add h.h_buckets idx (ref 1))
+
+let now_if = function None -> 0.0 | Some _ -> Clock.now ()
+
+let observe_since_ns m name t0 =
+  match m with
+  | None -> ()
+  | Some _ -> observe m name ((Clock.now () -. t0) *. 1e9)
+
+(* --- snapshots -------------------------------------------------------- *)
+
+type bucket = { le : float; bucket_count : int }
+
+type histogram = {
+  hist_name : string;
+  count : int;
+  sum : float;
+  hist_min : float;
+  hist_max : float;
+  buckets : bucket list;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : histogram list;
+}
+
+let snapshot m =
+  locked m (fun m ->
+      {
+        counters =
+          List.rev_map
+            (fun name -> (name, !(Hashtbl.find m.counter_tbl name)))
+            m.counter_order;
+        gauges =
+          List.rev_map
+            (fun name -> (name, !(Hashtbl.find m.gauge_tbl name)))
+            m.gauge_order;
+        histograms =
+          List.rev_map
+            (fun name ->
+              let h = Hashtbl.find m.hist_tbl name in
+              let buckets =
+                Hashtbl.fold
+                  (fun idx r acc -> (idx, !r) :: acc)
+                  h.h_buckets []
+                |> List.sort (fun (a, _) (b, _) -> compare a b)
+                |> List.map (fun (idx, n) ->
+                       { le = bucket_le idx; bucket_count = n })
+              in
+              {
+                hist_name = name;
+                count = h.h_count;
+                sum = h.h_sum;
+                hist_min = h.h_min;
+                hist_max = h.h_max;
+                buckets;
+              })
+            m.hist_order;
+      })
+
+let hist_mean h = h.sum /. float_of_int (Stdlib.max 1 h.count)
+
+let to_json (s : snapshot) =
+  let buf = Buffer.create 4096 in
+  let sep = ref "" in
+  let item fmt =
+    Buffer.add_string buf !sep;
+    sep := ",";
+    Printf.bprintf buf fmt
+  in
+  let fresh () = sep := "" in
+  Buffer.add_string buf "{\n  \"schema_version\": 1,\n  \"counters\": {";
+  fresh ();
+  List.iter
+    (fun (name, n) -> item "\n    \"%s\": %d" (Jsonu.escape name) n)
+    s.counters;
+  Buffer.add_string buf "\n  },\n  \"gauges\": {";
+  fresh ();
+  List.iter
+    (fun (name, v) ->
+      item "\n    \"%s\": %s" (Jsonu.escape name) (Jsonu.float v))
+    s.gauges;
+  Buffer.add_string buf "\n  },\n  \"histograms\": [";
+  fresh ();
+  List.iter
+    (fun h ->
+      item
+        "\n    {\"name\": \"%s\", \"count\": %d, \"sum\": %s, \"min\": %s, \
+         \"max\": %s, \"mean\": %s, \"buckets\": ["
+        (Jsonu.escape h.hist_name) h.count (Jsonu.float h.sum)
+        (Jsonu.float h.hist_min) (Jsonu.float h.hist_max)
+        (Jsonu.float (hist_mean h));
+      List.iteri
+        (fun i b ->
+          if i > 0 then Buffer.add_char buf ',';
+          Printf.bprintf buf "{\"le\": %s, \"count\": %d}" (Jsonu.float b.le)
+            b.bucket_count)
+        h.buckets;
+      Buffer.add_string buf "]}")
+    s.histograms;
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf
+
+let summary (s : snapshot) =
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "metrics\n";
+  if s.counters <> [] then begin
+    Printf.bprintf buf "  counters:\n";
+    List.iter
+      (fun (name, n) -> Printf.bprintf buf "    %-36s %d\n" name n)
+      s.counters
+  end;
+  if s.gauges <> [] then begin
+    Printf.bprintf buf "  gauges:\n";
+    List.iter
+      (fun (name, v) -> Printf.bprintf buf "    %-36s %.3e\n" name v)
+      s.gauges
+  end;
+  if s.histograms <> [] then begin
+    Printf.bprintf buf "  histograms:\n";
+    List.iter
+      (fun h ->
+        Printf.bprintf buf
+          "    %-36s n=%d mean=%.3e min=%.3e max=%.3e (%d buckets)\n"
+          h.hist_name h.count (hist_mean h) h.hist_min h.hist_max
+          (List.length h.buckets))
+      s.histograms
+  end;
+  Buffer.contents buf

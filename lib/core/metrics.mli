@@ -1,0 +1,81 @@
+(** A thread-safe registry of named counters, gauges and log-bucketed
+    histograms for the extraction stack's quantitative telemetry
+    (Newton iterations per step, LU factor/solve times, pencil-solve
+    times, VF convergence, pool load balance).
+
+    Unlike {!Diag} (single-owner, per-extraction narrative) a registry
+    may be written from several domains concurrently: every recording
+    call takes an internal mutex for a few nanoseconds, which is
+    negligible next to the microsecond-scale kernels being measured.
+    All entry points take a [t option] and [None] is a near-free no-op,
+    so instrumented code threads its own [?metrics] argument straight
+    through — the recorded-and-unrecorded paths run the same numerical
+    code and produce bit-identical results.
+
+    Histograms are log-bucketed: four buckets per decade, so a bucket's
+    upper bound is [10^(i/4)] — wide enough dynamic range for values
+    from nanoseconds to seconds without configuration. *)
+
+type t
+(** A mutable, thread-safe metrics registry. *)
+
+val create : unit -> t
+
+val incr : t option -> string -> unit
+(** Bump a named counter by one. *)
+
+val add : t option -> string -> int -> unit
+(** Bump a named counter by [n]. *)
+
+val gauge : t option -> string -> float -> unit
+(** Set a named gauge (latest value wins). *)
+
+val observe : t option -> string -> float -> unit
+(** Fold one observation into the named histogram. Non-positive and
+    non-finite values land in a dedicated underflow bucket (reported
+    with upper bound 0). *)
+
+val now_if : t option -> float
+(** [Clock.now ()] when a registry is attached, [0.0] otherwise — pair
+    with {!observe_since_ns} to keep the disabled path free of clock
+    reads. *)
+
+val observe_since_ns : t option -> string -> float -> unit
+(** [observe_since_ns m name t0] records [Clock.now () − t0] in
+    nanoseconds into the histogram [name] ([t0] from {!now_if}). *)
+
+(** {2 Snapshots and serialization} *)
+
+type bucket = { le : float; bucket_count : int }
+(** Observations with value ≤ [le] (and above the previous bucket's
+    bound). The underflow bucket has [le = 0]. *)
+
+type histogram = {
+  hist_name : string;
+  count : int;
+  sum : float;
+  hist_min : float;
+  hist_max : float;
+  buckets : bucket list;  (** ascending by [le]; counts sum to [count] *)
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : histogram list;
+}
+(** Immutable copy of a registry, in first-recorded order. *)
+
+val snapshot : t -> snapshot
+
+val hist_mean : histogram -> float
+
+val to_json : snapshot -> string
+(** Serialize as a self-contained schema-versioned JSON document:
+    [{"schema_version": 1, "counters": {...}, "gauges": {...},
+    "histograms": [{"name", "count", "sum", "min", "max", "mean",
+    "buckets": [{"le", "count"}, ...]}, ...]}]. Non-finite floats are
+    encoded as the strings ["nan"], ["inf"], ["-inf"]. *)
+
+val summary : snapshot -> string
+(** Compact human-readable rendering. *)

@@ -1,0 +1,34 @@
+(** A tiny dependency-free JSON reader, shared by the schema validators
+    ([diag_check], [trace_check]) and the bench comparison mode. Covers
+    the subset of RFC 8259 that this repo's own serializers emit. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val parse : string -> t
+(** Parse a complete JSON document. Raises {!Parse_error} (with an
+    offset) on malformed input or trailing garbage. *)
+
+val parse_file : string -> t
+(** {!parse} the contents of a file. *)
+
+val field : t -> string -> t option
+(** Object member lookup; [None] on non-objects and missing keys. *)
+
+val as_arr : t -> t list option
+val as_obj : t -> (string * t) list option
+val as_str : t -> string option
+val as_num : t -> float option
+
+val num_field : t -> string -> float option
+val str_field : t -> string -> string option
+val arr_field : t -> string -> t list option
+val obj_field : t -> string -> (string * t) list option
+(** [field] composed with the corresponding [as_*] accessor. *)

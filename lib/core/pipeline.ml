@@ -73,7 +73,7 @@ let with_wave netlist ~input ~wave =
   Circuit.Netlist.make components
 
 (* training transient + snapshot capture, shared by every entry point *)
-let train_stage ?diag ~config ~netlist ~input ~outputs () =
+let train_stage ?diag ?trace ?metrics ~config ~netlist ~input ~outputs () =
   let training_netlist = with_wave netlist ~input ~wave:config.training.wave in
   let mna = Engine.Mna.build ~inputs:[ input ] ~outputs training_netlist in
   let tran_opts =
@@ -84,29 +84,34 @@ let train_stage ?diag ~config ~netlist ~input ~outputs () =
   in
   let training_run =
     Diag.span diag "pipeline.train" (fun () ->
-        Engine.Tran.run ~opts:tran_opts ?diag mna
-          ~t_stop:config.training.t_stop ~dt:config.training.dt)
+        Trace.span trace "pipeline.train" (fun () ->
+            Engine.Tran.run ~opts:tran_opts ?diag ?trace ?metrics mna
+              ~t_stop:config.training.t_stop ~dt:config.training.dt))
   in
   (mna, training_run)
 
-let tft_stage ?diag ~config ~mna ~training_run () =
+let tft_stage ?diag ?trace ?metrics ~config ~mna ~training_run () =
   let estimator = Tft.Estimator.make ~delays:config.estimator_delays () in
   Diag.span diag "pipeline.tft" (fun () ->
-      with_opt_pool ~domains:config.domains (fun pool ->
-          Tft.Dataset.of_snapshots ?pool ~mna ~estimator
-            ~freqs_hz:config.freqs_hz training_run.Engine.Tran.snapshots))
+      Trace.span trace "pipeline.tft" (fun () ->
+          with_opt_pool ~domains:config.domains (fun pool ->
+              Tft.Dataset.of_snapshots ?pool ?trace ?metrics ~mna ~estimator
+                ~freqs_hz:config.freqs_hz training_run.Engine.Tran.snapshots)))
 
-let extract ?diag ~config ~netlist ~input ~output () =
+let extract ?diag ?trace ?metrics ~config ~netlist ~input ~output () =
   let t0 = Clock.now () in
   let mna, training_run =
-    train_stage ?diag ~config ~netlist ~input ~outputs:[ output ] ()
+    train_stage ?diag ?trace ?metrics ~config ~netlist ~input
+      ~outputs:[ output ] ()
   in
   let t1 = Clock.now () in
-  let dataset = tft_stage ?diag ~config ~mna ~training_run () in
+  let dataset = tft_stage ?diag ?trace ?metrics ~config ~mna ~training_run () in
   let t2 = Clock.now () in
   let rvf =
     Diag.span diag "pipeline.fit" (fun () ->
-        Rvf.extract ~config:config.rvf ?diag ~dataset ~input:0 ~output:0 ())
+        Trace.span trace "pipeline.fit" (fun () ->
+            Rvf.extract ~config:config.rvf ?diag ?trace ?metrics ~dataset
+              ~input:0 ~output:0 ()))
   in
   let t3 = Clock.now () in
   {
@@ -123,26 +128,33 @@ let extract ?diag ~config ~netlist ~input ~output () =
       };
   }
 
-let extract_simo ?diag ~config ~netlist ~input ~outputs () =
+let extract_simo ?diag ?trace ?metrics ~config ~netlist ~input ~outputs () =
   if outputs = [] then invalid_arg "Pipeline.extract_simo: no outputs";
   let t0 = Clock.now () in
-  let mna, training_run = train_stage ?diag ~config ~netlist ~input ~outputs () in
+  let mna, training_run =
+    train_stage ?diag ?trace ?metrics ~config ~netlist ~input ~outputs ()
+  in
   let t1 = Clock.now () in
   let estimator = Tft.Estimator.make ~delays:config.estimator_delays () in
   with_opt_pool ~domains:config.domains (fun pool ->
       let dataset =
         Diag.span diag "pipeline.tft" (fun () ->
-            Tft.Dataset.of_snapshots ?pool ~mna ~estimator
-              ~freqs_hz:config.freqs_hz training_run.Engine.Tran.snapshots)
+            Trace.span trace "pipeline.tft" (fun () ->
+                Tft.Dataset.of_snapshots ?pool ?trace ?metrics ~mna ~estimator
+                  ~freqs_hz:config.freqs_hz
+                  training_run.Engine.Tran.snapshots))
       in
       let t2 = Clock.now () in
       (* the per-output fits are independent too: reuse the same pool.
-         The diag collector is single-owner mutable state, so the fits
-         only fan out when no collector is attached. *)
-      let fit_one ?diag j =
+         A diag collector or trace buffer is single-owner mutable state,
+         so the fits only fan out when neither is attached (the metrics
+         registry is internally synchronized and rides along either
+         way). *)
+      let fit_one ?diag ?trace j =
         let t3 = Clock.now () in
         let rvf =
-          Rvf.extract ~config:config.rvf ?diag ~dataset ~input:0 ~output:j ()
+          Rvf.extract ~config:config.rvf ?diag ?trace ?metrics ~dataset
+            ~input:0 ~output:j ()
         in
         let t4 = Clock.now () in
         {
@@ -160,11 +172,15 @@ let extract_simo ?diag ~config ~netlist ~input ~outputs () =
         }
       in
       let n = List.length outputs in
-      match diag with
-      | None -> Array.to_list (Exec.parallel_init ?pool n (fun j -> fit_one j))
-      | Some _ ->
+      match (diag, trace) with
+      | None, None ->
+          Array.to_list
+            (Exec.parallel_init ?pool ?metrics ~label:"pipeline.fit" n
+               (fun j -> fit_one j))
+      | _, _ ->
           Diag.span diag "pipeline.fit" (fun () ->
-              List.init n (fun j -> fit_one ?diag j)))
+              Trace.span trace "pipeline.fit" (fun () ->
+                  List.init n (fun j -> fit_one ?diag ?trace j))))
 
 (* --- graceful degradation ------------------------------------------- *)
 
@@ -217,7 +233,8 @@ let guard diag ~stage f =
     Diag.error diag ~stage (describe_exn e);
     None
 
-let fit_with_ladder ~diag ~(config : config) ~dataset ~output =
+let fit_with_ladder ~diag ?trace ?metrics ~(config : config) ~dataset ~output
+    () =
   let rec attempt = function
     | [] ->
         Diag.error diag ~stage:"pipeline.fit"
@@ -231,8 +248,9 @@ let fit_with_ladder ~diag ~(config : config) ~dataset ~output =
           try
             Some
               (Diag.span diag "pipeline.fit" (fun () ->
-                   Rvf.extract ~config:rvf_config ?diag ~dataset ~input:0
-                     ~output ()))
+                   Trace.span trace "pipeline.fit" (fun () ->
+                       Rvf.extract ~config:rvf_config ?diag ?trace ?metrics
+                         ~dataset ~input:0 ~output ())))
           with
           | (Invalid_argument _ | Failure _ | Engine.Dc.No_convergence _) as e
             ->
@@ -254,26 +272,30 @@ let fit_with_ladder ~diag ~(config : config) ~dataset ~output =
   in
   attempt (escalation_ladder config.rvf)
 
-let try_extract ~config ~netlist ~input ~output () =
+let try_extract ?trace ?metrics ~config ~netlist ~input ~output () =
   let d = Diag.create () in
   let diag = Some d in
   let t0 = Clock.now () in
   let outcome =
     match
       guard diag ~stage:"pipeline.train" (fun () ->
-          train_stage ?diag ~config ~netlist ~input ~outputs:[ output ] ())
+          train_stage ?diag ?trace ?metrics ~config ~netlist ~input
+            ~outputs:[ output ] ())
     with
     | None -> None
     | Some (mna, training_run) -> (
         let t1 = Clock.now () in
         match
           guard diag ~stage:"pipeline.tft" (fun () ->
-              tft_stage ?diag ~config ~mna ~training_run ())
+              tft_stage ?diag ?trace ?metrics ~config ~mna ~training_run ())
         with
         | None -> None
         | Some dataset -> (
             let t2 = Clock.now () in
-            match fit_with_ladder ~diag ~config ~dataset ~output:0 with
+            match
+              fit_with_ladder ~diag ?trace ?metrics ~config ~dataset ~output:0
+                ()
+            with
             | None -> None
             | Some rvf ->
                 let t3 = Clock.now () in
@@ -294,7 +316,7 @@ let try_extract ~config ~netlist ~input ~output () =
   in
   (outcome, Diag.report d)
 
-let try_extract_simo ~config ~netlist ~input ~outputs () =
+let try_extract_simo ?trace ?metrics ~config ~netlist ~input ~outputs () =
   let d = Diag.create () in
   let diag = Some d in
   if outputs = [] then begin
@@ -305,14 +327,14 @@ let try_extract_simo ~config ~netlist ~input ~outputs () =
     let t0 = Clock.now () in
     match
       guard diag ~stage:"pipeline.train" (fun () ->
-          train_stage ?diag ~config ~netlist ~input ~outputs ())
+          train_stage ?diag ?trace ?metrics ~config ~netlist ~input ~outputs ())
     with
     | None -> (List.map (fun _ -> None) outputs, Diag.report d)
     | Some (mna, training_run) -> (
         let t1 = Clock.now () in
         match
           guard diag ~stage:"pipeline.tft" (fun () ->
-              tft_stage ?diag ~config ~mna ~training_run ())
+              tft_stage ?diag ?trace ?metrics ~config ~mna ~training_run ())
         with
         | None -> (List.map (fun _ -> None) outputs, Diag.report d)
         | Some dataset ->
@@ -321,7 +343,10 @@ let try_extract_simo ~config ~netlist ~input ~outputs () =
               List.mapi
                 (fun j _ ->
                   let t3 = Clock.now () in
-                  match fit_with_ladder ~diag ~config ~dataset ~output:j with
+                  match
+                    fit_with_ladder ~diag ?trace ?metrics ~config ~dataset
+                      ~output:j ()
+                  with
                   | None -> None
                   | Some rvf ->
                       let t4 = Clock.now () in
@@ -368,8 +393,8 @@ let buffer_config ?(snapshots = 100) ?(domains = 1) () =
     domains;
   }
 
-let extract_buffer ?config () =
+let extract_buffer ?diag ?trace ?metrics ?config () =
   let config = match config with Some c -> c | None -> buffer_config () in
-  extract ~config
+  extract ?diag ?trace ?metrics ~config
     ~netlist:(Circuits.Buffer.netlist ())
     ~input:Circuits.Buffer.input_name ~output:Circuits.Buffer.output ()

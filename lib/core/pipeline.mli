@@ -55,6 +55,8 @@ type outcome = {
 
 val extract :
   ?diag:Diag.t ->
+  ?trace:Trace.buf ->
+  ?metrics:Metrics.t ->
   config:config ->
   netlist:Circuit.Netlist.t ->
   input:string ->
@@ -66,20 +68,33 @@ val extract :
 
     With [diag], records spans for the three pipeline stages
     ([pipeline.train], [pipeline.tft], [pipeline.fit]) and threads the
-    collector into the transient engine and the RVF stages. Telemetry
-    never changes the numerics: the extracted model is bit-for-bit the
-    same with or without a collector. *)
+    collector into the transient engine and the RVF stages. With
+    [trace], the same three stages record hierarchical {!Trace} spans —
+    down to per-transient-step, per-chunk and per-VF-iteration spans,
+    across every pool domain — and with [metrics] the quantitative
+    counters and timing histograms of every layer accumulate into the
+    registry. Telemetry never changes the numerics: the extracted model
+    is bit-for-bit the same with or without collectors. *)
 
 val buffer_config : ?snapshots:int -> ?domains:int -> unit -> config
 (** The Section-IV experiment configuration for {!Circuits.Buffer}:
     one period of the low-frequency high-amplitude training sine,
     ~[snapshots] (default 100) TFT samples, 1 Hz – 10 GHz grid. *)
 
-val extract_buffer : ?config:config -> unit -> outcome
-(** Convenience wrapper reproducing the paper's example end-to-end. *)
+val extract_buffer :
+  ?diag:Diag.t ->
+  ?trace:Trace.buf ->
+  ?metrics:Metrics.t ->
+  ?config:config ->
+  unit ->
+  outcome
+(** Convenience wrapper reproducing the paper's example end-to-end,
+    threading the optional collectors through {!extract}. *)
 
 val extract_simo :
   ?diag:Diag.t ->
+  ?trace:Trace.buf ->
+  ?metrics:Metrics.t ->
   config:config ->
   netlist:Circuit.Netlist.t ->
   input:string ->
@@ -92,9 +107,11 @@ val extract_simo :
     fitting stages run per output. Returns one outcome per requested
     output (all sharing the same dataset and training run).
 
-    A [diag] collector is single-owner mutable state, so attaching one
-    runs the per-output fits sequentially (the results are bit-identical
-    either way; only wall-clock changes). *)
+    A [diag] collector or a [trace] buffer is single-owner mutable
+    state, so attaching either runs the per-output fits sequentially
+    (the results are bit-identical either way; only wall-clock
+    changes). A [metrics] registry is internally synchronized and never
+    affects the fan-out. *)
 
 (** {2 Graceful degradation}
 
@@ -116,6 +133,8 @@ val escalation_ladder : Rvf.config -> (string * Rvf.config) list
     ["combined"] (all of the above). *)
 
 val try_extract :
+  ?trace:Trace.buf ->
+  ?metrics:Metrics.t ->
   config:config ->
   netlist:Circuit.Netlist.t ->
   input:string ->
@@ -128,9 +147,14 @@ val try_extract :
     [pipeline.ladder_rung] naming the rung that produced the model, and
     an [Error] event naming the failing stage when the outcome is
     [None]. A model produced by any rung above ["base"] carries a
-    degraded-extraction [Warning]. *)
+    degraded-extraction [Warning]. [?trace]/[?metrics] are threaded
+    through every stage exactly as in {!extract} — including the stages
+    that ran before a failure, so a trace of a failed extraction shows
+    where the time went. *)
 
 val try_extract_simo :
+  ?trace:Trace.buf ->
+  ?metrics:Metrics.t ->
   config:config ->
   netlist:Circuit.Netlist.t ->
   input:string ->

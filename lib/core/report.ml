@@ -87,28 +87,8 @@ let validate ~model ~netlist ~input ~output ~wave ~t_stop ~dt () =
 
 (* --- diagnostics serialization --------------------------------------- *)
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-(* non-finite floats have no JSON number form; encode them as strings *)
-let json_float x =
-  if Float.is_nan x then {|"nan"|}
-  else if x = Float.infinity then {|"inf"|}
-  else if x = Float.neg_infinity then {|"-inf"|}
-  else Printf.sprintf "%.17g" x
+let json_escape = Jsonu.escape
+let json_float = Jsonu.float
 
 let diag_json (r : Diag.report) =
   let buf = Buffer.create 4096 in

@@ -1,0 +1,265 @@
+(* Hierarchical tracing with per-domain buffers.
+
+   Recording is lock-free: a [buf] is owned by exactly one domain and
+   appends to its own span list; the only shared state is the span-id
+   counter (an [Atomic]) and the buffer registry (a mutex taken once per
+   [attach]/collection, never per span). Merging happens at collection
+   time, after the parallel work recording into worker buffers has been
+   joined, so no fences beyond the pool's own join are needed. *)
+
+type arg = Int of int | Float of float | Str of string | Bool of bool
+
+type span = {
+  id : int;
+  parent : int;
+  track : int;
+  name : string;
+  t_start : float;
+  dur : float;
+  args : (string * arg) list;
+}
+
+type open_span = {
+  os_id : int;
+  os_parent : int;
+  os_name : string;
+  os_t0 : float;  (* absolute Clock.now at open *)
+  mutable os_args : (string * arg) list;
+}
+
+type t = {
+  origin : float;
+  next_id : int Atomic.t;
+  reg : Mutex.t;  (* guards [bufs] only *)
+  mutable bufs : buf list;
+  mutable main_buf : buf option;
+}
+
+and buf = {
+  tr : t;
+  track : int;
+  base_parent : int;
+  mutable stack : open_span list;
+  mutable rev_spans : span list;
+}
+
+let attach tr ?(parent = -1) () =
+  let b =
+    {
+      tr;
+      track = (Domain.self () :> int);
+      base_parent = parent;
+      stack = [];
+      rev_spans = [];
+    }
+  in
+  Mutex.lock tr.reg;
+  tr.bufs <- b :: tr.bufs;
+  Mutex.unlock tr.reg;
+  b
+
+let create () =
+  let tr =
+    {
+      origin = Clock.now ();
+      next_id = Atomic.make 0;
+      reg = Mutex.create ();
+      bufs = [];
+      main_buf = None;
+    }
+  in
+  tr.main_buf <- Some (attach tr ());
+  tr
+
+let main tr =
+  match tr.main_buf with Some b -> b | None -> assert false
+
+let owner b = b.tr
+
+let current = function
+  | None -> -1
+  | Some b -> ( match b.stack with [] -> b.base_parent | os :: _ -> os.os_id)
+
+let push b ?(args = []) name =
+  let parent =
+    match b.stack with [] -> b.base_parent | os :: _ -> os.os_id
+  in
+  let os =
+    {
+      os_id = Atomic.fetch_and_add b.tr.next_id 1;
+      os_parent = parent;
+      os_name = name;
+      os_t0 = Clock.now ();
+      os_args = args;
+    }
+  in
+  b.stack <- os :: b.stack
+
+let pop b =
+  match b.stack with
+  | [] -> ()  (* unbalanced close: drop silently rather than corrupt *)
+  | os :: rest ->
+      let t1 = Clock.now () in
+      b.stack <- rest;
+      b.rev_spans <-
+        {
+          id = os.os_id;
+          parent = os.os_parent;
+          track = b.track;
+          name = os.os_name;
+          t_start = os.os_t0 -. b.tr.origin;
+          dur = t1 -. os.os_t0;
+          args = os.os_args;
+        }
+        :: b.rev_spans
+
+let span b ?args name f =
+  match b with
+  | None -> f ()
+  | Some b ->
+      push b ?args name;
+      let r = try f () with e -> pop b; raise e in
+      pop b;
+      r
+
+let add_args b args =
+  match b with
+  | None -> ()
+  | Some b -> (
+      match b.stack with
+      | [] -> ()
+      | os :: _ -> os.os_args <- os.os_args @ args)
+
+let spans tr =
+  Mutex.lock tr.reg;
+  let bufs = tr.bufs in
+  Mutex.unlock tr.reg;
+  let all = List.concat_map (fun b -> List.rev b.rev_spans) bufs in
+  List.sort (fun a b -> Float.compare a.t_start b.t_start) all
+
+(* --- aggregation ----------------------------------------------------- *)
+
+type agg = {
+  agg_name : string;
+  agg_count : int;
+  agg_total : float;
+  agg_self : float;
+}
+
+(* self time is computed within a track: same-track children ran
+   sequentially inside their parent, so dur − Σ children ≥ 0 (up to
+   float rounding, clamped); cross-track children ran concurrently and
+   account for their own time *)
+let self_times all =
+  let child_sum = Hashtbl.create 64 in
+  let track_of = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace track_of s.id s.track) all;
+  List.iter
+    (fun s ->
+      if s.parent >= 0 && Hashtbl.find_opt track_of s.parent = Some s.track
+      then
+        Hashtbl.replace child_sum s.parent
+          (s.dur
+          +. (match Hashtbl.find_opt child_sum s.parent with
+             | Some x -> x
+             | None -> 0.0)))
+    all;
+  List.map
+    (fun s ->
+      let children =
+        match Hashtbl.find_opt child_sum s.id with Some x -> x | None -> 0.0
+      in
+      (s, Float.max 0.0 (s.dur -. children)))
+    all
+
+let aggregate tr =
+  let tbl = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (fun ((s : span), self) ->
+      match Hashtbl.find_opt tbl s.name with
+      | Some (count, total, self_acc) ->
+          Hashtbl.replace tbl s.name (count + 1, total +. s.dur, self_acc +. self)
+      | None ->
+          Hashtbl.add tbl s.name (1, s.dur, self);
+          order := s.name :: !order)
+    (self_times (spans tr));
+  List.rev !order
+  |> List.map (fun name ->
+         let count, total, self = Hashtbl.find tbl name in
+         { agg_name = name; agg_count = count; agg_total = total; agg_self = self })
+  |> List.sort (fun a b -> Float.compare b.agg_self a.agg_self)
+
+let summary tr =
+  let aggs = aggregate tr in
+  let all = spans tr in
+  let tracks =
+    List.sort_uniq compare (List.map (fun (s : span) -> s.track) all)
+  in
+  let grand_self =
+    List.fold_left (fun acc a -> acc +. a.agg_self) 0.0 aggs
+  in
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf
+    "trace summary: %d spans on %d track(s), %.3fs total self time\n"
+    (List.length all) (List.length tracks) grand_self;
+  Printf.bprintf buf "  %-32s %7s %12s %12s %7s\n" "span" "count" "total [s]"
+    "self [s]" "self%";
+  List.iter
+    (fun a ->
+      Printf.bprintf buf "  %-32s %7d %12.6f %12.6f %6.1f%%\n" a.agg_name
+        a.agg_count a.agg_total a.agg_self
+        (if grand_self > 0.0 then 100.0 *. a.agg_self /. grand_self else 0.0))
+    aggs;
+  Buffer.contents buf
+
+(* --- Chrome trace-event export --------------------------------------- *)
+
+let arg_value = function
+  | Int i -> string_of_int i
+  | Float f -> Jsonu.float f
+  | Str s -> Printf.sprintf "\"%s\"" (Jsonu.escape s)
+  | Bool b -> if b then "true" else "false"
+
+let chrome_json tr =
+  let all = spans tr in
+  let tracks =
+    List.sort_uniq compare (List.map (fun (s : span) -> s.track) all)
+  in
+  let main_track = (main tr).track in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "{\n  \"schema_version\": 1,\n  \"displayTimeUnit\": \"ms\",\n  \
+     \"traceEvents\": [";
+  let sep = ref "" in
+  let item fmt =
+    Buffer.add_string buf !sep;
+    sep := ",";
+    Printf.bprintf buf fmt
+  in
+  List.iter
+    (fun track ->
+      item
+        "\n    {\"ph\": \"M\", \"pid\": 1, \"tid\": %d, \"name\": \
+         \"thread_name\", \"args\": {\"name\": \"%s\"}}"
+        track
+        (if track = main_track then "main"
+         else Printf.sprintf "domain-%d" track))
+    tracks;
+  List.iter
+    (fun (s : span) ->
+      item
+        "\n    {\"ph\": \"X\", \"pid\": 1, \"tid\": %d, \"name\": \"%s\", \
+         \"ts\": %s, \"dur\": %s, \"args\": {\"id\": %d, \"parent\": %d"
+        s.track (Jsonu.escape s.name)
+        (Jsonu.float (s.t_start *. 1e6))
+        (Jsonu.float (s.dur *. 1e6))
+        s.id s.parent;
+      List.iter
+        (fun (k, v) ->
+          Printf.bprintf buf ", \"%s\": %s" (Jsonu.escape k) (arg_value v))
+        s.args;
+      Buffer.add_string buf "}}")
+    all;
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf

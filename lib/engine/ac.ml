@@ -50,7 +50,19 @@ let transfer_ws ws ~g ~c ~s =
   done;
   output_transfer ~d:ws.d ~x:ws.x
 
-let transfer_sweep ws ~g ~c ~ss = Array.map (fun s -> transfer_ws ws ~g ~c ~s) ss
+(* matched on [metrics] first so the unrecorded path is exactly the
+   plain map — no clock reads, bit-identical results *)
+let transfer_sweep ?metrics ws ~g ~c ~ss =
+  match metrics with
+  | None -> Array.map (fun s -> transfer_ws ws ~g ~c ~s) ss
+  | Some _ ->
+      Array.map
+        (fun s ->
+          let t0 = Metrics.now_if metrics in
+          let h = transfer_ws ws ~g ~c ~s in
+          Metrics.observe_since_ns metrics "ac.pencil_solve_ns" t0;
+          h)
+        ss
 
 let transfer_at ~g ~c ~b ~d ~s = transfer_ws (make_ws ~b ~d) ~g ~c ~s
 

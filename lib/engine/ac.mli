@@ -25,9 +25,17 @@ val transfer_ws : ws -> g:Linalg.Mat.t -> c:Linalg.Mat.t -> s:Complex.t -> Linal
     matrix. Bit-identical to {!transfer_at} on the same operands. *)
 
 val transfer_sweep :
-  ws -> g:Linalg.Mat.t -> c:Linalg.Mat.t -> ss:Complex.t array -> Linalg.Cmat.t array
+  ?metrics:Metrics.t ->
+  ws ->
+  g:Linalg.Mat.t ->
+  c:Linalg.Mat.t ->
+  ss:Complex.t array ->
+  Linalg.Cmat.t array
 (** [transfer_ws] over a grid of complex frequencies: one in-place
-    pencil build + factorization per grid point. *)
+    pencil build + factorization per grid point. With [metrics], each
+    point's solve time lands in the [ac.pencil_solve_ns] histogram
+    (safe to record from several worker domains at once); without, the
+    sweep is exactly the plain map, with no clock reads. *)
 
 val transfer_at :
   g:Linalg.Mat.t ->

@@ -19,7 +19,7 @@ module Log = (val Logs.src_log src : Logs.LOG)
    the full residual and g_mat/c_mat with the Jacobians; the dynamic term
    is folded in by the caller. Returns ((solution, last eval) option,
    iterations actually run) — the count is meaningful on failure too. *)
-let newton ~opts ~mna ~gmin ~residual_of ~jac_of ~initial =
+let newton ?metrics ~opts ~mna ~gmin ~residual_of ~jac_of ~initial () =
   let n = Mna.size mna in
   let n_nodes = Mna.n_nodes mna in
   let v = Linalg.Vec.copy initial in
@@ -42,10 +42,16 @@ let newton ~opts ~mna ~gmin ~residual_of ~jac_of ~initial =
           f.(k) <- f.(k) +. (gmin *. v.(k))
         done;
       let f_norm = Linalg.Vec.norm_inf f in
+      let t_factor = Metrics.now_if metrics in
       match Linalg.Lu.factor j with
-      | exception Linalg.Lu.Singular _ -> None
+      | exception Linalg.Lu.Singular _ ->
+          Metrics.observe_since_ns metrics "dc.lu_factor_ns" t_factor;
+          None
       | lu ->
+          Metrics.observe_since_ns metrics "dc.lu_factor_ns" t_factor;
+          let t_solve = Metrics.now_if metrics in
           let dv = Linalg.Lu.solve lu (Linalg.Vec.neg f) in
+          Metrics.observe_since_ns metrics "dc.lu_solve_ns" t_solve;
           let dv_norm = Linalg.Vec.norm_inf dv in
           let scale =
             if dv_norm > opts.dv_max then opts.dv_max /. dv_norm else 1.0
@@ -71,7 +77,9 @@ let dc_residual mna time v =
   (* DC: drop the dq/dt term entirely *)
   ev
 
-let solve ?(opts = default_opts) ?diag ?initial ?(time = 0.0) mna =
+let solve ?(opts = default_opts) ?diag ?trace ?metrics ?initial ?(time = 0.0)
+    mna =
+  Trace.span trace "dc.solve" @@ fun () ->
   let n = Mna.size mna in
   let initial =
     match initial with Some v -> v | None -> Linalg.Vec.create n
@@ -79,10 +87,11 @@ let solve ?(opts = default_opts) ?diag ?initial ?(time = 0.0) mna =
   let jac_of (ev : Mna.eval) = ev.Mna.g_mat in
   let attempt gmin start =
     let r, iters =
-      newton ~opts ~mna ~gmin ~residual_of:(dc_residual mna time) ~jac_of
-        ~initial:start
+      newton ?metrics ~opts ~mna ~gmin ~residual_of:(dc_residual mna time)
+        ~jac_of ~initial:start ()
     in
     Diag.add diag "dc.newton_iterations" iters;
+    Metrics.add metrics "dc.newton_iterations" iters;
     r
   in
   match attempt opts.gmin_final initial with
@@ -111,8 +120,8 @@ let solve ?(opts = default_opts) ?diag ?initial ?(time = 0.0) mna =
       in
       steps initial levels
 
-let newton_dynamic ?(opts = default_opts) ?diag ~mna ~time ~alpha ~q_prev
-    ~qdot_term ~initial () =
+let newton_dynamic ?(opts = default_opts) ?diag ?metrics ~mna ~time ~alpha
+    ~q_prev ~qdot_term ~initial () =
   let n = Mna.size mna in
   let residual_of v =
     let ev = Mna.eval mna ~with_matrices:true ~time v in
@@ -138,11 +147,13 @@ let newton_dynamic ?(opts = default_opts) ?diag ~mna ~time ~alpha ~q_prev
     | _, _ -> None
   in
   let result, iters =
-    newton ~opts ~mna ~gmin:opts.gmin_final ~residual_of ~jac_of ~initial
+    newton ?metrics ~opts ~mna ~gmin:opts.gmin_final ~residual_of ~jac_of
+      ~initial ()
   in
   (* the count covers failed attempts too, so the diagnostics layer sees
      the true cost of steps that later retreat to another integrator *)
   Diag.add diag "dc.newton_iterations" iters;
+  Metrics.add metrics "dc.newton_iterations" iters;
   match result with
   | Some (v, _) ->
       (* re-evaluate to return clean (unmodified) Jacobians at the solution *)

@@ -15,6 +15,8 @@ exception No_convergence of string
 val solve :
   ?opts:opts ->
   ?diag:Diag.t ->
+  ?trace:Trace.buf ->
+  ?metrics:Metrics.t ->
   ?initial:Linalg.Vec.t ->
   ?time:float ->
   Mna.t ->
@@ -24,11 +26,15 @@ val solve :
     {!No_convergence} when even the stepped continuation fails.
     With [diag], accumulates the [dc.newton_iterations] counter (one
     bump per actual Newton iteration, across all gmin levels) and the
-    [dc.gmin_levels]/[dc.gmin_continuations] counters. *)
+    [dc.gmin_levels]/[dc.gmin_continuations] counters. With [trace],
+    the whole solve runs inside a [dc.solve] span; with [metrics], the
+    iteration counter is mirrored and every LU factor/solve lands in
+    the [dc.lu_factor_ns]/[dc.lu_solve_ns] histograms. *)
 
 val newton_dynamic :
   ?opts:opts ->
   ?diag:Diag.t ->
+  ?metrics:Metrics.t ->
   mna:Mna.t ->
   time:float ->
   alpha:float ->

@@ -33,16 +33,19 @@ let matrices_of_eval (ev : Mna.eval) =
   | Some g, Some c -> (g, c)
   | _, _ -> invalid_arg "Tran: evaluation without Jacobians"
 
-let run ?(opts = default_opts) ?diag ?initial mna ~t_stop ~dt =
+let run ?(opts = default_opts) ?diag ?trace ?metrics ?initial mna ~t_stop ~dt
+    =
   if dt <= 0.0 || t_stop <= 0.0 then invalid_arg "Tran.run: dt and t_stop must be > 0";
   let n = Mna.size mna in
   (* the small slack avoids a spurious zero-length final step when
      t_stop/dt is an integer up to roundoff *)
   let steps = Stdlib.max 1 (int_of_float (Float.ceil ((t_stop /. dt) -. 1e-9))) in
+  Trace.span trace ~args:[ ("steps", Trace.Int steps) ] "tran.run"
+  @@ fun () ->
   let v0 =
     match initial with
     | Some v -> Linalg.Vec.copy v
-    | None -> Dc.solve ~opts:opts.newton ?diag ~time:0.0 mna
+    | None -> Dc.solve ~opts:opts.newton ?diag ?trace ?metrics ~time:0.0 mna
   in
   let ev0 = Mna.eval mna ~with_matrices:true ~time:0.0 v0 in
   let times = Array.make (steps + 1) 0.0 in
@@ -74,6 +77,7 @@ let run ?(opts = default_opts) ?diag ?initial mna ~t_stop ~dt =
   let qdot_prev = ref (Linalg.Vec.create n) in
   let v_prev = ref v0 in
   for k = 1 to steps do
+    Trace.span trace ~args:[ ("k", Trace.Int k) ] "tran.step" @@ fun () ->
     let time = Float.min (float_of_int k *. dt) t_stop in
     let h = time -. times.(k - 1) in
     let alpha, qdot_term =
@@ -86,7 +90,7 @@ let run ?(opts = default_opts) ?diag ?initial mna ~t_stop ~dt =
     let v, ev, iters, fell_back =
       try
         let v, ev, iters =
-          Dc.newton_dynamic ~opts:opts.newton ?diag ~mna ~time ~alpha
+          Dc.newton_dynamic ~opts:opts.newton ?diag ?metrics ~mna ~time ~alpha
             ~q_prev:!q_prev ~qdot_term ~initial:!v_prev ()
         in
         (v, ev, iters, false)
@@ -94,17 +98,21 @@ let run ?(opts = default_opts) ?diag ?initial mna ~t_stop ~dt =
         (* retreat to backward Euler for this step *)
         incr fallback_count;
         Diag.incr diag "tran.be_fallbacks";
+        Metrics.incr metrics "tran.be_fallbacks";
         Diag.warn diag ~stage:"engine.tran"
           (Printf.sprintf
              "trapezoidal step at t=%.6e retreated to backward Euler" time);
         let v, ev, iters =
-          Dc.newton_dynamic ~opts:opts.newton ?diag ~mna ~time
+          Dc.newton_dynamic ~opts:opts.newton ?diag ?metrics ~mna ~time
             ~alpha:(1.0 /. h) ~q_prev:!q_prev
             ~qdot_term:(Linalg.Vec.create n) ~initial:!v_prev ()
         in
         (v, ev, iters, true)
     in
     newton_count := !newton_count + iters;
+    Trace.add_args trace
+      [ ("iters", Trace.Int iters); ("be_fallback", Trace.Bool fell_back) ];
+    Metrics.observe metrics "tran.newton_iters_per_step" (float_of_int iters);
     let q_new = ev.Mna.q_vec in
     let qdot_new =
       (* the derivative estimate must match the integrator that actually
@@ -132,6 +140,8 @@ let run ?(opts = default_opts) ?diag ?initial mna ~t_stop ~dt =
   done;
   Diag.add diag "tran.steps" steps;
   Diag.add diag "tran.newton_iterations" !newton_count;
+  Metrics.add metrics "tran.steps" steps;
+  Metrics.add metrics "tran.newton_iterations" !newton_count;
   {
     times;
     states;
@@ -145,17 +155,18 @@ let run ?(opts = default_opts) ?diag ?initial mna ~t_stop ~dt =
 let output_waveform r j =
   Signal.Waveform.make r.times (Linalg.Mat.col r.outputs j)
 
-let run_adaptive ?(opts = default_opts) ?diag ?initial ?(reltol = 1e-3)
-    ?(abstol = 1e-6) ?dt_min ?dt_max mna ~t_stop ~dt =
+let run_adaptive ?(opts = default_opts) ?diag ?trace ?metrics ?initial
+    ?(reltol = 1e-3) ?(abstol = 1e-6) ?dt_min ?dt_max mna ~t_stop ~dt =
   if dt <= 0.0 || t_stop <= 0.0 then
     invalid_arg "Tran.run_adaptive: dt and t_stop must be > 0";
+  Trace.span trace "tran.run_adaptive" @@ fun () ->
   let dt_min = match dt_min with Some v -> v | None -> dt /. 1e6 in
   let dt_max = match dt_max with Some v -> v | None -> 50.0 *. dt in
   let n = Mna.size mna in
   let v0 =
     match initial with
     | Some v -> Linalg.Vec.copy v
-    | None -> Dc.solve ~opts:opts.newton ?diag ~time:0.0 mna
+    | None -> Dc.solve ~opts:opts.newton ?diag ?trace ?metrics ~time:0.0 mna
   in
   let ev0 = Mna.eval mna ~with_matrices:true ~time:0.0 v0 in
   let times = ref [ 0.0 ] in
@@ -190,11 +201,13 @@ let run_adaptive ?(opts = default_opts) ?diag ?initial ?(reltol = 1e-3)
     let step_ok, v_new, ev_new =
       try
         let v, ev, iters =
-          Dc.newton_dynamic ~opts:opts.newton ?diag ~mna ~time
+          Dc.newton_dynamic ~opts:opts.newton ?diag ?metrics ~mna ~time
             ~alpha:(2.0 /. h_try) ~q_prev:!q_prev
             ~qdot_term:(Linalg.Vec.copy !qdot_prev) ~initial:!v_prev ()
         in
         newton_count := !newton_count + iters;
+        Metrics.observe metrics "tran.newton_iters_per_step"
+          (float_of_int iters);
         (true, v, ev)
       with Dc.No_convergence _ -> (false, !v_prev, ev0)
     in
@@ -202,6 +215,7 @@ let run_adaptive ?(opts = default_opts) ?diag ?initial ?(reltol = 1e-3)
       (* convergence failure: halve the step *)
       incr rejections;
       Diag.incr diag "tran.step_rejections";
+      Metrics.incr metrics "tran.step_rejections";
       h := Float.max dt_min (0.5 *. h_try);
       if h_try <= dt_min *. 1.0000001 then begin
         Diag.error diag ~stage:"engine.tran"
@@ -231,6 +245,7 @@ let run_adaptive ?(opts = default_opts) ?diag ?initial ?(reltol = 1e-3)
         (* reject: shrink *)
         incr rejections;
         Diag.incr diag "tran.step_rejections";
+        Metrics.incr metrics "tran.step_rejections";
         h := Float.max dt_min (h_try *. Float.max 0.2 (0.9 /. sqrt !err))
       end
       else begin
@@ -265,6 +280,8 @@ let run_adaptive ?(opts = default_opts) ?diag ?initial ?(reltol = 1e-3)
     outs;
   Diag.add diag "tran.steps" !accepted;
   Diag.add diag "tran.newton_iterations" !newton_count;
+  Metrics.add metrics "tran.steps" !accepted;
+  Metrics.add metrics "tran.newton_iterations" !newton_count;
   {
     times;
     states;

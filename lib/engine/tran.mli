@@ -44,6 +44,8 @@ type result = {
 val run :
   ?opts:opts ->
   ?diag:Diag.t ->
+  ?trace:Trace.buf ->
+  ?metrics:Metrics.t ->
   ?initial:Linalg.Vec.t ->
   Mna.t ->
   t_stop:float ->
@@ -57,7 +59,11 @@ val run :
     actually produced the step) so subsequent trapezoidal steps are not
     poisoned by a stale [qdot]. With [diag], records [tran.steps],
     [tran.newton_iterations], [tran.be_fallbacks] counters and a
-    warning event per fallback. *)
+    warning event per fallback. With [trace], the run records a
+    [tran.run] span containing one [tran.step] span per step (carrying
+    its Newton iteration count and fallback flag as arguments); with
+    [metrics], the same counters are mirrored and per-step iteration
+    counts land in the [tran.newton_iters_per_step] histogram. *)
 
 val output_waveform : result -> int -> Signal.Waveform.t
 (** Extract output channel [j] as a waveform. *)
@@ -65,6 +71,8 @@ val output_waveform : result -> int -> Signal.Waveform.t
 val run_adaptive :
   ?opts:opts ->
   ?diag:Diag.t ->
+  ?trace:Trace.buf ->
+  ?metrics:Metrics.t ->
   ?initial:Linalg.Vec.t ->
   ?reltol:float ->
   ?abstol:float ->

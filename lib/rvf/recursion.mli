@@ -27,6 +27,8 @@ val fit :
   ?max_x_poles:int ->
   ?max_y_poles:int ->
   ?diag:Diag.t ->
+  ?trace:Trace.buf ->
+  ?metrics:Metrics.t ->
   xs:float array ->
   ys:float array ->
   data:float array array ->
@@ -39,7 +41,7 @@ val fit :
     ([recursion.x_stage], [recursion.y_stage]), threads the collector
     into both {!Vf.Vfit.fit_auto} passes (labels [recursion.x],
     [recursion.y]) and notes the recursion depth and settled pole count
-    per variable. *)
+    per variable. [trace]/[metrics] are threaded likewise. *)
 
 val eval : t -> x:float -> y:float -> float
 

@@ -67,7 +67,8 @@ type freq_stage = {
   dc : float array;
 }
 
-let frequency_stage ?(config = default_config) ?diag ~dataset ~input ~output () =
+let frequency_stage ?(config = default_config) ?diag ?trace ?metrics ~dataset
+    ~input ~output () =
   let samples = dataset.Tft.Dataset.samples in
   if Array.length samples < 4 then begin
     Diag.error diag ~stage:"rvf.freq"
@@ -122,10 +123,12 @@ let frequency_stage ?(config = default_config) ?diag ~dataset ~input ~output () 
   in
   let freq_model, freq_info =
     Diag.span diag "rvf.frequency_stage" (fun () ->
-        Vf.Vfit.fit_auto ~opts:freq_opts ?diag ~label:"vf.freq"
-          ~make_poles:make_freq_poles ~start:config.freq_start
-          ~step:config.freq_step ~max_poles:config.max_freq_poles
-          ~tol:(config.eps *. freq_scale) ~points:points_f ~data:dyn_data ())
+        Trace.span trace "rvf.frequency_stage" (fun () ->
+            Vf.Vfit.fit_auto ~opts:freq_opts ?diag ?trace ?metrics
+              ~label:"vf.freq" ~make_poles:make_freq_poles
+              ~start:config.freq_start ~step:config.freq_step
+              ~max_poles:config.max_freq_poles ~tol:(config.eps *. freq_scale)
+              ~points:points_f ~data:dyn_data ()))
   in
   Log.info (fun m ->
       m "frequency stage: %d poles, rms %.3e (scale %.3e)"
@@ -145,9 +148,12 @@ let frequency_stage ?(config = default_config) ?diag ~dataset ~input ~output () 
     dc = Tft.Dataset.dc_trace dataset ~input ~output;
   }
 
-let extract ?(config = default_config) ?diag ~dataset ~input ~output () =
+let extract ?(config = default_config) ?diag ?trace ?metrics ~dataset ~input
+    ~output () =
   let t_start = Clock.now () in
-  let stage = frequency_stage ~config ?diag ~dataset ~input ~output () in
+  let stage =
+    frequency_stage ~config ?diag ?trace ?metrics ~dataset ~input ~output ()
+  in
   let freq_model = stage.fs_model and freq_info = stage.fs_info in
   let xs = stage.xs and x_lo = stage.x_lo and x_hi = stage.x_hi in
   (* --- state stage: fit every residue coefficient trace over x --- *)
@@ -185,10 +191,12 @@ let extract ?(config = default_config) ?diag ~dataset ~input ~output () =
   let make_state_poles count = Vf.Pole.initial_real_axis ~lo:x_lo ~hi:x_hi ~count in
   let residue_model, residue_info =
     Diag.span diag "rvf.state_stage" (fun () ->
-        Vf.Vfit.fit_auto ~opts:state_opts ?diag ~label:"vf.state"
-          ~make_poles:make_state_poles ~start:config.state_start
-          ~step:config.state_step ~max_poles:config.max_state_poles
-          ~tol:config.eps ~points:points_x ~data:trace_data ())
+        Trace.span trace "rvf.state_stage" (fun () ->
+            Vf.Vfit.fit_auto ~opts:state_opts ?diag ?trace ?metrics
+              ~label:"vf.state" ~make_poles:make_state_poles
+              ~start:config.state_start ~step:config.state_step
+              ~max_poles:config.max_state_poles ~tol:config.eps
+              ~points:points_x ~data:trace_data ()))
   in
   (* per-trace fit quality: one RMS per residue trajectory, so a single
      badly-fitted trace is visible even when the pooled RMS looks fine *)
@@ -233,11 +241,13 @@ let extract ?(config = default_config) ?diag ~dataset ~input ~output () =
   let static_scale = Float.max (rms_of_rows static_data) 1e-300 in
   let static_model, static_info =
     Diag.span diag "rvf.static_stage" (fun () ->
-        Vf.Vfit.fit_auto ~opts:state_opts ?diag ~label:"vf.static"
-          ~make_poles:make_state_poles ~start:config.state_start
-          ~step:config.state_step ~max_poles:config.max_state_poles
-          ~tol:(config.eps *. static_scale) ~points:points_x
-          ~data:static_data ())
+        Trace.span trace "rvf.static_stage" (fun () ->
+            Vf.Vfit.fit_auto ~opts:state_opts ?diag ?trace ?metrics
+              ~label:"vf.static" ~make_poles:make_state_poles
+              ~start:config.state_start ~step:config.state_step
+              ~max_poles:config.max_state_poles
+              ~tol:(config.eps *. static_scale) ~points:points_x
+              ~data:static_data ()))
   in
   (* --- integration and Hammerstein assembly --- *)
   let x0 = stage.x0 and y0 = stage.y0 in

@@ -48,6 +48,8 @@ type result = {
 val extract :
   ?config:config ->
   ?diag:Diag.t ->
+  ?trace:Trace.buf ->
+  ?metrics:Metrics.t ->
   dataset:Tft.Dataset.t -> input:int -> output:int -> unit ->
   result
 (** Requires a one-dimensional state estimator (the paper's validated
@@ -59,7 +61,9 @@ val extract :
     threads the collector into every {!Vf.Vfit.fit_auto} call (labels
     [vf.freq], [vf.state], [vf.static]), observes a per-residue-trace
     fit RMS ([rvf.residue_trace_rms]) and notes the settled pole count
-    of each stage. *)
+    of each stage. [trace]/[metrics] are threaded the same way: the
+    three stages record like-named {!Trace} spans and the VF engine's
+    per-iteration statistics land in the metrics registry. *)
 
 (** {2 Shared frequency stage}
 
@@ -80,5 +84,7 @@ type freq_stage = {
 val frequency_stage :
   ?config:config ->
   ?diag:Diag.t ->
+  ?trace:Trace.buf ->
+  ?metrics:Metrics.t ->
   dataset:Tft.Dataset.t -> input:int -> output:int -> unit ->
   freq_stage

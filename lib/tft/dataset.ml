@@ -14,7 +14,7 @@ type t = {
   n_outputs : int;
 }
 
-let of_snapshots ?pool ~mna ~estimator ~freqs_hz snapshots =
+let of_snapshots ?pool ?trace ?metrics ~mna ~estimator ~freqs_hz snapshots =
   let b = Engine.Mna.b_matrix mna in
   let d = Engine.Mna.d_matrix mna in
   let mi = Linalg.Mat.cols b and mo = Linalg.Mat.cols d in
@@ -27,11 +27,15 @@ let of_snapshots ?pool ~mna ~estimator ~freqs_hz snapshots =
      workspace per domain. Each sample depends only on its own snapshot,
      so the result is bit-identical to the sequential path. *)
   let samples =
-    Exec.parallel_map_ws ?pool
+    Trace.span trace
+      ~args:[ ("snapshots", Trace.Int (Array.length snapshots)) ]
+      "tft.dataset"
+    @@ fun () ->
+    Exec.parallel_map_ws ?pool ?trace ?metrics ~label:"tft"
       ~ws:(fun () -> Engine.Ac.make_ws ~b ~d)
       (fun ws (snap : Engine.Tran.snapshot) ->
         let g = snap.Engine.Tran.g_mat and c = snap.Engine.Tran.c_mat in
-        let h = Engine.Ac.transfer_sweep ws ~g ~c ~ss in
+        let h = Engine.Ac.transfer_sweep ?metrics ws ~g ~c ~ss in
         let h0 = Engine.Ac.transfer_ws ws ~g ~c ~s:Complex.zero in
         {
           time = snap.Engine.Tran.time;

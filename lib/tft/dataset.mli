@@ -23,6 +23,8 @@ type t = {
 
 val of_snapshots :
   ?pool:Exec.t ->
+  ?trace:Trace.buf ->
+  ?metrics:Metrics.t ->
   mna:Engine.Mna.t ->
   estimator:Estimator.t ->
   freqs_hz:float array ->
@@ -35,7 +37,13 @@ val of_snapshots :
     With [?pool], snapshots are partitioned across the pool's domains
     with one preallocated solve workspace per domain; the result is
     bit-identical to the sequential path for any domain count (fixed
-    chunk boundaries, per-sample independence, no reductions). *)
+    chunk boundaries, per-sample independence, no reductions).
+
+    With [trace], the sweep records a [tft.dataset] span containing one
+    [tft.chunk] span per chunk, each on the track of the domain that
+    ran it; with [metrics], per-frequency pencil-solve times land in
+    [ac.pencil_solve_ns] (recorded from worker domains) and chunk
+    wait/run times in [tft.chunk_wait_ns]/[tft.chunk_run_ns]. *)
 
 val dynamic_part : t -> t
 (** Subtract [H^(k)(0)] from every frequency sample: the remaining purely

@@ -330,26 +330,36 @@ let identify ~opts ~poles ~points ~data ~weights =
     data;
   { Model.poles; coeffs; consts; slopes }
 
-let fit ?(opts = default_frequency_opts) ?diag ?(label = "vfit") ~poles ~points
-    ~data () =
+let fit ?(opts = default_frequency_opts) ?diag ?trace ?metrics
+    ?(label = "vfit") ~poles ~points ~data () =
   if Array.length data = 0 then invalid_arg "Vfit.fit: no elements";
   Array.iter
     (fun row ->
       if Array.length row <> Array.length points then
         invalid_arg "Vfit.fit: data/points length mismatch")
     data;
+  Trace.span trace
+    ~args:
+      [ ("label", Trace.Str label);
+        ("poles", Trace.Int (Array.length poles));
+        ("points", Trace.Int (Array.length points)) ]
+    "vf.fit"
+  @@ fun () ->
   let weights = weights_of opts data in
   let poles = ref (Pole.normalize ~enforce_stable:opts.enforce_stable
                      ~min_imag:opts.min_imag poles) in
   let iterations_run = ref 0 in
   (try
      for it = 1 to opts.iterations do
+       Trace.span trace ~args:[ ("it", Trace.Int it) ] "vf.relocate"
+       @@ fun () ->
        match relocate_poles ~opts ~poles:!poles ~points ~data ~weights with
        | Some (poles', rd) ->
            iterations_run := it;
            poles := poles';
            Diag.observe diag (label ^ ".sigma_rms") rd.sigma_rms;
            Diag.observe diag (label ^ ".column_scale_spread") rd.scale_spread;
+           Metrics.observe metrics (label ^ ".sigma_rms") rd.sigma_rms;
            if rd.flips > 0 then
              Diag.add diag (label ^ ".unstable_pole_flips") rd.flips
        | None ->
@@ -362,6 +372,7 @@ let fit ?(opts = default_frequency_opts) ?diag ?(label = "vfit") ~poles ~points
   let rms = Model.rms_error model ~points ~data in
   let max_err = Model.max_error model ~points ~data in
   Diag.observe diag (label ^ ".fit_rms") rms;
+  Metrics.observe metrics (label ^ ".fit_rms") rms;
   ( model,
     {
       rms;
@@ -370,9 +381,11 @@ let fit ?(opts = default_frequency_opts) ?diag ?(label = "vfit") ~poles ~points
       pole_count = Array.length !poles;
     } )
 
-let fit_auto ?(opts = default_frequency_opts) ?diag ?(label = "vfit")
-    ~make_poles ?(start = 2) ?(step = 2) ?(max_poles = 40) ~tol ~points ~data
-    () =
+let fit_auto ?(opts = default_frequency_opts) ?diag ?trace ?metrics
+    ?(label = "vfit") ~make_poles ?(start = 2) ?(step = 2) ?(max_poles = 40)
+    ~tol ~points ~data () =
+  Trace.span trace ~args:[ ("label", Trace.Str label) ] "vf.fit_auto"
+  @@ fun () ->
   (* the last per-attempt failure, kept so that a fully unsuccessful
      escalation can report *why* instead of a bare "no successful fit" *)
   let last_failure = ref None in
@@ -399,7 +412,11 @@ let fit_auto ?(opts = default_frequency_opts) ?diag ?(label = "vfit")
     end
     else begin
       Diag.incr diag (label ^ ".attempts");
-      match fit ~opts ?diag ~label ~poles:(make_poles count) ~points ~data () with
+      Metrics.incr metrics (label ^ ".attempts");
+      match
+        fit ~opts ?diag ?trace ?metrics ~label ~poles:(make_poles count)
+          ~points ~data ()
+      with
       | exception Invalid_argument msg -> begin
           (* typically: too few points for this many unknowns — stop
              escalating and keep the best admissible model *)

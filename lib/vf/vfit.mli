@@ -48,6 +48,8 @@ type info = {
 val fit :
   ?opts:opts ->
   ?diag:Diag.t ->
+  ?trace:Trace.buf ->
+  ?metrics:Metrics.t ->
   ?label:string ->
   poles:Complex.t array ->
   points:Complex.t array ->
@@ -64,11 +66,18 @@ val fit :
     the poles converge), the column-scale spread conditioning proxy
     ([<label>.column_scale_spread]) and the number of relocated poles
     reflected into the left half plane
-    ([<label>.unstable_pole_flips]). *)
+    ([<label>.unstable_pole_flips]).
+
+    With [trace], the fit records a [vf.fit] span containing one
+    [vf.relocate] span per relocation sweep; with [metrics], the
+    per-iteration sigma RMS and the final fit RMS land in the
+    [<label>.sigma_rms]/[<label>.fit_rms] histograms. *)
 
 val fit_auto :
   ?opts:opts ->
   ?diag:Diag.t ->
+  ?trace:Trace.buf ->
+  ?metrics:Metrics.t ->
   ?label:string ->
   make_poles:(int -> Complex.t array) ->
   ?start:int ->

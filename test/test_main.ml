@@ -16,5 +16,6 @@ let () =
       ("caffeine", Test_caffeine.suite);
       ("pipeline", Test_pipeline.suite);
       ("diag", Test_diag.suite);
+      ("trace", Test_trace.suite);
       ("coverage", Test_coverage.suite);
     ]
