@@ -8,7 +8,11 @@
    Section-IV buffer example; `--diag diag.json` runs the non-raising
    pipeline and writes the structured telemetry report; `--trace t.json`
    records a hierarchical Chrome-trace timeline (open in Perfetto) and
-   `--metrics m.json` the counter/histogram registry. *)
+   `--metrics m.json` the counter/histogram registry. `--guard` arms the
+   numerical guard layer, `--fault SITE[:seed]` arms one deterministic
+   fault-injection probe (`--fault list` prints the registry). Any
+   failure ends with a structured JSON error object on stderr and a
+   nonzero exit. *)
 
 let export_model ~export_format ~out_path model =
   let text =
@@ -31,13 +35,49 @@ let write_file path text =
   output_string oc text;
   close_out oc
 
+let list_fault_sites () =
+  print_endline "registered fault-injection sites:";
+  List.iter
+    (fun (s : Fault.site) ->
+      Printf.printf "  %-24s %-28s %s\n" s.Fault.name s.Fault.where s.Fault.what)
+    Fault.sites
+
+(* Print the structured error object and exit nonzero: the one failure
+   path shared by the raising and non-raising pipelines. *)
+let fail_with_error_json report =
+  prerr_string (Tft_rvf.Report.error_json report);
+  exit 1
+
+let report_fault_stats () =
+  match Fault.disarm () with
+  | None -> ()
+  | Some s ->
+      Printf.eprintf "fault %s: %d probe calls, %d fired\n%!" s.Fault.site
+        s.Fault.calls s.Fault.fires
+
 let run netlist_path builtin input output output_diff train_freq train_ampl
     train_offset f_min f_max points eps snapshots domains out_path
-    export_format diag_path trace_path metrics_path verbose =
+    export_format diag_path trace_path metrics_path guard_on fault_spec
+    verbose =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Info)
   end;
+  let fault_armed =
+    match fault_spec with
+    | None -> false
+    | Some "list" ->
+        list_fault_sites ();
+        exit 0
+    | Some spec ->
+        let site, seed = Fault.parse spec in
+        if not (Fault.known site) then
+          failwith
+            (Printf.sprintf "unknown fault site %S (try: --fault list)" site);
+        Fault.arm ~site ~seed ();
+        true
+  in
+  let guard = if guard_on then Some Guard.default else None in
   let netlist, input, out_spec, config =
     match (builtin, netlist_path) with
     | Some "buffer", None ->
@@ -96,48 +136,62 @@ let run netlist_path builtin input output output_diff train_freq train_ampl
         in
         (netlist, input, out_spec, config)
   in
-  match (diag_path, trace_path, metrics_path, verbose) with
-  | None, None, None, false ->
-      let outcome =
-        Tft_rvf.Pipeline.extract ~config ~netlist ~input ~output:out_spec ()
-      in
-      print_string (Tft_rvf.Report.summary outcome);
-      export_model ~export_format ~out_path outcome.Tft_rvf.Pipeline.model
-  | _ -> (
-      (* telemetry requested: run the non-raising pipeline so a failed
-         extraction still produces its report, trace and metrics *)
-      let tracer = Option.map (fun _ -> Trace.create ()) trace_path in
-      let trace = Option.map Trace.main tracer in
-      let metrics = Option.map (fun _ -> Metrics.create ()) metrics_path in
-      let outcome, report =
-        Tft_rvf.Pipeline.try_extract ?trace ?metrics ~config ~netlist ~input
-          ~output:out_spec ()
-      in
-      (match diag_path with
-      | None -> ()
-      | Some path ->
-          write_file path (Tft_rvf.Report.diag_json report);
-          Printf.eprintf "wrote diagnostics to %s\n%!" path);
-      (match (trace_path, tracer) with
-      | Some path, Some tr ->
-          write_file path (Trace.chrome_json tr);
-          Printf.eprintf "wrote trace to %s\n%!" path;
-          if verbose then prerr_string (Trace.summary tr)
-      | _, _ -> ());
-      (match (metrics_path, metrics) with
-      | Some path, Some m ->
-          write_file path (Metrics.to_json (Metrics.snapshot m));
-          Printf.eprintf "wrote metrics to %s\n%!" path;
-          if verbose then prerr_string (Metrics.summary (Metrics.snapshot m))
-      | _, _ -> ());
-      if verbose then prerr_string (Tft_rvf.Report.diag_summary report);
-      match outcome with
-      | None ->
-          prerr_endline "extraction failed; see the diagnostics report";
-          exit 1
-      | Some outcome ->
-          print_string (Tft_rvf.Report.summary outcome);
-          export_model ~export_format ~out_path outcome.Tft_rvf.Pipeline.model)
+  let non_raising =
+    diag_path <> None || trace_path <> None || metrics_path <> None || verbose
+    || fault_armed
+  in
+  if not non_raising then begin
+    match
+      Tft_rvf.Pipeline.extract ?guard ~config ~netlist ~input ~output:out_spec
+        ()
+    with
+    | outcome ->
+        print_string (Tft_rvf.Report.summary outcome);
+        export_model ~export_format ~out_path outcome.Tft_rvf.Pipeline.model
+    | exception
+        (( Invalid_argument _ | Failure _ | Engine.Dc.No_convergence _
+         | Linalg.Lu.Singular _ | Linalg.Clu.Singular _ | Guard.Violation _ )
+         as e) ->
+        let d = Diag.create () in
+        Diag.error (Some d) ~stage:"pipeline" (Tft_rvf.Pipeline.describe_exn e);
+        fail_with_error_json (Diag.report d)
+  end
+  else begin
+    (* telemetry, a guard or an armed fault: run the non-raising pipeline
+       so a failed extraction still produces its report, trace and
+       metrics — and a structured error object *)
+    let tracer = Option.map (fun _ -> Trace.create ()) trace_path in
+    let trace = Option.map Trace.main tracer in
+    let metrics = Option.map (fun _ -> Metrics.create ()) metrics_path in
+    let outcome, report =
+      Tft_rvf.Pipeline.try_extract ?guard ?trace ?metrics ~config ~netlist
+        ~input ~output:out_spec ()
+    in
+    report_fault_stats ();
+    (match diag_path with
+    | None -> ()
+    | Some path ->
+        write_file path (Tft_rvf.Report.diag_json report);
+        Printf.eprintf "wrote diagnostics to %s\n%!" path);
+    (match (trace_path, tracer) with
+    | Some path, Some tr ->
+        write_file path (Trace.chrome_json tr);
+        Printf.eprintf "wrote trace to %s\n%!" path;
+        if verbose then prerr_string (Trace.summary tr)
+    | _, _ -> ());
+    (match (metrics_path, metrics) with
+    | Some path, Some m ->
+        write_file path (Metrics.to_json (Metrics.snapshot m));
+        Printf.eprintf "wrote metrics to %s\n%!" path;
+        if verbose then prerr_string (Metrics.summary (Metrics.snapshot m))
+    | _, _ -> ());
+    if verbose then prerr_string (Tft_rvf.Report.diag_summary report);
+    match outcome with
+    | None -> fail_with_error_json report
+    | Some outcome ->
+        print_string (Tft_rvf.Report.summary outcome);
+        export_model ~export_format ~out_path outcome.Tft_rvf.Pipeline.model
+  end
 
 open Cmdliner
 
@@ -240,6 +294,31 @@ let metrics_arg =
            ratios) to $(docv) as schema-versioned JSON. Implies the \
            non-raising pipeline.")
 
+let guard_arg =
+  Arg.(
+    value & flag
+    & info [ "guard" ]
+        ~doc:
+          "Enable the numerical guard layer: reciprocal-condition floors \
+           on every LU factorization, NaN/Inf sentinels on solver and \
+           fitting outputs, transient step-halving recovery, snapshot \
+           quarantine (neighbor interpolation) and vector-fitting \
+           pole-runaway checks. A clean guarded run produces a \
+           bit-identical model; detected corruption is repaired or \
+           reported as a typed failure.")
+
+let fault_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fault" ] ~docv:"SITE[:SEED]"
+        ~doc:
+          "Arm one deterministic fault-injection probe before the \
+           extraction (for testing the recovery paths; implies the \
+           non-raising pipeline). $(docv) names a registered site, \
+           optionally with a seed selecting the firing schedule. \
+           $(b,--fault list) prints the site registry and exits.")
+
 let verbose_arg =
   Arg.(
     value & flag
@@ -266,6 +345,6 @@ let cmd =
       $ points_arg
       $ ffloat [ "eps" ] ~default:1e-3 ~doc:"RVF error bound (relative)."
       $ snapshots_arg $ domains_arg $ out_arg $ format_arg $ diag_arg
-      $ trace_arg $ metrics_arg $ verbose_arg)
+      $ trace_arg $ metrics_arg $ guard_arg $ fault_arg $ verbose_arg)
 
 let () = exit (Cmd.eval cmd)

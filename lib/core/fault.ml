@@ -1,0 +1,148 @@
+(* Deterministic, seeded fault injection for the extraction stack.
+
+   The numerical layers carry named *probes* — one line at each place
+   where a real-world failure would enter: a zero LU pivot, a NaN in a
+   pencil solve, a diverging Newton iteration, a vector-fitting pole
+   reflected into the right half plane, a burst of corrupted snapshots.
+   A probe is a call to {!should_fire} with its site name; with no plan
+   armed it is a single load-and-branch, and the numerical path is
+   bit-for-bit the uninstrumented one.
+
+   Arming a plan selects one site and a deterministic firing schedule
+   derived from a seed: the probe fires on its [fire_at]-th invocation
+   and on the [burst - 1] invocations after it, then never again. Every
+   run with the same seed injects the identical failure at the
+   identical point in the computation, so recovery paths (guards,
+   quarantine, the pipeline's escalation ladder) can be exercised and
+   asserted on in ordinary tests.
+
+   The plan is a process-wide singleton: arming is a test/CLI-harness
+   action, never part of library behaviour, and the chaos sweep arms
+   one site at a time. [should_fire] takes a mutex only when its site
+   matches the armed plan, so disarmed and mismatching probes stay
+   contention-free even under the domain pool. *)
+
+type site = { name : string; where : string; what : string }
+
+let sites =
+  [
+    {
+      name = "lu.pivot_zero";
+      where = "Linalg.Lu.factor_into";
+      what = "zeroes the first pivot so the factorization raises Singular";
+    };
+    {
+      name = "clu.pivot_zero";
+      where = "Linalg.Clu.factor_into";
+      what = "zeroes the first pencil pivot so the factorization raises Singular";
+    };
+    {
+      name = "dc.newton_diverge";
+      where = "Engine.Dc.newton";
+      what = "reports Newton divergence, forcing gmin stepping / fallback";
+    };
+    {
+      name = "tran.newton_diverge";
+      where = "Engine.Tran.run";
+      what = "raises No_convergence for a transient step attempt";
+    };
+    {
+      name = "ac.pencil_nan";
+      where = "Engine.Ac.transfer_ws";
+      what = "writes NaN into a pencil-solve solution column";
+    };
+    {
+      name = "vf.pole_flip";
+      where = "Vf.Vfit.fit";
+      what = "reflects a relocated pole into the right half plane";
+    };
+    {
+      name = "rvf.trace_nan";
+      where = "Rvf.extract";
+      what = "writes NaN into a residue coefficient trace";
+    };
+    {
+      name = "dataset.snapshot_burst";
+      where = "Tft.Dataset.of_snapshots";
+      what = "corrupts a burst of consecutive snapshot transfer matrices";
+    };
+  ]
+
+let site_names = List.map (fun s -> s.name) sites
+let known name = List.mem name site_names
+
+type plan = {
+  plan_site : string;
+  seed : int;
+  fire_at : int;  (* 1-based probe-invocation index of the first firing *)
+  burst : int;  (* number of consecutive firings *)
+  mutable calls : int;
+  mutable fires : int;
+}
+
+let current : plan option ref = ref None
+let lock = Mutex.create ()
+
+let arm_exact ~site ?(seed = 0) ~fire_at ~burst () =
+  if not (known site) then
+    invalid_arg
+      (Printf.sprintf "Fault.arm: unknown site %S (known: %s)" site
+         (String.concat ", " site_names));
+  if fire_at < 1 then invalid_arg "Fault.arm: fire_at must be >= 1";
+  if burst < 0 then invalid_arg "Fault.arm: burst must be >= 0";
+  current :=
+    Some { plan_site = site; seed; fire_at; burst; calls = 0; fires = 0 }
+
+(* the seed packs the schedule so one CLI integer selects both knobs:
+   fire_at = 1 + (seed land 7), burst = 1 + ((seed lsr 3) land 7) *)
+let schedule_of_seed seed =
+  (1 + (seed land 7), 1 + ((seed lsr 3) land 7))
+
+let arm ~site ?(seed = 0) () =
+  let fire_at, burst = schedule_of_seed seed in
+  arm_exact ~site ~seed ~fire_at ~burst ()
+
+type stats = { site : string; calls : int; fires : int }
+
+let stats () =
+  match !current with
+  | None -> None
+  | Some p -> Some { site = p.plan_site; calls = p.calls; fires = p.fires }
+
+let disarm () =
+  let s = stats () in
+  current := None;
+  s
+
+let armed () = Option.map (fun p -> p.plan_site) !current
+
+let should_fire name =
+  match !current with
+  | None -> false
+  | Some p ->
+      if not (String.equal p.plan_site name) then false
+      else begin
+        Mutex.lock lock;
+        p.calls <- p.calls + 1;
+        let fire = p.calls >= p.fire_at && p.calls < p.fire_at + p.burst in
+        if fire then p.fires <- p.fires + 1;
+        Mutex.unlock lock;
+        fire
+      end
+
+(* "SITE" or "SITE:seed" *)
+let parse spec =
+  match String.index_opt spec ':' with
+  | None -> (spec, 0)
+  | Some i ->
+      let site = String.sub spec 0 i in
+      let rest = String.sub spec (i + 1) (String.length spec - i - 1) in
+      let seed =
+        match int_of_string_opt rest with
+        | Some s when s >= 0 -> s
+        | Some _ | None ->
+            invalid_arg
+              (Printf.sprintf
+                 "Fault.parse: %S: seed must be a non-negative integer" spec)
+      in
+      (site, seed)

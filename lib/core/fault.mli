@@ -1,0 +1,54 @@
+(** Deterministic, seeded fault injection for the extraction stack.
+
+    Named probes planted in the numerical layers call {!should_fire};
+    with no plan armed a probe is a single load-and-branch and the
+    numerical path is bit-for-bit the uninstrumented one. Arming a
+    plan (one site + a seed-derived schedule) makes the probe fire on
+    a fixed range of its invocations, so the same seed reproduces the
+    identical failure at the identical point in every run. Used by the
+    chaos sweep ([bin/fault_check.ml], [test_guard]) and by
+    [tft_extract --fault SITE[:seed]]. *)
+
+type site = { name : string; where : string; what : string }
+
+val sites : site list
+(** The registry of every injection site, with the function hosting
+    the probe and the failure it injects. *)
+
+val site_names : string list
+
+val known : string -> bool
+
+val arm : site:string -> ?seed:int -> unit -> unit
+(** Install the process-wide plan for [site]. The schedule derives
+    from [seed] (default 0): the probe fires from its
+    [1 + (seed land 7)]-th invocation for [1 + ((seed lsr 3) land 7)]
+    consecutive invocations. Raises [Invalid_argument] on an unknown
+    site. Replaces any previously armed plan. *)
+
+val arm_exact : site:string -> ?seed:int -> fire_at:int -> burst:int -> unit -> unit
+(** [arm] with the schedule given directly: fire on invocations
+    [fire_at .. fire_at + burst - 1] (1-based). *)
+
+val schedule_of_seed : int -> int * int
+(** [(fire_at, burst)] that {!arm} derives from a seed. *)
+
+type stats = { site : string; calls : int; fires : int }
+
+val stats : unit -> stats option
+(** Probe-invocation and firing counts of the armed plan, if any. *)
+
+val disarm : unit -> stats option
+(** Remove the plan, returning its final counts. *)
+
+val armed : unit -> string option
+
+val should_fire : string -> bool
+(** The probe: [true] iff a plan for this site is armed and this
+    invocation falls in its firing window. Counts invocations under a
+    mutex only when the site matches the armed plan. *)
+
+val parse : string -> string * int
+(** Parse a ["SITE"] or ["SITE:seed"] CLI spec into [(site, seed)].
+    Raises [Invalid_argument] on a malformed seed; the site name is
+    not validated here (callers report unknown sites with context). *)

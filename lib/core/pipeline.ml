@@ -73,7 +73,8 @@ let with_wave netlist ~input ~wave =
   Circuit.Netlist.make components
 
 (* training transient + snapshot capture, shared by every entry point *)
-let train_stage ?diag ?trace ?metrics ~config ~netlist ~input ~outputs () =
+let train_stage ?guard ?diag ?trace ?metrics ~config ~netlist ~input ~outputs
+    () =
   let training_netlist = with_wave netlist ~input ~wave:config.training.wave in
   let mna = Engine.Mna.build ~inputs:[ input ] ~outputs training_netlist in
   let tran_opts =
@@ -85,33 +86,36 @@ let train_stage ?diag ?trace ?metrics ~config ~netlist ~input ~outputs () =
   let training_run =
     Diag.span diag "pipeline.train" (fun () ->
         Trace.span trace "pipeline.train" (fun () ->
-            Engine.Tran.run ~opts:tran_opts ?diag ?trace ?metrics mna
+            Engine.Tran.run ~opts:tran_opts ?guard ?diag ?trace ?metrics mna
               ~t_stop:config.training.t_stop ~dt:config.training.dt))
   in
   (mna, training_run)
 
-let tft_stage ?diag ?trace ?metrics ~config ~mna ~training_run () =
+let tft_stage ?guard ?diag ?trace ?metrics ~config ~mna ~training_run () =
   let estimator = Tft.Estimator.make ~delays:config.estimator_delays () in
   Diag.span diag "pipeline.tft" (fun () ->
       Trace.span trace "pipeline.tft" (fun () ->
           with_opt_pool ~domains:config.domains (fun pool ->
-              Tft.Dataset.of_snapshots ?pool ?trace ?metrics ~mna ~estimator
-                ~freqs_hz:config.freqs_hz training_run.Engine.Tran.snapshots)))
+              Tft.Dataset.of_snapshots ?pool ?guard ?diag ?trace ?metrics ~mna
+                ~estimator ~freqs_hz:config.freqs_hz
+                training_run.Engine.Tran.snapshots)))
 
-let extract ?diag ?trace ?metrics ~config ~netlist ~input ~output () =
+let extract ?guard ?diag ?trace ?metrics ~config ~netlist ~input ~output () =
   let t0 = Clock.now () in
   let mna, training_run =
-    train_stage ?diag ?trace ?metrics ~config ~netlist ~input
+    train_stage ?guard ?diag ?trace ?metrics ~config ~netlist ~input
       ~outputs:[ output ] ()
   in
   let t1 = Clock.now () in
-  let dataset = tft_stage ?diag ?trace ?metrics ~config ~mna ~training_run () in
+  let dataset =
+    tft_stage ?guard ?diag ?trace ?metrics ~config ~mna ~training_run ()
+  in
   let t2 = Clock.now () in
   let rvf =
     Diag.span diag "pipeline.fit" (fun () ->
         Trace.span trace "pipeline.fit" (fun () ->
-            Rvf.extract ~config:config.rvf ?diag ?trace ?metrics ~dataset
-              ~input:0 ~output:0 ()))
+            Rvf.extract ~config:config.rvf ?guard ?diag ?trace ?metrics
+              ~dataset ~input:0 ~output:0 ()))
   in
   let t3 = Clock.now () in
   {
@@ -128,11 +132,13 @@ let extract ?diag ?trace ?metrics ~config ~netlist ~input ~output () =
       };
   }
 
-let extract_simo ?diag ?trace ?metrics ~config ~netlist ~input ~outputs () =
+let extract_simo ?guard ?diag ?trace ?metrics ~config ~netlist ~input ~outputs
+    () =
   if outputs = [] then invalid_arg "Pipeline.extract_simo: no outputs";
   let t0 = Clock.now () in
   let mna, training_run =
-    train_stage ?diag ?trace ?metrics ~config ~netlist ~input ~outputs ()
+    train_stage ?guard ?diag ?trace ?metrics ~config ~netlist ~input ~outputs
+      ()
   in
   let t1 = Clock.now () in
   let estimator = Tft.Estimator.make ~delays:config.estimator_delays () in
@@ -140,8 +146,8 @@ let extract_simo ?diag ?trace ?metrics ~config ~netlist ~input ~outputs () =
       let dataset =
         Diag.span diag "pipeline.tft" (fun () ->
             Trace.span trace "pipeline.tft" (fun () ->
-                Tft.Dataset.of_snapshots ?pool ?trace ?metrics ~mna ~estimator
-                  ~freqs_hz:config.freqs_hz
+                Tft.Dataset.of_snapshots ?pool ?guard ?diag ?trace ?metrics
+                  ~mna ~estimator ~freqs_hz:config.freqs_hz
                   training_run.Engine.Tran.snapshots))
       in
       let t2 = Clock.now () in
@@ -153,7 +159,7 @@ let extract_simo ?diag ?trace ?metrics ~config ~netlist ~input ~outputs () =
       let fit_one ?diag ?trace j =
         let t3 = Clock.now () in
         let rvf =
-          Rvf.extract ~config:config.rvf ?diag ?trace ?metrics ~dataset
+          Rvf.extract ~config:config.rvf ?guard ?diag ?trace ?metrics ~dataset
             ~input:0 ~output:j ()
         in
         let t4 = Clock.now () in
@@ -222,19 +228,28 @@ let describe_exn = function
   | Invalid_argument m -> "Invalid_argument: " ^ m
   | Failure m -> "Failure: " ^ m
   | Engine.Dc.No_convergence m -> "No_convergence: " ^ m
+  | Linalg.Lu.Singular { pivot_index; magnitude } ->
+      Printf.sprintf "Singular: LU pivot %d has magnitude %.3e" pivot_index
+        magnitude
+  | Linalg.Clu.Singular { pivot_index; magnitude } ->
+      Printf.sprintf "Singular: complex LU pivot %d has magnitude %.3e"
+        pivot_index magnitude
+  | Guard.Violation v -> Guard.describe v
   | e -> Printexc.to_string e
 
 (* run [f ()] under [stage]; on a recoverable numerical failure record
    an Error event naming the stage and return None instead of raising *)
-let guard diag ~stage f =
+let recover diag ~stage f =
   try Some (f ())
   with
-  | (Invalid_argument _ | Failure _ | Engine.Dc.No_convergence _) as e ->
+  | ( Invalid_argument _ | Failure _ | Engine.Dc.No_convergence _
+    | Linalg.Lu.Singular _ | Linalg.Clu.Singular _ | Guard.Violation _ ) as e
+    ->
     Diag.error diag ~stage (describe_exn e);
     None
 
-let fit_with_ladder ~diag ?trace ?metrics ~(config : config) ~dataset ~output
-    () =
+let fit_with_ladder ?guard ~diag ?trace ?metrics ~(config : config) ~dataset
+    ~output () =
   let rec attempt = function
     | [] ->
         Diag.error diag ~stage:"pipeline.fit"
@@ -249,10 +264,12 @@ let fit_with_ladder ~diag ?trace ?metrics ~(config : config) ~dataset ~output
             Some
               (Diag.span diag "pipeline.fit" (fun () ->
                    Trace.span trace "pipeline.fit" (fun () ->
-                       Rvf.extract ~config:rvf_config ?diag ?trace ?metrics
-                         ~dataset ~input:0 ~output ())))
+                       Rvf.extract ~config:rvf_config ?guard ?diag ?trace
+                         ?metrics ~dataset ~input:0 ~output ())))
           with
-          | (Invalid_argument _ | Failure _ | Engine.Dc.No_convergence _) as e
+          | ( Invalid_argument _ | Failure _ | Engine.Dc.No_convergence _
+            | Linalg.Lu.Singular _ | Linalg.Clu.Singular _
+            | Guard.Violation _ ) as e
             ->
             Diag.incr diag "pipeline.fit_retries";
             Diag.warn diag ~stage:"pipeline.fit"
@@ -272,29 +289,36 @@ let fit_with_ladder ~diag ?trace ?metrics ~(config : config) ~dataset ~output
   in
   attempt (escalation_ladder config.rvf)
 
-let try_extract ?trace ?metrics ~config ~netlist ~input ~output () =
+let try_extract ?guard ?trace ?metrics ~config ~netlist ~input ~output () =
   let d = Diag.create () in
   let diag = Some d in
+  (match guard with
+  | None -> ()
+  | Some (g : Guard.t) ->
+      Diag.note diag "guard.enabled" "true";
+      Diag.note diag "guard.snapshot_repair"
+        (Guard.repair_to_string g.Guard.snapshot_repair));
   let t0 = Clock.now () in
   let outcome =
     match
-      guard diag ~stage:"pipeline.train" (fun () ->
-          train_stage ?diag ?trace ?metrics ~config ~netlist ~input
+      recover diag ~stage:"pipeline.train" (fun () ->
+          train_stage ?guard ?diag ?trace ?metrics ~config ~netlist ~input
             ~outputs:[ output ] ())
     with
     | None -> None
     | Some (mna, training_run) -> (
         let t1 = Clock.now () in
         match
-          guard diag ~stage:"pipeline.tft" (fun () ->
-              tft_stage ?diag ?trace ?metrics ~config ~mna ~training_run ())
+          recover diag ~stage:"pipeline.tft" (fun () ->
+              tft_stage ?guard ?diag ?trace ?metrics ~config ~mna
+                ~training_run ())
         with
         | None -> None
         | Some dataset -> (
             let t2 = Clock.now () in
             match
-              fit_with_ladder ~diag ?trace ?metrics ~config ~dataset ~output:0
-                ()
+              fit_with_ladder ?guard ~diag ?trace ?metrics ~config ~dataset
+                ~output:0 ()
             with
             | None -> None
             | Some rvf ->
@@ -316,9 +340,13 @@ let try_extract ?trace ?metrics ~config ~netlist ~input ~output () =
   in
   (outcome, Diag.report d)
 
-let try_extract_simo ?trace ?metrics ~config ~netlist ~input ~outputs () =
+let try_extract_simo ?guard ?trace ?metrics ~config ~netlist ~input ~outputs
+    () =
   let d = Diag.create () in
   let diag = Some d in
+  (match guard with
+  | None -> ()
+  | Some _ -> Diag.note diag "guard.enabled" "true");
   if outputs = [] then begin
     Diag.error diag ~stage:"pipeline.train" "no outputs requested";
     ([], Diag.report d)
@@ -326,15 +354,17 @@ let try_extract_simo ?trace ?metrics ~config ~netlist ~input ~outputs () =
   else
     let t0 = Clock.now () in
     match
-      guard diag ~stage:"pipeline.train" (fun () ->
-          train_stage ?diag ?trace ?metrics ~config ~netlist ~input ~outputs ())
+      recover diag ~stage:"pipeline.train" (fun () ->
+          train_stage ?guard ?diag ?trace ?metrics ~config ~netlist ~input
+            ~outputs ())
     with
     | None -> (List.map (fun _ -> None) outputs, Diag.report d)
     | Some (mna, training_run) -> (
         let t1 = Clock.now () in
         match
-          guard diag ~stage:"pipeline.tft" (fun () ->
-              tft_stage ?diag ?trace ?metrics ~config ~mna ~training_run ())
+          recover diag ~stage:"pipeline.tft" (fun () ->
+              tft_stage ?guard ?diag ?trace ?metrics ~config ~mna
+                ~training_run ())
         with
         | None -> (List.map (fun _ -> None) outputs, Diag.report d)
         | Some dataset ->
@@ -344,8 +374,8 @@ let try_extract_simo ?trace ?metrics ~config ~netlist ~input ~outputs () =
                 (fun j _ ->
                   let t3 = Clock.now () in
                   match
-                    fit_with_ladder ~diag ?trace ?metrics ~config ~dataset
-                      ~output:j ()
+                    fit_with_ladder ?guard ~diag ?trace ?metrics ~config
+                      ~dataset ~output:j ()
                   with
                   | None -> None
                   | Some rvf ->
@@ -393,8 +423,8 @@ let buffer_config ?(snapshots = 100) ?(domains = 1) () =
     domains;
   }
 
-let extract_buffer ?diag ?trace ?metrics ?config () =
+let extract_buffer ?guard ?diag ?trace ?metrics ?config () =
   let config = match config with Some c -> c | None -> buffer_config () in
-  extract ?diag ?trace ?metrics ~config
+  extract ?guard ?diag ?trace ?metrics ~config
     ~netlist:(Circuits.Buffer.netlist ())
     ~input:Circuits.Buffer.input_name ~output:Circuits.Buffer.output ()

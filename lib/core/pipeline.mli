@@ -54,6 +54,7 @@ type outcome = {
 }
 
 val extract :
+  ?guard:Guard.t ->
   ?diag:Diag.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->
@@ -74,7 +75,16 @@ val extract :
     across every pool domain — and with [metrics] the quantitative
     counters and timing histograms of every layer accumulate into the
     registry. Telemetry never changes the numerics: the extracted model
-    is bit-for-bit the same with or without collectors. *)
+    is bit-for-bit the same with or without collectors.
+
+    With [guard], the {!Guard} layer threads through every stage:
+    reciprocal-condition floors on LU factorizations, NaN/Inf sentinels
+    on solver outputs and fitted models, transient step-halving
+    recovery, snapshot quarantine in the TFT transform and VF
+    pole-runaway checks. A clean guarded run returns a bit-identical
+    model; a detected-but-unrepairable condition raises
+    [Guard.Violation] (or a typed [Singular]) that {!try_extract}
+    treats as recoverable. *)
 
 val buffer_config : ?snapshots:int -> ?domains:int -> unit -> config
 (** The Section-IV experiment configuration for {!Circuits.Buffer}:
@@ -82,6 +92,7 @@ val buffer_config : ?snapshots:int -> ?domains:int -> unit -> config
     ~[snapshots] (default 100) TFT samples, 1 Hz – 10 GHz grid. *)
 
 val extract_buffer :
+  ?guard:Guard.t ->
   ?diag:Diag.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->
@@ -92,6 +103,7 @@ val extract_buffer :
     threading the optional collectors through {!extract}. *)
 
 val extract_simo :
+  ?guard:Guard.t ->
   ?diag:Diag.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->
@@ -116,8 +128,9 @@ val extract_simo :
 (** {2 Graceful degradation}
 
     The raising entry points above propagate the first numerical failure
-    ([Invalid_argument], [Failure], {!Engine.Dc.No_convergence}). The
-    [try_]* variants below never raise on those: they climb an
+    ([Invalid_argument], [Failure], {!Engine.Dc.No_convergence},
+    {!Linalg.Lu.Singular}, {!Linalg.Clu.Singular}, {!Guard.Violation}).
+    The [try_]* variants below never raise on those: they climb an
     escalation ladder of progressively more permissive RVF
     configurations and, when every rung fails, return [None] together
     with a {!Diag.report} whose events name the failing stage and every
@@ -132,7 +145,14 @@ val escalation_ladder : Rvf.config -> (string * Rvf.config) list
     ["relaxed-min-imag"] (divide [min_imag_fraction] by 4) and
     ["combined"] (all of the above). *)
 
+val describe_exn : exn -> string
+(** Human-readable rendering of the recoverable failure set above (typed
+    payloads included); falls back to [Printexc.to_string]. Used for the
+    [Error] events of the [try_]* variants and the CLI's structured
+    error object. *)
+
 val try_extract :
+  ?guard:Guard.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->
   config:config ->
@@ -153,6 +173,7 @@ val try_extract :
     where the time went. *)
 
 val try_extract_simo :
+  ?guard:Guard.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->
   config:config ->

@@ -140,6 +140,47 @@ let diag_json (r : Diag.report) =
   Buffer.add_string buf "\n  }\n}\n";
   Buffer.contents buf
 
+let error_json ?message (r : Diag.report) =
+  let errors =
+    List.filter (fun (e : Diag.event) -> e.Diag.level = Diag.Error) r.Diag.events
+  in
+  let stage =
+    match errors with e :: _ -> e.Diag.stage | [] -> "pipeline"
+  in
+  let message =
+    match (message, errors) with
+    | Some m, _ -> m
+    | None, e :: _ -> e.Diag.message
+    | None, [] -> "extraction failed"
+  in
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf
+    "{\n  \"schema_version\": 1,\n  \"error\": {\"stage\": \"%s\", \
+     \"message\": \"%s\"},\n  \"fit_retries\": %d,\n  \"events\": ["
+    (json_escape stage) (json_escape message)
+    (Diag.counter r "pipeline.fit_retries");
+  let sep = ref "" in
+  List.iter
+    (fun (e : Diag.event) ->
+      Printf.bprintf buf "%s\n    {\"level\": \"%s\", \"stage\": \"%s\", \
+                          \"message\": \"%s\"}"
+        !sep
+        (Diag.level_to_string e.Diag.level)
+        (json_escape e.Diag.stage)
+        (json_escape e.Diag.message);
+      sep := ",")
+    (Diag.warnings r);
+  Buffer.add_string buf "\n  ],\n  \"notes\": {";
+  sep := "";
+  List.iter
+    (fun (k, v) ->
+      Printf.bprintf buf "%s\n    \"%s\": \"%s\"" !sep (json_escape k)
+        (json_escape v);
+      sep := ",")
+    r.Diag.notes;
+  Buffer.add_string buf "\n  }\n}\n";
+  Buffer.contents buf
+
 let diag_summary (r : Diag.report) =
   let buf = Buffer.create 1024 in
   Printf.bprintf buf "extraction diagnostics\n";

@@ -48,6 +48,15 @@ val diag_json : Diag.report -> string
     escaped; non-finite floats are encoded as the strings ["nan"],
     ["inf"] and ["-inf"]. *)
 
+val error_json : ?message:string -> Diag.report -> string
+(** Serialize a failed extraction as a structured JSON error object:
+    [{"schema_version": 1, "error": {"stage", "message"},
+    "fit_retries": n, "events": [...], "notes": {...}}] with the
+    report's warning/error events inlined. [message] overrides the
+    first [Error] event's message (the default; ["extraction failed"]
+    when the report carries none). The CLI prints this to stderr and
+    exits nonzero whenever the pipeline yields no model. *)
+
 val diag_summary : Diag.report -> string
 (** A compact human-readable rendering of a telemetry report (stages,
     counters, stats, notes, and any warning/error events). *)

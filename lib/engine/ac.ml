@@ -40,26 +40,30 @@ let output_transfer ~d ~x =
       done;
       !acc)
 
-let transfer_ws ws ~g ~c ~s =
+let transfer_ws ?guard ws ~g ~c ~s =
   Linalg.Cmat.lincomb_into ws.pencil Linalg.Cx.one g s c;
-  Linalg.Clu.factor_into ws.lu ws.pencil;
+  Linalg.Clu.factor_into ?guard ws.lu ws.pencil;
+  let inject = Fault.should_fire "ac.pencil_nan" in
   for j = 0 to Linalg.Cmat.cols ws.rhs - 1 do
     Linalg.Cmat.get_col ws.rhs j ws.bcol;
     Linalg.Clu.solve_into ws.lu ws.bcol ws.xcol;
+    if inject && j = 0 then
+      ws.xcol.(0) <- { Complex.re = Float.nan; im = Float.nan };
+    Guard.check_complex_vec guard ~site:"ac.transfer" ws.xcol;
     Linalg.Cmat.set_col ws.x j ws.xcol
   done;
   output_transfer ~d:ws.d ~x:ws.x
 
 (* matched on [metrics] first so the unrecorded path is exactly the
    plain map — no clock reads, bit-identical results *)
-let transfer_sweep ?metrics ws ~g ~c ~ss =
+let transfer_sweep ?guard ?metrics ws ~g ~c ~ss =
   match metrics with
-  | None -> Array.map (fun s -> transfer_ws ws ~g ~c ~s) ss
+  | None -> Array.map (fun s -> transfer_ws ?guard ws ~g ~c ~s) ss
   | Some _ ->
       Array.map
         (fun s ->
           let t0 = Metrics.now_if metrics in
-          let h = transfer_ws ws ~g ~c ~s in
+          let h = transfer_ws ?guard ws ~g ~c ~s in
           Metrics.observe_since_ns metrics "ac.pencil_solve_ns" t0;
           h)
         ss

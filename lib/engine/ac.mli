@@ -19,12 +19,23 @@ val make_ws : b:Linalg.Mat.t -> d:Linalg.Mat.t -> ws
     [d] are captured by reference and must not be mutated while the
     workspace is in use. *)
 
-val transfer_ws : ws -> g:Linalg.Mat.t -> c:Linalg.Mat.t -> s:Complex.t -> Linalg.Cmat.t
+val transfer_ws :
+  ?guard:Guard.t ->
+  ws ->
+  g:Linalg.Mat.t ->
+  c:Linalg.Mat.t ->
+  s:Complex.t ->
+  Linalg.Cmat.t
 (** Pencil solve at one complex frequency, reusing the workspace.
     Returns the freshly allocated [n_outputs × n_inputs] transfer
-    matrix. Bit-identical to {!transfer_at} on the same operands. *)
+    matrix. Without a [guard], bit-identical to {!transfer_at} on the
+    same operands; with one, the factorization gets a
+    reciprocal-condition floor and every solution column a NaN/Inf
+    sentinel ([Guard.Violation] at site ["ac.transfer"]). Hosts the
+    ["ac.pencil_nan"] fault probe. *)
 
 val transfer_sweep :
+  ?guard:Guard.t ->
   ?metrics:Metrics.t ->
   ws ->
   g:Linalg.Mat.t ->

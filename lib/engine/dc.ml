@@ -19,7 +19,7 @@ module Log = (val Logs.src_log src : Logs.LOG)
    the full residual and g_mat/c_mat with the Jacobians; the dynamic term
    is folded in by the caller. Returns ((solution, last eval) option,
    iterations actually run) — the count is meaningful on failure too. *)
-let newton ?metrics ~opts ~mna ~gmin ~residual_of ~jac_of ~initial () =
+let newton ?guard ?metrics ~opts ~mna ~gmin ~residual_of ~jac_of ~initial () =
   let n = Mna.size mna in
   let n_nodes = Mna.n_nodes mna in
   let v = Linalg.Vec.copy initial in
@@ -43,7 +43,7 @@ let newton ?metrics ~opts ~mna ~gmin ~residual_of ~jac_of ~initial () =
         done;
       let f_norm = Linalg.Vec.norm_inf f in
       let t_factor = Metrics.now_if metrics in
-      match Linalg.Lu.factor j with
+      match Linalg.Lu.factor ?guard j with
       | exception Linalg.Lu.Singular _ ->
           Metrics.observe_since_ns metrics "dc.lu_factor_ns" t_factor;
           None
@@ -69,7 +69,11 @@ let newton ?metrics ~opts ~mna ~gmin ~residual_of ~jac_of ~initial () =
   in
   (* bind before building the pair: OCaml evaluates tuple components
      right-to-left, so [(iterate 0, !iters)] would read a stale 0 *)
-  let result = iterate 0 in
+  let result =
+    (* injected divergence: report failure before running an iteration,
+       exactly as a Newton run that never contracted *)
+    if Fault.should_fire "dc.newton_diverge" then None else iterate 0
+  in
   (result, !iters)
 
 let dc_residual mna time v =
@@ -77,8 +81,8 @@ let dc_residual mna time v =
   (* DC: drop the dq/dt term entirely *)
   ev
 
-let solve ?(opts = default_opts) ?diag ?trace ?metrics ?initial ?(time = 0.0)
-    mna =
+let solve ?(opts = default_opts) ?guard ?diag ?trace ?metrics ?initial
+    ?(time = 0.0) mna =
   Trace.span trace "dc.solve" @@ fun () ->
   let n = Mna.size mna in
   let initial =
@@ -87,15 +91,19 @@ let solve ?(opts = default_opts) ?diag ?trace ?metrics ?initial ?(time = 0.0)
   let jac_of (ev : Mna.eval) = ev.Mna.g_mat in
   let attempt gmin start =
     let r, iters =
-      newton ?metrics ~opts ~mna ~gmin ~residual_of:(dc_residual mna time)
-        ~jac_of ~initial:start ()
+      newton ?guard ?metrics ~opts ~mna ~gmin
+        ~residual_of:(dc_residual mna time) ~jac_of ~initial:start ()
     in
     Diag.add diag "dc.newton_iterations" iters;
     Metrics.add metrics "dc.newton_iterations" iters;
     r
   in
+  let finish v =
+    Guard.check_vec guard ~site:"dc.solve" v;
+    v
+  in
   match attempt opts.gmin_final initial with
-  | Some (v, _) -> v
+  | Some (v, _) -> finish v
   | None ->
       (* gmin stepping continuation *)
       Log.debug (fun m -> m "plain Newton failed; starting gmin stepping");
@@ -108,7 +116,7 @@ let solve ?(opts = default_opts) ?diag ?trace ?metrics ?initial ?(time = 0.0)
         | gmin :: rest -> begin
             Diag.incr diag "dc.gmin_levels";
             match attempt (Float.max gmin opts.gmin_final) v_start with
-            | Some (v, _) -> if rest = [] then v else steps v rest
+            | Some (v, _) -> if rest = [] then finish v else steps v rest
             | None ->
                 (* restart the level from the best guess we have *)
                 if rest = [] then begin
@@ -120,8 +128,8 @@ let solve ?(opts = default_opts) ?diag ?trace ?metrics ?initial ?(time = 0.0)
       in
       steps initial levels
 
-let newton_dynamic ?(opts = default_opts) ?diag ?metrics ~mna ~time ~alpha
-    ~q_prev ~qdot_term ~initial () =
+let newton_dynamic ?(opts = default_opts) ?guard ?diag ?metrics ~mna ~time
+    ~alpha ~q_prev ~qdot_term ~initial () =
   let n = Mna.size mna in
   let residual_of v =
     let ev = Mna.eval mna ~with_matrices:true ~time v in
@@ -147,8 +155,8 @@ let newton_dynamic ?(opts = default_opts) ?diag ?metrics ~mna ~time ~alpha
     | _, _ -> None
   in
   let result, iters =
-    newton ?metrics ~opts ~mna ~gmin:opts.gmin_final ~residual_of ~jac_of
-      ~initial ()
+    newton ?guard ?metrics ~opts ~mna ~gmin:opts.gmin_final ~residual_of
+      ~jac_of ~initial ()
   in
   (* the count covers failed attempts too, so the diagnostics layer sees
      the true cost of steps that later retreat to another integrator *)
@@ -156,6 +164,7 @@ let newton_dynamic ?(opts = default_opts) ?diag ?metrics ~mna ~time ~alpha
   Metrics.add metrics "dc.newton_iterations" iters;
   match result with
   | Some (v, _) ->
+      Guard.check_vec guard ~site:"dc.newton_dynamic" v;
       (* re-evaluate to return clean (unmodified) Jacobians at the solution *)
       let ev = Mna.eval mna ~with_matrices:true ~time v in
       (v, ev, iters)

@@ -14,6 +14,7 @@ exception No_convergence of string
 
 val solve :
   ?opts:opts ->
+  ?guard:Guard.t ->
   ?diag:Diag.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->
@@ -29,10 +30,15 @@ val solve :
     [dc.gmin_levels]/[dc.gmin_continuations] counters. With [trace],
     the whole solve runs inside a [dc.solve] span; with [metrics], the
     iteration counter is mirrored and every LU factor/solve lands in
-    the [dc.lu_factor_ns]/[dc.lu_solve_ns] histograms. *)
+    the [dc.lu_factor_ns]/[dc.lu_solve_ns] histograms. With [guard],
+    Jacobian factorizations get reciprocal-condition floors and the
+    returned operating point a NaN/Inf sentinel. Hosts the
+    ["dc.newton_diverge"] fault probe (one invocation per Newton run;
+    a firing reports divergence, engaging gmin stepping). *)
 
 val newton_dynamic :
   ?opts:opts ->
+  ?guard:Guard.t ->
   ?diag:Diag.t ->
   ?metrics:Metrics.t ->
   mna:Mna.t ->

@@ -33,8 +33,8 @@ let matrices_of_eval (ev : Mna.eval) =
   | Some g, Some c -> (g, c)
   | _, _ -> invalid_arg "Tran: evaluation without Jacobians"
 
-let run ?(opts = default_opts) ?diag ?trace ?metrics ?initial mna ~t_stop ~dt
-    =
+let run ?(opts = default_opts) ?guard ?diag ?trace ?metrics ?initial mna
+    ~t_stop ~dt =
   if dt <= 0.0 || t_stop <= 0.0 then invalid_arg "Tran.run: dt and t_stop must be > 0";
   let n = Mna.size mna in
   (* the small slack avoids a spurious zero-length final step when
@@ -45,7 +45,8 @@ let run ?(opts = default_opts) ?diag ?trace ?metrics ?initial mna ~t_stop ~dt
   let v0 =
     match initial with
     | Some v -> Linalg.Vec.copy v
-    | None -> Dc.solve ~opts:opts.newton ?diag ?trace ?metrics ~time:0.0 mna
+    | None ->
+        Dc.solve ~opts:opts.newton ?guard ?diag ?trace ?metrics ~time:0.0 mna
   in
   let ev0 = Mna.eval mna ~with_matrices:true ~time:0.0 v0 in
   let times = Array.make (steps + 1) 0.0 in
@@ -73,9 +74,61 @@ let run ?(opts = default_opts) ?diag ?trace ?metrics ?initial mna ~t_stop ~dt
   if opts.snapshot_every > 0 then take_snapshot 0.0 v0 ev0;
   let newton_count = ref 0 in
   let fallback_count = ref 0 in
+  let halving_count = ref 0 in
   let q_prev = ref ev0.Mna.q_vec in
   let qdot_prev = ref (Linalg.Vec.create n) in
   let v_prev = ref v0 in
+  (* guard recovery of last resort for a step no integrator could take
+     whole: re-integrate [t_prev, time] as 2^j backward-Euler substeps,
+     doubling the split until the guard's halving budget runs out.
+     Returns the end-of-step solution and total Newton iterations. *)
+  let halve_step ~t_prev ~time =
+    match guard with
+    | None -> None
+    | Some (g : Guard.t) ->
+        let rec attempt j =
+          if j > g.Guard.max_step_halvings then None
+          else begin
+            incr halving_count;
+            (* each halving attempt rejects the step at its previous
+               resolution, so the rejection counter stays in agreement
+               with the result's [step_rejections] field *)
+            Diag.incr diag "tran.step_halvings";
+            Diag.incr diag "tran.step_rejections";
+            Metrics.incr metrics "tran.step_halvings";
+            Metrics.incr metrics "tran.step_rejections";
+            let m = 1 lsl j in
+            let hs = (time -. t_prev) /. float_of_int m in
+            let rec substeps i q v iters =
+              if i = m then Some (v, iters)
+              else
+                let t_sub =
+                  if i = m - 1 then time
+                  else t_prev +. (float_of_int (i + 1) *. hs)
+                in
+                match
+                  Dc.newton_dynamic ~opts:opts.newton ?guard ?diag ?metrics
+                    ~mna ~time:t_sub ~alpha:(1.0 /. hs) ~q_prev:q
+                    ~qdot_term:(Linalg.Vec.create n) ~initial:v ()
+                with
+                | exception Dc.No_convergence _ -> None
+                | v', ev', it ->
+                    substeps (i + 1) ev'.Mna.q_vec v' (iters + it)
+            in
+            match substeps 0 !q_prev !v_prev 0 with
+            | Some (v, iters) ->
+                Diag.warn diag ~stage:"engine.tran"
+                  (Printf.sprintf
+                     "step at t=%.6e recovered as %d backward-Euler substeps"
+                     time m);
+                (* re-evaluate for the snapshot-quality Jacobians *)
+                let ev = Mna.eval mna ~with_matrices:true ~time v in
+                Some (v, ev, iters)
+            | None -> attempt (j + 1)
+          end
+        in
+        attempt 1
+  in
   for k = 1 to steps do
     Trace.span trace ~args:[ ("k", Trace.Int k) ] "tran.step" @@ fun () ->
     let time = Float.min (float_of_int k *. dt) t_stop in
@@ -85,29 +138,48 @@ let run ?(opts = default_opts) ?diag ?trace ?metrics ?initial mna ~t_stop ~dt
       | Backward_euler -> (1.0 /. h, Linalg.Vec.create n)
       | Trapezoidal -> (2.0 /. h, Linalg.Vec.copy !qdot_prev)
     in
-    (* [fell_back] records which integrator actually produced this step,
-       so the qdot update below can use the matching formula *)
+    (* [fell_back] records which integrator actually produced this step
+       (backward Euler, whole or in substeps), so the qdot update below
+       can use the matching formula *)
+    let inject_diverge () =
+      if Fault.should_fire "tran.newton_diverge" then
+        raise
+          (Dc.No_convergence
+             (Printf.sprintf "injected Newton divergence at t=%.6e" time))
+    in
+    let be_retry () =
+      (* retreat to backward Euler for this step *)
+      incr fallback_count;
+      Diag.incr diag "tran.be_fallbacks";
+      Metrics.incr metrics "tran.be_fallbacks";
+      Diag.warn diag ~stage:"engine.tran"
+        (Printf.sprintf
+           "trapezoidal step at t=%.6e retreated to backward Euler" time);
+      inject_diverge ();
+      let v, ev, iters =
+        Dc.newton_dynamic ~opts:opts.newton ?guard ?diag ?metrics ~mna ~time
+          ~alpha:(1.0 /. h) ~q_prev:!q_prev
+          ~qdot_term:(Linalg.Vec.create n) ~initial:!v_prev ()
+      in
+      (v, ev, iters, true)
+    in
+    let recover exn =
+      match halve_step ~t_prev:times.(k - 1) ~time with
+      | Some (v, ev, iters) -> (v, ev, iters, true)
+      | None -> raise exn
+    in
     let v, ev, iters, fell_back =
       try
+        inject_diverge ();
         let v, ev, iters =
-          Dc.newton_dynamic ~opts:opts.newton ?diag ?metrics ~mna ~time ~alpha
-            ~q_prev:!q_prev ~qdot_term ~initial:!v_prev ()
+          Dc.newton_dynamic ~opts:opts.newton ?guard ?diag ?metrics ~mna
+            ~time ~alpha ~q_prev:!q_prev ~qdot_term ~initial:!v_prev ()
         in
         (v, ev, iters, false)
-      with Dc.No_convergence _ when opts.integration = Trapezoidal ->
-        (* retreat to backward Euler for this step *)
-        incr fallback_count;
-        Diag.incr diag "tran.be_fallbacks";
-        Metrics.incr metrics "tran.be_fallbacks";
-        Diag.warn diag ~stage:"engine.tran"
-          (Printf.sprintf
-             "trapezoidal step at t=%.6e retreated to backward Euler" time);
-        let v, ev, iters =
-          Dc.newton_dynamic ~opts:opts.newton ?diag ?metrics ~mna ~time
-            ~alpha:(1.0 /. h) ~q_prev:!q_prev
-            ~qdot_term:(Linalg.Vec.create n) ~initial:!v_prev ()
-        in
-        (v, ev, iters, true)
+      with
+      | Dc.No_convergence _ when opts.integration = Trapezoidal -> (
+          try be_retry () with Dc.No_convergence _ as e -> recover e)
+      | Dc.No_convergence _ as e -> recover e
     in
     newton_count := !newton_count + iters;
     Trace.add_args trace
@@ -149,13 +221,13 @@ let run ?(opts = default_opts) ?diag ?trace ?metrics ?initial mna ~t_stop ~dt
     snapshots = Array.of_list (List.rev !snapshots);
     newton_iterations = !newton_count;
     be_fallbacks = !fallback_count;
-    step_rejections = 0;
+    step_rejections = !halving_count;
   }
 
 let output_waveform r j =
   Signal.Waveform.make r.times (Linalg.Mat.col r.outputs j)
 
-let run_adaptive ?(opts = default_opts) ?diag ?trace ?metrics ?initial
+let run_adaptive ?(opts = default_opts) ?guard ?diag ?trace ?metrics ?initial
     ?(reltol = 1e-3) ?(abstol = 1e-6) ?dt_min ?dt_max mna ~t_stop ~dt =
   if dt <= 0.0 || t_stop <= 0.0 then
     invalid_arg "Tran.run_adaptive: dt and t_stop must be > 0";
@@ -166,7 +238,8 @@ let run_adaptive ?(opts = default_opts) ?diag ?trace ?metrics ?initial
   let v0 =
     match initial with
     | Some v -> Linalg.Vec.copy v
-    | None -> Dc.solve ~opts:opts.newton ?diag ?trace ?metrics ~time:0.0 mna
+    | None ->
+        Dc.solve ~opts:opts.newton ?guard ?diag ?trace ?metrics ~time:0.0 mna
   in
   let ev0 = Mna.eval mna ~with_matrices:true ~time:0.0 v0 in
   let times = ref [ 0.0 ] in
@@ -201,8 +274,8 @@ let run_adaptive ?(opts = default_opts) ?diag ?trace ?metrics ?initial
     let step_ok, v_new, ev_new =
       try
         let v, ev, iters =
-          Dc.newton_dynamic ~opts:opts.newton ?diag ?metrics ~mna ~time
-            ~alpha:(2.0 /. h_try) ~q_prev:!q_prev
+          Dc.newton_dynamic ~opts:opts.newton ?guard ?diag ?metrics ~mna
+            ~time ~alpha:(2.0 /. h_try) ~q_prev:!q_prev
             ~qdot_term:(Linalg.Vec.copy !qdot_prev) ~initial:!v_prev ()
         in
         newton_count := !newton_count + iters;

@@ -37,12 +37,14 @@ type result = {
       (** trapezoidal steps that retreated to backward Euler
           (always 0 for {!run_adaptive} and pure-BE runs) *)
   step_rejections : int;
-      (** rejected step attempts of {!run_adaptive} (always 0 for
-          fixed-step {!run}) *)
+      (** rejected step attempts of {!run_adaptive}; for fixed-step
+          {!run} this counts guard step-halving retries (0 without a
+          guard) *)
 }
 
 val run :
   ?opts:opts ->
+  ?guard:Guard.t ->
   ?diag:Diag.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->
@@ -63,13 +65,22 @@ val run :
     [tran.run] span containing one [tran.step] span per step (carrying
     its Newton iteration count and fallback flag as arguments); with
     [metrics], the same counters are mirrored and per-step iteration
-    counts land in the [tran.newton_iters_per_step] histogram. *)
+    counts land in the [tran.newton_iters_per_step] histogram. With
+    [guard], a step that fails even the backward-Euler retreat is
+    re-integrated as [2^j] backward-Euler substeps for
+    [j = 1 .. guard.max_step_halvings] before giving up
+    ([tran.step_halvings] counts the attempts); the qdot estimate for
+    such a step uses the backward-Euler difference quotient over the
+    whole step, as for an ordinary fallback. Hosts the
+    ["tran.newton_diverge"] fault probe (one invocation per step
+    attempt, including the backward-Euler retreat). *)
 
 val output_waveform : result -> int -> Signal.Waveform.t
 (** Extract output channel [j] as a waveform. *)
 
 val run_adaptive :
   ?opts:opts ->
+  ?guard:Guard.t ->
   ?diag:Diag.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->

@@ -1,4 +1,15 @@
-exception Singular of int
+exception Singular of { pivot_index : int; magnitude : float }
+
+let () =
+  Printexc.register_printer (function
+    | Singular { pivot_index; magnitude } ->
+        Some
+          (Printf.sprintf "Clu.Singular: pivot %d has magnitude %.3e"
+             pivot_index magnitude)
+    | _ -> None)
+
+(* same floor as Lu: a denormal pivot magnitude overflows multipliers *)
+let tiny_pivot = 1e-300
 
 type t = { lu : Cmat.t; perm : int array }
 
@@ -6,13 +17,25 @@ let workspace n =
   if n <= 0 then invalid_arg "Clu.workspace: size must be positive";
   { lu = Cmat.create n n; perm = Array.init n (fun i -> i) }
 
+(* diagonal-ratio reciprocal-condition proxy, as in Lu.rcond_estimate *)
+let rcond_estimate { lu; _ } =
+  let n = Cmat.rows lu in
+  let mn = ref infinity and mx = ref 0.0 in
+  for i = 0 to n - 1 do
+    let d = Cx.norm (Cmat.get lu i i) in
+    if d < !mn then mn := d;
+    if d > !mx then mx := d
+  done;
+  if !mx = 0.0 || not (Float.is_finite !mx) then 0.0 else !mn /. !mx
+
 (* In-place Doolittle with partial pivoting, overwriting the workspace.
    This is the one implementation; [factor] wraps it with a fresh
    workspace, so both paths perform identical floating-point ops. *)
-let factor_into ws a =
+let factor_into ?guard ws a =
   let n = Cmat.rows a in
   if Cmat.cols a <> n then invalid_arg "Clu.factor_into: matrix not square";
   if Cmat.rows ws.lu <> n then invalid_arg "Clu.factor_into: workspace size mismatch";
+  let inject = Fault.should_fire "clu.pivot_zero" in
   let lu = ws.lu and perm = ws.perm in
   Cmat.blit ~src:a ~dst:lu;
   for i = 0 to n - 1 do
@@ -29,8 +52,9 @@ let factor_into ws a =
       perm.(k) <- perm.(!piv);
       perm.(!piv) <- tmp
     end;
-    let pivot = Cmat.get lu k k in
-    if Cx.norm pivot = 0.0 || not (Cx.is_finite pivot) then raise (Singular k);
+    let pivot = if inject && k = 0 then Cx.zero else Cmat.get lu k k in
+    if Cx.norm pivot < tiny_pivot || not (Cx.is_finite pivot) then
+      raise (Singular { pivot_index = k; magnitude = Cx.norm pivot });
     for i = k + 1 to n - 1 do
       let luik = Cmat.get lu i k in
       let m = Cx.(luik /: pivot) in
@@ -41,11 +65,26 @@ let factor_into ws a =
           Cmat.set lu i j Cx.(luij -: (m *: lukj))
         done
     done
-  done
+  done;
+  match guard with
+  | None -> ()
+  | Some (g : Guard.t) ->
+      let rc = rcond_estimate ws in
+      if rc < g.Guard.rcond_min then begin
+        let idx = ref 0 and mn = ref infinity in
+        for i = 0 to n - 1 do
+          let d = Cx.norm (Cmat.get lu i i) in
+          if d < !mn then begin
+            mn := d;
+            idx := i
+          end
+        done;
+        raise (Singular { pivot_index = !idx; magnitude = !mn })
+      end
 
-let factor a =
+let factor ?guard a =
   let ws = workspace (Cmat.rows a) in
-  factor_into ws a;
+  factor_into ?guard ws a;
   ws
 
 (* Forward/back substitution into a caller-owned [x]; [x] and [b] must

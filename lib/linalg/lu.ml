@@ -1,4 +1,16 @@
-exception Singular of int
+exception Singular of { pivot_index : int; magnitude : float }
+
+let () =
+  Printexc.register_printer (function
+    | Singular { pivot_index; magnitude } ->
+        Some
+          (Printf.sprintf "Lu.Singular: pivot %d has magnitude %.3e"
+             pivot_index magnitude)
+    | _ -> None)
+
+(* below this a pivot is numerically zero even when its bit pattern is
+   not: eliminating with a denormal pivot overflows the multipliers *)
+let tiny_pivot = 1e-300
 
 type t = { lu : Mat.t; perm : int array; mutable sign : float }
 
@@ -6,13 +18,27 @@ let workspace n =
   if n <= 0 then invalid_arg "Lu.workspace: size must be positive";
   { lu = Mat.create n n; perm = Array.init n (fun i -> i); sign = 1.0 }
 
+(* cheap reciprocal-condition proxy: the ratio of the smallest to the
+   largest |U_ii|. With partial pivoting this tracks the true 1-norm
+   rcond within a few orders of magnitude — enough for a guard floor. *)
+let rcond_estimate { lu; _ } =
+  let n = Mat.rows lu in
+  let mn = ref infinity and mx = ref 0.0 in
+  for i = 0 to n - 1 do
+    let d = Float.abs (Mat.get lu i i) in
+    if d < !mn then mn := d;
+    if d > !mx then mx := d
+  done;
+  if !mx = 0.0 || not (Float.is_finite !mx) then 0.0 else !mn /. !mx
+
 (* Doolittle factorization with partial pivoting, stored packed in the
    workspace's [lu]. [factor] wraps this with a fresh workspace, so both
    paths perform identical floating-point ops. *)
-let factor_into ws a =
+let factor_into ?guard ws a =
   let n = Mat.rows a in
   if Mat.cols a <> n then invalid_arg "Lu.factor_into: matrix not square";
   if Mat.rows ws.lu <> n then invalid_arg "Lu.factor_into: workspace size mismatch";
+  let inject = Fault.should_fire "lu.pivot_zero" in
   let lu = ws.lu and perm = ws.perm in
   Mat.blit ~src:a ~dst:lu;
   for i = 0 to n - 1 do
@@ -32,8 +58,9 @@ let factor_into ws a =
       perm.(!piv) <- tmp;
       ws.sign <- -.ws.sign
     end;
-    let pivot = Mat.get lu k k in
-    if pivot = 0.0 || not (Float.is_finite pivot) then raise (Singular k);
+    let pivot = if inject && k = 0 then 0.0 else Mat.get lu k k in
+    if Float.abs pivot < tiny_pivot || not (Float.is_finite pivot) then
+      raise (Singular { pivot_index = k; magnitude = Float.abs pivot });
     for i = k + 1 to n - 1 do
       let m = Mat.get lu i k /. pivot in
       Mat.set lu i k m;
@@ -42,11 +69,27 @@ let factor_into ws a =
           Mat.set lu i j (Mat.get lu i j -. (m *. Mat.get lu k j))
         done
     done
-  done
+  done;
+  match guard with
+  | None -> ()
+  | Some (g : Guard.t) ->
+      let rc = rcond_estimate ws in
+      if rc < g.Guard.rcond_min then begin
+        (* report the weakest pivot, the one that bounds the estimate *)
+        let idx = ref 0 and mn = ref infinity in
+        for i = 0 to n - 1 do
+          let d = Float.abs (Mat.get lu i i) in
+          if d < !mn then begin
+            mn := d;
+            idx := i
+          end
+        done;
+        raise (Singular { pivot_index = !idx; magnitude = !mn })
+      end
 
-let factor a =
+let factor ?guard a =
   let ws = workspace (Mat.rows a) in
-  factor_into ws a;
+  factor_into ?guard ws a;
   ws
 
 (* substitution into a caller-owned [x]; [b] and [x] must be distinct

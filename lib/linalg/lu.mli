@@ -1,8 +1,11 @@
 (** LU factorization with partial pivoting for dense real matrices. *)
 
-exception Singular of int
-(** Raised with the pivot column index when a zero (or numerically
-    negligible) pivot is encountered. *)
+exception Singular of { pivot_index : int; magnitude : float }
+(** Raised when elimination meets a pivot that is zero, non-finite or
+    below the tiny-pivot floor (1e-300), or — under a [?guard] — when
+    the finished factorization's reciprocal-condition estimate falls
+    below [Guard.rcond_min]. [pivot_index] is the offending column,
+    [magnitude] the absolute pivot value. *)
 
 type t
 (** A factorization [P*A = L*U] of a square matrix; also the
@@ -13,14 +16,21 @@ val workspace : int -> t
 (** [workspace n] preallocates buffers for [n×n] factorizations. The
     contents are meaningless until the first {!factor_into}. *)
 
-val factor_into : t -> Mat.t -> unit
+val factor_into : ?guard:Guard.t -> t -> Mat.t -> unit
 (** [factor_into ws a] factors [a] into [ws], fully overwriting any
     previous factorization; [a] is left untouched. Raises {!Singular}
-    if rank-deficient. Performs the same floating-point operations as
-    {!factor}. *)
+    if rank-deficient, or — with a [?guard] — when {!rcond_estimate}
+    of the result falls below [guard.rcond_min]. Hosts the
+    ["lu.pivot_zero"] fault probe. Performs the same floating-point
+    operations as {!factor}. *)
 
-val factor : Mat.t -> t
+val factor : ?guard:Guard.t -> Mat.t -> t
 (** Factorize a square matrix. Raises {!Singular} if rank-deficient. *)
+
+val rcond_estimate : t -> float
+(** Diagonal-ratio reciprocal-condition proxy of a finished
+    factorization: [min |U_ii| / max |U_ii|], in [0, 1]; 0 when the
+    diagonal is degenerate or non-finite. *)
 
 val solve_into : t -> Vec.t -> Vec.t -> unit
 (** [solve_into f b x] writes the solution of [A x = b] into the

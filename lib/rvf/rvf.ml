@@ -67,8 +67,8 @@ type freq_stage = {
   dc : float array;
 }
 
-let frequency_stage ?(config = default_config) ?diag ?trace ?metrics ~dataset
-    ~input ~output () =
+let frequency_stage ?(config = default_config) ?guard ?diag ?trace ?metrics
+    ~dataset ~input ~output () =
   let samples = dataset.Tft.Dataset.samples in
   if Array.length samples < 4 then begin
     Diag.error diag ~stage:"rvf.freq"
@@ -124,7 +124,7 @@ let frequency_stage ?(config = default_config) ?diag ?trace ?metrics ~dataset
   let freq_model, freq_info =
     Diag.span diag "rvf.frequency_stage" (fun () ->
         Trace.span trace "rvf.frequency_stage" (fun () ->
-            Vf.Vfit.fit_auto ~opts:freq_opts ?diag ?trace ?metrics
+            Vf.Vfit.fit_auto ~opts:freq_opts ?guard ?diag ?trace ?metrics
               ~label:"vf.freq" ~make_poles:make_freq_poles
               ~start:config.freq_start ~step:config.freq_step
               ~max_poles:config.max_freq_poles ~tol:(config.eps *. freq_scale)
@@ -148,11 +148,12 @@ let frequency_stage ?(config = default_config) ?diag ?trace ?metrics ~dataset
     dc = Tft.Dataset.dc_trace dataset ~input ~output;
   }
 
-let extract ?(config = default_config) ?diag ?trace ?metrics ~dataset ~input
-    ~output () =
+let extract ?(config = default_config) ?guard ?diag ?trace ?metrics ~dataset
+    ~input ~output () =
   let t_start = Clock.now () in
   let stage =
-    frequency_stage ~config ?diag ?trace ?metrics ~dataset ~input ~output ()
+    frequency_stage ~config ?guard ?diag ?trace ?metrics ~dataset ~input
+      ~output ()
   in
   let freq_model = stage.fs_model and freq_info = stage.fs_info in
   let xs = stage.xs and x_lo = stage.x_lo and x_hi = stage.x_hi in
@@ -186,13 +187,32 @@ let extract ?(config = default_config) ?diag ?trace ?metrics ~dataset ~input
         let t = raw_trace pi in
         Array.map (fun v -> { Complex.re = v /. trace_scales.(pi); im = 0.0 }) t)
   in
+  (* one probe invocation per extraction: an armed burst of k makes k
+     consecutive extract calls fail here, which walks the pipeline's
+     escalation ladder rung by rung *)
+  if
+    Fault.should_fire "rvf.trace_nan"
+    && n_traces > 0
+    && Array.length trace_data.(0) > 0
+  then trace_data.(0).(0) <- { Complex.re = Float.nan; im = 0.0 };
+  (match guard with
+  | None -> ()
+  | Some (g : Guard.t) ->
+      if g.Guard.check_finite then
+        Array.iteri
+          (fun pi t ->
+            if not (Guard.finite_complex_array t) then
+              Guard.fail ~site:"rvf.trace"
+                (Printf.sprintf
+                   "non-finite residue coefficient trace %d" pi))
+          trace_data);
   let min_imag = config.min_imag_fraction *. (x_hi -. x_lo) in
   let state_opts = { config.state_opts with Vf.Vfit.min_imag } in
   let make_state_poles count = Vf.Pole.initial_real_axis ~lo:x_lo ~hi:x_hi ~count in
   let residue_model, residue_info =
     Diag.span diag "rvf.state_stage" (fun () ->
         Trace.span trace "rvf.state_stage" (fun () ->
-            Vf.Vfit.fit_auto ~opts:state_opts ?diag ?trace ?metrics
+            Vf.Vfit.fit_auto ~opts:state_opts ?guard ?diag ?trace ?metrics
               ~label:"vf.state" ~make_poles:make_state_poles
               ~start:config.state_start ~step:config.state_step
               ~max_poles:config.max_state_poles ~tol:config.eps
@@ -238,11 +258,20 @@ let extract ?(config = default_config) ?diag ?trace ?metrics ~dataset ~input
   let static_data =
     [| Array.map (fun v -> { Complex.re = v; im = 0.0 }) stage.dc |]
   in
+  (match guard with
+  | None -> ()
+  | Some (g : Guard.t) ->
+      if
+        g.Guard.check_finite
+        && not (Guard.finite_complex_array static_data.(0))
+      then
+        Guard.fail ~site:"rvf.static_trace"
+          "non-finite DC conductance trace");
   let static_scale = Float.max (rms_of_rows static_data) 1e-300 in
   let static_model, static_info =
     Diag.span diag "rvf.static_stage" (fun () ->
         Trace.span trace "rvf.static_stage" (fun () ->
-            Vf.Vfit.fit_auto ~opts:state_opts ?diag ?trace ?metrics
+            Vf.Vfit.fit_auto ~opts:state_opts ?guard ?diag ?trace ?metrics
               ~label:"vf.static" ~make_poles:make_state_poles
               ~start:config.state_start ~step:config.state_step
               ~max_poles:config.max_state_poles

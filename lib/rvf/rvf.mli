@@ -47,6 +47,7 @@ type result = {
 
 val extract :
   ?config:config ->
+  ?guard:Guard.t ->
   ?diag:Diag.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->
@@ -63,7 +64,13 @@ val extract :
     fit RMS ([rvf.residue_trace_rms]) and notes the settled pole count
     of each stage. [trace]/[metrics] are threaded the same way: the
     three stages record like-named {!Trace} spans and the VF engine's
-    per-iteration statistics land in the metrics registry. *)
+    per-iteration statistics land in the metrics registry.
+
+    With [guard], the residue coefficient traces and the DC conductance
+    trace are NaN/Inf-checked before fitting ([Guard.Violation] at
+    sites [rvf.trace]/[rvf.static_trace]) and the guard threads into
+    every VF stage's pole and model checks. Hosts the ["rvf.trace_nan"]
+    fault probe (one invocation per extraction). *)
 
 (** {2 Shared frequency stage}
 
@@ -83,6 +90,7 @@ type freq_stage = {
 
 val frequency_stage :
   ?config:config ->
+  ?guard:Guard.t ->
   ?diag:Diag.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->

@@ -14,7 +14,116 @@ type t = {
   n_outputs : int;
 }
 
-let of_snapshots ?pool ?trace ?metrics ~mna ~estimator ~freqs_hz snapshots =
+let finite_cmat m =
+  let ok = ref true in
+  for r = 0 to Linalg.Cmat.rows m - 1 do
+    for c = 0 to Linalg.Cmat.cols m - 1 do
+      let z = Linalg.Cmat.get m r c in
+      if not (Float.is_finite z.Complex.re && Float.is_finite z.Complex.im)
+      then ok := false
+    done
+  done;
+  !ok
+
+let sample_finite s =
+  Guard.finite_array s.x && Guard.finite_array s.u && Guard.finite_array s.y
+  && finite_cmat s.h0
+  && Array.for_all finite_cmat s.h
+
+(* elementwise (1-w)·a + w·b, the neighbor-interpolation repair *)
+let lerp_cmat a b w =
+  Linalg.Cmat.init (Linalg.Cmat.rows a) (Linalg.Cmat.cols a) (fun r c ->
+      let za = Linalg.Cmat.get a r c and zb = Linalg.Cmat.get b r c in
+      {
+        Complex.re = ((1.0 -. w) *. za.Complex.re) +. (w *. zb.Complex.re);
+        im = ((1.0 -. w) *. za.Complex.im) +. (w *. zb.Complex.im);
+      })
+
+(* Snapshot quarantine: flag samples with non-finite transfer data and
+   either rebuild their H matrices from the nearest healthy neighbors
+   (time-weighted linear interpolation, one-sided copy at the ends) or
+   drop them. A sample whose state/input/output coordinates are
+   themselves corrupt cannot keep its place on the trajectory and is
+   dropped under either policy. Raises when nothing is left to repair
+   from. *)
+let quarantine guard diag metrics t =
+  match guard with
+  | None -> t
+  | Some (g : Guard.t) ->
+      let n = Array.length t.samples in
+      let bad = Array.map (fun s -> not (sample_finite s)) t.samples in
+      let n_bad = Array.fold_left (fun a b -> if b then a + 1 else a) 0 bad in
+      if n_bad = 0 then t
+      else begin
+        Diag.add diag "dataset.quarantined" n_bad;
+        Metrics.add metrics "dataset.quarantined" n_bad;
+        if n_bad = n then
+          Guard.fail ~site:"dataset.quarantine"
+            "every snapshot sample is corrupt";
+        let repaired = ref 0 and dropped = ref 0 in
+        let healthy_before i =
+          let j = ref (i - 1) in
+          while !j >= 0 && bad.(!j) do decr j done;
+          if !j >= 0 then Some t.samples.(!j) else None
+        in
+        let healthy_after i =
+          let j = ref (i + 1) in
+          while !j < n && bad.(!j) do incr j done;
+          if !j < n then Some t.samples.(!j) else None
+        in
+        let repair i s =
+          match g.Guard.snapshot_repair with
+          | Guard.Drop -> None
+          | Guard.Interpolate ->
+              if
+                not
+                  (Guard.finite_array s.x && Guard.finite_array s.u
+                 && Guard.finite_array s.y)
+              then None
+              else begin
+                match (healthy_before i, healthy_after i) with
+                | None, None -> None
+                | Some a, None -> Some { s with h = a.h; h0 = a.h0 }
+                | None, Some b -> Some { s with h = b.h; h0 = b.h0 }
+                | Some a, Some b ->
+                    let span = b.time -. a.time in
+                    let w =
+                      if span <= 0.0 then 0.5 else (s.time -. a.time) /. span
+                    in
+                    Some
+                      {
+                        s with
+                        h = Array.map2 (fun ha hb -> lerp_cmat ha hb w) a.h b.h;
+                        h0 = lerp_cmat a.h0 b.h0 w;
+                      }
+              end
+        in
+        let kept = ref [] in
+        Array.iteri
+          (fun i s ->
+            if not bad.(i) then kept := s :: !kept
+            else
+              match repair i s with
+              | Some s' ->
+                  incr repaired;
+                  kept := s' :: !kept
+              | None -> incr dropped)
+          t.samples;
+        Diag.add diag "dataset.repaired" !repaired;
+        Diag.add diag "dataset.dropped" !dropped;
+        Metrics.add metrics "dataset.repaired" !repaired;
+        Metrics.add metrics "dataset.dropped" !dropped;
+        Diag.warn diag ~stage:"tft.dataset"
+          (Printf.sprintf
+             "quarantined %d snapshot sample(s): %d repaired by %s, %d dropped"
+             n_bad !repaired
+             (Guard.repair_to_string g.Guard.snapshot_repair)
+             !dropped);
+        { t with samples = Array.of_list (List.rev !kept) }
+      end
+
+let of_snapshots ?pool ?guard ?diag ?trace ?metrics ~mna ~estimator ~freqs_hz
+    snapshots =
   let b = Engine.Mna.b_matrix mna in
   let d = Engine.Mna.d_matrix mna in
   let mi = Linalg.Mat.cols b and mo = Linalg.Mat.cols d in
@@ -23,9 +132,19 @@ let of_snapshots ?pool ?trace ?metrics ~mna ~estimator ~freqs_hz snapshots =
   (* the estimator needs the input signal u(t); inputs are per-source *)
   let u_fun time = (Engine.Mna.input_values mna time).(0) in
   let ss = Array.map Signal.Grid.s_of_hz freqs_hz in
+  (* fault pre-pass, sequential by construction: firing is decided per
+     snapshot index before the fan-out, so the injected burst lands on
+     the same snapshots for any domain count *)
+  let corrupt =
+    if Fault.armed () = Some "dataset.snapshot_burst" then
+      Array.map (fun _ -> Fault.should_fire "dataset.snapshot_burst") snapshots
+    else Array.make (Array.length snapshots) false
+  in
   (* snapshots are independent: fan them out across the pool, one solve
      workspace per domain. Each sample depends only on its own snapshot,
-     so the result is bit-identical to the sequential path. *)
+     so the result is bit-identical to the sequential path. Guard
+     finite-checks run in the quarantine pass below, not in the workers,
+     so corrupt samples are collected rather than racing to raise. *)
   let samples =
     Trace.span trace
       ~args:[ ("snapshots", Trace.Int (Array.length snapshots)) ]
@@ -33,10 +152,15 @@ let of_snapshots ?pool ?trace ?metrics ~mna ~estimator ~freqs_hz snapshots =
     @@ fun () ->
     Exec.parallel_map_ws ?pool ?trace ?metrics ~label:"tft"
       ~ws:(fun () -> Engine.Ac.make_ws ~b ~d)
-      (fun ws (snap : Engine.Tran.snapshot) ->
+      (fun ws ((i, snap) : int * Engine.Tran.snapshot) ->
         let g = snap.Engine.Tran.g_mat and c = snap.Engine.Tran.c_mat in
         let h = Engine.Ac.transfer_sweep ?metrics ws ~g ~c ~ss in
         let h0 = Engine.Ac.transfer_ws ws ~g ~c ~s:Complex.zero in
+        if corrupt.(i) then
+          Array.iter
+            (fun hm ->
+              Linalg.Cmat.set hm 0 0 { Complex.re = Float.nan; im = Float.nan })
+            h;
         {
           time = snap.Engine.Tran.time;
           x = Estimator.coords estimator ~u:u_fun snap.Engine.Tran.time;
@@ -45,9 +169,10 @@ let of_snapshots ?pool ?trace ?metrics ~mna ~estimator ~freqs_hz snapshots =
           h;
           h0;
         })
-      snapshots
+      (Array.mapi (fun i snap -> (i, snap)) snapshots)
   in
-  { freqs_hz; samples; n_inputs = mi; n_outputs = mo }
+  quarantine guard diag metrics
+    { freqs_hz; samples; n_inputs = mi; n_outputs = mo }
 
 let dynamic_part t =
   let samples =

@@ -23,6 +23,8 @@ type t = {
 
 val of_snapshots :
   ?pool:Exec.t ->
+  ?guard:Guard.t ->
+  ?diag:Diag.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->
   mna:Engine.Mna.t ->
@@ -43,7 +45,18 @@ val of_snapshots :
     [tft.chunk] span per chunk, each on the track of the domain that
     ran it; with [metrics], per-frequency pencil-solve times land in
     [ac.pencil_solve_ns] (recorded from worker domains) and chunk
-    wait/run times in [tft.chunk_wait_ns]/[tft.chunk_run_ns]. *)
+    wait/run times in [tft.chunk_wait_ns]/[tft.chunk_run_ns].
+
+    With [guard], a quarantine pass runs after the sweep: samples with
+    non-finite transfer data are counted ([dataset.quarantined]) and
+    either rebuilt by time-weighted interpolation between the nearest
+    healthy neighbors ([dataset.repaired], policy
+    [guard.snapshot_repair = Interpolate]) or removed
+    ([dataset.dropped]), with a [diag] warning either way. Raises
+    [Guard.Violation] when every sample is corrupt. Hosts the
+    ["dataset.snapshot_burst"] fault probe; firing is decided per
+    snapshot index in a sequential pre-pass, so injected bursts are
+    deterministic for any domain count. *)
 
 val dynamic_part : t -> t
 (** Subtract [H^(k)(0)] from every frequency sample: the remaining purely

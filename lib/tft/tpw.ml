@@ -8,7 +8,38 @@ type t = {
   n : int;
 }
 
-let build ~mna snapshots =
+let finite_mat m =
+  let ok = ref true in
+  for r = 0 to Linalg.Mat.rows m - 1 do
+    for c = 0 to Linalg.Mat.cols m - 1 do
+      if not (Float.is_finite (Linalg.Mat.get m r c)) then ok := false
+    done
+  done;
+  !ok
+
+let snapshot_finite (s : Engine.Tran.snapshot) =
+  Guard.finite_array s.Engine.Tran.state
+  && Guard.finite_array s.Engine.Tran.inputs
+  && finite_mat s.Engine.Tran.g_mat
+  && finite_mat s.Engine.Tran.c_mat
+
+let build ?guard ?diag ~mna snapshots =
+  (* snapshot quarantine: the TPW database interpolates raw snapshots
+     directly, so a corrupt one is dropped before indexing (there is no
+     meaningful neighbor repair once the x-ordering is rebuilt) *)
+  let snapshots =
+    match guard with
+    | None -> snapshots
+    | Some _ ->
+        let kept = Array.of_list (List.filter snapshot_finite (Array.to_list snapshots)) in
+        let n_bad = Array.length snapshots - Array.length kept in
+        if n_bad > 0 then begin
+          Diag.add diag "tpw.quarantined" n_bad;
+          Diag.warn diag ~stage:"tft.tpw"
+            (Printf.sprintf "dropped %d corrupt snapshot(s)" n_bad)
+        end;
+        kept
+  in
   if Array.length snapshots < 2 then invalid_arg "Tpw.build: need >= 2 snapshots";
   if Engine.Mna.n_inputs mna <> 1 || Engine.Mna.n_outputs mna <> 1 then
     invalid_arg "Tpw.build: SISO configuration required";
@@ -72,7 +103,7 @@ let blend_vec a b lambda =
    G·z + C·dz/dt = B·(u(t) − u_star)  with  z = v − v_star; trapezoidal:
    (G + 2C/h)·z_next = B·(u_next − u_star) + rhs_history.
    Freezing the interpolation per step keeps the update linear. *)
-let simulate t ~u ~t_stop ~dt =
+let simulate ?guard t ~u ~t_stop ~dt =
   if dt <= 0.0 || t_stop <= 0.0 then invalid_arg "Tpw.simulate: dt, t_stop > 0";
   let steps = Stdlib.max 1 (int_of_float (Float.ceil ((t_stop /. dt) -. 1e-9))) in
   let times = Array.make (steps + 1) 0.0 in
@@ -106,7 +137,7 @@ let simulate t ~u ~t_stop ~dt =
     (* trapezoidal on z = v − v_star, using dz/dt ≈ dv/dt since v_star
        is frozen within the step *)
     Linalg.Mat.lincomb_into a 1.0 g (2.0 /. h) c;
-    Linalg.Lu.factor_into lu a;
+    Linalg.Lu.factor_into ?guard lu a;
     let z_n = Linalg.Vec.sub !v v_star in
     for i = 0 to t.n - 1 do
       zdot.(i) <- ((2.0 /. h) *. z_n.(i)) +. (!dvdt).(i)
@@ -116,6 +147,7 @@ let simulate t ~u ~t_stop ~dt =
       Array.init t.n (fun i -> (t.b.(i) *. (w -. u_star)) +. hist.(i))
     in
     Linalg.Lu.solve_into lu rhs z_next;
+    Guard.check_vec guard ~site:"tpw.simulate" z_next;
     let v_next = Linalg.Vec.add v_star z_next in
     dvdt :=
       Array.init t.n (fun i -> ((v_next.(i) -. (!v).(i)) *. 2.0 /. h) -. (!dvdt).(i));

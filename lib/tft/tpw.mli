@@ -14,16 +14,31 @@
 
 type t
 
-val build : mna:Engine.Mna.t -> Engine.Tran.snapshot array -> t
+val build :
+  ?guard:Guard.t ->
+  ?diag:Diag.t ->
+  mna:Engine.Mna.t ->
+  Engine.Tran.snapshot array ->
+  t
 (** Index the snapshots by the first input value. Requires ≥ 2 snapshots
-    and a SISO input/output configuration. *)
+    and a SISO input/output configuration. With [guard], snapshots with
+    non-finite state or Jacobian data are dropped before indexing
+    ([tpw.quarantined] counter plus a [diag] warning); interpolation
+    repair does not apply here because the database is re-ordered by
+    input value. *)
 
 val size_in_floats : t -> int
 (** Storage footprint of the snapshot database (floats held at runtime) —
     the "large database" cost of the TPW approach. *)
 
 val simulate :
-  t -> u:(float -> float) -> t_stop:float -> dt:float -> Signal.Waveform.t
+  ?guard:Guard.t ->
+  t ->
+  u:(float -> float) ->
+  t_stop:float ->
+  dt:float ->
+  Signal.Waveform.t
 (** Trapezoidal integration of the interpolated linearized dynamics; one
     [n×n] LU solve per step (no Newton iteration, but no model-order
-    reduction either). *)
+    reduction either). With [guard], each step's factorization gets a
+    reciprocal-condition floor and each solve a NaN/Inf sentinel. *)

@@ -330,7 +330,13 @@ let identify ~opts ~poles ~points ~data ~weights =
     data;
   { Model.poles; coeffs; consts; slopes }
 
-let fit ?(opts = default_frequency_opts) ?diag ?trace ?metrics
+let finite_model (m : Model.t) =
+  Guard.finite_complex_array m.Model.poles
+  && Array.for_all Guard.finite_array m.Model.coeffs
+  && Guard.finite_array m.Model.consts
+  && Guard.finite_array m.Model.slopes
+
+let fit ?(opts = default_frequency_opts) ?guard ?diag ?trace ?metrics
     ?(label = "vfit") ~poles ~points ~data () =
   if Array.length data = 0 then invalid_arg "Vfit.fit: no elements";
   Array.iter
@@ -357,6 +363,22 @@ let fit ?(opts = default_frequency_opts) ?diag ?trace ?metrics
        | Some (poles', rd) ->
            iterations_run := it;
            poles := poles';
+           if Fault.should_fire "vf.pole_flip" && Array.length poles' > 0
+           then begin
+             (* reflect one relocated pole into the right half plane —
+                both members when it heads a conjugate pair, keeping
+                the normalized pair layout intact *)
+             let flip i =
+               poles'.(i) <-
+                 {
+                   poles'.(i) with
+                   Complex.re = Float.abs poles'.(i).Complex.re +. 1.0;
+                 }
+             in
+             flip 0;
+             if poles'.(0).Complex.im <> 0.0 && Array.length poles' > 1 then
+               flip 1
+           end;
            Diag.observe diag (label ^ ".sigma_rms") rd.sigma_rms;
            Diag.observe diag (label ^ ".column_scale_spread") rd.scale_spread;
            Metrics.observe metrics (label ^ ".sigma_rms") rd.sigma_rms;
@@ -368,7 +390,54 @@ let fit ?(opts = default_frequency_opts) ?diag ?trace ?metrics
            raise Exit
      done
    with Exit -> ());
+  (* post-relocation guard: finite poles, runaway detection against the
+     span of the fit points, and stability repair for the injected (or
+     numerically produced) right-half-plane pole that slipped past the
+     in-loop normalization *)
+  (match guard with
+  | None -> ()
+  | Some (g : Guard.t) ->
+      let p = !poles in
+      if g.Guard.check_finite && not (Guard.finite_complex_array p) then
+        Guard.fail ~site:(label ^ ".poles") "non-finite relocated poles";
+      let zmax =
+        Array.fold_left (fun m z -> Float.max m (Complex.norm z)) 0.0 points
+      in
+      Array.iter
+        (fun a ->
+          if zmax > 0.0 && Complex.norm a > g.Guard.max_pole_growth *. zmax
+          then
+            Guard.fail ~site:(label ^ ".poles")
+              (Printf.sprintf
+                 "pole runaway: |p| = %.3e exceeds %g x the largest fit \
+                  point %.3e"
+                 (Complex.norm a) g.Guard.max_pole_growth zmax))
+        p;
+      if
+        opts.enforce_stable
+        && Array.exists (fun a -> a.Complex.re >= 0.0) p
+      then begin
+        let n_unstable =
+          Array.fold_left
+            (fun acc a -> if a.Complex.re >= 0.0 then acc + 1 else acc)
+            0 p
+        in
+        Diag.add diag (label ^ ".guard_stabilized") n_unstable;
+        Metrics.add metrics (label ^ ".guard_stabilized") n_unstable;
+        Diag.warn diag ~stage:label
+          (Printf.sprintf
+             "guard reflected %d unstable pole(s) into the left half plane"
+             n_unstable);
+        poles :=
+          Pole.normalize ~enforce_stable:true ~min_imag:opts.min_imag p
+      end);
   let model = identify ~opts ~poles:!poles ~points ~data ~weights in
+  (match guard with
+  | None -> ()
+  | Some g ->
+      if g.Guard.check_finite && not (finite_model model) then
+        Guard.fail ~site:(label ^ ".model")
+          "non-finite coefficients in fitted model");
   let rms = Model.rms_error model ~points ~data in
   let max_err = Model.max_error model ~points ~data in
   Diag.observe diag (label ^ ".fit_rms") rms;
@@ -381,7 +450,7 @@ let fit ?(opts = default_frequency_opts) ?diag ?trace ?metrics
       pole_count = Array.length !poles;
     } )
 
-let fit_auto ?(opts = default_frequency_opts) ?diag ?trace ?metrics
+let fit_auto ?(opts = default_frequency_opts) ?guard ?diag ?trace ?metrics
     ?(label = "vfit") ~make_poles ?(start = 2) ?(step = 2) ?(max_poles = 40)
     ~tol ~points ~data () =
   Trace.span trace ~args:[ ("label", Trace.Str label) ] "vf.fit_auto"
@@ -414,9 +483,19 @@ let fit_auto ?(opts = default_frequency_opts) ?diag ?trace ?metrics
       Diag.incr diag (label ^ ".attempts");
       Metrics.incr metrics (label ^ ".attempts");
       match
-        fit ~opts ?diag ?trace ?metrics ~label ~poles:(make_poles count)
-          ~points ~data ()
+        fit ~opts ?guard ?diag ?trace ?metrics ~label
+          ~poles:(make_poles count) ~points ~data ()
       with
+      | exception Guard.Violation v ->
+          (* a guarded failure at this count (pole runaway, non-finite
+             model) may vanish with a different start-pole set — keep
+             escalating instead of giving up *)
+          last_failure := Some (count, Guard.describe v);
+          Diag.incr diag (label ^ ".guard_violations");
+          Diag.warn diag ~stage:label
+            (Printf.sprintf "attempt with %d poles hit a guard: %s" count
+               (Guard.describe v));
+          loop (count + step) best
       | exception Invalid_argument msg -> begin
           (* typically: too few points for this many unknowns — stop
              escalating and keep the best admissible model *)

@@ -47,6 +47,7 @@ type info = {
 
 val fit :
   ?opts:opts ->
+  ?guard:Guard.t ->
   ?diag:Diag.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->
@@ -71,10 +72,20 @@ val fit :
     With [trace], the fit records a [vf.fit] span containing one
     [vf.relocate] span per relocation sweep; with [metrics], the
     per-iteration sigma RMS and the final fit RMS land in the
-    [<label>.sigma_rms]/[<label>.fit_rms] histograms. *)
+    [<label>.sigma_rms]/[<label>.fit_rms] histograms.
+
+    With [guard], the relocated poles are checked after the sweeps:
+    non-finite poles or a pole whose modulus exceeds
+    [guard.max_pole_growth] times the largest fit point raise
+    [Guard.Violation]; a right-half-plane pole under [enforce_stable]
+    is repaired by reflection ([<label>.guard_stabilized] counter plus
+    a warning), and the identified model is NaN/Inf-checked. Hosts the
+    ["vf.pole_flip"] fault probe (one invocation per relocation
+    sweep). *)
 
 val fit_auto :
   ?opts:opts ->
+  ?guard:Guard.t ->
   ?diag:Diag.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->
@@ -97,4 +108,7 @@ val fit_auto :
     the message (and, with [diag], an [Error] event) carries the last
     per-attempt failure reason instead of a bare "no successful fit".
     With [diag], also records the attempt count and which pole count
-    the escalation settled on ([<label>.settled_poles] note). *)
+    the escalation settled on ([<label>.settled_poles] note). With
+    [guard], a per-attempt [Guard.Violation] is recorded
+    ([<label>.guard_violations]) and the escalation continues to the
+    next pole count instead of giving up. *)

@@ -16,6 +16,7 @@ let () =
       ("caffeine", Test_caffeine.suite);
       ("pipeline", Test_pipeline.suite);
       ("diag", Test_diag.suite);
+      ("guard", Test_guard.suite);
       ("trace", Test_trace.suite);
       ("coverage", Test_coverage.suite);
     ]
