@@ -691,6 +691,22 @@ let guard_overhead () =
     "guarded" t_guard ratio identical
 
 (* ------------------------------------------------------------------ *)
+(* Analytical oracle battery: correctness wall-clock as a perf entry    *)
+
+let oracle_battery () =
+  Printf.printf "## Oracle battery (%s mode)\n%!"
+    (if !quick then "quick" else "full");
+  let t0 = Clock.now () in
+  let verdicts = Oracle.Battery.run ~quick:!quick () in
+  let seconds = Clock.elapsed t0 in
+  print_string (Oracle.Battery.summary verdicts);
+  if not (Oracle.Battery.all_passed verdicts) then bench_failed := true;
+  record "oracle.battery_seconds" seconds;
+  record "oracle.passed"
+    (if Oracle.Battery.all_passed verdicts then 1.0 else 0.0);
+  Printf.printf "%-24s %10.4f s\n" "battery total" seconds
+
+(* ------------------------------------------------------------------ *)
 (* machine-readable perf trajectory: --json serialization + compare     *)
 
 let write_bench_json path targets =
@@ -792,6 +808,7 @@ let all_targets =
     ("kernels", kernels);
     ("parallel", parallel);
     ("guard", guard_overhead);
+    ("oracle", oracle_battery);
   ]
 
 let () =

@@ -145,6 +145,39 @@ let parse (s : string) : t =
   if !pos <> n then fail "trailing garbage";
   v
 
+let emit v =
+  let buf = Buffer.create 256 in
+  let rec go = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Num f -> Buffer.add_string buf (Jsonu.float f)
+    | Str s ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (Jsonu.escape s);
+        Buffer.add_char buf '"'
+    | Arr items ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char buf ',';
+            go item)
+          items;
+        Buffer.add_char buf ']'
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (key, item) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_char buf '"';
+            Buffer.add_string buf (Jsonu.escape key);
+            Buffer.add_string buf "\":";
+            go item)
+          fields;
+        Buffer.add_char buf '}'
+  in
+  go v;
+  Buffer.contents buf
+
 let parse_file path =
   let ic = open_in_bin path in
   let len = in_channel_length ic in

@@ -16,6 +16,14 @@ val parse : string -> t
 (** Parse a complete JSON document. Raises {!Parse_error} (with an
     offset) on malformed input or trailing garbage. *)
 
+val emit : t -> string
+(** Serialize a value back to JSON text using the {!Jsonu} helpers, the
+    inverse of {!parse}: [parse (emit v) = v] for every value whose
+    numbers are finite and whose strings are plain bytes (the only
+    values this repo's serializers produce). Non-finite numbers have no
+    JSON form and are emitted as the strings ["nan"]/["inf"]/["-inf"],
+    so they re-parse as [Str]. *)
+
 val parse_file : string -> t
 (** {!parse} the contents of a file. *)
 

@@ -1,0 +1,343 @@
+(* The oracle battery: every analytical-reference check in one sweep.
+   Tolerances are deliberately far above observed errors (documented in
+   DESIGN.md §12) but far below anything a real regression would
+   produce; a NaN always fails because [nan <= bound] is false. *)
+
+type metric = {
+  metric : string;
+  value : float;
+  bound : float;
+}
+
+type verdict = {
+  check : string;
+  seconds : float;
+  metrics : metric list;
+  error : string option;
+}
+
+let metric_passed m = m.value <= m.bound
+let verdict_passed v = v.error = None && List.for_all metric_passed v.metrics
+let all_passed = List.for_all verdict_passed
+
+let m metric value bound = { metric; value; bound }
+
+(* run one check body, catching anything it throws *)
+let checked name f =
+  let t0 = Clock.now () in
+  match f () with
+  | metrics -> { check = name; seconds = Clock.elapsed t0; metrics; error = None }
+  | exception e ->
+      {
+        check = name;
+        seconds = Clock.elapsed t0;
+        metrics = [];
+        error = Some (Printexc.to_string e);
+      }
+
+(* ---------------- shared helpers ---------------- *)
+
+let mna_of (o : Ladder.oracle) =
+  Engine.Mna.build ~inputs:[ o.Ladder.input ] ~outputs:[ o.Ladder.output ]
+    o.Ladder.netlist
+
+(* a log grid bracketing the oracle's own pole magnitudes, so every
+   check samples where the dynamics actually live *)
+let grid_for (o : Ladder.oracle) ~points =
+  let mags = Array.map Complex.norm o.Ladder.exact.Ladder.poles in
+  let w_min = Array.fold_left Float.min Float.infinity mags in
+  let w_max = Array.fold_left Float.max 0.0 mags in
+  let two_pi = 2.0 *. Float.pi in
+  Signal.Grid.frequencies_hz
+    ~f_min:(w_min /. two_pi /. 30.0)
+    ~f_max:(w_max /. two_pi *. 30.0)
+    ~points
+
+(* transient training sine for a linear oracle: one period, slow
+   against the slowest pole so the trajectory is quasi-static *)
+let training_of (o : Ladder.oracle) =
+  let mags = Array.map Complex.norm o.Ladder.exact.Ladder.poles in
+  let w_min = Array.fold_left Float.min Float.infinity mags in
+  let f_train = w_min /. (2.0 *. Float.pi) /. 50.0 in
+  ( Circuit.Netlist.Sine { offset = 0.5; ampl = 0.4; freq = f_train; phase = 0.0 },
+    1.0 /. f_train )
+
+(* rebuild the oracle's netlist with the designated input re-waved *)
+let with_wave (o : Ladder.oracle) wave =
+  Circuit.Netlist.make
+    (List.map
+       (fun (c : Circuit.Netlist.component) ->
+         if c.Circuit.Netlist.name = o.Ladder.input then
+           match c.Circuit.Netlist.element with
+           | Circuit.Netlist.Vsource { p; n; _ } ->
+               Circuit.Netlist.vsource ~name:c.Circuit.Netlist.name p n wave
+           | _ -> c
+         else c)
+       o.Ladder.netlist.Circuit.Netlist.components)
+
+(* TFT dataset of a linear oracle from a quasi-static transient *)
+let tft_dataset ?(steps = 400) ?(snapshot_every = 16) (o : Ladder.oracle)
+    ~freqs_hz =
+  let wave, t_stop = training_of o in
+  let netlist = with_wave o wave in
+  let mna =
+    Engine.Mna.build ~inputs:[ o.Ladder.input ] ~outputs:[ o.Ladder.output ]
+      netlist
+  in
+  let opts = { Engine.Tran.default_opts with Engine.Tran.snapshot_every } in
+  let run =
+    Engine.Tran.run ~opts mna ~t_stop ~dt:(t_stop /. float_of_int steps)
+  in
+  Tft.Dataset.of_snapshots ~mna ~estimator:(Tft.Estimator.make ()) ~freqs_hz
+    run.Engine.Tran.snapshots
+
+(* ---------------- AC pencil vs closed form ---------------- *)
+
+let check_ac ~name ~points (o : Ladder.oracle) =
+  checked name @@ fun () ->
+  let mna = mna_of o in
+  let at = Engine.Dc.solve mna in
+  let freqs = grid_for o ~points in
+  let h = Engine.Ac.sweep_siso mna ~at ~freqs_hz:freqs in
+  let ss = Array.map Signal.Grid.s_of_hz freqs in
+  let h0 = (Engine.Ac.sweep_siso mna ~at ~freqs_hz:[| 0.0 |]).(0) in
+  [
+    m "ac_rel_err" (Ladder.max_rel_error ~exact:o.Ladder.exact ~points:ss h) 1e-10;
+    m "dc_gain_err"
+      (Float.abs (h0.Complex.re -. Ladder.dc_gain o.Ladder.exact))
+      1e-10;
+    m "dc_gain_imag" (Float.abs h0.Complex.im) 1e-12;
+  ]
+
+(* ---------------- TFT of a linear circuit ---------------- *)
+
+(* every snapshot of a linear circuit must carry the exact transfer
+   function (state-independence), and VF on the TFT data must recover
+   the closed-form poles and residues *)
+let check_tft_vf ~name ~points ~snapshots (o : Ladder.oracle) =
+  checked name @@ fun () ->
+  let freqs_hz = grid_for o ~points in
+  let steps = snapshots * 16 in
+  let ds = tft_dataset ~steps o ~freqs_hz in
+  let ss = Array.map Signal.Grid.s_of_hz freqs_hz in
+  let surface_err =
+    Array.fold_left
+      (fun acc (s : Tft.Dataset.sample) ->
+        let row = Array.map (fun h -> Linalg.Cmat.get h 0 0) s.Tft.Dataset.h in
+        Float.max acc (Ladder.max_rel_error ~exact:o.Ladder.exact ~points:ss row))
+      0.0 ds.Tft.Dataset.samples
+  in
+  let _, data = Tft.Dataset.siso ds ~input:0 ~output:0 in
+  let n = Array.length o.Ladder.exact.Ladder.poles in
+  let f_lo = freqs_hz.(0) and f_hi = freqs_hz.(Array.length freqs_hz - 1) in
+  let poles0 =
+    Vf.Pole.initial_frequency ~f_min:f_lo ~f_max:f_hi
+      ~count:(if n mod 2 = 0 then n else n + 1)
+  in
+  let model, info = Vf.Vfit.fit ~poles:poles0 ~points:ss ~data () in
+  (* an even starting count may leave one spurious slot when the true
+     order is odd: match only the exact poles against the fitted set *)
+  let pole_err =
+    Array.fold_left
+      (fun acc p ->
+        let best = ref infinity in
+        Array.iter
+          (fun q ->
+            best :=
+              Float.min !best (Complex.norm (Complex.sub p q) /. Complex.norm p))
+          model.Vf.Model.poles;
+        Float.max acc !best)
+      0.0 o.Ladder.exact.Ladder.poles
+  in
+  let residue_err =
+    if Array.length model.Vf.Model.poles = n then
+      Array.fold_left
+        (fun acc e ->
+          Float.max acc
+            (Ladder.max_rel_residue_error ~exact:o.Ladder.exact ~model ~elem:e))
+        0.0
+        (Array.init (Vf.Model.n_elements model) (fun e -> e))
+    else
+      (* extra slots: compare behaviour instead of slot-by-slot *)
+      Array.fold_left
+        (fun acc e ->
+          let fit_row = Array.map (Vf.Model.eval model ~elem:e) ss in
+          Float.max acc
+            (Ladder.max_rel_error ~exact:o.Ladder.exact ~points:ss fit_row))
+        0.0
+        (Array.init (Vf.Model.n_elements model) (fun e -> e))
+  in
+  [
+    m "snapshot_rel_err" surface_err 1e-9;
+    m "fit_rms" info.Vf.Vfit.rms 1e-9;
+    m "pole_rel_err" pole_err 1e-8;
+    m "residue_rel_err" residue_err 1e-8;
+  ]
+
+(* ---------------- synthetic Hammerstein round-trip ---------------- *)
+
+let roundtrip_report = ref None
+
+(* exact-class data converges past 1e-8 given enough relocation sweeps;
+   the default 10 stops within a decade of the bound *)
+let roundtrip_config =
+  let c = Rvf.default_config in
+  {
+    c with
+    Rvf.freq_opts = { c.Rvf.freq_opts with Vf.Vfit.iterations = 30 };
+    state_opts = { c.Rvf.state_opts with Vf.Vfit.iterations = 30 };
+  }
+
+let run_roundtrip ~quick =
+  let samples = if quick then 24 else 40 in
+  let freqs = if quick then 16 else 30 in
+  Synth.roundtrip ~config:roundtrip_config ~samples ~freqs Synth.default
+
+let check_hammerstein_roundtrip ~quick () =
+  checked "hammerstein-roundtrip" @@ fun () ->
+  let r = run_roundtrip ~quick in
+  roundtrip_report := Some r;
+  [
+    m "freq_pole_rel_err" r.Synth.freq_pole_rel_err 1e-8;
+    m "state_pole_rel_err" r.Synth.state_pole_rel_err 1e-8;
+    m "surface_rel_rms" r.Synth.surface_rel_rms 1e-8;
+    m "dc_rel_max_err" r.Synth.dc_rel_max_err 1e-8;
+  ]
+
+let check_hammerstein_transient ~quick () =
+  checked "hammerstein-transient" @@ fun () ->
+  let r =
+    match !roundtrip_report with
+    | Some r -> r
+    | None -> run_roundtrip ~quick
+  in
+  [ m "transient_nrmse" r.Synth.transient_nrmse 1e-6 ]
+
+(* ---------------- full pipeline on the linear oracle ---------------- *)
+
+let check_pipeline ~quick () =
+  checked "pipeline-linear-model" @@ fun () ->
+  let o = Ladder.rc ~stages:3 () in
+  let wave, t_stop = training_of o in
+  let steps = if quick then 240 else 480 in
+  let training =
+    {
+      Tft_rvf.Pipeline.wave;
+      t_stop;
+      dt = t_stop /. float_of_int steps;
+      snapshot_every = (if quick then 8 else 4);
+    }
+  in
+  let mags = Array.map Complex.norm o.Ladder.exact.Ladder.poles in
+  let two_pi = 2.0 *. Float.pi in
+  let f_min =
+    Array.fold_left Float.min Float.infinity mags /. two_pi /. 30.0
+  in
+  let f_max = Array.fold_left Float.max 0.0 mags /. two_pi *. 30.0 in
+  let config =
+    Tft_rvf.Pipeline.default_config_for
+      ~points:(if quick then 16 else 30)
+      ~f_min ~f_max ~training ()
+  in
+  let outcome =
+    Tft_rvf.Pipeline.extract ~config ~netlist:o.Ladder.netlist
+      ~input:o.Ladder.input ~output:o.Ladder.output ()
+  in
+  let v =
+    Tft_rvf.Report.validate ~model:outcome.Tft_rvf.Pipeline.model
+      ~netlist:o.Ladder.netlist ~input:o.Ladder.input ~output:o.Ladder.output
+      ~wave ~t_stop ~dt:(t_stop /. float_of_int steps) ()
+  in
+  (* the model's frozen-state transfer must also match the closed form
+     (a linear circuit's TFT hyperplane is flat along x) *)
+  let freqs_hz = grid_for o ~points:(if quick then 16 else 30) in
+  let ss = Array.map Signal.Grid.s_of_hz freqs_hz in
+  let surface_err =
+    Array.fold_left
+      (fun acc x ->
+        let row =
+          Array.map
+            (fun s ->
+              Hammerstein.Hmodel.transfer outcome.Tft_rvf.Pipeline.model ~x ~s)
+            ss
+        in
+        Float.max acc (Ladder.max_rel_error ~exact:o.Ladder.exact ~points:ss row))
+      0.0 [| 0.2; 0.5; 0.8 |]
+  in
+  [
+    m "validation_nrmse" v.Tft_rvf.Report.nrmse 1e-4;
+    m "model_surface_rel_err" surface_err 1e-6;
+  ]
+
+(* ---------------- the battery ---------------- *)
+
+let run ?(quick = false) () =
+  roundtrip_report := None;
+  let points = if quick then 24 else 60 in
+  [
+    check_ac ~name:"rc-ac-closed-form" ~points (Ladder.rc ());
+    check_ac ~name:"rlc-ac-closed-form" ~points (Ladder.rlc ());
+    check_tft_vf ~name:"rc-tft-linear"
+      ~points:(if quick then 16 else 30)
+      ~snapshots:(if quick then 15 else 25)
+      (Ladder.rc ());
+    check_tft_vf ~name:"rlc-tft-vf"
+      ~points:(if quick then 16 else 30)
+      ~snapshots:(if quick then 15 else 25)
+      (Ladder.rlc ());
+    check_hammerstein_roundtrip ~quick ();
+    check_hammerstein_transient ~quick ();
+    check_pipeline ~quick ();
+  ]
+
+(* ---------------- reporting ---------------- *)
+
+let json ~quick verdicts =
+  let metric_json mt =
+    Minijson.Obj
+      [
+        ("name", Minijson.Str mt.metric);
+        ("value", Minijson.Num mt.value);
+        ("bound", Minijson.Num mt.bound);
+        ("passed", Minijson.Bool (metric_passed mt));
+      ]
+  in
+  let verdict_json v =
+    Minijson.Obj
+      (("name", Minijson.Str v.check)
+       :: ("passed", Minijson.Bool (verdict_passed v))
+       :: ("seconds", Minijson.Num v.seconds)
+       :: (match v.error with
+          | Some e -> [ ("error", Minijson.Str e) ]
+          | None -> [])
+      @ [ ("metrics", Minijson.Arr (List.map metric_json v.metrics)) ])
+  in
+  Minijson.emit
+    (Minijson.Obj
+       [
+         ("schema_version", Minijson.Num 1.0);
+         ("kind", Minijson.Str "oracle");
+         ("quick", Minijson.Bool quick);
+         ("passed", Minijson.Bool (all_passed verdicts));
+         ("checks", Minijson.Arr (List.map verdict_json verdicts));
+       ])
+
+let summary verdicts =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun v ->
+      Printf.bprintf buf "%-4s %-24s %7.3f s"
+        (if verdict_passed v then "ok" else "FAIL")
+        v.check v.seconds;
+      (match v.error with
+      | Some e -> Printf.bprintf buf "  error: %s" e
+      | None ->
+          List.iter
+            (fun mt ->
+              Printf.bprintf buf "  %s %.2e%s" mt.metric mt.value
+                (if metric_passed mt then "" else
+                   Printf.sprintf " > %.0e" mt.bound))
+            v.metrics);
+      Buffer.add_char buf '\n')
+    verdicts;
+  Buffer.contents buf

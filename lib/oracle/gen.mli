@@ -1,0 +1,51 @@
+(** QCheck generators for the verification properties.
+
+    Every generator is driven by a tiny {!seeded} record (a PRNG seed
+    plus a structural size) so that QCheck's shrinking works on the
+    integers — a failing case shrinks toward smaller structures and
+    smaller seeds, and the printed [{seed; size}] pair reproduces the
+    exact input deterministically. The structure builders below are
+    pure functions of the record. *)
+
+type seeded = { seed : int; size : int }
+
+val arb : ?min_size:int -> ?max_size:int -> unit -> seeded QCheck.arbitrary
+(** [size] uniform in [[min_size, max_size]] (defaults 1–4), seed in
+    [[0, 10^6]]. Shrinks on both fields; prints the record. *)
+
+val rand_state : seeded -> Random.State.t
+(** The deterministic PRNG of a case. *)
+
+val pole_set : seeded -> Complex.t array
+(** A random stable pole set in normalized layout: [size] units, each a
+    conjugate pair or two real poles, magnitudes log-spaced with jitter
+    across [10⁴–10⁷ rad/s] (so the sets are well separated and inside
+    {!grid_hz}), damping bounded away from 0. Always an even count. *)
+
+val rational : seeded -> Ladder.rational
+(** {!pole_set} plus random self-conjugate residues scaled by each
+    pole's magnitude (keeps [|H|] O(1) over the band). *)
+
+val grid_hz : float array
+(** The fixed fitting grid matching {!pole_set}'s band: 80 log-spaced
+    points over 100 Hz – 10 MHz. *)
+
+val rc_ladder : seeded -> Ladder.oracle
+(** A random passive uniform RC ladder: [size] stages, R log-uniform in
+    [100 Ω, 10 kΩ], C log-uniform in [0.1 nF, 10 nF]. *)
+
+val state_pole_pairs : seeded -> (float * float) array
+(** 1–2 random x-plane pole pairs [(β, α)] with centers inside [0, 1]
+    and widths in [0.08, 0.45] (above the extractor's min-imag floor
+    for a unit range). *)
+
+val residue_traces :
+  ?traces:int -> seeded -> float array * Complex.t array array
+(** [(xs, data)]: a 40-point state grid on [0, 1] and [traces] (default
+    4) random rational residue trajectories sharing the pole pairs of
+    {!state_pole_pairs} — data exactly inside the state-space VF model
+    class, for fit-error-bound properties. *)
+
+val synth_params : seeded -> Synth.params
+(** Random synthetic-Hammerstein generating parameters (coefficients
+    bounded away from zero so no trace degenerates). *)

@@ -1,0 +1,197 @@
+(* Closed-form linear-circuit oracles. The formulas here must stay
+   independent of the numerical stack they are used to verify: no
+   eigensolves, no LU — only trigonometry and arithmetic. *)
+
+module N = Circuit.Netlist
+
+type rational = {
+  poles : Complex.t array;
+  residues : Complex.t array;
+}
+
+let eval h s =
+  let acc = ref Complex.zero in
+  Array.iteri
+    (fun k p -> acc := Complex.add !acc (Complex.div h.residues.(k) (Complex.sub s p)))
+    h.poles;
+  !acc
+
+let sample h points = Array.map (eval h) points
+
+let dc_gain h = (eval h Complex.zero).Complex.re
+
+type oracle = {
+  name : string;
+  netlist : Circuit.Netlist.t;
+  input : string;
+  output : Engine.Mna.output;
+  exact : rational;
+}
+
+let default_wave = N.Dc 0.0
+
+(* ---------------- uniform RC ladder ---------------- *)
+
+(* Node equations for N sections (R into node, C to ground), the source
+   node eliminated: C·v̇ + (T/R)·v = (u/R)·e₁ with T the tridiagonal
+   Dirichlet–Neumann Laplacian diag(2,…,2,1), off-diagonal −1. Its
+   spectrum is classical: λ_k = 2 − 2·cos θ_k, v_k(j) = sin(j·θ_k),
+   θ_k = (2k−1)π/(2N+1), and Σ_j sin²(j·θ_k) = (2N+1)/4. Diagonalizing
+   gives H(s) = Σ_k q_k(1)·q_k(N)/(RC) / (s + λ_k/(RC)) with the
+   orthonormal q_k(j) = 2·sin(j·θ_k)/√(2N+1). *)
+let rc_exact ~stages ~r ~c =
+  let n = stages in
+  let tau = r *. c in
+  let poles = Array.make n Complex.zero in
+  let residues = Array.make n Complex.zero in
+  for k = 1 to n do
+    let theta = float_of_int ((2 * k) - 1) *. Float.pi /. float_of_int ((2 * n) + 1) in
+    let lambda = 2.0 -. (2.0 *. cos theta) in
+    poles.(k - 1) <- { Complex.re = -.lambda /. tau; im = 0.0 };
+    let weight =
+      4.0 *. sin theta *. sin (float_of_int n *. theta)
+      /. float_of_int ((2 * n) + 1)
+    in
+    residues.(k - 1) <- { Complex.re = weight /. tau; im = 0.0 }
+  done;
+  (* sort by pole magnitude ascending so the layout is deterministic *)
+  let order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b -> compare (Complex.norm poles.(a)) (Complex.norm poles.(b)))
+    order;
+  {
+    poles = Array.map (fun i -> poles.(i)) order;
+    residues = Array.map (fun i -> residues.(i)) order;
+  }
+
+let rc ?(stages = 4) ?(r = 1e3) ?(c = 1e-9) ?(input_wave = default_wave) () =
+  if stages < 1 then invalid_arg "Ladder.rc: stages must be >= 1";
+  if r <= 0.0 || c <= 0.0 then invalid_arg "Ladder.rc: r and c must be > 0";
+  let comps = ref [ N.vsource ~name:"Vin" "n0" "0" input_wave ] in
+  for k = 1 to stages do
+    let prev = Printf.sprintf "n%d" (k - 1) in
+    let cur = Printf.sprintf "n%d" k in
+    comps :=
+      N.capacitor ~name:(Printf.sprintf "C%d" k) cur "0" c
+      :: N.resistor ~name:(Printf.sprintf "R%d" k) prev cur r
+      :: !comps
+  done;
+  {
+    name = Printf.sprintf "rc-ladder-%d" stages;
+    netlist = N.make (List.rev !comps);
+    input = "Vin";
+    output = Engine.Mna.Node (Printf.sprintf "n%d" stages);
+    exact = rc_exact ~stages ~r ~c;
+  }
+
+(* ---------------- series RLC resonator ---------------- *)
+
+let rlc ?(r = 50.0) ?(l = 1e-6) ?(c = 1e-9) ?(input_wave = default_wave) () =
+  if r <= 0.0 || l <= 0.0 || c <= 0.0 then
+    invalid_arg "Ladder.rlc: element values must be > 0";
+  let w0_sq = 1.0 /. (l *. c) in
+  let sigma = r /. (2.0 *. l) in
+  let wd_sq = w0_sq -. (sigma *. sigma) in
+  if wd_sq <= 0.0 then
+    invalid_arg "Ladder.rlc: not underdamped (closed form needs a complex pair)";
+  let wd = sqrt wd_sq in
+  let exact =
+    {
+      (* pair layout: positive-imaginary representative first *)
+      poles = [| { Complex.re = -.sigma; im = wd }; { Complex.re = -.sigma; im = -.wd } |];
+      residues =
+        [|
+          { Complex.re = 0.0; im = -.w0_sq /. (2.0 *. wd) };
+          { Complex.re = 0.0; im = w0_sq /. (2.0 *. wd) };
+        |];
+    }
+  in
+  let netlist =
+    N.make
+      [
+        N.vsource ~name:"Vin" "nin" "0" input_wave;
+        N.resistor ~name:"R1" "nin" "nmid" r;
+        N.inductor ~name:"L1" "nmid" "nout" l;
+        N.capacitor ~name:"C1" "nout" "0" c;
+      ]
+  in
+  {
+    name = "rlc-resonator";
+    netlist;
+    input = "Vin";
+    output = Engine.Mna.Node "nout";
+    exact;
+  }
+
+(* ---------------- comparison helpers ---------------- *)
+
+(* greedy nearest matching: repeatedly pair the globally closest
+   (exact, fitted) poles. Exact sets here are tiny, O(n³) is fine. *)
+let match_indices ~exact ~fitted =
+  let n = Array.length exact in
+  if Array.length fitted <> n then None
+  else begin
+    let used_e = Array.make n false and used_f = Array.make n false in
+    let pairs = ref [] in
+    for _ = 1 to n do
+      let best = ref None in
+      for i = 0 to n - 1 do
+        if not used_e.(i) then
+          for j = 0 to n - 1 do
+            if not used_f.(j) then begin
+              let d = Complex.norm (Complex.sub exact.(i) fitted.(j)) in
+              match !best with
+              | Some (_, _, bd) when bd <= d -> ()
+              | _ -> best := Some (i, j, d)
+            end
+          done
+      done;
+      match !best with
+      | Some (i, j, _) ->
+          used_e.(i) <- true;
+          used_f.(j) <- true;
+          pairs := (i, j) :: !pairs
+      | None -> ()
+    done;
+    Some !pairs
+  end
+
+let max_rel_pole_error ~exact ~fitted =
+  match match_indices ~exact ~fitted with
+  | None -> infinity
+  | Some pairs ->
+      List.fold_left
+        (fun acc (i, j) ->
+          let scale = Float.max (Complex.norm exact.(i)) 1e-300 in
+          Float.max acc (Complex.norm (Complex.sub exact.(i) fitted.(j)) /. scale))
+        0.0 pairs
+
+let max_rel_residue_error ~exact ~model ~elem =
+  let fitted_res = Vf.Model.residues model ~elem in
+  match match_indices ~exact:exact.poles ~fitted:model.Vf.Model.poles with
+  | None -> infinity
+  | Some pairs ->
+      let scale =
+        Array.fold_left
+          (fun m z -> Float.max m (Complex.norm z))
+          1e-300 exact.residues
+      in
+      List.fold_left
+        (fun acc (i, j) ->
+          Float.max acc
+            (Complex.norm (Complex.sub exact.residues.(i) fitted_res.(j)) /. scale))
+        0.0 pairs
+
+let max_rel_error ~exact ~points data =
+  if Array.length points <> Array.length data then
+    invalid_arg "Ladder.max_rel_error: points/data length mismatch";
+  let reference = sample exact points in
+  let scale =
+    Array.fold_left (fun m z -> Float.max m (Complex.norm z)) 1e-300 reference
+  in
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun l z ->
+      worst := Float.max !worst (Complex.norm (Complex.sub z reference.(l)) /. scale))
+    data;
+  !worst

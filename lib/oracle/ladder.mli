@@ -1,0 +1,75 @@
+(** Analytical circuit oracles: parametric linear networks whose transfer
+    function has a {e closed-form} pole/residue expansion, paired with
+    the netlist that realizes them.
+
+    These are the ground truths the verification battery measures the
+    numerical stack against: the AC pencil solve, the TFT transform of a
+    transient run, and the vector-fitting engine must all reproduce the
+    formulas below to tight tolerances, with no reference to any
+    numerical eigensolve.
+
+    The uniform RC ladder's matrix is the Dirichlet–Neumann tridiagonal
+    Laplacian, whose spectrum is classical: with [θ_k = (2k−1)π/(2N+1)]
+    the eigenvalues are [λ_k = 2 − 2·cos θ_k] and the eigenvectors
+    [v_k(j) = sin(j·θ_k)], so the input-to-last-node transfer function is
+
+    [H(s) = Σ_k r_k / (s − p_k)],
+    [p_k = −λ_k/(RC)],
+    [r_k = 4·sin(θ_k)·sin(N·θ_k) / ((2N+1)·RC)].
+
+    The series RLC resonator is the textbook second-order section
+    [H(s) = ω₀² / (s² + (R/L)·s + ω₀²)] with [ω₀² = 1/(LC)], giving the
+    complex pair [p = −R/(2L) ± j·ω_d], [ω_d = √(ω₀² − (R/2L)²)] and
+    residues [∓ j·ω₀²/(2ω_d)]. *)
+
+type rational = {
+  poles : Complex.t array;  (** normalized self-conjugate layout, see {!Vf.Pole} *)
+  residues : Complex.t array;  (** matching slot layout *)
+}
+(** A strictly proper rational [H(s) = Σ_k residues.(k)/(s − poles.(k))]. *)
+
+val eval : rational -> Complex.t -> Complex.t
+val sample : rational -> Complex.t array -> Complex.t array
+
+val dc_gain : rational -> float
+(** [H(0)] (exact, real up to roundoff). *)
+
+type oracle = {
+  name : string;
+  netlist : Circuit.Netlist.t;
+  input : string;  (** designated input voltage source *)
+  output : Engine.Mna.output;
+  exact : rational;  (** the closed-form input→output transfer function *)
+}
+
+val rc :
+  ?stages:int -> ?r:float -> ?c:float ->
+  ?input_wave:Circuit.Netlist.wave -> unit -> oracle
+(** Uniform RC ladder: [stages] identical R-into-C sections (default 4
+    stages, R = 1 kΩ, C = 1 nF), output at the last node. All poles are
+    real; the DC gain is exactly 1. *)
+
+val rlc :
+  ?r:float -> ?l:float -> ?c:float ->
+  ?input_wave:Circuit.Netlist.wave -> unit -> oracle
+(** Series RLC into a grounded capacitor (default R = 50 Ω, L = 1 µH,
+    C = 1 nF — underdamped). Raises [Invalid_argument] when the choice
+    is not underdamped (the closed form here covers the complex-pair
+    case only). *)
+
+(** {2 Comparison helpers} *)
+
+val max_rel_pole_error : exact:Complex.t array -> fitted:Complex.t array -> float
+(** Greedy nearest matching of every exact pole to a fitted pole;
+    returns the worst relative mismatch [|p̂ − p|/|p|]. [infinity] when
+    the counts differ. *)
+
+val max_rel_residue_error : exact:rational -> model:Vf.Model.t -> elem:int -> float
+(** Match poles as above, then compare the fitted element's residues
+    slot-by-slot against the exact ones, relative to the largest exact
+    residue magnitude. [infinity] when the pole counts differ. *)
+
+val max_rel_error :
+  exact:rational -> points:Complex.t array -> Complex.t array -> float
+(** Worst pointwise deviation of sampled data from the closed form,
+    relative to the largest exact magnitude over the grid. *)

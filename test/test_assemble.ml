@@ -1,0 +1,175 @@
+(* Dedicated suite for Rvf.Assemble: the mapping from a fitted pole set
+   plus static stages onto the parallel Hammerstein realization of
+   eqs. (12)-(14) — branch shapes, the input-shifted residue combination
+   f1 = fa + fb / f2 = fa - fb, and the frozen-state transfer algebra
+   against the VF basis it must reproduce. *)
+
+let check_close tol = Alcotest.(check (float tol))
+
+let sf formula deriv eval =
+  Hammerstein.Static_fn.make ~formula ~eval ~deriv ()
+
+(* quadratic stages: simple, nonlinear, exactly differentiable *)
+let stage_quad c k =
+  let a = c *. float_of_int (k + 1) in
+  sf
+    (Printf.sprintf "%g*x^2" (a /. 2.0))
+    (fun x -> a *. x)
+    (fun x -> a *. x *. x /. 2.0)
+
+let static_cubic =
+  sf "x^3/3" (fun x -> x *. x) (fun x -> x *. x *. x /. 3.0)
+
+let pair_poles =
+  [|
+    { Complex.re = -2.0e5; im = 3.0e5 };
+    { Complex.re = -2.0e5; im = -3.0e5 };
+  |]
+
+let mixed_poles =
+  Array.append pair_poles [| { Complex.re = -1.0e5; im = 0.0 } |]
+
+let test_branch_shapes () =
+  let model =
+    Rvf.Assemble.hammerstein ~name:"shapes" ~freq_poles:mixed_poles
+      ~stage:(stage_quad 1.0) ~static_path:static_cubic
+  in
+  Alcotest.(check int) "branches" 2
+    (Array.length model.Hammerstein.Hmodel.branches);
+  Alcotest.(check int) "order = pole count" 3
+    (Hammerstein.Hmodel.order model);
+  (match model.Hammerstein.Hmodel.branches.(0) with
+  | Hammerstein.Hmodel.Second_order { alpha; beta; _ } ->
+      check_close 1e-12 "alpha" (-2.0e5) alpha;
+      check_close 1e-12 "beta positive" 3.0e5 beta
+  | _ -> Alcotest.fail "pair slot must assemble to Second_order");
+  match model.Hammerstein.Hmodel.branches.(1) with
+  | Hammerstein.Hmodel.First_order { a; _ } -> check_close 1e-12 "a" (-1.0e5) a
+  | _ -> Alcotest.fail "single slot must assemble to First_order"
+
+let test_input_shift_combination () =
+  (* eq. (14): the pair's two filter inputs are fa + fb and fa - fb *)
+  let fa = stage_quad 1.0 0 and fb = stage_quad 1.0 1 in
+  let model =
+    Rvf.Assemble.hammerstein ~name:"shift" ~freq_poles:pair_poles
+      ~stage:(fun k -> if k = 0 then fa else fb)
+      ~static_path:Hammerstein.Static_fn.zero
+  in
+  match model.Hammerstein.Hmodel.branches.(0) with
+  | Hammerstein.Hmodel.Second_order { f1; f2; _ } ->
+      List.iter
+        (fun x ->
+          check_close 1e-12 "f1 = fa + fb"
+            (fa.Hammerstein.Static_fn.eval x +. fb.Hammerstein.Static_fn.eval x)
+            (f1.Hammerstein.Static_fn.eval x);
+          check_close 1e-12 "f2 = fa - fb"
+            (fa.Hammerstein.Static_fn.eval x -. fb.Hammerstein.Static_fn.eval x)
+            (f2.Hammerstein.Static_fn.eval x))
+        [ -1.0; 0.3; 2.0 ]
+  | _ -> Alcotest.fail "expected a Second_order branch"
+
+let test_transfer_matches_vf_basis () =
+  (* the assembled model's frozen-state transfer must equal the VF-basis
+     expansion it was built from: T(x,s) = F0'(x) + sum_p basis_p(s)·f_p'(x)
+     — this is exactly how the extractor's fitted surface is defined *)
+  let stage = stage_quad 0.7 in
+  let model =
+    Rvf.Assemble.hammerstein ~name:"basis" ~freq_poles:mixed_poles ~stage
+      ~static_path:static_cubic
+  in
+  List.iter
+    (fun x ->
+      List.iter
+        (fun s ->
+          let row = Vf.Basis.row mixed_poles s in
+          let expected = ref Complex.zero in
+          Array.iteri
+            (fun p b ->
+              expected :=
+                Complex.add !expected
+                  (Complex.mul b
+                     {
+                       Complex.re = (stage p).Hammerstein.Static_fn.deriv x;
+                       im = 0.0;
+                     }))
+            row;
+          let expected =
+            Complex.add !expected
+              { Complex.re = static_cubic.Hammerstein.Static_fn.deriv x; im = 0.0 }
+          in
+          let got = Hammerstein.Hmodel.transfer model ~x ~s in
+          Alcotest.(check bool)
+            (Printf.sprintf "T(%g, %g+%gi)" x s.Complex.re s.Complex.im)
+            true
+            (Complex.norm (Complex.sub got expected)
+            <= 1e-12 *. Float.max 1.0 (Complex.norm expected)))
+        [
+          Complex.zero;
+          { Complex.re = 0.0; im = 1.0e5 };
+          { Complex.re = 0.0; im = 5.0e5 };
+        ])
+    [ -0.5; 0.4; 1.2 ]
+
+let test_dc_output_derivative_is_dc_gain () =
+  (* large-signal consistency of the realization: d/dx of the model's
+     DC transfer curve equals its small-signal DC gain T(x, 0) *)
+  let model =
+    Rvf.Assemble.hammerstein ~name:"dc" ~freq_poles:mixed_poles
+      ~stage:(stage_quad 0.7) ~static_path:static_cubic
+  in
+  let h = 1e-6 in
+  List.iter
+    (fun x ->
+      let fd =
+        (Hammerstein.Hmodel.dc_output model ~x:(x +. h)
+        -. Hammerstein.Hmodel.dc_output model ~x:(x -. h))
+        /. (2.0 *. h)
+      in
+      check_close 1e-6 (Printf.sprintf "ddc/dx at %g" x) fd
+        (Hammerstein.Hmodel.dc_gain model ~x))
+    [ -0.5; 0.4; 1.2 ]
+
+let test_analytic_flag_propagates () =
+  let analytic_model =
+    Rvf.Assemble.hammerstein ~name:"a" ~freq_poles:pair_poles
+      ~stage:(stage_quad 1.0) ~static_path:static_cubic
+  in
+  Alcotest.(check bool) "all-analytic stages" true
+    (Hammerstein.Hmodel.analytic analytic_model);
+  let numeric =
+    Hammerstein.Static_fn.of_samples_numeric ~xs:[| 0.0; 0.5; 1.0 |]
+      ~rs:[| 1.0; 2.0; 1.5 |]
+  in
+  let degraded =
+    Rvf.Assemble.hammerstein ~name:"n" ~freq_poles:pair_poles
+      ~stage:(fun k -> if k = 0 then numeric else stage_quad 1.0 k)
+      ~static_path:static_cubic
+  in
+  Alcotest.(check bool) "numeric stage degrades the flag" false
+    (Hammerstein.Hmodel.analytic degraded)
+
+let test_unpaired_poles_rejected () =
+  (* Pole.structure refuses a lone half of a conjugate pair, so assembly
+     can never silently build a complex-output model *)
+  Alcotest.(check bool) "unpaired pair rejected" true
+    (match
+       Rvf.Assemble.hammerstein ~name:"bad"
+         ~freq_poles:[| { Complex.re = -1.0; im = 2.0 } |]
+         ~stage:(stage_quad 1.0) ~static_path:Hammerstein.Static_fn.zero
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "branch shapes" `Quick test_branch_shapes;
+    Alcotest.test_case "input-shift combination" `Quick
+      test_input_shift_combination;
+    Alcotest.test_case "transfer matches vf basis" `Quick
+      test_transfer_matches_vf_basis;
+    Alcotest.test_case "dc-output derivative" `Quick
+      test_dc_output_derivative_is_dc_gain;
+    Alcotest.test_case "analytic flag" `Quick test_analytic_flag_propagates;
+    Alcotest.test_case "unpaired poles rejected" `Quick
+      test_unpaired_poles_rejected;
+  ]

@@ -1,0 +1,91 @@
+(* Dedicated suite for the state estimator (eq. (4) of the paper):
+   dimension/coords contracts, delay validation and the ambiguity
+   diagnostic. The dataset-level tests stay in Test_tft. *)
+
+let check_close tol = Alcotest.(check (float tol))
+
+let test_estimator_dimension () =
+  Alcotest.(check int) "q=1" 1 (Tft.Estimator.dimension (Tft.Estimator.make ()));
+  Alcotest.(check int) "q=3" 3
+    (Tft.Estimator.dimension (Tft.Estimator.make ~delays:[ 1e-9; 2e-9 ] ()))
+
+let test_estimator_coords () =
+  let u t = 2.0 *. t in
+  let e = Tft.Estimator.make ~delays:[ 0.5 ] () in
+  let x = Tft.Estimator.coords e ~u 3.0 in
+  check_close 1e-12 "x0 = u(t)" 6.0 x.(0);
+  check_close 1e-12 "x1 = u(t - 0.5)" 5.0 x.(1)
+
+let test_estimator_coords_ordering () =
+  (* coordinates follow the constructor's delay list order, after the
+     instantaneous sample *)
+  let u t = t in
+  let e = Tft.Estimator.make ~delays:[ 0.25; 1.0; 0.5 ] () in
+  let x = Tft.Estimator.coords e ~u 2.0 in
+  Alcotest.(check int) "dimension" 4 (Array.length x);
+  check_close 1e-12 "x0" 2.0 x.(0);
+  check_close 1e-12 "x1" 1.75 x.(1);
+  check_close 1e-12 "x2" 1.0 x.(2);
+  check_close 1e-12 "x3" 1.5 x.(3)
+
+let test_estimator_negative_delay () =
+  Alcotest.(check bool) "negative delay rejected" true
+    (match Tft.Estimator.make ~delays:[ -1.0 ] () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_estimator_zero_delay () =
+  (* a zero delay duplicates x0 and can never disambiguate anything *)
+  Alcotest.(check bool) "zero delay rejected" true
+    (match Tft.Estimator.make ~delays:[ 0.0 ] () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_estimator_ambiguity () =
+  (* two samples with identical x but different values: ambiguity = spread *)
+  let xs = [| [| 1.0 |]; [| 1.0 |]; [| 2.0 |] |] in
+  let values = [| 0.0; 3.0; 100.0 |] in
+  check_close 1e-12 "ambiguity" 3.0
+    (Tft.Estimator.ambiguity ~xs ~values ~radius:0.1)
+
+let test_estimator_ambiguity_separated () =
+  (* no pair within the radius: the diagnostic reports zero *)
+  let xs = [| [| 0.0 |]; [| 1.0 |]; [| 2.0 |] |] in
+  let values = [| 0.0; 50.0; 100.0 |] in
+  check_close 1e-12 "separated" 0.0
+    (Tft.Estimator.ambiguity ~xs ~values ~radius:0.1)
+
+let test_estimator_ambiguity_degenerate () =
+  (* fewer than two samples can't be ambiguous *)
+  check_close 1e-12 "empty" 0.0
+    (Tft.Estimator.ambiguity ~xs:[||] ~values:[||] ~radius:1.0);
+  check_close 1e-12 "singleton" 0.0
+    (Tft.Estimator.ambiguity ~xs:[| [| 1.0 |] |] ~values:[| 7.0 |] ~radius:1.0)
+
+let test_estimator_ambiguity_resolved_by_delay () =
+  (* the motivating case: a rising and a falling pass through the same
+     input level carry different outputs — one coordinate sees a clash,
+     adding the delayed coordinate separates the passes *)
+  let values = [| 1.0; 5.0 |] in
+  let xs_q1 = [| [| 0.5 |]; [| 0.5 |] |] in
+  let xs_q2 = [| [| 0.5; 0.2 |]; [| 0.5; 0.8 |] |] in
+  Alcotest.(check bool) "q=1 ambiguous" true
+    (Tft.Estimator.ambiguity ~xs:xs_q1 ~values ~radius:0.05 > 3.0);
+  check_close 1e-12 "q=2 resolved" 0.0
+    (Tft.Estimator.ambiguity ~xs:xs_q2 ~values ~radius:0.05)
+
+let suite =
+  [
+    Alcotest.test_case "dimension" `Quick test_estimator_dimension;
+    Alcotest.test_case "coords" `Quick test_estimator_coords;
+    Alcotest.test_case "coords ordering" `Quick test_estimator_coords_ordering;
+    Alcotest.test_case "negative delay" `Quick test_estimator_negative_delay;
+    Alcotest.test_case "zero delay" `Quick test_estimator_zero_delay;
+    Alcotest.test_case "ambiguity" `Quick test_estimator_ambiguity;
+    Alcotest.test_case "ambiguity separated" `Quick
+      test_estimator_ambiguity_separated;
+    Alcotest.test_case "ambiguity degenerate" `Quick
+      test_estimator_ambiguity_degenerate;
+    Alcotest.test_case "ambiguity resolved by delay" `Quick
+      test_estimator_ambiguity_resolved_by_delay;
+  ]

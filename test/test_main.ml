@@ -9,8 +9,10 @@ let () =
       ("circuit", Test_circuit.suite);
       ("engine", Test_engine.suite);
       ("tft", Test_tft.suite);
+      ("estimator", Test_estimator.suite);
       ("vf", Test_vf.suite);
       ("rvf", Test_rvf.suite);
+      ("assemble", Test_assemble.suite);
       ("recursion", Test_recursion.suite);
       ("hammerstein", Test_hammerstein.suite);
       ("caffeine", Test_caffeine.suite);
@@ -18,5 +20,7 @@ let () =
       ("diag", Test_diag.suite);
       ("guard", Test_guard.suite);
       ("trace", Test_trace.suite);
+      ("minijson", Test_minijson.suite);
+      ("oracle", Test_oracle.suite);
       ("coverage", Test_coverage.suite);
     ]

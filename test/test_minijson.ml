@@ -1,0 +1,173 @@
+(* Round-trip and robustness suite for the self-contained JSON layer:
+   Minijson.emit (built on the Jsonu writers) must re-parse to the same
+   value for everything the repo can write, and Minijson.parse must
+   reject arbitrary malformed input with its typed Parse_error only —
+   never Failure, Stack_overflow or an out-of-bounds access. *)
+
+let check_close tol = Alcotest.(check (float tol))
+
+(* structural equality with exact float comparison: %.17g round-trips
+   every finite double bit-exactly *)
+let rec equal a b =
+  match (a, b) with
+  | Minijson.Null, Minijson.Null -> true
+  | Minijson.Bool x, Minijson.Bool y -> x = y
+  | Minijson.Num x, Minijson.Num y -> Int64.bits_of_float x = Int64.bits_of_float y
+  | Minijson.Str x, Minijson.Str y -> String.equal x y
+  | Minijson.Arr x, Minijson.Arr y ->
+      List.length x = List.length y && List.for_all2 equal x y
+  | Minijson.Obj x, Minijson.Obj y ->
+      List.length x = List.length y
+      && List.for_all2
+           (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && equal v1 v2)
+           x y
+  | _ -> false
+
+(* ---------------- unit tests ---------------- *)
+
+let test_emit_atoms () =
+  Alcotest.(check string) "null" "null" (Minijson.emit Minijson.Null);
+  Alcotest.(check string) "true" "true" (Minijson.emit (Minijson.Bool true));
+  Alcotest.(check string) "string escape" "\"a\\\"b\\\\c\\n\""
+    (Minijson.emit (Minijson.Str "a\"b\\c\n"));
+  Alcotest.(check string) "empty arr" "[]" (Minijson.emit (Minijson.Arr []));
+  Alcotest.(check string) "empty obj" "{}" (Minijson.emit (Minijson.Obj []))
+
+let test_emit_non_finite () =
+  (* the Jsonu convention: non-finite floats become quoted strings so the
+     document stays valid JSON *)
+  Alcotest.(check string) "nan" "\"nan\"" (Minijson.emit (Minijson.Num Float.nan));
+  Alcotest.(check string) "inf" "\"inf\""
+    (Minijson.emit (Minijson.Num Float.infinity));
+  Alcotest.(check string) "-inf" "\"-inf\""
+    (Minijson.emit (Minijson.Num Float.neg_infinity))
+
+let test_parse_basics () =
+  (match Minijson.parse " { \"a\" : [ 1 , -2.5e3 , null ] } " with
+  | Minijson.Obj [ ("a", Minijson.Arr [ Minijson.Num a; Minijson.Num b; Minijson.Null ]) ]
+    ->
+      check_close 0.0 "first" 1.0 a;
+      check_close 0.0 "second" (-2500.0) b
+  | _ -> Alcotest.fail "unexpected shape");
+  match Minijson.parse "\"\\u0041\\u000a\"" with
+  | Minijson.Str s -> Alcotest.(check string) "u-escapes" "A\n" s
+  | _ -> Alcotest.fail "expected a string"
+
+let test_parse_rejects () =
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rejects %S" bad)
+        true
+        (match Minijson.parse bad with
+        | exception Minijson.Parse_error _ -> true
+        | _ -> false))
+    [
+      ""; "{"; "[1,"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated";
+      "{\"a\" 1}"; "[1]]"; "nul"; "\"\\x\""; "\"\\u12\""; "+"; "--1";
+    ]
+
+(* ---------------- properties ---------------- *)
+
+(* random Minijson values: depth-bounded, finite floats only (non-finite
+   floats intentionally emit as strings, which changes the type) *)
+let gen_value =
+  let open QCheck.Gen in
+  let finite_float =
+    map
+      (fun f -> if Float.is_finite f then f else 0.0)
+      (oneof
+         [
+           float;
+           map float_of_int int;
+           (* exercise tiny/huge magnitudes and negative exponents *)
+           map2 (fun m e -> m *. (10.0 ** float_of_int e)) (float_range (-10.0) 10.0)
+             (int_range (-300) 300);
+         ])
+  in
+  let any_string = string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 12) in
+  fix (fun self depth ->
+      let leaf =
+        oneof
+          [
+            return Minijson.Null;
+            map (fun b -> Minijson.Bool b) bool;
+            map (fun f -> Minijson.Num f) finite_float;
+            map (fun s -> Minijson.Str s) any_string;
+          ]
+      in
+      if depth <= 0 then leaf
+      else
+        frequency
+          [
+            (2, leaf);
+            ( 1,
+              map
+                (fun l -> Minijson.Arr l)
+                (list_size (int_range 0 4) (self (depth - 1))) );
+            ( 1,
+              map
+                (fun l -> Minijson.Obj l)
+                (list_size (int_range 0 4)
+                   (pair any_string (self (depth - 1)))) );
+          ])
+    3
+
+let rec print_value = function
+  | Minijson.Null -> "null"
+  | Minijson.Bool b -> string_of_bool b
+  | Minijson.Num f -> Printf.sprintf "%h" f
+  | Minijson.Str s -> Printf.sprintf "%S" s
+  | Minijson.Arr l -> "[" ^ String.concat "; " (List.map print_value l) ^ "]"
+  | Minijson.Obj l ->
+      "{"
+      ^ String.concat "; "
+          (List.map (fun (k, v) -> Printf.sprintf "%S: %s" k (print_value v)) l)
+      ^ "}"
+
+let prop_emit_parse_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"minijson emit/parse round-trip"
+    (QCheck.make ~print:print_value gen_value)
+    (fun v ->
+      let text = Minijson.emit v in
+      match Minijson.parse text with
+      | parsed ->
+          if equal v parsed then true
+          else QCheck.Test.fail_reportf "re-parse differs for %s" text
+      | exception Minijson.Parse_error msg ->
+          QCheck.Test.fail_reportf "emitted invalid JSON %s (%s)" text msg)
+
+(* fuzz alphabet biased toward JSON structure so deep/broken nesting,
+   truncated literals and wild escapes all get exercised *)
+let fuzz_input =
+  let open QCheck.Gen in
+  let structural = "{}[]\",:\\.-+eE0123456789ntrufalse \t\n" in
+  let any_char =
+    frequency
+      [
+        (8, map (String.get structural) (int_bound (String.length structural - 1)));
+        (1, map Char.chr (int_range 0 255));
+      ]
+  in
+  string_size ~gen:any_char (int_bound 512)
+
+let prop_parse_total =
+  QCheck.Test.make ~count:2000 ~name:"minijson parse never fails untyped"
+    (QCheck.make ~print:(Printf.sprintf "%S") fuzz_input)
+    (fun s ->
+      match Minijson.parse s with
+      | _ -> true
+      | exception Minijson.Parse_error _ -> true
+      | exception e ->
+          QCheck.Test.fail_reportf "untyped exception %s on %S"
+            (Printexc.to_string e) s)
+
+let suite =
+  [
+    Alcotest.test_case "emit atoms" `Quick test_emit_atoms;
+    Alcotest.test_case "emit non-finite" `Quick test_emit_non_finite;
+    Alcotest.test_case "parse basics" `Quick test_parse_basics;
+    Alcotest.test_case "parse rejects" `Quick test_parse_rejects;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false)
+      [ prop_emit_parse_roundtrip; prop_parse_total ]

@@ -1,0 +1,349 @@
+(* The oracle subsystem's own suite: closed-form sanity of the Ladder
+   and Synth references, the pole-matching metrics, the battery's
+   run/json contract, and the randomized verification properties driven
+   by Oracle.Gen. Every property prints its failing {seed; size} record;
+   QCHECK_SEED reproduces a whole QCheck run. *)
+
+let check_close tol = Alcotest.(check (float tol))
+
+module Ladder = Oracle.Ladder
+
+(* ---------------- Ladder closed forms ---------------- *)
+
+let test_rc_exact_shape () =
+  let o = Ladder.rc ~stages:5 () in
+  Alcotest.(check int) "pole count = stages" 5
+    (Array.length o.Ladder.exact.Ladder.poles);
+  Array.iter
+    (fun p ->
+      Alcotest.(check bool) "stable real pole" true
+        (p.Complex.re < 0.0 && p.Complex.im = 0.0))
+    o.Ladder.exact.Ladder.poles;
+  (* the unloaded ladder passes DC straight through *)
+  check_close 1e-12 "dc gain" 1.0 (Ladder.dc_gain o.Ladder.exact)
+
+let test_rc_poles_distinct () =
+  (* the Dirichlet-Neumann spectrum is simple: no repeated poles, so VF
+     residue comparison per pole slot is well-posed *)
+  let o = Ladder.rc ~stages:6 () in
+  let ps = o.Ladder.exact.Ladder.poles in
+  Array.iteri
+    (fun i a ->
+      Array.iteri
+        (fun j b ->
+          if i < j then
+            Alcotest.(check bool) "distinct" true
+              (Float.abs (a.Complex.re -. b.Complex.re)
+              > 1e-9 *. Float.abs a.Complex.re))
+        ps)
+    ps
+
+let test_rlc_exact_shape () =
+  let o = Ladder.rlc () in
+  (match o.Ladder.exact.Ladder.poles with
+  | [| p; q |] ->
+      Alcotest.(check bool) "conjugate pair" true
+        (p.Complex.re = q.Complex.re
+        && p.Complex.im = -.q.Complex.im
+        && p.Complex.im > 0.0 && p.Complex.re < 0.0)
+  | _ -> Alcotest.fail "rlc must have exactly one pair");
+  check_close 1e-12 "dc gain" 1.0 (Ladder.dc_gain o.Ladder.exact)
+
+let test_rlc_overdamped_rejected () =
+  Alcotest.(check bool) "overdamped rejected" true
+    (match Ladder.rlc ~r:1e6 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_pole_matching_metrics () =
+  let exact = [| { Complex.re = -1.0; im = 2.0 }; { Complex.re = -1.0; im = -2.0 } |] in
+  (* permuted but identical: zero error *)
+  let permuted = [| exact.(1); exact.(0) |] in
+  check_close 1e-15 "permutation invariant" 0.0
+    (Ladder.max_rel_pole_error ~exact ~fitted:permuted);
+  (* count mismatch: infinity, never a silent partial match *)
+  Alcotest.(check bool) "count mismatch is infinite" true
+    (Ladder.max_rel_pole_error ~exact ~fitted:[| exact.(0) |] = Float.infinity);
+  let shifted = [| { Complex.re = -1.1; im = 2.0 }; { Complex.re = -1.1; im = -2.0 } |] in
+  check_close 1e-12 "relative shift" (0.1 /. sqrt 5.0)
+    (Ladder.max_rel_pole_error ~exact ~fitted:shifted)
+
+(* ---------------- Synth ---------------- *)
+
+let test_synth_validate () =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "rejected" true
+        (match Oracle.Synth.model_of p with
+        | exception Invalid_argument _ -> true
+        | _ -> false))
+    [
+      { Oracle.Synth.default with Oracle.Synth.freq_alpha = 1.0 };
+      { Oracle.Synth.default with Oracle.Synth.state_alpha = 0.0 };
+      { Oracle.Synth.default with Oracle.Synth.x_hi = 0.0 };
+    ]
+
+let test_synth_dataset_self_consistent () =
+  (* the synthetic dataset's H(x, 0) must equal d/dx of its quasi-static
+     output trace — the same self-consistency a real circuit's TFT data
+     exhibits, and what the extractor's static integration relies on *)
+  let ds = Oracle.Synth.dataset_of ~samples:21 ~freqs:8 Oracle.Synth.default in
+  let samples = ds.Tft.Dataset.samples in
+  for k = 1 to Array.length samples - 2 do
+    let x_prev = samples.(k - 1).Tft.Dataset.x.(0)
+    and x_next = samples.(k + 1).Tft.Dataset.x.(0) in
+    let fd =
+      (samples.(k + 1).Tft.Dataset.y.(0) -. samples.(k - 1).Tft.Dataset.y.(0))
+      /. (x_next -. x_prev)
+    in
+    let h0 = (Linalg.Cmat.get samples.(k).Tft.Dataset.h0 0 0).Complex.re in
+    (* central difference on a smooth rational: second-order accurate *)
+    Alcotest.(check bool)
+      (Printf.sprintf "H(x,0) = dy/dx at sample %d" k)
+      true
+      (Float.abs (fd -. h0) < 2e-2 *. Float.max 1.0 (Float.abs h0))
+  done
+
+(* ---------------- battery ---------------- *)
+
+let test_metric_nan_fails () =
+  Alcotest.(check bool) "nan fails" false
+    (Oracle.Battery.metric_passed
+       { Oracle.Battery.metric = "m"; value = Float.nan; bound = 1.0 });
+  Alcotest.(check bool) "boundary passes" true
+    (Oracle.Battery.metric_passed
+       { Oracle.Battery.metric = "m"; value = 1.0; bound = 1.0 })
+
+let test_battery_quick () =
+  let verdicts = Oracle.Battery.run ~quick:true () in
+  Alcotest.(check int) "seven checks" 7 (List.length verdicts);
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s passes" v.Oracle.Battery.check)
+        true
+        (Oracle.Battery.verdict_passed v))
+    verdicts;
+  (* the JSON verdict re-parses through the repo's own reader with the
+     advertised schema *)
+  let root = Minijson.parse (Oracle.Battery.json ~quick:true verdicts) in
+  Alcotest.(check bool) "schema_version" true
+    (Minijson.num_field root "schema_version" = Some 1.0);
+  Alcotest.(check bool) "kind" true
+    (Minijson.str_field root "kind" = Some "oracle");
+  Alcotest.(check bool) "passed" true
+    (Minijson.field root "passed" = Some (Minijson.Bool true));
+  match Minijson.arr_field root "checks" with
+  | Some checks ->
+      Alcotest.(check int) "check entries" 7 (List.length checks);
+      List.iter
+        (fun c ->
+          Alcotest.(check bool) "has metrics" true
+            (Minijson.arr_field c "metrics" <> None))
+        checks
+  | None -> Alcotest.fail "missing checks array"
+
+let test_battery_error_capture () =
+  (* verdicts with an error never pass, whatever their metrics say *)
+  Alcotest.(check bool) "error fails" false
+    (Oracle.Battery.verdict_passed
+       {
+         Oracle.Battery.check = "c";
+         seconds = 0.0;
+         metrics = [];
+         error = Some "boom";
+       })
+
+(* ---------------- properties ---------------- *)
+
+let sample_rational (r : Ladder.rational) =
+  let ss = Array.map Signal.Grid.s_of_hz Oracle.Gen.grid_hz in
+  (ss, Array.map (Ladder.eval r) ss)
+
+(* 1. VF recovers random stable pole sets from exact rational data *)
+let prop_vf_pole_recovery =
+  QCheck.Test.make ~count:100 ~name:"vf recovers random rational poles"
+    (Oracle.Gen.arb ())
+    (fun s ->
+      let r = Oracle.Gen.rational s in
+      let ss, data = sample_rational r in
+      let n = Array.length r.Ladder.poles in
+      let opts =
+        { Vf.Vfit.default_frequency_opts with Vf.Vfit.iterations = 30 }
+      in
+      let model, info =
+        Vf.Vfit.fit ~opts
+          ~poles:(Vf.Pole.initial_frequency ~f_min:1e2 ~f_max:1e7 ~count:n)
+          ~points:ss ~data:[| data |] ()
+      in
+      let pole_err =
+        Ladder.max_rel_pole_error ~exact:r.Ladder.poles
+          ~fitted:model.Vf.Model.poles
+      in
+      let residue_err =
+        Ladder.max_rel_residue_error ~exact:r ~model ~elem:0
+      in
+      if pole_err <= 1e-6 && residue_err <= 1e-6 then true
+      else
+        QCheck.Test.fail_reportf
+          "pole_err %.3e residue_err %.3e rms %.3e for %d poles" pole_err
+          residue_err info.Vf.Vfit.rms n)
+
+(* 2. state-axis VF fits random rational residue trajectories to the
+   class error bound *)
+let prop_rvf_residue_fit =
+  QCheck.Test.make ~count:100 ~name:"state vf fits rational residue traces"
+    (Oracle.Gen.arb ())
+    (fun s ->
+      let xs, data = Oracle.Gen.residue_traces s in
+      let points = Array.map (fun x -> { Complex.re = x; im = 0.0 }) xs in
+      let scale =
+        Array.fold_left
+          (fun acc row ->
+            Array.fold_left (fun a z -> Float.max a (Complex.norm z)) acc row)
+          1e-30 data
+      in
+      let opts =
+        { Vf.Vfit.default_state_opts with Vf.Vfit.min_imag = 0.02; iterations = 30 }
+      in
+      let _, info =
+        Vf.Vfit.fit_auto ~opts
+          ~make_poles:(fun count ->
+            Vf.Pole.initial_real_axis ~lo:0.0 ~hi:1.0 ~count)
+          ~start:2 ~step:2 ~max_poles:8 ~tol:(1e-7 *. scale) ~points ~data ()
+      in
+      if info.Vf.Vfit.rms <= 1e-7 *. scale then true
+      else
+        QCheck.Test.fail_reportf "state fit rms %.3e (scale %.3e, %d poles)"
+          info.Vf.Vfit.rms scale info.Vf.Vfit.pole_count)
+
+(* 3. parallel_map is bit-identical to the sequential path *)
+let prop_parallel_map_bit_identical =
+  QCheck.Test.make ~count:100 ~name:"parallel_map bit-identical to sequential"
+    (Oracle.Gen.arb ~max_size:3 ())
+    (fun s ->
+      let r = Oracle.Gen.rational s in
+      let ss = Array.map Signal.Grid.s_of_hz Oracle.Gen.grid_hz in
+      let f z = Ladder.eval r z in
+      let seq = Array.map f ss in
+      let par = Exec.with_pool ~domains:2 (fun pool ->
+          Exec.parallel_map ~pool f ss)
+      in
+      let identical = ref true in
+      Array.iteri
+        (fun i z ->
+          if
+            Int64.bits_of_float z.Complex.re
+            <> Int64.bits_of_float par.(i).Complex.re
+            || Int64.bits_of_float z.Complex.im
+               <> Int64.bits_of_float par.(i).Complex.im
+          then identical := false)
+        seq;
+      if !identical then true
+      else QCheck.Test.fail_reportf "parallel result differs from sequential")
+
+(* 4. a clean guarded AC sweep is bit-identical to the unguarded one *)
+let prop_guarded_sweep_bit_identical =
+  QCheck.Test.make ~count:100 ~name:"guarded ac sweep bit-identical"
+    (Oracle.Gen.arb ~max_size:3 ())
+    (fun s ->
+      let o = Oracle.Gen.rc_ladder s in
+      let mna =
+        Engine.Mna.build ~inputs:[ o.Ladder.input ] ~outputs:[ o.Ladder.output ]
+          o.Ladder.netlist
+      in
+      let at = Engine.Dc.solve mna in
+      let ev = Engine.Mna.eval mna ~with_matrices:true ~time:0.0 at in
+      let g = Option.get ev.Engine.Mna.g_mat
+      and c = Option.get ev.Engine.Mna.c_mat in
+      let ss = Array.map Signal.Grid.s_of_hz Oracle.Gen.grid_hz in
+      let sweep ?guard () =
+        let ws =
+          Engine.Ac.make_ws ~b:(Engine.Mna.b_matrix mna)
+            ~d:(Engine.Mna.d_matrix mna)
+        in
+        Engine.Ac.transfer_sweep ?guard ws ~g ~c ~ss
+      in
+      let plain = sweep () in
+      let guarded = sweep ~guard:Guard.default () in
+      let identical = ref true in
+      Array.iteri
+        (fun l h ->
+          let a = Linalg.Cmat.get h 0 0
+          and b = Linalg.Cmat.get guarded.(l) 0 0 in
+          if
+            Int64.bits_of_float a.Complex.re <> Int64.bits_of_float b.Complex.re
+            || Int64.bits_of_float a.Complex.im <> Int64.bits_of_float b.Complex.im
+          then identical := false)
+        plain;
+      if !identical then true
+      else QCheck.Test.fail_reportf "guarded sweep differs on a clean run")
+
+(* 5. the extracted model of a random linear ladder tracks the circuit
+   under the paper's training signal *)
+let prop_model_vs_circuit_transient =
+  QCheck.Test.make ~count:100 ~name:"extracted model tracks random rc ladder"
+    (Oracle.Gen.arb ~max_size:3 ())
+    (fun s ->
+      let o = Oracle.Gen.rc_ladder s in
+      let mags = Array.map Complex.norm o.Ladder.exact.Ladder.poles in
+      let w_min = Array.fold_left Float.min Float.infinity mags in
+      let w_max = Array.fold_left Float.max 0.0 mags in
+      let two_pi = 2.0 *. Float.pi in
+      let f_train = w_min /. two_pi /. 50.0 in
+      let wave =
+        Circuit.Netlist.Sine
+          { offset = 0.5; ampl = 0.4; freq = f_train; phase = 0.0 }
+      in
+      let t_stop = 1.0 /. f_train in
+      let training =
+        {
+          Tft_rvf.Pipeline.wave;
+          t_stop;
+          dt = t_stop /. 240.0;
+          snapshot_every = 8;
+        }
+      in
+      let config =
+        Tft_rvf.Pipeline.default_config_for ~points:16
+          ~f_min:(w_min /. two_pi /. 30.0)
+          ~f_max:(w_max /. two_pi *. 30.0)
+          ~training ()
+      in
+      let outcome =
+        Tft_rvf.Pipeline.extract ~config ~netlist:o.Ladder.netlist
+          ~input:o.Ladder.input ~output:o.Ladder.output ()
+      in
+      let v =
+        Tft_rvf.Report.validate ~model:outcome.Tft_rvf.Pipeline.model
+          ~netlist:o.Ladder.netlist ~input:o.Ladder.input
+          ~output:o.Ladder.output ~wave ~t_stop ~dt:(t_stop /. 240.0) ()
+      in
+      if v.Tft_rvf.Report.nrmse <= 1e-4 then true
+      else
+        QCheck.Test.fail_reportf "model-vs-circuit nrmse %.3e for %d stages"
+          v.Tft_rvf.Report.nrmse s.Oracle.Gen.size)
+
+let suite =
+  [
+    Alcotest.test_case "rc exact shape" `Quick test_rc_exact_shape;
+    Alcotest.test_case "rc poles distinct" `Quick test_rc_poles_distinct;
+    Alcotest.test_case "rlc exact shape" `Quick test_rlc_exact_shape;
+    Alcotest.test_case "rlc overdamped rejected" `Quick
+      test_rlc_overdamped_rejected;
+    Alcotest.test_case "pole matching metrics" `Quick test_pole_matching_metrics;
+    Alcotest.test_case "synth validate" `Quick test_synth_validate;
+    Alcotest.test_case "synth dataset self-consistent" `Quick
+      test_synth_dataset_self_consistent;
+    Alcotest.test_case "metric nan fails" `Quick test_metric_nan_fails;
+    Alcotest.test_case "battery quick" `Quick test_battery_quick;
+    Alcotest.test_case "battery error capture" `Quick test_battery_error_capture;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false)
+      [
+        prop_vf_pole_recovery;
+        prop_rvf_residue_fit;
+        prop_parallel_map_bit_identical;
+        prop_guarded_sweep_bit_identical;
+        prop_model_vs_circuit_transient;
+      ]

@@ -1,33 +1,7 @@
-(* Tests for the state estimator and TFT dataset construction. *)
+(* Tests for TFT dataset construction (the estimator has its own
+   suite in Test_estimator). *)
 
 let check_close tol = Alcotest.(check (float tol))
-
-(* ---------------- Estimator ---------------- *)
-
-let test_estimator_dimension () =
-  Alcotest.(check int) "q=1" 1 (Tft.Estimator.dimension (Tft.Estimator.make ()));
-  Alcotest.(check int) "q=3" 3
-    (Tft.Estimator.dimension (Tft.Estimator.make ~delays:[ 1e-9; 2e-9 ] ()))
-
-let test_estimator_coords () =
-  let u t = 2.0 *. t in
-  let e = Tft.Estimator.make ~delays:[ 0.5 ] () in
-  let x = Tft.Estimator.coords e ~u 3.0 in
-  check_close 1e-12 "x0 = u(t)" 6.0 x.(0);
-  check_close 1e-12 "x1 = u(t - 0.5)" 5.0 x.(1)
-
-let test_estimator_negative_delay () =
-  Alcotest.(check bool) "negative delay rejected" true
-    (match Tft.Estimator.make ~delays:[ -1.0 ] () with
-    | exception Invalid_argument _ -> true
-    | _ -> false)
-
-let test_estimator_ambiguity () =
-  (* two samples with identical x but different values: ambiguity = spread *)
-  let xs = [| [| 1.0 |]; [| 1.0 |]; [| 2.0 |] |] in
-  let values = [| 0.0; 3.0; 100.0 |] in
-  check_close 1e-12 "ambiguity" 3.0
-    (Tft.Estimator.ambiguity ~xs ~values ~radius:0.1)
 
 (* ---------------- Dataset ---------------- *)
 
@@ -229,10 +203,6 @@ let test_ambiguity_detects_training_hysteresis () =
 
 let suite =
   [
-    Alcotest.test_case "estimator dimension" `Quick test_estimator_dimension;
-    Alcotest.test_case "estimator coords" `Quick test_estimator_coords;
-    Alcotest.test_case "estimator negative delay" `Quick test_estimator_negative_delay;
-    Alcotest.test_case "estimator ambiguity" `Quick test_estimator_ambiguity;
     Alcotest.test_case "dataset shapes" `Quick test_dataset_shapes;
     Alcotest.test_case "dataset h0 low-freq limit" `Quick test_dataset_h0_is_low_freq_limit;
     Alcotest.test_case "dataset dynamic part" `Quick test_dataset_dynamic_part_zero_at_dc;

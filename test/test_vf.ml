@@ -396,6 +396,109 @@ let test_vfit_lc_ladder_response () =
   check_close 1e-3 "passband" 0.5 (eval 2e4);
   Alcotest.(check bool) "stopband rolloff" true (eval 1e7 < 5e-3)
 
+(* ---------------- escalation-ladder rung coverage ---------------- *)
+
+(* exercise fit_auto's individual escalation rungs deterministically,
+   without fault injection, using seeded degenerate inputs *)
+
+let degenerate_grid_data () =
+  (* 6 well-separated poles but only a handful of sample points: enough
+     for small pole counts, underdetermined for larger ones *)
+  let exact =
+    Array.init 6 (fun k ->
+        { Complex.re = -.(10.0 ** (3.0 +. (0.5 *. float_of_int k))); im = 0.0 })
+  in
+  let residues = Array.map (fun p -> Complex.neg p) exact in
+  let points =
+    Array.map Signal.Grid.s_of_hz (Signal.Grid.logspace 1e2 1e6 7)
+  in
+  let data =
+    Array.map
+      (fun s ->
+        let acc = ref Complex.zero in
+        Array.iteri
+          (fun i p ->
+            acc := Complex.add !acc (Complex.div residues.(i) (Complex.sub s p)))
+          exact;
+        !acc)
+      points
+  in
+  (points, [| data |])
+
+let test_fit_auto_rms_escalation_keeps_best () =
+  (* rung 1 (rms above tol -> escalate) followed by rung 2 (attempt
+     raises Invalid_argument -> stop with the best model so far): on the
+     degenerate grid an unreachable tolerance walks the ladder until the
+     unknown count exceeds the 7 points, and fit_auto must settle on the
+     best admissible model instead of raising *)
+  let points, data = degenerate_grid_data () in
+  let diag = Diag.create () in
+  let _, info =
+    Vf.Vfit.fit_auto ~diag ~make_poles:(fun n ->
+        Vf.Pole.initial_frequency ~f_min:1e2 ~f_max:1e6 ~count:n)
+      ~start:2 ~step:2 ~max_poles:40 ~tol:1e-300 ~points ~data ()
+  in
+  let report = Diag.report diag in
+  let attempts = Diag.counter report "vfit.attempts" in
+  Alcotest.(check bool)
+    (Printf.sprintf "several rungs exercised (%d attempts)" attempts)
+    true (attempts >= 3);
+  Alcotest.(check bool) "kept an admissible model" true
+    (Float.is_finite info.Vf.Vfit.rms && info.Vf.Vfit.pole_count >= 2);
+  Alcotest.(check bool) "settled_poles note recorded" true
+    (Diag.find_note report "vfit.settled_poles"
+    = Some (string_of_int info.Vf.Vfit.pole_count))
+
+let test_fit_auto_guard_violation_escalates () =
+  (* rung 3 (Guard.Violation -> count it and keep climbing): a guard
+     with an absurdly small pole-growth bound trips on every attempt, so
+     the ladder must be exhausted and the exhaustion report must carry
+     the last rung's guard detail *)
+  let points, data = degenerate_grid_data () in
+  let guard = { Guard.default with Guard.max_pole_growth = 1e-12 } in
+  let diag = Diag.create () in
+  (match
+     Vf.Vfit.fit_auto ~guard ~diag ~make_poles:(fun n ->
+         Vf.Pole.initial_frequency ~f_min:1e2 ~f_max:1e6 ~count:n)
+       ~start:2 ~step:2 ~max_poles:6 ~tol:1e-12 ~points ~data ()
+   with
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "exhaustion names the last rung (%s)" msg)
+        true
+        ((* the message must identify the final attempt, not be a bare
+            "no successful fit" *)
+         let has sub =
+           let ls = String.length sub and lm = String.length msg in
+           let rec scan i = i + ls <= lm && (String.sub msg i ls = sub || scan (i + 1)) in
+           scan 0
+         in
+         has "last attempt" && has "6 poles")
+  | _ -> Alcotest.fail "a fully-guarded ladder cannot produce a model");
+  let report = Diag.report diag in
+  Alcotest.(check int) "every rung attempted" 3
+    (Diag.counter report "vfit.attempts");
+  Alcotest.(check int) "every rung guarded" 3
+    (Diag.counter report "vfit.guard_violations");
+  Alcotest.(check bool) "exhaustion recorded as a diag error" true
+    (Diag.has_errors report)
+
+let test_fit_auto_start_beyond_max () =
+  (* rung 0: an empty ladder reports that nothing was attempted *)
+  let points, data = degenerate_grid_data () in
+  match
+    Vf.Vfit.fit_auto ~make_poles:(fun n ->
+        Vf.Pole.initial_frequency ~f_min:1e2 ~f_max:1e6 ~count:n)
+      ~start:10 ~max_poles:4 ~tol:1e-6 ~points ~data ()
+  with
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) "names the empty ladder" true
+        (let sub = "no pole count attempted" in
+         let ls = String.length sub and lm = String.length msg in
+         let rec scan i = i + ls <= lm && (String.sub msg i ls = sub || scan (i + 1)) in
+         scan 0)
+  | _ -> Alcotest.fail "start > max_poles cannot fit"
+
 let suite =
   [
     Alcotest.test_case "pole initial frequency" `Quick test_pole_initial_frequency;
@@ -422,6 +525,12 @@ let suite =
     Alcotest.test_case "model self error" `Quick test_model_errors_zero_for_own_samples;
     Alcotest.test_case "vfit stable under noise" `Quick test_vfit_stable_under_noise;
     Alcotest.test_case "vfit lc ladder" `Quick test_vfit_lc_ladder_response;
+    Alcotest.test_case "fit_auto keeps best on degenerate grid" `Quick
+      test_fit_auto_rms_escalation_keeps_best;
+    Alcotest.test_case "fit_auto guard rung coverage" `Quick
+      test_fit_auto_guard_violation_escalates;
+    Alcotest.test_case "fit_auto empty ladder" `Quick
+      test_fit_auto_start_beyond_max;
   ]
   @ List.map (QCheck_alcotest.to_alcotest ~long:false)
       [ prop_vfit_recovers_random_pairs; prop_fit_residues_conjugate ]
