@@ -244,8 +244,11 @@ let domains_arg =
     value & opt int 1
     & info [ "domains" ] ~docv:"N"
         ~doc:
-          "Fan the TFT pencil solves out across $(docv) OCaml domains \
-           (bit-identical to the sequential result; 1 = sequential).")
+          "Run the extraction on a warm pool of $(docv) OCaml domains, \
+           spawned once and reused by every stage: TFT pencil solves, \
+           VF relocation blocks and per-pole residue fits all fan out \
+           (bit-identical to the sequential result; 1 = sequential). \
+           Worthwhile only when the host actually has $(docv) cores.")
 
 let out_arg =
   Arg.(

@@ -5,6 +5,11 @@ type t = {
   queue : (unit -> unit) Queue.t;
   mutable closed : bool;
   mutable workers : unit Domain.t list;
+  mutable busy : bool;
+      (** a [parallel_*] call is in flight; nested or concurrent calls
+          fall back to sequential execution instead of deadlocking *)
+  slots : (int * int, exn) Hashtbl.t;
+      (** pool-owned workspaces: [(key id, chunk) -> embedded value] *)
 }
 
 let rec worker_loop pool =
@@ -34,6 +39,8 @@ let create ?domains () =
       queue = Queue.create ();
       closed = false;
       workers = [];
+      busy = false;
+      slots = Hashtbl.create 16;
     }
   in
   pool.workers <-
@@ -47,6 +54,7 @@ let shutdown pool =
   let workers = pool.workers in
   pool.closed <- true;
   pool.workers <- [];
+  Hashtbl.reset pool.slots;
   Condition.broadcast pool.work_ready;
   Mutex.unlock pool.mutex;
   List.iter Domain.join workers
@@ -55,31 +63,68 @@ let with_pool ?domains f =
   let pool = create ?domains () in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
 
-(* Chunked fan-out: [size] fixed contiguous chunks, workers take chunks
-   1..size-1 from the queue while the submitting domain runs chunk 0,
+(* --- pool-owned workspace slots -------------------------------------- *)
+
+(* Heterogeneous workspaces live in one hashtable via the classic
+   universal-embedding trick: each key carries a locally defined
+   exception constructor used as an injection/projection pair. *)
+type 'a key = { key_id : int; inj : 'a -> exn; proj : exn -> 'a option }
+
+let key_counter = Atomic.make 0
+
+let new_key (type a) () =
+  let module M = struct
+    exception E of a
+  end in
+  {
+    key_id = Atomic.fetch_and_add key_counter 1;
+    inj = (fun v -> M.E v);
+    proj = (function M.E v -> Some v | _ -> None);
+  }
+
+let slot pool key ~chunk ~valid ~make =
+  Mutex.lock pool.mutex;
+  let existing = Hashtbl.find_opt pool.slots (key.key_id, chunk) in
+  Mutex.unlock pool.mutex;
+  match Option.bind existing key.proj with
+  | Some ws when valid ws -> ws
+  | _ ->
+      let ws = make () in
+      Mutex.lock pool.mutex;
+      Hashtbl.replace pool.slots (key.key_id, chunk) (key.inj ws);
+      Mutex.unlock pool.mutex;
+      ws
+
+(* Chunked fan-out: fixed contiguous chunks, workers take chunks
+   1..chunks-1 from the queue while the submitting domain runs chunk 0,
    then waits for the stragglers. Each chunk writes disjoint slots of
    [results], so no ordering decision ever reaches the output.
 
    With [?trace]/[?metrics] attached, each chunk runs inside a
    [<label>.chunk] span on the executing domain's track (worker-side
-   buffers attach under the caller's innermost open span) and
+   buffers attach under the caller's innermost open span). Per-chunk
    wait/run times land in [<label>.chunk_wait_ns]/[<label>.chunk_run_ns]
-   histograms plus a [<label>.imbalance] ratio. Instrumentation never
-   touches [results] or the chunk boundaries, and the uninstrumented
-   path performs no clock reads, so outputs stay bit-identical. *)
-let run_ws ?trace ?metrics ?(label = "exec") pool make_ws n f =
+   histograms; load balance is judged per worker *domain* (chunks > domains
+   would otherwise overstate imbalance): busy time summed by executing
+   domain feeds [<label>.domain_run_ns] / [<label>.domain_wait_ns] and the
+   [<label>.imbalance] max/mean ratio, mirrored into the merged
+   [exec.pool.imbalance] gauge. Instrumentation never touches [results]
+   or the chunk boundaries, and the uninstrumented path performs no clock
+   reads, so outputs stay bit-identical. *)
+let run_ws ?trace ?metrics ?(label = "exec") ?(chunks_per_domain = 1) pool
+    make_ws n f =
   if n = 0 then [||]
   else begin
     let instrumented = Option.is_some trace || Option.is_some metrics in
     let results = Array.make n None in
-    let run_chunk lo hi =
-      let ws = make_ws () in
+    let run_chunk c lo hi =
+      let ws = make_ws c in
       for i = lo to hi - 1 do
         results.(i) <- Some (f ws i)
       done
     in
     let seq_chunk () =
-      if not instrumented then run_chunk 0 n
+      if not instrumented then run_chunk 0 0 n
       else begin
         let t0 = Clock.now () in
         Fun.protect
@@ -91,14 +136,33 @@ let run_ws ?trace ?metrics ?(label = "exec") pool make_ws n f =
                 [ ("chunk", Trace.Int 0); ("lo", Trace.Int 0);
                   ("hi", Trace.Int n) ]
               (label ^ ".chunk")
-              (fun () -> run_chunk 0 n))
+              (fun () -> run_chunk 0 0 n))
       end
+    in
+    let try_acquire pool =
+      Mutex.lock pool.mutex;
+      let free = (not pool.busy) && not pool.closed in
+      if free then pool.busy <- true;
+      Mutex.unlock pool.mutex;
+      free
+    in
+    let release pool =
+      Mutex.lock pool.mutex;
+      pool.busy <- false;
+      Mutex.unlock pool.mutex
     in
     (match pool with
     | None -> seq_chunk ()
     | Some pool when pool.size <= 1 || n <= 1 -> seq_chunk ()
+    | Some pool when not (try_acquire pool) ->
+        (* nested (worker-side) or concurrent call: run inline rather
+           than queueing work the busy pool could never start *)
+        seq_chunk ()
     | Some pool ->
-        let chunks = Stdlib.min pool.size n in
+        Fun.protect ~finally:(fun () -> release pool) @@ fun () ->
+        let chunks =
+          Stdlib.min (pool.size * Stdlib.max 1 chunks_per_domain) n
+        in
         let bound c = c * n / chunks in
         let remaining = ref (chunks - 1) in
         let first_exn = ref None in
@@ -107,9 +171,11 @@ let run_ws ?trace ?metrics ?(label = "exec") pool make_ws n f =
            join below, so no extra synchronisation is needed *)
         let run_ns = if instrumented then Array.make chunks 0.0 else [||] in
         let wait_ns = if instrumented then Array.make chunks 0.0 else [||] in
+        let who = if instrumented then Array.make chunks (-1) else [||] in
         let parent = Trace.current trace in
         let t_submit = if instrumented then Clock.now () else 0.0 in
         let timed_chunk c tbuf lo hi =
+          who.(c) <- (Domain.self () :> int);
           wait_ns.(c) <- (Clock.now () -. t_submit) *. 1e9;
           let t0 = Clock.now () in
           Fun.protect
@@ -120,7 +186,7 @@ let run_ws ?trace ?metrics ?(label = "exec") pool make_ws n f =
                   [ ("chunk", Trace.Int c); ("lo", Trace.Int lo);
                     ("hi", Trace.Int hi) ]
                 (label ^ ".chunk")
-                (fun () -> run_chunk lo hi))
+                (fun () -> run_chunk c lo hi))
         in
         let task c () =
           (try
@@ -131,7 +197,7 @@ let run_ws ?trace ?metrics ?(label = "exec") pool make_ws n f =
                  | Some b -> Some (Trace.attach (Trace.owner b) ~parent ())
                in
                timed_chunk c tbuf (bound c) (bound (c + 1))
-             else run_chunk (bound c) (bound (c + 1))
+             else run_chunk c (bound c) (bound (c + 1))
            with exn ->
              Mutex.lock pool.mutex;
              if !first_exn = None then first_exn := Some exn;
@@ -150,7 +216,7 @@ let run_ws ?trace ?metrics ?(label = "exec") pool make_ws n f =
         let own_exn =
           try
             (if instrumented then timed_chunk 0 trace 0 (bound 1)
-             else run_chunk 0 (bound 1));
+             else run_chunk 0 0 (bound 1));
             None
           with exn -> Some exn
         in
@@ -160,16 +226,36 @@ let run_ws ?trace ?metrics ?(label = "exec") pool make_ws n f =
         done;
         Mutex.unlock pool.mutex;
         if instrumented then begin
-          let sum = ref 0.0 and max_run = ref 0.0 in
+          (* per-chunk histograms keep their historical names; balance is
+             judged on busy time aggregated per executing domain *)
           for c = 0 to chunks - 1 do
             Metrics.observe metrics (label ^ ".chunk_run_ns") run_ns.(c);
-            Metrics.observe metrics (label ^ ".chunk_wait_ns") wait_ns.(c);
-            sum := !sum +. run_ns.(c);
-            if run_ns.(c) > !max_run then max_run := run_ns.(c)
+            Metrics.observe metrics (label ^ ".chunk_wait_ns") wait_ns.(c)
           done;
-          let mean = !sum /. float_of_int chunks in
-          if mean > 0.0 then
-            Metrics.observe metrics (label ^ ".imbalance") (!max_run /. mean)
+          let by_domain = Hashtbl.create 8 in
+          for c = 0 to chunks - 1 do
+            let rt, wt =
+              match Hashtbl.find_opt by_domain who.(c) with
+              | Some (r, w) -> (r, w)
+              | None -> (0.0, 0.0)
+            in
+            Hashtbl.replace by_domain who.(c)
+              (rt +. run_ns.(c), wt +. wait_ns.(c))
+          done;
+          let n_dom = Hashtbl.length by_domain in
+          let sum = ref 0.0 and max_run = ref 0.0 in
+          Hashtbl.iter
+            (fun _ (rt, wt) ->
+              Metrics.observe metrics (label ^ ".domain_run_ns") rt;
+              Metrics.observe metrics (label ^ ".domain_wait_ns") wt;
+              sum := !sum +. rt;
+              if rt > !max_run then max_run := rt)
+            by_domain;
+          let mean = !sum /. float_of_int (Stdlib.max 1 n_dom) in
+          if mean > 0.0 then begin
+            Metrics.observe metrics (label ^ ".imbalance") (!max_run /. mean);
+            Metrics.gauge metrics "exec.pool.imbalance" (!max_run /. mean)
+          end
         end;
         (match (own_exn, !first_exn) with
         | Some exn, _ | None, Some exn -> raise exn
@@ -179,16 +265,21 @@ let run_ws ?trace ?metrics ?(label = "exec") pool make_ws n f =
       results
   end
 
-let parallel_init_ws ?pool ?trace ?metrics ?label ~ws n f =
-  run_ws ?trace ?metrics ?label pool ws n f
+let parallel_init_ws ?pool ?trace ?metrics ?label ?chunks_per_domain ~ws n f =
+  run_ws ?trace ?metrics ?label ?chunks_per_domain pool ws n f
 
-let parallel_init ?pool ?trace ?metrics ?label n f =
-  run_ws ?trace ?metrics ?label pool (fun () -> ()) n (fun () i -> f i)
+let parallel_init ?pool ?trace ?metrics ?label ?chunks_per_domain n f =
+  run_ws ?trace ?metrics ?label ?chunks_per_domain pool
+    (fun _ -> ())
+    n
+    (fun () i -> f i)
 
-let parallel_map_ws ?pool ?trace ?metrics ?label ~ws f arr =
-  run_ws ?trace ?metrics ?label pool ws (Array.length arr) (fun w i ->
-      f w arr.(i))
+let parallel_map_ws ?pool ?trace ?metrics ?label ?chunks_per_domain ~ws f arr =
+  run_ws ?trace ?metrics ?label ?chunks_per_domain pool ws (Array.length arr)
+    (fun w i -> f w arr.(i))
 
-let parallel_map ?pool ?trace ?metrics ?label f arr =
-  run_ws ?trace ?metrics ?label pool (fun () -> ()) (Array.length arr)
+let parallel_map ?pool ?trace ?metrics ?label ?chunks_per_domain f arr =
+  run_ws ?trace ?metrics ?label ?chunks_per_domain pool
+    (fun _ -> ())
+    (Array.length arr)
     (fun () i -> f arr.(i))

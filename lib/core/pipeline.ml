@@ -22,11 +22,18 @@ let default_config_for ?(points = 40) ?(domains = 1) ~f_min ~f_max ~training () 
     domains;
   }
 
-(* the pool only exists for the stages that fan out; [domains <= 1]
-   never spawns and takes the sequential paths throughout *)
-let with_opt_pool ~domains f =
-  if domains <= 1 then f None
-  else Exec.with_pool ~domains (fun pool -> f (Some pool))
+(* One warm pool per pipeline run: created before the first fan-out
+   stage, reused by every stage (TFT pencil solves, VF relocation
+   blocks, residue fits), shut down when the run returns. A caller who
+   owns a longer-lived pool passes it in and keeps ownership — it is
+   borrowed, never shut down here. [domains <= 1] never spawns and
+   takes the sequential paths throughout. *)
+let with_run_pool ?pool ~domains f =
+  match pool with
+  | Some _ -> f pool
+  | None ->
+      if domains <= 1 then f None
+      else Exec.with_pool ~domains (fun pool -> f (Some pool))
 
 type timing = {
   train_seconds : float;
@@ -91,30 +98,32 @@ let train_stage ?guard ?diag ?trace ?metrics ~config ~netlist ~input ~outputs
   in
   (mna, training_run)
 
-let tft_stage ?guard ?diag ?trace ?metrics ~config ~mna ~training_run () =
+let tft_stage ?guard ?diag ?trace ?metrics ?pool ~config ~mna ~training_run
+    () =
   let estimator = Tft.Estimator.make ~delays:config.estimator_delays () in
   Diag.span diag "pipeline.tft" (fun () ->
       Trace.span trace "pipeline.tft" (fun () ->
-          with_opt_pool ~domains:config.domains (fun pool ->
-              Tft.Dataset.of_snapshots ?pool ?guard ?diag ?trace ?metrics ~mna
-                ~estimator ~freqs_hz:config.freqs_hz
-                training_run.Engine.Tran.snapshots)))
+          Tft.Dataset.of_snapshots ?pool ?guard ?diag ?trace ?metrics ~mna
+            ~estimator ~freqs_hz:config.freqs_hz
+            training_run.Engine.Tran.snapshots))
 
-let extract ?guard ?diag ?trace ?metrics ~config ~netlist ~input ~output () =
+let extract ?guard ?diag ?trace ?metrics ?pool ~config ~netlist ~input
+    ~output () =
   let t0 = Clock.now () in
   let mna, training_run =
     train_stage ?guard ?diag ?trace ?metrics ~config ~netlist ~input
       ~outputs:[ output ] ()
   in
   let t1 = Clock.now () in
+  with_run_pool ?pool ~domains:config.domains @@ fun pool ->
   let dataset =
-    tft_stage ?guard ?diag ?trace ?metrics ~config ~mna ~training_run ()
+    tft_stage ?guard ?diag ?trace ?metrics ?pool ~config ~mna ~training_run ()
   in
   let t2 = Clock.now () in
   let rvf =
     Diag.span diag "pipeline.fit" (fun () ->
         Trace.span trace "pipeline.fit" (fun () ->
-            Rvf.extract ~config:config.rvf ?guard ?diag ?trace ?metrics
+            Rvf.extract ~config:config.rvf ?guard ?diag ?trace ?metrics ?pool
               ~dataset ~input:0 ~output:0 ()))
   in
   let t3 = Clock.now () in
@@ -132,8 +141,8 @@ let extract ?guard ?diag ?trace ?metrics ~config ~netlist ~input ~output () =
       };
   }
 
-let extract_simo ?guard ?diag ?trace ?metrics ~config ~netlist ~input ~outputs
-    () =
+let extract_simo ?guard ?diag ?trace ?metrics ?pool ~config ~netlist ~input
+    ~outputs () =
   if outputs = [] then invalid_arg "Pipeline.extract_simo: no outputs";
   let t0 = Clock.now () in
   let mna, training_run =
@@ -142,7 +151,7 @@ let extract_simo ?guard ?diag ?trace ?metrics ~config ~netlist ~input ~outputs
   in
   let t1 = Clock.now () in
   let estimator = Tft.Estimator.make ~delays:config.estimator_delays () in
-  with_opt_pool ~domains:config.domains (fun pool ->
+  with_run_pool ?pool ~domains:config.domains (fun pool ->
       let dataset =
         Diag.span diag "pipeline.tft" (fun () ->
             Trace.span trace "pipeline.tft" (fun () ->
@@ -155,12 +164,16 @@ let extract_simo ?guard ?diag ?trace ?metrics ~config ~netlist ~input ~outputs
          A diag collector or trace buffer is single-owner mutable state,
          so the fits only fan out when neither is attached (the metrics
          registry is internally synchronized and rides along either
-         way). *)
-      let fit_one ?diag ?trace j =
+         way). When the fits themselves are the parallel axis, the pool
+         is NOT also passed down into [Rvf.extract] — a worker-side
+         nested fan-out would only hit the busy-pool sequential fallback
+         anyway; when the fits run sequentially (diag/trace attached),
+         each fit gets the pool for its inner axes instead. *)
+      let fit_one ?diag ?trace ?pool j =
         let t3 = Clock.now () in
         let rvf =
-          Rvf.extract ~config:config.rvf ?guard ?diag ?trace ?metrics ~dataset
-            ~input:0 ~output:j ()
+          Rvf.extract ~config:config.rvf ?guard ?diag ?trace ?metrics ?pool
+            ~dataset ~input:0 ~output:j ()
         in
         let t4 = Clock.now () in
         {
@@ -186,7 +199,7 @@ let extract_simo ?guard ?diag ?trace ?metrics ~config ~netlist ~input ~outputs
       | _, _ ->
           Diag.span diag "pipeline.fit" (fun () ->
               Trace.span trace "pipeline.fit" (fun () ->
-                  List.init n (fun j -> fit_one ?diag ?trace j))))
+                  List.init n (fun j -> fit_one ?diag ?trace ?pool j))))
 
 (* --- graceful degradation ------------------------------------------- *)
 
@@ -248,8 +261,8 @@ let recover diag ~stage f =
     Diag.error diag ~stage (describe_exn e);
     None
 
-let fit_with_ladder ?guard ~diag ?trace ?metrics ~(config : config) ~dataset
-    ~output () =
+let fit_with_ladder ?guard ~diag ?trace ?metrics ?pool ~(config : config)
+    ~dataset ~output () =
   let rec attempt = function
     | [] ->
         Diag.error diag ~stage:"pipeline.fit"
@@ -265,7 +278,7 @@ let fit_with_ladder ?guard ~diag ?trace ?metrics ~(config : config) ~dataset
               (Diag.span diag "pipeline.fit" (fun () ->
                    Trace.span trace "pipeline.fit" (fun () ->
                        Rvf.extract ~config:rvf_config ?guard ?diag ?trace
-                         ?metrics ~dataset ~input:0 ~output ())))
+                         ?metrics ?pool ~dataset ~input:0 ~output ())))
           with
           | ( Invalid_argument _ | Failure _ | Engine.Dc.No_convergence _
             | Linalg.Lu.Singular _ | Linalg.Clu.Singular _
@@ -289,7 +302,8 @@ let fit_with_ladder ?guard ~diag ?trace ?metrics ~(config : config) ~dataset
   in
   attempt (escalation_ladder config.rvf)
 
-let try_extract ?guard ?trace ?metrics ~config ~netlist ~input ~output () =
+let try_extract ?guard ?trace ?metrics ?pool ~config ~netlist ~input ~output
+    () =
   let d = Diag.create () in
   let diag = Some d in
   (match guard with
@@ -308,17 +322,18 @@ let try_extract ?guard ?trace ?metrics ~config ~netlist ~input ~output () =
     | None -> None
     | Some (mna, training_run) -> (
         let t1 = Clock.now () in
+        with_run_pool ?pool ~domains:config.domains @@ fun pool ->
         match
           recover diag ~stage:"pipeline.tft" (fun () ->
-              tft_stage ?guard ?diag ?trace ?metrics ~config ~mna
+              tft_stage ?guard ?diag ?trace ?metrics ?pool ~config ~mna
                 ~training_run ())
         with
         | None -> None
         | Some dataset -> (
             let t2 = Clock.now () in
             match
-              fit_with_ladder ?guard ~diag ?trace ?metrics ~config ~dataset
-                ~output:0 ()
+              fit_with_ladder ?guard ~diag ?trace ?metrics ?pool ~config
+                ~dataset ~output:0 ()
             with
             | None -> None
             | Some rvf ->
@@ -340,8 +355,8 @@ let try_extract ?guard ?trace ?metrics ~config ~netlist ~input ~output () =
   in
   (outcome, Diag.report d)
 
-let try_extract_simo ?guard ?trace ?metrics ~config ~netlist ~input ~outputs
-    () =
+let try_extract_simo ?guard ?trace ?metrics ?pool ~config ~netlist ~input
+    ~outputs () =
   let d = Diag.create () in
   let diag = Some d in
   (match guard with
@@ -361,9 +376,10 @@ let try_extract_simo ?guard ?trace ?metrics ~config ~netlist ~input ~outputs
     | None -> (List.map (fun _ -> None) outputs, Diag.report d)
     | Some (mna, training_run) -> (
         let t1 = Clock.now () in
+        with_run_pool ?pool ~domains:config.domains @@ fun pool ->
         match
           recover diag ~stage:"pipeline.tft" (fun () ->
-              tft_stage ?guard ?diag ?trace ?metrics ~config ~mna
+              tft_stage ?guard ?diag ?trace ?metrics ?pool ~config ~mna
                 ~training_run ())
         with
         | None -> (List.map (fun _ -> None) outputs, Diag.report d)
@@ -374,7 +390,7 @@ let try_extract_simo ?guard ?trace ?metrics ~config ~netlist ~input ~outputs
                 (fun j _ ->
                   let t3 = Clock.now () in
                   match
-                    fit_with_ladder ?guard ~diag ?trace ?metrics ~config
+                    fit_with_ladder ?guard ~diag ?trace ?metrics ?pool ~config
                       ~dataset ~output:j ()
                   with
                   | None -> None

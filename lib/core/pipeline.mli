@@ -58,6 +58,7 @@ val extract :
   ?diag:Diag.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->
+  ?pool:Exec.t ->
   config:config ->
   netlist:Circuit.Netlist.t ->
   input:string ->
@@ -66,6 +67,13 @@ val extract :
   outcome
 (** Runs the whole flow for a SISO channel. The [input] source's wave is
     replaced by [config.training.wave] during training.
+
+    When [config.domains > 1] a single warm {!Exec} pool is created for
+    the whole run and reused by every fan-out stage (TFT pencil solves,
+    VF relocation blocks, residue fits) — workers are spawned once, not
+    per stage. Passing [?pool] instead lends a caller-owned pool (e.g.
+    across repeated extractions); it overrides [config.domains] for
+    pool selection and is never shut down here.
 
     With [diag], records spans for the three pipeline stages
     ([pipeline.train], [pipeline.tft], [pipeline.fit]) and threads the
@@ -107,6 +115,7 @@ val extract_simo :
   ?diag:Diag.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->
+  ?pool:Exec.t ->
   config:config ->
   netlist:Circuit.Netlist.t ->
   input:string ->
@@ -155,6 +164,7 @@ val try_extract :
   ?guard:Guard.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->
+  ?pool:Exec.t ->
   config:config ->
   netlist:Circuit.Netlist.t ->
   input:string ->
@@ -176,6 +186,7 @@ val try_extract_simo :
   ?guard:Guard.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->
+  ?pool:Exec.t ->
   config:config ->
   netlist:Circuit.Netlist.t ->
   input:string ->

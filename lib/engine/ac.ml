@@ -54,23 +54,52 @@ let transfer_ws ?guard ws ~g ~c ~s =
   done;
   output_transfer ~d:ws.d ~x:ws.x
 
+let ws_matches ws ~b ~d =
+  let same a b' =
+    a == b'
+    || Linalg.Mat.rows a = Linalg.Mat.rows b'
+       && Linalg.Mat.cols a = Linalg.Mat.cols b'
+       && Linalg.Mat.unsafe_data a = Linalg.Mat.unsafe_data b'
+  in
+  same ws.b b && same ws.d d
+
+(* pool-owned clones of a sweep workspace, one per chunk > 0 (chunk 0
+   reuses the caller's); revalidated against the caller's (B, D) so a
+   warm pool can serve successive circuits *)
+let sweep_ws_key : ws Exec.key = Exec.new_key ()
+
 (* matched on [metrics] first so the unrecorded path is exactly the
    plain map — no clock reads, bit-identical results *)
-let transfer_sweep ?guard ?metrics ws ~g ~c ~ss =
-  match metrics with
-  | None -> Array.map (fun s -> transfer_ws ?guard ws ~g ~c ~s) ss
-  | Some _ ->
-      Array.map
-        (fun s ->
-          let t0 = Metrics.now_if metrics in
-          let h = transfer_ws ?guard ws ~g ~c ~s in
-          Metrics.observe_since_ns metrics "ac.pencil_solve_ns" t0;
-          h)
+let transfer_sweep ?guard ?metrics ?pool ws ~g ~c ~ss =
+  let solve ws s =
+    match metrics with
+    | None -> transfer_ws ?guard ws ~g ~c ~s
+    | Some _ ->
+        let t0 = Metrics.now_if metrics in
+        let h = transfer_ws ?guard ws ~g ~c ~s in
+        Metrics.observe_since_ns metrics "ac.pencil_solve_ns" t0;
+        h
+  in
+  match pool with
+  | Some pool when Array.length ss > 1 && Fault.armed () = None ->
+      (* frequencies are independent pencil solves — the natural parallel
+         axis for a standalone sweep. Fault probes fire per solve in a
+         global sequence, so an armed probe forces the sequential path to
+         keep the injection site deterministic. *)
+      Exec.parallel_map_ws ~pool ?metrics ~label:"ac.sweep"
+        ~ws:(fun chunk ->
+          if chunk = 0 then ws
+          else
+            Exec.slot pool sweep_ws_key ~chunk
+              ~valid:(fun w -> ws_matches w ~b:ws.b ~d:ws.d)
+              ~make:(fun () -> make_ws ~b:ws.b ~d:ws.d))
+        (fun w s -> solve w s)
         ss
+  | _ -> Array.map (solve ws) ss
 
 let transfer_at ~g ~c ~b ~d ~s = transfer_ws (make_ws ~b ~d) ~g ~c ~s
 
-let sweep mna ~at ~freqs_hz =
+let sweep ?pool mna ~at ~freqs_hz =
   let ev = Mna.eval mna ~with_matrices:true ~time:0.0 at in
   let g, c =
     match (ev.Mna.g_mat, ev.Mna.c_mat) with
@@ -78,7 +107,7 @@ let sweep mna ~at ~freqs_hz =
     | _, _ -> assert false
   in
   let ws = make_ws ~b:(Mna.b_matrix mna) ~d:(Mna.d_matrix mna) in
-  transfer_sweep ws ~g ~c ~ss:(Array.map Signal.Grid.s_of_hz freqs_hz)
+  transfer_sweep ?pool ws ~g ~c ~ss:(Array.map Signal.Grid.s_of_hz freqs_hz)
 
-let sweep_siso mna ~at ~freqs_hz =
-  Array.map (fun h -> Linalg.Cmat.get h 0 0) (sweep mna ~at ~freqs_hz)
+let sweep_siso ?pool mna ~at ~freqs_hz =
+  Array.map (fun h -> Linalg.Cmat.get h 0 0) (sweep ?pool mna ~at ~freqs_hz)

@@ -19,6 +19,11 @@ val make_ws : b:Linalg.Mat.t -> d:Linalg.Mat.t -> ws
     [d] are captured by reference and must not be mutated while the
     workspace is in use. *)
 
+val ws_matches : ws -> b:Linalg.Mat.t -> d:Linalg.Mat.t -> bool
+(** Whether the workspace was built for an equal [(B, D)] pair (same
+    shape and contents) — the validity predicate for reusing pool-cached
+    workspaces across pipeline stages and circuits. *)
+
 val transfer_ws :
   ?guard:Guard.t ->
   ws ->
@@ -37,6 +42,7 @@ val transfer_ws :
 val transfer_sweep :
   ?guard:Guard.t ->
   ?metrics:Metrics.t ->
+  ?pool:Exec.t ->
   ws ->
   g:Linalg.Mat.t ->
   c:Linalg.Mat.t ->
@@ -46,7 +52,14 @@ val transfer_sweep :
     pencil build + factorization per grid point. With [metrics], each
     point's solve time lands in the [ac.pencil_solve_ns] histogram
     (safe to record from several worker domains at once); without, the
-    sweep is exactly the plain map, with no clock reads. *)
+    sweep is exactly the plain map, with no clock reads.
+
+    With [pool], the frequency grid is fanned out across domains using
+    pool-cached workspace clones (chunk 0 reuses [ws]); results are
+    bit-identical to the sequential sweep. An armed fault probe forces
+    the sequential path so injections stay deterministic. Do not pass a
+    pool from inside a worker of that same pool — it would just run
+    sequentially anyway. *)
 
 val transfer_at :
   g:Linalg.Mat.t ->
@@ -59,9 +72,18 @@ val transfer_at :
     frequency. *)
 
 val sweep :
-  Mna.t -> at:Linalg.Vec.t -> freqs_hz:float array -> Linalg.Cmat.t array
-(** Linearize at [at] and sweep the given frequencies (Hz). *)
+  ?pool:Exec.t ->
+  Mna.t ->
+  at:Linalg.Vec.t ->
+  freqs_hz:float array ->
+  Linalg.Cmat.t array
+(** Linearize at [at] and sweep the given frequencies (Hz), optionally
+    fanned across a warm pool. *)
 
 val sweep_siso :
-  Mna.t -> at:Linalg.Vec.t -> freqs_hz:float array -> Complex.t array
+  ?pool:Exec.t ->
+  Mna.t ->
+  at:Linalg.Vec.t ->
+  freqs_hz:float array ->
+  Complex.t array
 (** Convenience for single-input single-output setups: element (0,0). *)

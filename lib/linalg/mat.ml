@@ -151,6 +151,8 @@ let approx_equal ?(tol = 1e-9) a b =
 
 let random st nr nc = init nr nc (fun _ _ -> Random.State.float st 2.0 -. 1.0)
 
+let unsafe_data m = m.data
+
 let pp ppf m =
   Format.fprintf ppf "@[<v>";
   for i = 0 to m.nr - 1 do

@@ -53,3 +53,8 @@ val random : Random.State.t -> int -> int -> t
 (** Entries uniform in [-1, 1). *)
 
 val pp : Format.formatter -> t -> unit
+
+val unsafe_data : t -> float array
+(** The raw row-major backing store ([rows*cols] floats, element [(i,j)]
+    at index [i*cols + j]). For allocation-free in-place kernels inside
+    {!Linalg} (QR/LU workspaces); mutating it mutates the matrix. *)

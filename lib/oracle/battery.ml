@@ -213,6 +213,57 @@ let check_hammerstein_transient ~quick () =
   in
   [ m "transient_nrmse" r.Synth.transient_nrmse 1e-6 ]
 
+(* ---------------- dense vs fast relocation kernels ---------------- *)
+
+(* the fast in-place kernel promises the same arithmetic as the legacy
+   dense one, so the metric is a mismatch count over raw float bits *)
+let check_kernel_parity ~quick () =
+  checked "vf-kernel-parity" @@ fun () ->
+  let o = Ladder.rlc () in
+  let freqs_hz = grid_for o ~points:(if quick then 20 else 40) in
+  let ss = Array.map Signal.Grid.s_of_hz freqs_hz in
+  let data = [| Ladder.sample o.Ladder.exact ss |] in
+  let n = Array.length o.Ladder.exact.Ladder.poles in
+  let f_lo = freqs_hz.(0) and f_hi = freqs_hz.(Array.length freqs_hz - 1) in
+  let poles0 =
+    Vf.Pole.initial_frequency ~f_min:f_lo ~f_max:f_hi
+      ~count:(if n mod 2 = 0 then n else n + 1)
+  in
+  let run kernel =
+    Vf.Vfit.fit
+      ~opts:
+        {
+          Vf.Vfit.default_frequency_opts with
+          Vf.Vfit.relocation_kernel = kernel;
+        }
+      ~poles:poles0 ~points:ss ~data ()
+  in
+  let md, id = run Vf.Vfit.Dense in
+  let mf, i_f = run Vf.Vfit.Fast in
+  let bits_differ a b =
+    not (Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b))
+  in
+  let mismatches = ref 0 in
+  let cmp a b = if bits_differ a b then incr mismatches in
+  if Array.length md.Vf.Model.poles <> Array.length mf.Vf.Model.poles then
+    incr mismatches
+  else
+    Array.iteri
+      (fun k (p : Complex.t) ->
+        cmp p.Complex.re mf.Vf.Model.poles.(k).Complex.re;
+        cmp p.Complex.im mf.Vf.Model.poles.(k).Complex.im)
+      md.Vf.Model.poles;
+  Array.iteri
+    (fun e row -> Array.iteri (fun k c -> cmp c mf.Vf.Model.coeffs.(e).(k)) row)
+    md.Vf.Model.coeffs;
+  Array.iteri (fun e d -> cmp d mf.Vf.Model.consts.(e)) md.Vf.Model.consts;
+  Array.iteri (fun e h -> cmp h mf.Vf.Model.slopes.(e)) md.Vf.Model.slopes;
+  [
+    m "kernel_bitwise_mismatches" (float_of_int !mismatches) 0.0;
+    m "kernel_rms_abs_diff" (Float.abs (id.Vf.Vfit.rms -. i_f.Vf.Vfit.rms)) 0.0;
+    m "fast_fit_rms" i_f.Vf.Vfit.rms 1e-9;
+  ]
+
 (* ---------------- full pipeline on the linear oracle ---------------- *)
 
 let check_pipeline ~quick () =
@@ -287,6 +338,7 @@ let run ?(quick = false) () =
       (Ladder.rlc ());
     check_hammerstein_roundtrip ~quick ();
     check_hammerstein_transient ~quick ();
+    check_kernel_parity ~quick ();
     check_pipeline ~quick ();
   ]
 

@@ -68,7 +68,7 @@ type freq_stage = {
 }
 
 let frequency_stage ?(config = default_config) ?guard ?diag ?trace ?metrics
-    ~dataset ~input ~output () =
+    ?pool ~dataset ~input ~output () =
   let samples = dataset.Tft.Dataset.samples in
   if Array.length samples < 4 then begin
     Diag.error diag ~stage:"rvf.freq"
@@ -125,7 +125,7 @@ let frequency_stage ?(config = default_config) ?guard ?diag ?trace ?metrics
     Diag.span diag "rvf.frequency_stage" (fun () ->
         Trace.span trace "rvf.frequency_stage" (fun () ->
             Vf.Vfit.fit_auto ~opts:freq_opts ?guard ?diag ?trace ?metrics
-              ~label:"vf.freq" ~make_poles:make_freq_poles
+              ?pool ~label:"vf.freq" ~make_poles:make_freq_poles
               ~start:config.freq_start ~step:config.freq_step
               ~max_poles:config.max_freq_poles ~tol:(config.eps *. freq_scale)
               ~points:points_f ~data:dyn_data ()))
@@ -148,11 +148,11 @@ let frequency_stage ?(config = default_config) ?guard ?diag ?trace ?metrics
     dc = Tft.Dataset.dc_trace dataset ~input ~output;
   }
 
-let extract ?(config = default_config) ?guard ?diag ?trace ?metrics ~dataset
-    ~input ~output () =
+let extract ?(config = default_config) ?guard ?diag ?trace ?metrics ?pool
+    ~dataset ~input ~output () =
   let t_start = Clock.now () in
   let stage =
-    frequency_stage ~config ?guard ?diag ?trace ?metrics ~dataset ~input
+    frequency_stage ~config ?guard ?diag ?trace ?metrics ?pool ~dataset ~input
       ~output ()
   in
   let freq_model = stage.fs_model and freq_info = stage.fs_info in
@@ -213,7 +213,7 @@ let extract ?(config = default_config) ?guard ?diag ?trace ?metrics ~dataset
     Diag.span diag "rvf.state_stage" (fun () ->
         Trace.span trace "rvf.state_stage" (fun () ->
             Vf.Vfit.fit_auto ~opts:state_opts ?guard ?diag ?trace ?metrics
-              ~label:"vf.state" ~make_poles:make_state_poles
+              ?pool ~label:"vf.state" ~make_poles:make_state_poles
               ~start:config.state_start ~step:config.state_step
               ~max_poles:config.max_state_poles ~tol:config.eps
               ~points:points_x ~data:trace_data ()))
@@ -272,7 +272,7 @@ let extract ?(config = default_config) ?guard ?diag ?trace ?metrics ~dataset
     Diag.span diag "rvf.static_stage" (fun () ->
         Trace.span trace "rvf.static_stage" (fun () ->
             Vf.Vfit.fit_auto ~opts:state_opts ?guard ?diag ?trace ?metrics
-              ~label:"vf.static" ~make_poles:make_state_poles
+              ?pool ~label:"vf.static" ~make_poles:make_state_poles
               ~start:config.state_start ~step:config.state_step
               ~max_poles:config.max_state_poles
               ~tol:(config.eps *. static_scale) ~points:points_x

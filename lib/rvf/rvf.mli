@@ -51,6 +51,7 @@ val extract :
   ?diag:Diag.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->
+  ?pool:Exec.t ->
   dataset:Tft.Dataset.t -> input:int -> output:int -> unit ->
   result
 (** Requires a one-dimensional state estimator (the paper's validated
@@ -70,7 +71,12 @@ val extract :
     trace are NaN/Inf-checked before fitting ([Guard.Violation] at
     sites [rvf.trace]/[rvf.static_trace]) and the guard threads into
     every VF stage's pole and model checks. Hosts the ["rvf.trace_nan"]
-    fault probe (one invocation per extraction). *)
+    fault probe (one invocation per extraction).
+
+    With [pool], the three VF stages fan their independent per-element
+    relocation blocks and residue fits across the warm pool; results are
+    bit-identical to the sequential path. The pool is borrowed, never
+    shut down here. *)
 
 (** {2 Shared frequency stage}
 
@@ -94,5 +100,6 @@ val frequency_stage :
   ?diag:Diag.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->
+  ?pool:Exec.t ->
   dataset:Tft.Dataset.t -> input:int -> output:int -> unit ->
   freq_stage

@@ -122,6 +122,11 @@ let quarantine guard diag metrics t =
         { t with samples = Array.of_list (List.rev !kept) }
       end
 
+(* per-chunk pencil-solve workspaces parked in the warm pool between
+   calls; revalidated against the current (B, D) so one pool can serve
+   successive escalation rungs and even different circuits *)
+let ac_ws_key : Engine.Ac.ws Exec.key = Exec.new_key ()
+
 let of_snapshots ?pool ?guard ?diag ?trace ?metrics ~mna ~estimator ~freqs_hz
     snapshots =
   let b = Engine.Mna.b_matrix mna in
@@ -151,7 +156,13 @@ let of_snapshots ?pool ?guard ?diag ?trace ?metrics ~mna ~estimator ~freqs_hz
       "tft.dataset"
     @@ fun () ->
     Exec.parallel_map_ws ?pool ?trace ?metrics ~label:"tft"
-      ~ws:(fun () -> Engine.Ac.make_ws ~b ~d)
+      ~ws:(fun chunk ->
+        match pool with
+        | Some p ->
+            Exec.slot p ac_ws_key ~chunk
+              ~valid:(fun w -> Engine.Ac.ws_matches w ~b ~d)
+              ~make:(fun () -> Engine.Ac.make_ws ~b ~d)
+        | None -> Engine.Ac.make_ws ~b ~d)
       (fun ws ((i, snap) : int * Engine.Tran.snapshot) ->
         let g = snap.Engine.Tran.g_mat and c = snap.Engine.Tran.c_mat in
         let h = Engine.Ac.transfer_sweep ?metrics ws ~g ~c ~ss in

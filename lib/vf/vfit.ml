@@ -1,4 +1,5 @@
 type weighting = Uniform | Inv_magnitude | Inv_sqrt
+type relocation_kernel = Dense | Fast
 
 type opts = {
   iterations : int;
@@ -9,6 +10,7 @@ type opts = {
   relax : bool;
   weighting : weighting;
   max_magnitude : float;
+  relocation_kernel : relocation_kernel;
 }
 
 let default_frequency_opts =
@@ -21,6 +23,7 @@ let default_frequency_opts =
     relax = true;
     weighting = Inv_sqrt;
     max_magnitude = 0.0;
+    relocation_kernel = Fast;
   }
 
 let default_state_opts =
@@ -33,6 +36,7 @@ let default_state_opts =
     relax = true;
     weighting = Uniform;
     max_magnitude = 0.0;
+    relocation_kernel = Fast;
   }
 
 type info = {
@@ -95,9 +99,69 @@ type reloc_diag = {
   flips : int;
 }
 
+(* Nontriviality row weight: the mean weighted |F| over all samples. *)
+let relax_row_weight ~weights ~data =
+  let acc = ref 0.0 and cnt = ref 0 in
+  Array.iteri
+    (fun e row ->
+      Array.iteri
+        (fun l z ->
+          acc := !acc +. (weights.(e).(l) *. Complex.norm z);
+          incr cnt)
+        row)
+    data;
+  Float.max (!acc /. float_of_int (Stdlib.max 1 !cnt)) 1e-12
+
+(* Append the relaxed nontriviality row Σ_l Re σ(z_l) = n_points to the
+   condensed system at [row]. *)
+let add_relax_row ~phi ~scales ~weights ~data ~p ~n_points big big_rhs row =
+  let w_relax = relax_row_weight ~weights ~data in
+  for c = 0 to p - 1 do
+    let s = ref 0.0 in
+    for l = 0 to n_points - 1 do
+      s := !s +. phi.(l).(c).Complex.re
+    done;
+    Linalg.Mat.set big row c (w_relax *. !s *. scales.(c))
+  done;
+  Linalg.Mat.set big row p (w_relax *. float_of_int n_points);
+  big_rhs.(row) <- w_relax *. float_of_int n_points
+
+(* Unscale the condensed-system solution and derive the per-iteration
+   telemetry; shared verbatim by the dense and fast kernels. *)
+let sigma_post ~relax ~phi ~scales ~n_points ~p sol =
+  let c_tilde = Array.init p (fun c -> sol.(c) *. scales.(c)) in
+  let d_tilde = if relax then sol.(p) else 1.0 in
+  (* RMS of sigma's non-constant part over the fit points *)
+  let sigma_rms =
+    let acc = ref 0.0 in
+    for l = 0 to n_points - 1 do
+      let z = ref Complex.zero in
+      for c = 0 to p - 1 do
+        z := Complex.add !z (Linalg.Cx.scale c_tilde.(c) phi.(l).(c))
+      done;
+      acc := !acc +. Complex.norm2 !z
+    done;
+    sqrt (!acc /. float_of_int (Stdlib.max 1 n_points))
+  in
+  let scale_spread =
+    let lo = ref Float.infinity and hi = ref 0.0 in
+    Array.iter
+      (fun s ->
+        if s > 0.0 then begin
+          lo := Float.min !lo s;
+          hi := Float.max !hi s
+        end)
+      scales;
+    if !hi > 0.0 && Float.is_finite !lo then !hi /. !lo else 1.0
+  in
+  (c_tilde, d_tilde, sigma_rms, scale_spread)
+
 (* Solve for the sigma coefficients (c-tilde, d-tilde) given current
-   poles. Returns None if the least squares degenerates. *)
-let sigma_step ~opts ~poles ~points ~data ~weights ~relax =
+   poles. Returns None if the least squares degenerates. Legacy kernel:
+   one dense per-element system, freshly allocated and factored with the
+   copying QR entry points — kept behind [opts.relocation_kernel = Dense]
+   as the differential-testing reference. *)
+let sigma_step_dense ~opts ~poles ~points ~data ~weights ~relax =
   let p = Array.length poles in
   let n_points = Array.length points in
   let n_elems = Array.length data in
@@ -172,28 +236,8 @@ let sigma_step ~opts ~poles ~points ~data ~weights ~relax =
         row_cursor := !row_cursor + n2
   done;
   if relax then begin
-    (* nontriviality: Σ_l Re σ(z_l) = n_points *)
-    let w_relax =
-      let acc = ref 0.0 and cnt = ref 0 in
-      Array.iteri
-        (fun e row ->
-          Array.iteri
-            (fun l z ->
-              acc := !acc +. (weights.(e).(l) *. Complex.norm z);
-              incr cnt)
-            row)
-        data;
-      Float.max (!acc /. float_of_int (Stdlib.max 1 !cnt)) 1e-12
-    in
-    for c = 0 to p - 1 do
-      let s = ref 0.0 in
-      for l = 0 to n_points - 1 do
-        s := !s +. phi.(l).(c).Complex.re
-      done;
-      Linalg.Mat.set big !row_cursor c (w_relax *. !s *. scales.(c))
-    done;
-    Linalg.Mat.set big !row_cursor p (w_relax *. float_of_int n_points);
-    big_rhs.(!row_cursor) <- w_relax *. float_of_int n_points;
+    add_relax_row ~phi ~scales ~weights ~data ~p ~n_points big big_rhs
+      !row_cursor;
     incr row_cursor
   end;
   let rows_used = !row_cursor in
@@ -203,40 +247,225 @@ let sigma_step ~opts ~poles ~points ~data ~weights ~relax =
     let rhs = Array.sub big_rhs 0 rows_used in
     match Linalg.Qr.least_squares m rhs with
     | exception Linalg.Qr.Rank_deficient _ -> None
-    | sol ->
-        let c_tilde = Array.init p (fun c -> sol.(c) *. scales.(c)) in
-        let d_tilde = if relax then sol.(p) else 1.0 in
-        (* RMS of sigma's non-constant part over the fit points *)
-        let sigma_rms =
-          let acc = ref 0.0 in
-          for l = 0 to n_points - 1 do
-            let z = ref Complex.zero in
-            for c = 0 to p - 1 do
-              z :=
-                Complex.add !z
-                  (Linalg.Cx.scale c_tilde.(c) phi.(l).(c))
-            done;
-            acc := !acc +. Complex.norm2 !z
-          done;
-          sqrt (!acc /. float_of_int (Stdlib.max 1 n_points))
-        in
-        let scale_spread =
-          let lo = ref Float.infinity and hi = ref 0.0 in
-          Array.iter
-            (fun s ->
-              if s > 0.0 then begin
-                lo := Float.min !lo s;
-                hi := Float.max !hi s
-              end)
-            scales;
-          if !hi > 0.0 && Float.is_finite !lo then !hi /. !lo else 1.0
-        in
-        Some (c_tilde, d_tilde, sigma_rms, scale_spread)
+    | sol -> Some (sigma_post ~relax ~phi ~scales ~n_points ~p sol)
   end
 
-let relocate_poles ~opts ~poles ~points ~data ~weights =
+(* --- fast relocation kernel ------------------------------------------ *)
+
+(* Per-element scratch: the element QR workspace, the uniform-path tail
+   workspace and a right-hand-side buffer. One per chunk when fanned
+   out across a pool, one persistent instance on the sequential path. *)
+type elem_ws = {
+  qa : Linalg.Qr.ws;
+  qtail : Linalg.Qr.ws;
+  mutable rhs_buf : float array;
+}
+
+let make_elem_ws () =
+  {
+    qa = Linalg.Qr.workspace ();
+    qtail = Linalg.Qr.workspace ();
+    rhs_buf = [||];
+  }
+
+(* Relocation workspace: created once per [fit] call, reused by every
+   sigma step of every iteration, so steady-state relocation performs no
+   large allocations. *)
+type reloc_ws = {
+  shared : Linalg.Qr.ws;  (** shared-φ0 factorization (uniform weighting) *)
+  qbig : Linalg.Qr.ws;  (** condensed system and its in-place solve *)
+  seq_elem : elem_ws;
+  mutable big_rhs : float array;
+}
+
+let make_reloc_ws () =
+  {
+    shared = Linalg.Qr.workspace ();
+    qbig = Linalg.Qr.workspace ();
+    seq_elem = make_elem_ws ();
+    big_rhs = [||];
+  }
+
+(* pool-parked per-chunk element workspaces for the relocation fan-out *)
+let elem_ws_key : elem_ws Exec.key = Exec.new_key ()
+
+(* Fast-VF sigma step (Deschrijver et al. 2008; SNIPPETS.md snippet 3):
+   per element QR-factor [phi0 | −D·phi1] and keep only the trailing
+   [R22] block (and [Q2ᵀV] rhs block in non-relaxed mode), accumulated
+   at a fixed row offset of the small condensed system. Identical
+   per-entry arithmetic to [sigma_step_dense] — [Qr.factor_into] is
+   bit-compatible with [Qr.factor] — so the two kernels agree bitwise;
+   the speed comes from in-place workspace factorization and, under
+   uniform weighting, from factoring the shared [phi0] block once and
+   pushing its reflectors onto each element's sigma block
+   ([Qr.apply_qt_mat]) instead of refactoring it per element. Elements
+   are independent and write disjoint rows, so they optionally fan out
+   across [pool] with bit-identical results. *)
+let sigma_step_fast ?pool ~rws ~opts ~poles ~points ~data ~weights ~relax () =
+  let p = Array.length poles in
+  let n_points = Array.length points in
+  let n_elems = Array.length data in
+  let phi = Basis.table poles points in
+  let scales, zscale = column_scales phi points n_points p in
+  let n1 = p + (if opts.with_const then 1 else 0) + (if opts.with_slope then 1 else 0) in
+  let n2 = if relax then p + 1 else p in
+  if 2 * n_points < n1 + n2 then
+    invalid_arg
+      (Printf.sprintf "Vfit: %d points cannot determine %d unknowns" n_points
+         (n1 + n2));
+  let m_rows = 2 * n_points in
+  let stacked_rows = (n_elems * n2) + if relax then 1 else 0 in
+  let big = Linalg.Qr.ws_matrix rws.qbig ~rows:stacked_rows ~cols:n2 in
+  if Array.length rws.big_rhs <> stacked_rows then
+    rws.big_rhs <- Array.make stacked_rows 0.0
+  else Array.fill rws.big_rhs 0 stacked_rows 0.0;
+  let big_rhs = rws.big_rhs in
+  (* the residue/const/slope block [phi0] is element-independent exactly
+     when the row weights are: under uniform weighting factor it once
+     and reuse its reflectors for every element *)
+  let share_phi0 = opts.weighting = Uniform && n1 > 0 && n_elems > 1 in
+  (* the fill helpers write through the flat row-major storage: same
+     values as the [Mat.set] formulation, minus per-entry bounds checks
+     and (for the sigma block) the boxed [Complex.mul] intermediate *)
+  let fill_phi0 a ~w_of =
+    let d = Linalg.Mat.unsafe_data a in
+    let nc = Linalg.Mat.cols a in
+    for l = 0 to n_points - 1 do
+      let w = w_of l in
+      let re_base = 2 * l * nc in
+      let im_base = re_base + nc in
+      let row = phi.(l) in
+      for c = 0 to p - 1 do
+        let v = Array.unsafe_get row c in
+        let sc = Array.unsafe_get scales c in
+        Array.unsafe_set d (re_base + c) (w *. v.Complex.re *. sc);
+        Array.unsafe_set d (im_base + c) (w *. v.Complex.im *. sc)
+      done;
+      let cursor = ref p in
+      if opts.with_const then begin
+        Array.unsafe_set d (re_base + !cursor) w;
+        incr cursor
+      end;
+      if opts.with_slope then begin
+        Array.unsafe_set d (re_base + !cursor)
+          (w *. points.(l).Complex.re *. zscale);
+        Array.unsafe_set d (im_base + !cursor)
+          (w *. points.(l).Complex.im *. zscale);
+        incr cursor
+      end
+    done
+  in
+  let fill_sigma a ~col0 ~e =
+    let d = Linalg.Mat.unsafe_data a in
+    let nc = Linalg.Mat.cols a in
+    let we = weights.(e) and de = data.(e) in
+    for l = 0 to n_points - 1 do
+      let w = Array.unsafe_get we l in
+      let f = Array.unsafe_get de l in
+      let fr = f.Complex.re and fi = f.Complex.im in
+      let re_base = (2 * l * nc) + col0 in
+      let im_base = re_base + nc in
+      let row = phi.(l) in
+      for c = 0 to p - 1 do
+        let v = Array.unsafe_get row c in
+        (* inlined [Complex.mul f v] — identical expressions, no box *)
+        let vr = (fr *. v.Complex.re) -. (fi *. v.Complex.im) in
+        let vi = (fr *. v.Complex.im) +. (fi *. v.Complex.re) in
+        let sc = Array.unsafe_get scales c in
+        Array.unsafe_set d (re_base + c) (-.w *. vr *. sc);
+        Array.unsafe_set d (im_base + c) (-.w *. vi *. sc)
+      done;
+      if relax then begin
+        Array.unsafe_set d (re_base + p) (-.w *. fr);
+        Array.unsafe_set d (im_base + p) (-.w *. fi)
+      end
+    done
+  in
+  let fill_rhs ews ~e =
+    if Array.length ews.rhs_buf <> m_rows then
+      ews.rhs_buf <- Array.make m_rows 0.0;
+    for l = 0 to n_points - 1 do
+      let w = weights.(e).(l) in
+      let f = data.(e).(l) in
+      ews.rhs_buf.((2 * l)) <- w *. f.Complex.re;
+      ews.rhs_buf.((2 * l) + 1) <- w *. f.Complex.im
+    done
+  in
+  let t1 =
+    if not share_phi0 then None
+    else begin
+      let a1 = Linalg.Qr.ws_matrix rws.shared ~rows:m_rows ~cols:n1 in
+      fill_phi0 a1 ~w_of:(fun l -> weights.(0).(l));
+      Some (Linalg.Qr.factor_into rws.shared a1)
+    end
+  in
+  let process ews e =
+    match t1 with
+    | Some t1 ->
+        (* two-stage factorization: reflectors of the shared [phi0]
+           pushed onto this element's sigma block, then QR of the tail
+           rows — bit-identical to factoring [phi0 | sigma] whole *)
+        let a2 = Linalg.Qr.ws_matrix ews.qa ~rows:m_rows ~cols:n2 in
+        fill_sigma a2 ~col0:0 ~e;
+        Linalg.Qr.apply_qt_mat t1 a2;
+        let tail_rows = m_rows - n1 in
+        let tail = Linalg.Qr.ws_matrix ews.qtail ~rows:tail_rows ~cols:n2 in
+        Array.blit
+          (Linalg.Mat.unsafe_data a2)
+          (n1 * n2)
+          (Linalg.Mat.unsafe_data tail)
+          0
+          (tail_rows * n2);
+        let t2 = Linalg.Qr.factor_into ews.qtail tail in
+        Linalg.Qr.r22_block t2 ~split:0 big (e * n2);
+        if not relax then begin
+          fill_rhs ews ~e;
+          Linalg.Qr.apply_qt_into t1 ews.rhs_buf;
+          Linalg.Qr.apply_qt_into t2 ~off:n1 ews.rhs_buf;
+          for k = 0 to n2 - 1 do
+            big_rhs.((e * n2) + k) <- ews.rhs_buf.(n1 + k)
+          done
+        end
+    | None ->
+        let a = Linalg.Qr.ws_matrix ews.qa ~rows:m_rows ~cols:(n1 + n2) in
+        fill_phi0 a ~w_of:(fun l -> weights.(e).(l));
+        fill_sigma a ~col0:n1 ~e;
+        let t = Linalg.Qr.factor_into ews.qa a in
+        Linalg.Qr.r22_block t ~split:n1 big (e * n2);
+        if not relax then begin
+          fill_rhs ews ~e;
+          Linalg.Qr.apply_qt_block t ~split:n1 ews.rhs_buf big_rhs (e * n2)
+        end
+  in
+  (match pool with
+  | Some pool when n_elems > 1 ->
+      ignore
+        (Exec.parallel_init_ws ~pool ~label:"vf.sigma"
+           ~ws:(fun chunk ->
+             Exec.slot pool elem_ws_key ~chunk
+               ~valid:(fun _ -> true)
+               ~make:make_elem_ws)
+           n_elems
+           (fun ews e -> process ews e))
+  | _ ->
+      for e = 0 to n_elems - 1 do
+        process rws.seq_elem e
+      done);
+  if relax then
+    add_relax_row ~phi ~scales ~weights ~data ~p ~n_points big big_rhs
+      (n_elems * n2);
+  match Linalg.Qr.least_squares_into rws.qbig big big_rhs with
+  | exception Linalg.Qr.Rank_deficient _ -> None
+  | sol -> Some (sigma_post ~relax ~phi ~scales ~n_points ~p sol)
+
+let sigma_step ?pool ~rws ~opts ~poles ~points ~data ~weights ~relax () =
+  match opts.relocation_kernel with
+  | Dense -> sigma_step_dense ~opts ~poles ~points ~data ~weights ~relax
+  | Fast -> sigma_step_fast ?pool ~rws ~opts ~poles ~points ~data ~weights ~relax ()
+
+let relocate_poles ?pool ~rws ~opts ~poles ~points ~data ~weights () =
   let attempt relax =
-    match sigma_step ~opts ~poles ~points ~data ~weights ~relax with
+    match sigma_step ?pool ~rws ~opts ~poles ~points ~data ~weights ~relax () with
     | None -> None
     | Some (c_tilde, d_tilde, sigma_rms, scale_spread) ->
         if relax && Float.abs d_tilde < 1e-8 then None
@@ -279,8 +508,9 @@ let relocate_poles ~opts ~poles ~points ~data ~weights =
   | None -> if opts.relax then attempt false else None
 
 (* Residue identification with fixed poles: independent small LS per
-   element. *)
-let identify ~opts ~poles ~points ~data ~weights =
+   element, optionally fanned out across the pool (disjoint writes per
+   element, so results are bit-identical to the sequential loop). *)
+let identify ?pool ~opts ~poles ~points ~data ~weights () =
   let p = Array.length poles in
   let n_points = Array.length points in
   let phi = Basis.table poles points in
@@ -289,8 +519,7 @@ let identify ~opts ~poles ~points ~data ~weights =
   let coeffs = Array.map (fun _ -> Array.make p 0.0) data in
   let consts = Array.map (fun _ -> 0.0) data in
   let slopes = Array.map (fun _ -> 0.0) data in
-  Array.iteri
-    (fun e row ->
+  let fit_element e row =
       let a = Linalg.Mat.create (2 * n_points) n1 in
       let rhs = Linalg.Vec.create (2 * n_points) in
       for l = 0 to n_points - 1 do
@@ -326,8 +555,14 @@ let identify ~opts ~poles ~points ~data ~weights =
             consts.(e) <- sol.(!cursor);
             incr cursor
           end;
-          if opts.with_slope then slopes.(e) <- sol.(!cursor) *. zscale)
-    data;
+          if opts.with_slope then slopes.(e) <- sol.(!cursor) *. zscale
+  in
+  (match pool with
+  | Some pool when Array.length data > 1 ->
+      ignore
+        (Exec.parallel_init ~pool ~label:"vf.identify" (Array.length data)
+           (fun e -> fit_element e data.(e)))
+  | _ -> Array.iteri fit_element data);
   { Model.poles; coeffs; consts; slopes }
 
 let finite_model (m : Model.t) =
@@ -336,7 +571,7 @@ let finite_model (m : Model.t) =
   && Guard.finite_array m.Model.consts
   && Guard.finite_array m.Model.slopes
 
-let fit ?(opts = default_frequency_opts) ?guard ?diag ?trace ?metrics
+let fit ?(opts = default_frequency_opts) ?guard ?diag ?trace ?metrics ?pool
     ?(label = "vfit") ~poles ~points ~data () =
   if Array.length data = 0 then invalid_arg "Vfit.fit: no elements";
   Array.iter
@@ -355,11 +590,16 @@ let fit ?(opts = default_frequency_opts) ?guard ?diag ?trace ?metrics
   let poles = ref (Pole.normalize ~enforce_stable:opts.enforce_stable
                      ~min_imag:opts.min_imag poles) in
   let iterations_run = ref 0 in
+  (* one relocation workspace per fit: every iteration's sigma step
+     reuses the same condensed-system and per-element buffers *)
+  let rws = make_reloc_ws () in
   (try
      for it = 1 to opts.iterations do
        Trace.span trace ~args:[ ("it", Trace.Int it) ] "vf.relocate"
        @@ fun () ->
-       match relocate_poles ~opts ~poles:!poles ~points ~data ~weights with
+       match
+         relocate_poles ?pool ~rws ~opts ~poles:!poles ~points ~data ~weights ()
+       with
        | Some (poles', rd) ->
            iterations_run := it;
            poles := poles';
@@ -431,7 +671,7 @@ let fit ?(opts = default_frequency_opts) ?guard ?diag ?trace ?metrics
         poles :=
           Pole.normalize ~enforce_stable:true ~min_imag:opts.min_imag p
       end);
-  let model = identify ~opts ~poles:!poles ~points ~data ~weights in
+  let model = identify ?pool ~opts ~poles:!poles ~points ~data ~weights () in
   (match guard with
   | None -> ()
   | Some g ->
@@ -451,8 +691,8 @@ let fit ?(opts = default_frequency_opts) ?guard ?diag ?trace ?metrics
     } )
 
 let fit_auto ?(opts = default_frequency_opts) ?guard ?diag ?trace ?metrics
-    ?(label = "vfit") ~make_poles ?(start = 2) ?(step = 2) ?(max_poles = 40)
-    ~tol ~points ~data () =
+    ?pool ?(label = "vfit") ~make_poles ?(start = 2) ?(step = 2)
+    ?(max_poles = 40) ~tol ~points ~data () =
   Trace.span trace ~args:[ ("label", Trace.Str label) ] "vf.fit_auto"
   @@ fun () ->
   (* the last per-attempt failure, kept so that a fully unsuccessful
@@ -483,7 +723,7 @@ let fit_auto ?(opts = default_frequency_opts) ?guard ?diag ?trace ?metrics
       Diag.incr diag (label ^ ".attempts");
       Metrics.incr metrics (label ^ ".attempts");
       match
-        fit ~opts ?guard ?diag ?trace ?metrics ~label
+        fit ~opts ?guard ?diag ?trace ?metrics ?pool ~label
           ~poles:(make_poles count) ~points ~data ()
       with
       | exception Guard.Violation v ->

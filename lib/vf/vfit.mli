@@ -14,6 +14,17 @@
 
 type weighting = Uniform | Inv_magnitude | Inv_sqrt
 
+type relocation_kernel =
+  | Dense
+      (** legacy reference kernel: per-element systems freshly allocated
+          and factored with the copying QR entry points *)
+  | Fast
+      (** default: in-place workspace QR of [phi0 | −D·phi1] per element
+          keeping only the [R22]/[Q2ᵀV] blocks, with the shared [phi0]
+          factorization hoisted out of the element loop under uniform
+          weighting. Bit-identical results to [Dense], several times
+          faster, and the per-element blocks fan out across a pool. *)
+
 type opts = {
   iterations : int;  (** pole-relocation sweeps (default 10) *)
   with_const : bool;  (** include a constant term d per element *)
@@ -25,6 +36,9 @@ type opts = {
   max_magnitude : float;
       (** clamp relocated poles to this modulus (0 disables); keeps
           runaway spurious poles from leaving the sampled band *)
+  relocation_kernel : relocation_kernel;
+      (** which sigma-step implementation relocation uses (default
+          [Fast]; [Dense] kept for differential testing) *)
 }
 
 val default_frequency_opts : opts
@@ -51,6 +65,7 @@ val fit :
   ?diag:Diag.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->
+  ?pool:Exec.t ->
   ?label:string ->
   poles:Complex.t array ->
   points:Complex.t array ->
@@ -81,7 +96,12 @@ val fit :
     is repaired by reflection ([<label>.guard_stabilized] counter plus
     a warning), and the identified model is NaN/Inf-checked. Hosts the
     ["vf.pole_flip"] fault probe (one invocation per relocation
-    sweep). *)
+    sweep).
+
+    With [pool], the independent per-element blocks of each sigma step
+    and the per-element residue fits fan out across the warm pool;
+    elements write disjoint rows of the condensed system, so results
+    stay bit-identical to the sequential path. *)
 
 val fit_auto :
   ?opts:opts ->
@@ -89,6 +109,7 @@ val fit_auto :
   ?diag:Diag.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->
+  ?pool:Exec.t ->
   ?label:string ->
   make_poles:(int -> Complex.t array) ->
   ?start:int ->

@@ -34,7 +34,7 @@ let test_workspace_per_chunk () =
       let made = Atomic.make 0 in
       let out =
         Exec.parallel_init_ws ~pool
-          ~ws:(fun () ->
+          ~ws:(fun _chunk ->
             ignore (Atomic.fetch_and_add made 1);
             Bytes.create 8)
           64
@@ -84,6 +84,103 @@ let test_shutdown_idempotent () =
   Exec.shutdown pool;
   Exec.shutdown pool
 
+(* ---------------- warm-pool slots and nesting ---------------- *)
+
+let test_slot_cached_across_runs () =
+  Exec.with_pool ~domains:2 (fun pool ->
+      let key : int ref Exec.key = Exec.new_key () in
+      let made = Atomic.make 0 in
+      let run () =
+        Exec.parallel_init_ws ~pool
+          ~ws:(fun chunk ->
+            Exec.slot pool key ~chunk
+              ~valid:(fun _ -> true)
+              ~make:(fun () ->
+                ignore (Atomic.fetch_and_add made 1);
+                ref 0))
+          16
+          (fun r i ->
+            incr r;
+            i)
+      in
+      ignore (run ());
+      ignore (run ());
+      ignore (run ());
+      (* slots survive between runs: at most one build per chunk slot *)
+      Alcotest.(check bool)
+        (Printf.sprintf "slots reused (%d made)" (Atomic.get made))
+        true
+        (Atomic.get made <= 2))
+
+let test_slot_invalidation_rebuilds () =
+  Exec.with_pool ~domains:2 (fun pool ->
+      let key : int ref Exec.key = Exec.new_key () in
+      let made = Atomic.make 0 in
+      let run ~valid =
+        Exec.parallel_init_ws ~pool
+          ~ws:(fun chunk ->
+            Exec.slot pool key ~chunk ~valid
+              ~make:(fun () ->
+                ignore (Atomic.fetch_and_add made 1);
+                ref 0))
+          8
+          (fun _ i -> i)
+      in
+      ignore (run ~valid:(fun _ -> true));
+      let after_first = Atomic.get made in
+      ignore (run ~valid:(fun _ -> false));
+      Alcotest.(check bool)
+        (Printf.sprintf "stale slots rebuilt (%d then %d)" after_first
+           (Atomic.get made))
+        true
+        (Atomic.get made > after_first))
+
+let test_nested_fan_out_falls_back () =
+  (* a worker re-entering its own pool must not deadlock: the busy guard
+     runs the inner fan-out sequentially inline *)
+  Exec.with_pool ~domains:3 (fun pool ->
+      let out =
+        Exec.parallel_init ~pool 6 (fun i ->
+            Array.fold_left ( + ) 0
+              (Exec.parallel_init ~pool 5 (fun j -> (10 * i) + j)))
+      in
+      Alcotest.(check (array int))
+        "nested results correct"
+        (Array.init 6 (fun i -> (50 * i) + 10))
+        out;
+      Alcotest.(check (array int))
+        "pool usable afterwards" (Array.init 4 succ)
+        (Exec.parallel_init ~pool 4 succ))
+
+let test_chunks_per_domain () =
+  Exec.with_pool ~domains:2 (fun pool ->
+      let f i = (7 * i) - 2 in
+      List.iter
+        (fun n ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "n = %d, 4 chunks/domain" n)
+            (Array.init n f)
+            (Exec.parallel_init ~pool ~chunks_per_domain:4 n f))
+        [ 1; 2; 7; 8; 100 ])
+
+let ran_outside_caller pool n =
+  let caller = (Domain.self () :> int) in
+  let ids = Exec.parallel_init ~pool n (fun _ -> (Domain.self () :> int)) in
+  Array.exists (fun id -> id <> caller) ids
+
+let test_busy_flag_reset_after_exception () =
+  Exec.with_pool ~domains:4 (fun pool ->
+      (try
+         ignore
+           (Exec.parallel_init ~pool 16 (fun i ->
+                if i = 3 then failwith "mid-run" else i))
+       with Failure _ -> ());
+      (* if the busy flag leaked, this would silently run sequentially
+         in the calling domain only *)
+      Alcotest.(check bool)
+        "fan-out still reaches workers" true
+        (ran_outside_caller pool 64))
+
 let test_clock_monotonic () =
   let t0 = Clock.now () in
   let acc = ref 0.0 in
@@ -107,5 +204,14 @@ let suite =
     Alcotest.test_case "exception sequential" `Quick test_exception_sequential_fallback;
     Alcotest.test_case "pool reusable after exn" `Quick test_pool_reusable_after_exception;
     Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
+    Alcotest.test_case "slot cached across runs" `Quick
+      test_slot_cached_across_runs;
+    Alcotest.test_case "slot invalidation rebuilds" `Quick
+      test_slot_invalidation_rebuilds;
+    Alcotest.test_case "nested fan-out falls back" `Quick
+      test_nested_fan_out_falls_back;
+    Alcotest.test_case "chunks per domain" `Quick test_chunks_per_domain;
+    Alcotest.test_case "busy flag reset after exn" `Quick
+      test_busy_flag_reset_after_exception;
     Alcotest.test_case "clock monotonic" `Quick test_clock_monotonic;
   ]

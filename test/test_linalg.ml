@@ -417,6 +417,143 @@ let test_workspace_size_mismatch () =
     | exception Invalid_argument _ -> true
     | () -> false)
 
+(* ---------------- Qr workspace API: bitwise parity ---------------- *)
+
+(* the in-place kernels promise the very same arithmetic sequence as the
+   copying entry points, so these comparisons are on raw float bits *)
+let bits_eq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let check_bits_arr name xs ys =
+  Alcotest.(check int) (name ^ " length") (Array.length xs) (Array.length ys);
+  Array.iteri
+    (fun i x ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s.(%d) %h = %h" name i x ys.(i))
+        true (bits_eq x ys.(i)))
+    xs
+
+let check_bits_mat name a b =
+  Alcotest.(check int) (name ^ " rows") (Linalg.Mat.rows a) (Linalg.Mat.rows b);
+  Alcotest.(check int) (name ^ " cols") (Linalg.Mat.cols a) (Linalg.Mat.cols b);
+  for i = 0 to Linalg.Mat.rows a - 1 do
+    check_bits_arr
+      (Printf.sprintf "%s row %d" name i)
+      (Linalg.Mat.row a i) (Linalg.Mat.row b i)
+  done
+
+(* copy [a] into the workspace's cached matrix, as the fast relocation
+   kernel does before factoring in place *)
+let ws_copy ws a =
+  let m = Linalg.Mat.rows a and n = Linalg.Mat.cols a in
+  let w = Linalg.Qr.ws_matrix ws ~rows:m ~cols:n in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      Linalg.Mat.set w i j (Linalg.Mat.get a i j)
+    done
+  done;
+  w
+
+let test_qr_factor_into_bitwise () =
+  let st = rand_state 31 in
+  let ws = Linalg.Qr.workspace () in
+  (* reusing one workspace across shapes is the intended pattern *)
+  List.iter
+    (fun (m, n) ->
+      let a = Linalg.Mat.random st m n in
+      let b = Array.init m (fun _ -> Random.State.float st 2.0 -. 1.0) in
+      let qr = Linalg.Qr.factor a in
+      let t = Linalg.Qr.factor_into ws (ws_copy ws a) in
+      check_bits_mat (Printf.sprintf "R %dx%d" m n) (Linalg.Qr.r qr)
+        (Linalg.Qr.r t);
+      let qtb = Linalg.Qr.apply_qt qr b in
+      let b' = Array.copy b in
+      Linalg.Qr.apply_qt_into t b';
+      check_bits_arr (Printf.sprintf "Qt b %dx%d" m n) qtb b')
+    [ (6, 3); (9, 5); (4, 4) ]
+
+let test_qr_apply_qt_mat_bitwise () =
+  let st = rand_state 32 in
+  let a = Linalg.Mat.random st 8 4 in
+  let bmat = Linalg.Mat.random st 8 3 in
+  let qr = Linalg.Qr.factor a in
+  let ws = Linalg.Qr.workspace () in
+  let t = Linalg.Qr.factor_into ws (ws_copy ws a) in
+  let expect = Array.init 3 (fun j -> Linalg.Qr.apply_qt qr (Linalg.Mat.col bmat j)) in
+  Linalg.Qr.apply_qt_mat t bmat;
+  for j = 0 to 2 do
+    check_bits_arr (Printf.sprintf "QtB col %d" j) expect.(j) (Linalg.Mat.col bmat j)
+  done
+
+let test_qr_block_extraction_bitwise () =
+  let st = rand_state 33 in
+  let m = 10 and n1 = 3 and n2 = 4 in
+  let a = Linalg.Mat.random st m (n1 + n2) in
+  let b = Array.init m (fun _ -> Random.State.float st 2.0 -. 1.0) in
+  let qr = Linalg.Qr.factor a in
+  let r = Linalg.Qr.r qr in
+  let qtb = Linalg.Qr.apply_qt qr b in
+  let ws = Linalg.Qr.workspace () in
+  let t = Linalg.Qr.factor_into ws (ws_copy ws a) in
+  let dst = Linalg.Mat.init (2 * n2) n2 (fun _ _ -> 7.0) in
+  Linalg.Qr.r22_block t ~split:n1 dst n2;
+  for k = 0 to n2 - 1 do
+    for c = 0 to n2 - 1 do
+      Alcotest.(check bool)
+        (Printf.sprintf "R22 (%d,%d)" k c)
+        true
+        (bits_eq (Linalg.Mat.get dst (n2 + k) c) (Linalg.Mat.get r (n1 + k) (n1 + c)))
+    done
+  done;
+  (* rows above the destination offset untouched *)
+  Alcotest.(check bool) "dst offset respected" true
+    (Linalg.Mat.get dst 0 0 = 7.0);
+  let big = Array.make (2 * n2) 7.0 in
+  Linalg.Qr.apply_qt_block t ~split:n1 b big n2;
+  check_bits_arr "Q2t b" (Array.sub qtb n1 n2) (Array.sub big n2 n2);
+  Alcotest.(check bool) "rhs offset respected" true (big.(0) = 7.0)
+
+let test_qr_least_squares_into_bitwise () =
+  let st = rand_state 34 in
+  let a = Linalg.Mat.random st 12 5 in
+  let b = Array.init 12 (fun _ -> Random.State.float st 2.0 -. 1.0) in
+  let x = Linalg.Qr.least_squares a b in
+  let ws = Linalg.Qr.workspace () in
+  let x' = Linalg.Qr.least_squares_into ws (ws_copy ws a) (Array.copy b) in
+  check_bits_arr "solution" x x'
+
+(* the shared-Q1 two-stage factorization of the uniform-weighting fast
+   path: factor the common left block once, push its reflectors onto the
+   right block, then QR only the tail rows. Reflector k of a Householder
+   factorization depends only on columns <= k, so the staged R22 must be
+   bit-identical to the one-shot factorization's trailing block. *)
+let test_qr_two_stage_shared_q1_bitwise () =
+  let st = rand_state 35 in
+  let m = 11 and n1 = 4 and n2 = 3 in
+  let a1 = Linalg.Mat.random st m n1 in
+  let a2 = Linalg.Mat.random st m n2 in
+  let full =
+    Linalg.Mat.init m (n1 + n2) (fun i j ->
+        if j < n1 then Linalg.Mat.get a1 i j else Linalg.Mat.get a2 i (j - n1))
+  in
+  let qr_full = Linalg.Qr.factor full in
+  let r_full = Linalg.Qr.r qr_full in
+  let ws1 = Linalg.Qr.workspace () and ws2 = Linalg.Qr.workspace () in
+  let t1 = Linalg.Qr.factor_into ws1 (ws_copy ws1 a1) in
+  let a2' = Linalg.Mat.init m n2 (fun i j -> Linalg.Mat.get a2 i j) in
+  Linalg.Qr.apply_qt_mat t1 a2';
+  let tail = Linalg.Mat.init (m - n1) n2 (fun i j -> Linalg.Mat.get a2' (n1 + i) j) in
+  let t2 = Linalg.Qr.factor_into ws2 (ws_copy ws2 tail) in
+  let dst = Linalg.Mat.create n2 n2 in
+  Linalg.Qr.r22_block t2 ~split:0 dst 0;
+  for k = 0 to n2 - 1 do
+    for c = 0 to n2 - 1 do
+      Alcotest.(check bool)
+        (Printf.sprintf "staged R22 (%d,%d)" k c)
+        true
+        (bits_eq (Linalg.Mat.get dst k c) (Linalg.Mat.get r_full (n1 + k) (n1 + c)))
+    done
+  done
+
 (* ---------------- Cx ---------------- *)
 
 let test_cx_ops () =
@@ -464,5 +601,13 @@ let suite =
     Alcotest.test_case "solve_into rejects aliasing" `Quick
       test_solve_into_rejects_aliasing;
     Alcotest.test_case "workspace size mismatch" `Quick test_workspace_size_mismatch;
+    Alcotest.test_case "qr factor_into bitwise" `Quick test_qr_factor_into_bitwise;
+    Alcotest.test_case "qr apply_qt_mat bitwise" `Quick test_qr_apply_qt_mat_bitwise;
+    Alcotest.test_case "qr block extraction bitwise" `Quick
+      test_qr_block_extraction_bitwise;
+    Alcotest.test_case "qr least_squares_into bitwise" `Quick
+      test_qr_least_squares_into_bitwise;
+    Alcotest.test_case "qr two-stage shared Q1 bitwise" `Quick
+      test_qr_two_stage_shared_q1_bitwise;
   ]
   @ List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite

@@ -499,6 +499,148 @@ let test_fit_auto_start_beyond_max () =
          scan 0)
   | _ -> Alcotest.fail "start > max_poles cannot fit"
 
+(* ---------------- Dense vs Fast relocation kernels ---------------- *)
+
+(* both kernels perform the same per-entry arithmetic (the fast one just
+   factors in place, hoists the shared phi0 factorization and skips the
+   copies), so agreement is asserted on raw float bits, not a tolerance *)
+let float_bits_eq a b =
+  Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let cx_bits_eq (a : Complex.t) (b : Complex.t) =
+  float_bits_eq a.Complex.re b.Complex.re
+  && float_bits_eq a.Complex.im b.Complex.im
+
+let models_bitwise_equal (a : Vf.Model.t) (b : Vf.Model.t) =
+  Array.length a.Vf.Model.poles = Array.length b.Vf.Model.poles
+  && Array.for_all2 cx_bits_eq a.Vf.Model.poles b.Vf.Model.poles
+  && Array.for_all2
+       (fun x y -> Array.for_all2 float_bits_eq x y)
+       a.Vf.Model.coeffs b.Vf.Model.coeffs
+  && Array.for_all2 float_bits_eq a.Vf.Model.consts b.Vf.Model.consts
+  && Array.for_all2 float_bits_eq a.Vf.Model.slopes b.Vf.Model.slopes
+
+let fit_both_kernels ~opts ~poles ~points ~data =
+  let run kernel =
+    fst
+      (Vf.Vfit.fit
+         ~opts:{ opts with Vf.Vfit.relocation_kernel = kernel }
+         ~poles ~points ~data ())
+  in
+  models_bitwise_equal (run Vf.Vfit.Dense) (run Vf.Vfit.Fast)
+
+let grid_points = Array.map Signal.Grid.s_of_hz Oracle.Gen.grid_hz
+
+let prop_kernel_parity_rational =
+  (* inverse-square-root weighting: the general per-element QR path *)
+  QCheck.Test.make ~count:10 ~name:"dense/fast parity: random rationals"
+    (Oracle.Gen.arb ())
+    (fun sd ->
+      let r = Oracle.Gen.rational sd in
+      let data = [| Oracle.Ladder.sample r grid_points |] in
+      let n = Array.length r.Oracle.Ladder.poles in
+      let poles0 = Vf.Pole.initial_frequency ~f_min:1e2 ~f_max:1e7 ~count:n in
+      fit_both_kernels ~opts:Vf.Vfit.default_frequency_opts ~poles:poles0
+        ~points:grid_points ~data)
+
+let prop_kernel_parity_rc_ladder_uniform =
+  (* uniform weighting with several elements: the shared-Q1 fast path *)
+  QCheck.Test.make ~count:10 ~name:"dense/fast parity: rc ladders, uniform"
+    (Oracle.Gen.arb ())
+    (fun sd ->
+      let o = Oracle.Gen.rc_ladder sd in
+      let row = Oracle.Ladder.sample o.Oracle.Ladder.exact grid_points in
+      (* identical rows model the state-independent linear TFT surface *)
+      let data = [| row; Array.copy row; Array.copy row |] in
+      let n = Array.length o.Oracle.Ladder.exact.Oracle.Ladder.poles in
+      let poles0 =
+        Vf.Pole.initial_frequency ~f_min:1e2 ~f_max:1e7
+          ~count:(if n mod 2 = 0 then n else n + 1)
+      in
+      let opts =
+        { Vf.Vfit.default_frequency_opts with Vf.Vfit.weighting = Vf.Vfit.Uniform }
+      in
+      fit_both_kernels ~opts ~poles:poles0 ~points:grid_points ~data)
+
+let prop_kernel_parity_residue_traces =
+  (* real state axis, relaxed sigma, no constant-free columns *)
+  QCheck.Test.make ~count:10 ~name:"dense/fast parity: residue traces"
+    (Oracle.Gen.arb ())
+    (fun sd ->
+      let xs, data = Oracle.Gen.residue_traces sd in
+      let points = Array.map (fun x -> cx x 0.0) xs in
+      let opts = { Vf.Vfit.default_state_opts with Vf.Vfit.min_imag = 0.05 } in
+      let poles0 = Vf.Pole.initial_real_axis ~lo:0.0 ~hi:1.0 ~count:4 in
+      fit_both_kernels ~opts ~poles:poles0 ~points ~data)
+
+let test_kernel_parity_pool () =
+  (* the pooled fast path writes disjoint rows per element: bit-identical
+     to both sequential kernels *)
+  let sd = { Oracle.Gen.seed = 42; size = 3 } in
+  let xs, data = Oracle.Gen.residue_traces ~traces:5 sd in
+  let points = Array.map (fun x -> cx x 0.0) xs in
+  let opts = { Vf.Vfit.default_state_opts with Vf.Vfit.min_imag = 0.05 } in
+  let poles0 = Vf.Pole.initial_real_axis ~lo:0.0 ~hi:1.0 ~count:4 in
+  let seq, _ = Vf.Vfit.fit ~opts ~poles:poles0 ~points ~data () in
+  Exec.with_pool ~domains:3 (fun pool ->
+      let par, _ = Vf.Vfit.fit ~opts ~pool ~poles:poles0 ~points ~data () in
+      Alcotest.(check bool) "pooled = sequential, bitwise" true
+        (models_bitwise_equal seq par))
+
+(* the condensed per-element [R22 | Q2tV] blocks must describe the same
+   least-squares problem as the naive stacked system over all unknowns
+   (per-element coefficients + shared sigma columns): solve both for the
+   shared block and compare. Mathematical equivalence, not bitwise — the
+   naive path eliminates nothing. *)
+let test_condensed_blocks_match_naive_stack () =
+  let st = Random.State.make [| 0xb10c; 5 |] in
+  let n_elems = 3 and m = 14 and n1 = 4 and n2 = 3 in
+  let elems =
+    Array.init n_elems (fun _ ->
+        ( Linalg.Mat.random st m (n1 + n2),
+          Array.init m (fun _ -> Random.State.float st 2.0 -. 1.0) ))
+  in
+  (* naive: block-diagonal in the per-element columns, shared trailing
+     columns, one global least squares *)
+  let big =
+    Linalg.Mat.init (n_elems * m)
+      ((n_elems * n1) + n2)
+      (fun r c ->
+        let e = r / m and i = r mod m in
+        let a, _ = elems.(e) in
+        if c >= n_elems * n1 then Linalg.Mat.get a i (n1 + (c - (n_elems * n1)))
+        else if c / n1 = e then Linalg.Mat.get a i (c mod n1)
+        else 0.0)
+  in
+  let big_rhs =
+    Array.init (n_elems * m) (fun r -> (snd elems.(r / m)).(r mod m))
+  in
+  let naive = Linalg.Qr.least_squares big big_rhs in
+  let naive_shared = Array.sub naive (n_elems * n1) n2 in
+  (* condensed: per-element QR, keep R22 and Q2tV *)
+  let ws = Linalg.Qr.workspace () in
+  let cond = Linalg.Mat.create (n_elems * n2) n2 in
+  let cond_rhs = Array.make (n_elems * n2) 0.0 in
+  Array.iteri
+    (fun e (a, b) ->
+      let w = Linalg.Qr.ws_matrix ws ~rows:m ~cols:(n1 + n2) in
+      for i = 0 to m - 1 do
+        for j = 0 to n1 + n2 - 1 do
+          Linalg.Mat.set w i j (Linalg.Mat.get a i j)
+        done
+      done;
+      let t = Linalg.Qr.factor_into ws w in
+      Linalg.Qr.r22_block t ~split:n1 cond (e * n2);
+      Linalg.Qr.apply_qt_block t ~split:n1 b cond_rhs (e * n2))
+    elems;
+  let condensed = Linalg.Qr.least_squares cond cond_rhs in
+  Array.iteri
+    (fun k x ->
+      Alcotest.(check (float 1e-8))
+        (Printf.sprintf "shared unknown %d" k)
+        x condensed.(k))
+    naive_shared
+
 let suite =
   [
     Alcotest.test_case "pole initial frequency" `Quick test_pole_initial_frequency;
@@ -531,6 +673,15 @@ let suite =
       test_fit_auto_guard_violation_escalates;
     Alcotest.test_case "fit_auto empty ladder" `Quick
       test_fit_auto_start_beyond_max;
+    Alcotest.test_case "kernel parity with pool" `Quick test_kernel_parity_pool;
+    Alcotest.test_case "condensed blocks = naive stack" `Quick
+      test_condensed_blocks_match_naive_stack;
   ]
   @ List.map (QCheck_alcotest.to_alcotest ~long:false)
-      [ prop_vfit_recovers_random_pairs; prop_fit_residues_conjugate ]
+      [
+        prop_vfit_recovers_random_pairs;
+        prop_fit_residues_conjugate;
+        prop_kernel_parity_rational;
+        prop_kernel_parity_rc_ladder_uniform;
+        prop_kernel_parity_residue_traces;
+      ]
