@@ -798,15 +798,20 @@ let write_bench_json path targets =
   Printf.bprintf buf "  \"date\": \"%04d-%02d-%02d\",\n" (tm.Unix.tm_year + 1900)
     (tm.Unix.tm_mon + 1) tm.Unix.tm_mday;
   Printf.bprintf buf "  \"quick\": %b,\n" !quick;
+  (* host shape (core count, OS, word size): timing ratios only mean
+     something between runs on comparable machines, so `compare` warns
+     when the shapes differ *)
+  Printf.bprintf buf "  \"host\": %s,\n"
+    (Minijson.emit (Obs_bundle.host_json ()));
   Printf.bprintf buf "  \"targets\": [%s],\n"
     (String.concat ", "
-       (List.map (fun t -> "\"" ^ Jsonu.escape t ^ "\"") targets));
+       (List.map (fun t -> "\"" ^ Minijson.escape t ^ "\"") targets));
   Buffer.add_string buf "  \"entries\": {";
   let sep = ref "" in
   List.iter
     (fun (name, v) ->
-      Printf.bprintf buf "%s\n    \"%s\": %s" !sep (Jsonu.escape name)
-        (Jsonu.float v);
+      Printf.bprintf buf "%s\n    \"%s\": %s" !sep (Minijson.escape name)
+        (Minijson.float v);
       sep := ",")
     (List.rev !json_entries);
   Buffer.add_string buf "\n  }\n}\n";
@@ -847,10 +852,38 @@ let compare_benches ~threshold old_path new_path =
       Printf.eprintf "compare: %s (%s): unsupported schema_version\n" path what;
       exit 2
     end;
+    root
+  in
+  let old_root = load "baseline" old_path in
+  let new_root = load "candidate" new_path in
+  (* cross-host comparisons are advisory, not an error: warn, then
+     compare anyway so local trends stay visible *)
+  (match
+     (Minijson.obj_field old_root "host", Minijson.obj_field new_root "host")
+   with
+  | None, _ ->
+      Printf.eprintf
+        "compare: warning: baseline %s carries no host metadata; ratios may \
+         mix machine shapes\n"
+        old_path
+  | _, None ->
+      Printf.eprintf
+        "compare: warning: candidate %s carries no host metadata; ratios may \
+         mix machine shapes\n"
+        new_path
+  | Some oh, Some nh ->
+      if Minijson.emit (Minijson.Obj oh) <> Minijson.emit (Minijson.Obj nh)
+      then
+        Printf.eprintf
+          "compare: warning: baseline host %s differs from candidate host %s; \
+           timing ratios across machine shapes are advisory only\n"
+          (Minijson.emit (Minijson.Obj oh))
+          (Minijson.emit (Minijson.Obj nh)));
+  let entries root =
     Option.value ~default:[] (Minijson.obj_field root "entries")
   in
-  let old_entries = load "baseline" old_path in
-  let new_entries = load "candidate" new_path in
+  let old_entries = entries old_root in
+  let new_entries = entries new_root in
   let compared = ref 0 and regressions = ref 0 in
   List.iter
     (fun (name, v) ->

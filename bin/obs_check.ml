@@ -1,0 +1,207 @@
+(* Observability-bundle smoke: drive `tft_extract --obs-dir` on the
+   built-in buffer circuit, validate the written bundle end-to-end with
+   the typed loader, check the convergence stream actually carries the
+   algorithmic telemetry (per-iteration VF pole positions, rcond
+   samples, stage boundaries, a settled pole count), render it through
+   obs_report, and confirm obs_report rejects a deliberately corrupted
+   bundle with a nonzero exit.
+
+   Exits 0 and prints "obs ok" on success. Wired into `dune runtest`
+   as the @obs-smoke alias. *)
+
+let failures = ref []
+
+let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt
+
+let anchor exe =
+  (* dune hands over a path relative to the rule's directory; anchor it
+     so the shell doesn't fall back to a $PATH lookup *)
+  if Filename.is_relative exe && not (String.contains exe '/') then
+    Filename.concat Filename.current_dir_name exe
+  else exe
+
+let fresh_dir tag =
+  let path = Filename.temp_file "obs_check" tag in
+  Sys.remove path;
+  Sys.mkdir path 0o755;
+  path
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path text =
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let events_of_kind kind (bundle : Obs_bundle.t) =
+  List.filter
+    (fun e -> Minijson.str_field e "type" = Some kind)
+    bundle.Obs_bundle.events
+
+(* --- the happy path: extract, load, inspect, render ----------------- *)
+
+let check_stream (bundle : Obs_bundle.t) =
+  (match Minijson.str_field bundle.Obs_bundle.manifest "status" with
+  | Some "ok" -> ()
+  | s ->
+      fail "manifest status %S, expected \"ok\""
+        (Option.value ~default:"<missing>" s));
+  (match Minijson.obj_field bundle.Obs_bundle.manifest "host" with
+  | None -> fail "manifest missing host object"
+  | Some host -> (
+      match Minijson.num_field (Minijson.Obj host) "cores" with
+      | Some c when c >= 1.0 -> ()
+      | _ -> fail "manifest host.cores missing or < 1"));
+  let iters = events_of_kind "vf_iteration" bundle in
+  if iters = [] then fail "no vf_iteration events in convergence.jsonl";
+  List.iter
+    (fun e ->
+      match Minijson.arr_field e "poles" with
+      | None | Some [] ->
+          fail "a vf_iteration event carries no pole positions"
+      | Some poles ->
+          List.iter
+            (fun p ->
+              match p with
+              | Minijson.Arr [ Minijson.Num _; Minijson.Num _ ] -> ()
+              | _ -> fail "a vf_iteration pole is not a [re, im] pair")
+            poles)
+    iters;
+  (* every relocation sweep of every fit must stream its pole set: the
+     vf.sigma_rms histogram counts exactly the relocation sweeps *)
+  (match Minijson.field bundle.Obs_bundle.metrics "histograms" with
+  | Some (Minijson.Arr hists) ->
+      let sweeps =
+        List.fold_left
+          (fun acc h ->
+            match Minijson.str_field h "name" with
+            | Some name
+              when String.length name >= 10
+                   && String.sub name (String.length name - 9) 9 = "sigma_rms"
+              ->
+                acc
+                + int_of_float (Option.value ~default:0.0 (Minijson.num_field h "count"))
+            | _ -> acc)
+          0 hists
+      in
+      if sweeps <> List.length iters then
+        fail "vf_iteration events (%d) <> recorded relocation sweeps (%d)"
+          (List.length iters) sweeps
+  | _ -> fail "metrics.json missing histograms array");
+  if events_of_kind "vf_settled" bundle = [] then
+    fail "no vf_settled event: fit_auto escalation left no record";
+  if events_of_kind "stage" bundle = [] then fail "no stage boundary events";
+  let rconds = events_of_kind "rcond" bundle in
+  let sites =
+    List.sort_uniq compare
+      (List.filter_map (fun e -> Minijson.str_field e "site") rconds)
+  in
+  List.iter
+    (fun want ->
+      if not (List.mem want sites) then
+        fail "no rcond samples from site %S (saw: %s)" want
+          (String.concat ", " sites))
+    [ "dc.lu"; "ac.pencil"; "vf.sigma_qr" ];
+  List.iter
+    (fun e ->
+      match Minijson.num_field e "value" with
+      | Some v when Float.is_finite v && v >= 0.0 && v <= 1.0 -> ()
+      | _ -> fail "an rcond sample is outside [0, 1]")
+    rconds
+
+let check_report out_dir =
+  let html = read_file (Filename.concat out_dir "report.html") in
+  if not (String.length html > 0 && String.sub html 0 15 = "<!DOCTYPE html>") then
+    fail "report.html does not start with a doctype";
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      if not (contains html needle) then
+        fail "report.html missing %S" needle)
+    [ "<svg"; "Pole migration"; "Residual decay"; "Self time" ];
+  let om = read_file (Filename.concat out_dir "metrics.om") in
+  let n = String.length om in
+  if n < 6 || String.sub om (n - 6) 6 <> "# EOF\n" then
+    fail "metrics.om is not terminated by \"# EOF\""
+
+(* --- the failure contract: corrupted bundle → typed nonzero exit ---- *)
+
+let check_malformed report_exe bundle_dir =
+  let bad = fresh_dir ".bad" in
+  Array.iter
+    (fun f ->
+      write_file (Filename.concat bad f)
+        (read_file (Filename.concat bundle_dir f)))
+    (Sys.readdir bundle_dir);
+  write_file (Filename.concat bad "metrics.json") "{ not json";
+  (match Obs_bundle.load bad with
+  | _ -> fail "loader accepted a bundle with unparsable metrics.json"
+  | exception Obs_bundle.Invalid { file = "metrics.json"; _ } -> ()
+  | exception Obs_bundle.Invalid { file; _ } ->
+      fail "loader blamed %S for corrupt metrics.json" file);
+  let status =
+    Sys.command
+      (Printf.sprintf "%s %s > /dev/null 2> /dev/null"
+         (Filename.quote report_exe) (Filename.quote bad))
+  in
+  if status = 0 then fail "obs_report exited 0 on a malformed bundle";
+  rm_rf bad
+
+let () =
+  let extract_exe, report_exe =
+    match Sys.argv with
+    | [| _; e; r |] -> (anchor e, anchor r)
+    | _ ->
+        prerr_endline "usage: obs_check <tft_extract.exe> <obs_report.exe>";
+        exit 2
+  in
+  let dir = fresh_dir ".bundle" in
+  let status =
+    Sys.command
+      (Printf.sprintf
+         "%s --builtin buffer --snapshots 30 --obs-dir %s > /dev/null 2> \
+          /dev/null"
+         (Filename.quote extract_exe) (Filename.quote dir))
+  in
+  if status <> 0 then begin
+    Printf.eprintf "obs_check: tft_extract --obs-dir exited %d\n" status;
+    exit 1
+  end;
+  (match Obs_bundle.load dir with
+  | bundle ->
+      check_stream bundle;
+      Printf.printf "  bundle valid (%d events)\n%!"
+        (List.length bundle.Obs_bundle.events)
+  | exception Obs_bundle.Invalid { file; reason } ->
+      fail "fresh bundle invalid: %s"
+        (Obs_bundle.describe_invalid ~file ~reason));
+  let rstatus =
+    Sys.command
+      (Printf.sprintf "%s %s > /dev/null 2> /dev/null"
+         (Filename.quote report_exe) (Filename.quote dir))
+  in
+  if rstatus <> 0 then fail "obs_report exited %d on a valid bundle" rstatus
+  else check_report dir;
+  check_malformed report_exe dir;
+  rm_rf dir;
+  match !failures with
+  | [] -> print_endline "obs ok"
+  | fs ->
+      List.iter (fun m -> Printf.eprintf "obs_check: %s\n" m) (List.rev fs);
+      exit 1

@@ -8,11 +8,15 @@
    Section-IV buffer example; `--diag diag.json` runs the non-raising
    pipeline and writes the structured telemetry report; `--trace t.json`
    records a hierarchical Chrome-trace timeline (open in Perfetto) and
-   `--metrics m.json` the counter/histogram registry. `--guard` arms the
-   numerical guard layer, `--fault SITE[:seed]` arms one deterministic
-   fault-injection probe (`--fault list` prints the registry). Any
-   failure ends with a structured JSON error object on stderr and a
-   nonzero exit. *)
+   `--metrics m.json` the counter/histogram registry. `--obs-dir DIR`
+   subsumes all three: one observability hub feeds every channel and the
+   run's complete record lands in DIR as a schema-versioned bundle
+   (manifest, trace, metrics, diag, convergence.jsonl — and, on failure,
+   a replayable repro capsule) renderable with `obs_report`. `--guard`
+   arms the numerical guard layer, `--fault SITE[:seed]` arms one
+   deterministic fault-injection probe (`--fault list` prints the
+   registry). Any failure ends with a structured JSON error object on
+   stderr and a nonzero exit. *)
 
 let export_model ~export_format ~out_path model =
   let text =
@@ -57,8 +61,8 @@ let report_fault_stats () =
 
 let run netlist_path builtin input output output_diff train_freq train_ampl
     train_offset f_min f_max points eps snapshots domains out_path
-    export_format diag_path trace_path metrics_path guard_on fault_spec
-    verbose =
+    export_format diag_path trace_path metrics_path obs_dir guard_on
+    fault_spec verbose =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Info)
@@ -137,8 +141,8 @@ let run netlist_path builtin input output output_diff train_freq train_ampl
         (netlist, input, out_spec, config)
   in
   let non_raising =
-    diag_path <> None || trace_path <> None || metrics_path <> None || verbose
-    || fault_armed
+    diag_path <> None || trace_path <> None || metrics_path <> None
+    || obs_dir <> None || verbose || fault_armed
   in
   if not non_raising then begin
     match
@@ -159,15 +163,84 @@ let run netlist_path builtin input output output_diff train_freq train_ampl
   else begin
     (* telemetry, a guard or an armed fault: run the non-raising pipeline
        so a failed extraction still produces its report, trace and
-       metrics — and a structured error object *)
-    let tracer = Option.map (fun _ -> Trace.create ()) trace_path in
+       metrics — and a structured error object. With --obs-dir the hub's
+       own collectors serve every channel, so --diag/--trace/--metrics
+       outputs coincide with the bundle's files. *)
+    let obs = Option.map (fun _ -> Obs.create ()) obs_dir in
+    let tracer =
+      match obs with
+      | Some o -> Some (Obs.tracer o)
+      | None -> Option.map (fun _ -> Trace.create ()) trace_path
+    in
     let trace = Option.map Trace.main tracer in
-    let metrics = Option.map (fun _ -> Metrics.create ()) metrics_path in
+    let metrics =
+      match obs with
+      | Some o -> Some (Obs.metrics o)
+      | None -> Option.map (fun _ -> Metrics.create ()) metrics_path
+    in
     let outcome, report =
-      Tft_rvf.Pipeline.try_extract ?guard ?trace ?metrics ~config ~netlist
+      Tft_rvf.Pipeline.try_extract ?guard ?trace ?metrics ?obs ~config ~netlist
         ~input ~output:out_spec ()
     in
     report_fault_stats ();
+    (match (obs_dir, obs) with
+    | Some dir, Some o ->
+        let num_i n = Minijson.Num (float_of_int n) in
+        let config_json =
+          [
+            ( "circuit",
+              match (builtin, netlist_path) with
+              | Some b, _ -> Minijson.Str ("builtin:" ^ b)
+              | None, Some p -> Minijson.Str p
+              | None, None -> Minijson.Null );
+            ("input", Minijson.Str input);
+            ( "output",
+              match out_spec with
+              | Engine.Mna.Node n -> Minijson.Str n
+              | Engine.Mna.Diff (p, n) -> Minijson.Str (p ^ "," ^ n) );
+            ("train_freq_hz", Minijson.Num train_freq);
+            ("train_ampl", Minijson.Num train_ampl);
+            ("train_offset", Minijson.Num train_offset);
+            ("f_min_hz", Minijson.Num f_min);
+            ("f_max_hz", Minijson.Num f_max);
+            ("points", num_i points);
+            ("eps", Minijson.Num eps);
+            ("snapshots", num_i snapshots);
+            ("domains", num_i domains);
+            ("guard", Minijson.Bool guard_on);
+            ( "fault",
+              match fault_spec with
+              | Some s -> Minijson.Str s
+              | None -> Minijson.Null );
+          ]
+        in
+        let seed =
+          match fault_spec with
+          | Some spec -> snd (Fault.parse spec)
+          | None -> 0
+        in
+        let status = if outcome = None then "failed" else "ok" in
+        let manifest =
+          Obs_bundle.manifest ~tool:"tft_extract" ~status ~seed
+            ~config:config_json ()
+        in
+        let repro =
+          (* the replayable capsule: everything needed to re-run the
+             failing extraction (circuit + options + seed) *)
+          if outcome = None then
+            Some
+              (Minijson.Obj
+                 [
+                   ("kind", Minijson.Str "repro-capsule");
+                   ("tool", Minijson.Str "tft_extract");
+                   ("options", Minijson.Obj config_json);
+                   ("seed", num_i seed);
+                 ])
+          else None
+        in
+        Obs_bundle.write ~dir ~manifest ?repro o;
+        Printf.eprintf "wrote obs bundle to %s\n%!" dir
+    | _, _ -> ());
     (match diag_path with
     | None -> ()
     | Some path ->
@@ -297,6 +370,22 @@ let metrics_arg =
            ratios) to $(docv) as schema-versioned JSON. Implies the \
            non-raising pipeline.")
 
+let obs_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "obs-dir" ] ~docv:"DIR"
+        ~doc:
+          "Write the run's complete observability bundle into $(docv) \
+           (created if missing): manifest.json (schema version, host \
+           shape, seed, configuration), trace.json, metrics.json, \
+           diag.json, convergence.jsonl (per-iteration VF pole \
+           positions, sigma residuals, rcond series, escalations) and — \
+           on failure — repro.json, a replayable capsule. One hub feeds \
+           every channel, so combining with $(b,--diag)/$(b,--trace)/\
+           $(b,--metrics) writes the same data to those files. Render \
+           with $(b,obs_report). Implies the non-raising pipeline.")
+
 let guard_arg =
   Arg.(
     value & flag
@@ -348,6 +437,7 @@ let cmd =
       $ points_arg
       $ ffloat [ "eps" ] ~default:1e-3 ~doc:"RVF error bound (relative)."
       $ snapshots_arg $ domains_arg $ out_arg $ format_arg $ diag_arg
-      $ trace_arg $ metrics_arg $ guard_arg $ fault_arg $ verbose_arg)
+      $ trace_arg $ metrics_arg $ obs_dir_arg $ guard_arg $ fault_arg
+      $ verbose_arg)
 
 let () = exit (Cmd.eval cmd)

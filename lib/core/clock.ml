@@ -1,5 +1,11 @@
 (* CLOCK_MONOTONIC via the bechamel stubs already linked by the bench
    harness; nanoseconds since an arbitrary origin. *)
 
-let now () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+let read_count = Atomic.make 0
+let reads () = Atomic.get read_count
+
+let now () =
+  Atomic.incr read_count;
+  Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+
 let elapsed t0 = now () -. t0

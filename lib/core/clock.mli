@@ -11,3 +11,9 @@ val now : unit -> float
 
 val elapsed : float -> float
 (** [elapsed t0] is [now () -. t0]. *)
+
+val reads : unit -> int
+(** Cumulative count of {!now} calls since program start (all domains).
+    The telemetry layers' no-op contract — a [None] collector performs
+    {e zero} clock reads — is asserted against this counter by the test
+    suite. *)

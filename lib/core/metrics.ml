@@ -173,6 +173,40 @@ let snapshot m =
 
 let hist_mean h = h.sum /. float_of_int (Stdlib.max 1 h.count)
 
+(* Quantile estimate from the log-bucket boundaries: walk the cumulative
+   counts to the bucket holding rank q·count, then interpolate linearly
+   between the bucket's bounds (the lower bound of bucket [le] is
+   [le/10^(1/4)], the underflow bucket is pinned at 0). The estimate is
+   clamped to the exact [min, max] envelope, so single-bucket and
+   single-observation histograms report exact quantiles. *)
+let quantile h q =
+  if h.count = 0 || not (Float.is_finite q) then Float.nan
+  else begin
+    let q = Float.min 1.0 (Float.max 0.0 q) in
+    let target = q *. float_of_int h.count in
+    let rec walk cum = function
+      | [] -> h.hist_max
+      | b :: rest ->
+          let cum' = cum +. float_of_int b.bucket_count in
+          if cum' >= target && b.bucket_count > 0 then begin
+            let hi = b.le in
+            let lo =
+              if hi <= 0.0 then 0.0
+              else hi /. Float.pow 10.0 0.25
+            in
+            let frac = (target -. cum) /. float_of_int b.bucket_count in
+            lo +. (frac *. (hi -. lo))
+          end
+          else walk cum' rest
+    in
+    let v = walk 0.0 h.buckets in
+    (* clamp into the observed envelope when it is finite *)
+    let v =
+      if Float.is_finite h.hist_min then Float.max v h.hist_min else v
+    in
+    if Float.is_finite h.hist_max then Float.min v h.hist_max else v
+  end
+
 let to_json (s : snapshot) =
   let buf = Buffer.create 4096 in
   let sep = ref "" in
@@ -185,13 +219,13 @@ let to_json (s : snapshot) =
   Buffer.add_string buf "{\n  \"schema_version\": 1,\n  \"counters\": {";
   fresh ();
   List.iter
-    (fun (name, n) -> item "\n    \"%s\": %d" (Jsonu.escape name) n)
+    (fun (name, n) -> item "\n    \"%s\": %d" (Minijson.escape name) n)
     s.counters;
   Buffer.add_string buf "\n  },\n  \"gauges\": {";
   fresh ();
   List.iter
     (fun (name, v) ->
-      item "\n    \"%s\": %s" (Jsonu.escape name) (Jsonu.float v))
+      item "\n    \"%s\": %s" (Minijson.escape name) (Minijson.float v))
     s.gauges;
   Buffer.add_string buf "\n  },\n  \"histograms\": [";
   fresh ();
@@ -199,14 +233,18 @@ let to_json (s : snapshot) =
     (fun h ->
       item
         "\n    {\"name\": \"%s\", \"count\": %d, \"sum\": %s, \"min\": %s, \
-         \"max\": %s, \"mean\": %s, \"buckets\": ["
-        (Jsonu.escape h.hist_name) h.count (Jsonu.float h.sum)
-        (Jsonu.float h.hist_min) (Jsonu.float h.hist_max)
-        (Jsonu.float (hist_mean h));
+         \"max\": %s, \"mean\": %s, \"p50\": %s, \"p95\": %s, \"p99\": %s, \
+         \"buckets\": ["
+        (Minijson.escape h.hist_name) h.count (Minijson.float h.sum)
+        (Minijson.float h.hist_min) (Minijson.float h.hist_max)
+        (Minijson.float (hist_mean h))
+        (Minijson.float (quantile h 0.50))
+        (Minijson.float (quantile h 0.95))
+        (Minijson.float (quantile h 0.99));
       List.iteri
         (fun i b ->
           if i > 0 then Buffer.add_char buf ',';
-          Printf.bprintf buf "{\"le\": %s, \"count\": %d}" (Jsonu.float b.le)
+          Printf.bprintf buf "{\"le\": %s, \"count\": %d}" (Minijson.float b.le)
             b.bucket_count)
         h.buckets;
       Buffer.add_string buf "]}")
@@ -234,8 +272,10 @@ let summary (s : snapshot) =
     List.iter
       (fun h ->
         Printf.bprintf buf
-          "    %-36s n=%d mean=%.3e min=%.3e max=%.3e (%d buckets)\n"
-          h.hist_name h.count (hist_mean h) h.hist_min h.hist_max
+          "    %-36s n=%d mean=%.3e p50=%.3e p95=%.3e p99=%.3e min=%.3e \
+           max=%.3e (%d buckets)\n"
+          h.hist_name h.count (hist_mean h) (quantile h 0.50)
+          (quantile h 0.95) (quantile h 0.99) h.hist_min h.hist_max
           (List.length h.buckets))
       s.histograms
   end;

@@ -70,12 +70,20 @@ val snapshot : t -> snapshot
 
 val hist_mean : histogram -> float
 
+val quantile : histogram -> float -> float
+(** [quantile h q] estimates the [q]-quantile ([0 ≤ q ≤ 1]) from the
+    log-bucket boundaries: linear interpolation inside the bucket
+    holding rank [q·count], clamped to the observed [[min, max]]
+    envelope. [nan] on an empty histogram. Within a factor of
+    [10^(1/4) ≈ 1.78] of the true quantile by construction. *)
+
 val to_json : snapshot -> string
 (** Serialize as a self-contained schema-versioned JSON document:
     [{"schema_version": 1, "counters": {...}, "gauges": {...},
     "histograms": [{"name", "count", "sum", "min", "max", "mean",
-    "buckets": [{"le", "count"}, ...]}, ...]}]. Non-finite floats are
-    encoded as the strings ["nan"], ["inf"], ["-inf"]. *)
+    "p50", "p95", "p99", "buckets": [{"le", "count"}, ...]}, ...]}].
+    Non-finite floats are encoded as the strings ["nan"], ["inf"],
+    ["-inf"]. *)
 
 val summary : snapshot -> string
 (** Compact human-readable rendering. *)

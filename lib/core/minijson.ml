@@ -1,7 +1,7 @@
-(* A tiny self-contained JSON reader for the validators and the bench
-   comparison mode: no external dependency, enough of RFC 8259 for the
-   documents this repo itself writes (diag/trace/metrics/bench JSON).
-   Writing helpers live in Jsonu. *)
+(* A tiny self-contained JSON reader/writer for the validators, the
+   bench comparison mode and the telemetry serializers: no external
+   dependency, enough of RFC 8259 for the documents this repo itself
+   writes (diag/trace/metrics/bench/obs JSON). *)
 
 type t =
   | Null
@@ -12,6 +12,32 @@ type t =
   | Obj of (string * t) list
 
 exception Parse_error of string
+
+(* --- writing helpers (shared by Trace.chrome_json, Metrics.to_json,
+   Report.diag_json, bench --json and the obs bundle) ----------------- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* non-finite floats have no JSON number form; encode them as strings *)
+let float x =
+  if Float.is_nan x then {|"nan"|}
+  else if x = Float.infinity then {|"inf"|}
+  else if x = Float.neg_infinity then {|"-inf"|}
+  else Printf.sprintf "%.17g" x
 
 let parse (s : string) : t =
   let n = String.length s in
@@ -150,10 +176,10 @@ let emit v =
   let rec go = function
     | Null -> Buffer.add_string buf "null"
     | Bool b -> Buffer.add_string buf (if b then "true" else "false")
-    | Num f -> Buffer.add_string buf (Jsonu.float f)
+    | Num f -> Buffer.add_string buf (float f)
     | Str s ->
         Buffer.add_char buf '"';
-        Buffer.add_string buf (Jsonu.escape s);
+        Buffer.add_string buf (escape s);
         Buffer.add_char buf '"'
     | Arr items ->
         Buffer.add_char buf '[';
@@ -169,7 +195,7 @@ let emit v =
           (fun i (key, item) ->
             if i > 0 then Buffer.add_char buf ',';
             Buffer.add_char buf '"';
-            Buffer.add_string buf (Jsonu.escape key);
+            Buffer.add_string buf (escape key);
             Buffer.add_string buf "\":";
             go item)
           fields;

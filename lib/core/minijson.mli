@@ -1,6 +1,8 @@
-(** A tiny dependency-free JSON reader, shared by the schema validators
-    ([diag_check], [trace_check]) and the bench comparison mode. Covers
-    the subset of RFC 8259 that this repo's own serializers emit. *)
+(** A tiny dependency-free JSON reader/writer, shared by the schema
+    validators ([diag_check], [trace_check], [obs_check]), the bench
+    comparison mode, the telemetry serializers and the obs bundle.
+    Covers the subset of RFC 8259 that this repo's own serializers
+    emit. *)
 
 type t =
   | Null
@@ -12,12 +14,22 @@ type t =
 
 exception Parse_error of string
 
+val escape : string -> string
+(** Escape a string for inclusion between JSON double quotes: quote,
+    backslash and control characters get their standard escapes. *)
+
+val float : float -> string
+(** Render a float as a JSON token: shortest round-trip decimal
+    ([%.17g]) for finite values; non-finite values have no JSON number
+    form and are rendered as the {e strings} ["nan"], ["inf"],
+    ["-inf"]. *)
+
 val parse : string -> t
 (** Parse a complete JSON document. Raises {!Parse_error} (with an
     offset) on malformed input or trailing garbage. *)
 
 val emit : t -> string
-(** Serialize a value back to JSON text using the {!Jsonu} helpers, the
+(** Serialize a value back to JSON text using {!escape}/{!float}, the
     inverse of {!parse}: [parse (emit v) = v] for every value whose
     numbers are finite and whose strings are plain bytes (the only
     values this repo's serializers produce). Non-finite numbers have no

@@ -80,8 +80,8 @@ let with_wave netlist ~input ~wave =
   Circuit.Netlist.make components
 
 (* training transient + snapshot capture, shared by every entry point *)
-let train_stage ?guard ?diag ?trace ?metrics ~config ~netlist ~input ~outputs
-    () =
+let train_stage ?guard ?diag ?trace ?metrics ?obs ~config ~netlist ~input
+    ~outputs () =
   let training_netlist = with_wave netlist ~input ~wave:config.training.wave in
   let mna = Engine.Mna.build ~inputs:[ input ] ~outputs training_netlist in
   let tran_opts =
@@ -91,40 +91,44 @@ let train_stage ?guard ?diag ?trace ?metrics ~config ~netlist ~input ~outputs
     }
   in
   let training_run =
+    Obs.stage obs "pipeline.train";
     Diag.span diag "pipeline.train" (fun () ->
         Trace.span trace "pipeline.train" (fun () ->
-            Engine.Tran.run ~opts:tran_opts ?guard ?diag ?trace ?metrics mna
-              ~t_stop:config.training.t_stop ~dt:config.training.dt))
+            Engine.Tran.run ~opts:tran_opts ?guard ?diag ?trace ?metrics ?obs
+              mna ~t_stop:config.training.t_stop ~dt:config.training.dt))
   in
   (mna, training_run)
 
-let tft_stage ?guard ?diag ?trace ?metrics ?pool ~config ~mna ~training_run
-    () =
+let tft_stage ?guard ?diag ?trace ?metrics ?obs ?pool ~config ~mna
+    ~training_run () =
   let estimator = Tft.Estimator.make ~delays:config.estimator_delays () in
+  Obs.stage obs "pipeline.tft";
   Diag.span diag "pipeline.tft" (fun () ->
       Trace.span trace "pipeline.tft" (fun () ->
-          Tft.Dataset.of_snapshots ?pool ?guard ?diag ?trace ?metrics ~mna
-            ~estimator ~freqs_hz:config.freqs_hz
+          Tft.Dataset.of_snapshots ?pool ?guard ?diag ?trace ?metrics ?obs
+            ~mna ~estimator ~freqs_hz:config.freqs_hz
             training_run.Engine.Tran.snapshots))
 
-let extract ?guard ?diag ?trace ?metrics ?pool ~config ~netlist ~input
+let extract ?guard ?diag ?trace ?metrics ?obs ?pool ~config ~netlist ~input
     ~output () =
   let t0 = Clock.now () in
   let mna, training_run =
-    train_stage ?guard ?diag ?trace ?metrics ~config ~netlist ~input
+    train_stage ?guard ?diag ?trace ?metrics ?obs ~config ~netlist ~input
       ~outputs:[ output ] ()
   in
   let t1 = Clock.now () in
   with_run_pool ?pool ~domains:config.domains @@ fun pool ->
   let dataset =
-    tft_stage ?guard ?diag ?trace ?metrics ?pool ~config ~mna ~training_run ()
+    tft_stage ?guard ?diag ?trace ?metrics ?obs ?pool ~config ~mna
+      ~training_run ()
   in
   let t2 = Clock.now () in
   let rvf =
+    Obs.stage obs "pipeline.fit";
     Diag.span diag "pipeline.fit" (fun () ->
         Trace.span trace "pipeline.fit" (fun () ->
-            Rvf.extract ~config:config.rvf ?guard ?diag ?trace ?metrics ?pool
-              ~dataset ~input:0 ~output:0 ()))
+            Rvf.extract ~config:config.rvf ?guard ?diag ?trace ?metrics ?obs
+              ?pool ~dataset ~input:0 ~output:0 ()))
   in
   let t3 = Clock.now () in
   {
@@ -141,22 +145,23 @@ let extract ?guard ?diag ?trace ?metrics ?pool ~config ~netlist ~input
       };
   }
 
-let extract_simo ?guard ?diag ?trace ?metrics ?pool ~config ~netlist ~input
-    ~outputs () =
+let extract_simo ?guard ?diag ?trace ?metrics ?obs ?pool ~config ~netlist
+    ~input ~outputs () =
   if outputs = [] then invalid_arg "Pipeline.extract_simo: no outputs";
   let t0 = Clock.now () in
   let mna, training_run =
-    train_stage ?guard ?diag ?trace ?metrics ~config ~netlist ~input ~outputs
-      ()
+    train_stage ?guard ?diag ?trace ?metrics ?obs ~config ~netlist ~input
+      ~outputs ()
   in
   let t1 = Clock.now () in
   let estimator = Tft.Estimator.make ~delays:config.estimator_delays () in
   with_run_pool ?pool ~domains:config.domains (fun pool ->
       let dataset =
+        Obs.stage obs "pipeline.tft";
         Diag.span diag "pipeline.tft" (fun () ->
             Trace.span trace "pipeline.tft" (fun () ->
                 Tft.Dataset.of_snapshots ?pool ?guard ?diag ?trace ?metrics
-                  ~mna ~estimator ~freqs_hz:config.freqs_hz
+                  ?obs ~mna ~estimator ~freqs_hz:config.freqs_hz
                   training_run.Engine.Tran.snapshots))
       in
       let t2 = Clock.now () in
@@ -169,11 +174,11 @@ let extract_simo ?guard ?diag ?trace ?metrics ?pool ~config ~netlist ~input
          nested fan-out would only hit the busy-pool sequential fallback
          anyway; when the fits run sequentially (diag/trace attached),
          each fit gets the pool for its inner axes instead. *)
-      let fit_one ?diag ?trace ?pool j =
+      let fit_one ?diag ?trace ?obs ?pool j =
         let t3 = Clock.now () in
         let rvf =
-          Rvf.extract ~config:config.rvf ?guard ?diag ?trace ?metrics ?pool
-            ~dataset ~input:0 ~output:j ()
+          Rvf.extract ~config:config.rvf ?guard ?diag ?trace ?metrics ?obs
+            ?pool ~dataset ~input:0 ~output:j ()
         in
         let t4 = Clock.now () in
         {
@@ -191,15 +196,19 @@ let extract_simo ?guard ?diag ?trace ?metrics ?pool ~config ~netlist ~input
         }
       in
       let n = List.length outputs in
-      match (diag, trace) with
-      | None, None ->
+      (* the obs hub is internally synchronized, but its event stream
+         interleaves across fits — keep the per-output fits sequential
+         whenever any single-owner or ordered collector is attached *)
+      match (diag, trace, obs) with
+      | None, None, None ->
           Array.to_list
             (Exec.parallel_init ?pool ?metrics ~label:"pipeline.fit" n
                (fun j -> fit_one j))
-      | _, _ ->
+      | _, _, _ ->
+          Obs.stage obs "pipeline.fit";
           Diag.span diag "pipeline.fit" (fun () ->
               Trace.span trace "pipeline.fit" (fun () ->
-                  List.init n (fun j -> fit_one ?diag ?trace ?pool j))))
+                  List.init n (fun j -> fit_one ?diag ?trace ?obs ?pool j))))
 
 (* --- graceful degradation ------------------------------------------- *)
 
@@ -252,17 +261,18 @@ let describe_exn = function
 
 (* run [f ()] under [stage]; on a recoverable numerical failure record
    an Error event naming the stage and return None instead of raising *)
-let recover diag ~stage f =
+let recover ?obs diag ~stage f =
   try Some (f ())
   with
   | ( Invalid_argument _ | Failure _ | Engine.Dc.No_convergence _
     | Linalg.Lu.Singular _ | Linalg.Clu.Singular _ | Guard.Violation _ ) as e
     ->
     Diag.error diag ~stage (describe_exn e);
+    Obs.violation obs ~site:stage (describe_exn e);
     None
 
-let fit_with_ladder ?guard ~diag ?trace ?metrics ?pool ~(config : config)
-    ~dataset ~output () =
+let fit_with_ladder ?guard ~diag ?trace ?metrics ?obs ?pool
+    ~(config : config) ~dataset ~output () =
   let rec attempt = function
     | [] ->
         Diag.error diag ~stage:"pipeline.fit"
@@ -278,7 +288,7 @@ let fit_with_ladder ?guard ~diag ?trace ?metrics ?pool ~(config : config)
               (Diag.span diag "pipeline.fit" (fun () ->
                    Trace.span trace "pipeline.fit" (fun () ->
                        Rvf.extract ~config:rvf_config ?guard ?diag ?trace
-                         ?metrics ?pool ~dataset ~input:0 ~output ())))
+                         ?metrics ?obs ?pool ~dataset ~input:0 ~output ())))
           with
           | ( Invalid_argument _ | Failure _ | Engine.Dc.No_convergence _
             | Linalg.Lu.Singular _ | Linalg.Clu.Singular _
@@ -287,10 +297,13 @@ let fit_with_ladder ?guard ~diag ?trace ?metrics ?pool ~(config : config)
             Diag.incr diag "pipeline.fit_retries";
             Diag.warn diag ~stage:"pipeline.fit"
               (Printf.sprintf "rung %S failed: %s" rung (describe_exn e));
+            Obs.escalation obs ~rung ~outcome:"failed"
+              ~detail:(describe_exn e);
             None
         with
         | Some rvf ->
             Diag.note diag "pipeline.ladder_rung" rung;
+            Obs.escalation obs ~rung ~outcome:"ok" ~detail:"";
             if rung <> "base" then
               Diag.warn diag ~stage:"pipeline.fit"
                 (Printf.sprintf
@@ -302,9 +315,11 @@ let fit_with_ladder ?guard ~diag ?trace ?metrics ?pool ~(config : config)
   in
   attempt (escalation_ladder config.rvf)
 
-let try_extract ?guard ?trace ?metrics ?pool ~config ~netlist ~input ~output
-    () =
-  let d = Diag.create () in
+let try_extract ?guard ?trace ?metrics ?obs ?pool ~config ~netlist ~input
+    ~output () =
+  (* with a hub attached, its own diag collector is the run's narrative
+     so the returned report is exactly the bundle's diag.json *)
+  let d = match obs with Some o -> Obs.diag o | None -> Diag.create () in
   let diag = Some d in
   (match guard with
   | None -> ()
@@ -315,24 +330,24 @@ let try_extract ?guard ?trace ?metrics ?pool ~config ~netlist ~input ~output
   let t0 = Clock.now () in
   let outcome =
     match
-      recover diag ~stage:"pipeline.train" (fun () ->
-          train_stage ?guard ?diag ?trace ?metrics ~config ~netlist ~input
-            ~outputs:[ output ] ())
+      recover ?obs diag ~stage:"pipeline.train" (fun () ->
+          train_stage ?guard ?diag ?trace ?metrics ?obs ~config ~netlist
+            ~input ~outputs:[ output ] ())
     with
     | None -> None
     | Some (mna, training_run) -> (
         let t1 = Clock.now () in
         with_run_pool ?pool ~domains:config.domains @@ fun pool ->
         match
-          recover diag ~stage:"pipeline.tft" (fun () ->
-              tft_stage ?guard ?diag ?trace ?metrics ?pool ~config ~mna
+          recover ?obs diag ~stage:"pipeline.tft" (fun () ->
+              tft_stage ?guard ?diag ?trace ?metrics ?obs ?pool ~config ~mna
                 ~training_run ())
         with
         | None -> None
         | Some dataset -> (
             let t2 = Clock.now () in
             match
-              fit_with_ladder ?guard ~diag ?trace ?metrics ?pool ~config
+              fit_with_ladder ?guard ~diag ?trace ?metrics ?obs ?pool ~config
                 ~dataset ~output:0 ()
             with
             | None -> None
@@ -355,9 +370,9 @@ let try_extract ?guard ?trace ?metrics ?pool ~config ~netlist ~input ~output
   in
   (outcome, Diag.report d)
 
-let try_extract_simo ?guard ?trace ?metrics ?pool ~config ~netlist ~input
-    ~outputs () =
-  let d = Diag.create () in
+let try_extract_simo ?guard ?trace ?metrics ?obs ?pool ~config ~netlist
+    ~input ~outputs () =
+  let d = match obs with Some o -> Obs.diag o | None -> Diag.create () in
   let diag = Some d in
   (match guard with
   | None -> ()
@@ -369,17 +384,17 @@ let try_extract_simo ?guard ?trace ?metrics ?pool ~config ~netlist ~input
   else
     let t0 = Clock.now () in
     match
-      recover diag ~stage:"pipeline.train" (fun () ->
-          train_stage ?guard ?diag ?trace ?metrics ~config ~netlist ~input
-            ~outputs ())
+      recover ?obs diag ~stage:"pipeline.train" (fun () ->
+          train_stage ?guard ?diag ?trace ?metrics ?obs ~config ~netlist
+            ~input ~outputs ())
     with
     | None -> (List.map (fun _ -> None) outputs, Diag.report d)
     | Some (mna, training_run) -> (
         let t1 = Clock.now () in
         with_run_pool ?pool ~domains:config.domains @@ fun pool ->
         match
-          recover diag ~stage:"pipeline.tft" (fun () ->
-              tft_stage ?guard ?diag ?trace ?metrics ?pool ~config ~mna
+          recover ?obs diag ~stage:"pipeline.tft" (fun () ->
+              tft_stage ?guard ?diag ?trace ?metrics ?obs ?pool ~config ~mna
                 ~training_run ())
         with
         | None -> (List.map (fun _ -> None) outputs, Diag.report d)
@@ -390,8 +405,8 @@ let try_extract_simo ?guard ?trace ?metrics ?pool ~config ~netlist ~input
                 (fun j _ ->
                   let t3 = Clock.now () in
                   match
-                    fit_with_ladder ?guard ~diag ?trace ?metrics ?pool ~config
-                      ~dataset ~output:j ()
+                    fit_with_ladder ?guard ~diag ?trace ?metrics ?obs ?pool
+                      ~config ~dataset ~output:j ()
                   with
                   | None -> None
                   | Some rvf ->
@@ -439,8 +454,8 @@ let buffer_config ?(snapshots = 100) ?(domains = 1) () =
     domains;
   }
 
-let extract_buffer ?guard ?diag ?trace ?metrics ?config () =
+let extract_buffer ?guard ?diag ?trace ?metrics ?obs ?config () =
   let config = match config with Some c -> c | None -> buffer_config () in
-  extract ?guard ?diag ?trace ?metrics ~config
+  extract ?guard ?diag ?trace ?metrics ?obs ~config
     ~netlist:(Circuits.Buffer.netlist ())
     ~input:Circuits.Buffer.input_name ~output:Circuits.Buffer.output ()

@@ -58,6 +58,7 @@ val extract :
   ?diag:Diag.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->
+  ?obs:Obs.t ->
   ?pool:Exec.t ->
   config:config ->
   netlist:Circuit.Netlist.t ->
@@ -82,7 +83,11 @@ val extract :
     down to per-transient-step, per-chunk and per-VF-iteration spans,
     across every pool domain — and with [metrics] the quantitative
     counters and timing histograms of every layer accumulate into the
-    registry. Telemetry never changes the numerics: the extracted model
+    registry. With [obs], the unified hub additionally collects the
+    algorithmic convergence stream: [stage] boundary events, per-VF-
+    iteration pole positions and sigma residuals, rcond samples from
+    every LU/complex-LU/QR factorization, and quarantine events.
+    Telemetry never changes the numerics: the extracted model
     is bit-for-bit the same with or without collectors.
 
     With [guard], the {!Guard} layer threads through every stage:
@@ -104,6 +109,7 @@ val extract_buffer :
   ?diag:Diag.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->
+  ?obs:Obs.t ->
   ?config:config ->
   unit ->
   outcome
@@ -115,6 +121,7 @@ val extract_simo :
   ?diag:Diag.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->
+  ?obs:Obs.t ->
   ?pool:Exec.t ->
   config:config ->
   netlist:Circuit.Netlist.t ->
@@ -164,6 +171,7 @@ val try_extract :
   ?guard:Guard.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->
+  ?obs:Obs.t ->
   ?pool:Exec.t ->
   config:config ->
   netlist:Circuit.Netlist.t ->
@@ -177,15 +185,20 @@ val try_extract :
     [pipeline.ladder_rung] naming the rung that produced the model, and
     an [Error] event naming the failing stage when the outcome is
     [None]. A model produced by any rung above ["base"] carries a
-    degraded-extraction [Warning]. [?trace]/[?metrics] are threaded
-    through every stage exactly as in {!extract} — including the stages
-    that ran before a failure, so a trace of a failed extraction shows
-    where the time went. *)
+    degraded-extraction [Warning]. [?trace]/[?metrics]/[?obs] are
+    threaded through every stage exactly as in {!extract} — including
+    the stages that ran before a failure, so a trace of a failed
+    extraction shows where the time went. With [obs], the returned
+    report is drawn from the hub's own diag collector (so the bundled
+    [diag.json] and the report coincide), every ladder rung emits an
+    [escalation] event (outcome ["ok"]/["failed"] with the failure
+    detail) and recoverable stage failures emit [violation] events. *)
 
 val try_extract_simo :
   ?guard:Guard.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->
+  ?obs:Obs.t ->
   ?pool:Exec.t ->
   config:config ->
   netlist:Circuit.Netlist.t ->

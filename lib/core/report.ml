@@ -87,58 +87,11 @@ let validate ~model ~netlist ~input ~output ~wave ~t_stop ~dt () =
 
 (* --- diagnostics serialization --------------------------------------- *)
 
-let json_escape = Jsonu.escape
-let json_float = Jsonu.float
+let json_escape = Minijson.escape
 
-let diag_json (r : Diag.report) =
-  let buf = Buffer.create 4096 in
-  let sep = ref "" in
-  let item fmt =
-    Buffer.add_string buf !sep;
-    sep := ",";
-    Printf.bprintf buf fmt
-  in
-  let fresh () = sep := "" in
-  Buffer.add_string buf "{\n  \"schema_version\": 1,\n  \"spans\": [";
-  fresh ();
-  List.iter
-    (fun (s : Diag.span) ->
-      item "\n    {\"stage\": \"%s\", \"seconds\": %s}" (json_escape s.stage)
-        (json_float s.seconds))
-    r.Diag.spans;
-  Buffer.add_string buf "\n  ],\n  \"counters\": {";
-  fresh ();
-  List.iter
-    (fun (name, n) -> item "\n    \"%s\": %d" (json_escape name) n)
-    r.Diag.counters;
-  Buffer.add_string buf "\n  },\n  \"stats\": [";
-  fresh ();
-  List.iter
-    (fun (s : Diag.stat) ->
-      item
-        "\n    {\"name\": \"%s\", \"samples\": %d, \"total\": %s, \"min\": \
-         %s, \"max\": %s, \"last\": %s, \"mean\": %s}"
-        (json_escape s.Diag.name) s.Diag.samples (json_float s.Diag.total)
-        (json_float s.Diag.min) (json_float s.Diag.max)
-        (json_float s.Diag.last)
-        (json_float (Diag.mean s)))
-    r.Diag.stats;
-  Buffer.add_string buf "\n  ],\n  \"events\": [";
-  fresh ();
-  List.iter
-    (fun (e : Diag.event) ->
-      item "\n    {\"level\": \"%s\", \"stage\": \"%s\", \"message\": \"%s\"}"
-        (Diag.level_to_string e.Diag.level)
-        (json_escape e.Diag.stage)
-        (json_escape e.Diag.message))
-    r.Diag.events;
-  Buffer.add_string buf "\n  ],\n  \"notes\": {";
-  fresh ();
-  List.iter
-    (fun (k, v) -> item "\n    \"%s\": \"%s\"" (json_escape k) (json_escape v))
-    r.Diag.notes;
-  Buffer.add_string buf "\n  }\n}\n";
-  Buffer.contents buf
+(* The serializer itself lives with the bundle writer; --diag and the
+   obs bundle's diag.json must stay byte-identical. *)
+let diag_json = Obs_bundle.diag_json
 
 let error_json ?message (r : Diag.report) =
   let errors =

@@ -217,8 +217,8 @@ let summary tr =
 
 let arg_value = function
   | Int i -> string_of_int i
-  | Float f -> Jsonu.float f
-  | Str s -> Printf.sprintf "\"%s\"" (Jsonu.escape s)
+  | Float f -> Minijson.float f
+  | Str s -> Printf.sprintf "\"%s\"" (Minijson.escape s)
   | Bool b -> if b then "true" else "false"
 
 let chrome_json tr =
@@ -251,13 +251,13 @@ let chrome_json tr =
       item
         "\n    {\"ph\": \"X\", \"pid\": 1, \"tid\": %d, \"name\": \"%s\", \
          \"ts\": %s, \"dur\": %s, \"args\": {\"id\": %d, \"parent\": %d"
-        s.track (Jsonu.escape s.name)
-        (Jsonu.float (s.t_start *. 1e6))
-        (Jsonu.float (s.dur *. 1e6))
+        s.track (Minijson.escape s.name)
+        (Minijson.float (s.t_start *. 1e6))
+        (Minijson.float (s.dur *. 1e6))
         s.id s.parent;
       List.iter
         (fun (k, v) ->
-          Printf.bprintf buf ", \"%s\": %s" (Jsonu.escape k) (arg_value v))
+          Printf.bprintf buf ", \"%s\": %s" (Minijson.escape k) (arg_value v))
         s.args;
       Buffer.add_string buf "}}")
     all;

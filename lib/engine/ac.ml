@@ -40,9 +40,13 @@ let output_transfer ~d ~x =
       done;
       !acc)
 
-let transfer_ws ?guard ws ~g ~c ~s =
+let transfer_ws ?guard ?obs ws ~g ~c ~s =
   Linalg.Cmat.lincomb_into ws.pencil Linalg.Cx.one g s c;
   Linalg.Clu.factor_into ?guard ws.lu ws.pencil;
+  (match obs with
+  | None -> ()
+  | Some _ ->
+      Obs.rcond obs ~site:"ac.pencil" (Linalg.Clu.rcond_estimate ws.lu));
   let inject = Fault.should_fire "ac.pencil_nan" in
   for j = 0 to Linalg.Cmat.cols ws.rhs - 1 do
     Linalg.Cmat.get_col ws.rhs j ws.bcol;
@@ -70,13 +74,13 @@ let sweep_ws_key : ws Exec.key = Exec.new_key ()
 
 (* matched on [metrics] first so the unrecorded path is exactly the
    plain map — no clock reads, bit-identical results *)
-let transfer_sweep ?guard ?metrics ?pool ws ~g ~c ~ss =
+let transfer_sweep ?guard ?metrics ?obs ?pool ws ~g ~c ~ss =
   let solve ws s =
     match metrics with
-    | None -> transfer_ws ?guard ws ~g ~c ~s
+    | None -> transfer_ws ?guard ?obs ws ~g ~c ~s
     | Some _ ->
         let t0 = Metrics.now_if metrics in
-        let h = transfer_ws ?guard ws ~g ~c ~s in
+        let h = transfer_ws ?guard ?obs ws ~g ~c ~s in
         Metrics.observe_since_ns metrics "ac.pencil_solve_ns" t0;
         h
   in

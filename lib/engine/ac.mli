@@ -26,6 +26,7 @@ val ws_matches : ws -> b:Linalg.Mat.t -> d:Linalg.Mat.t -> bool
 
 val transfer_ws :
   ?guard:Guard.t ->
+  ?obs:Obs.t ->
   ws ->
   g:Linalg.Mat.t ->
   c:Linalg.Mat.t ->
@@ -36,12 +37,15 @@ val transfer_ws :
     matrix. Without a [guard], bit-identical to {!transfer_at} on the
     same operands; with one, the factorization gets a
     reciprocal-condition floor and every solution column a NaN/Inf
-    sentinel ([Guard.Violation] at site ["ac.transfer"]). Hosts the
-    ["ac.pencil_nan"] fault probe. *)
+    sentinel ([Guard.Violation] at site ["ac.transfer"]). With [obs],
+    each factorization emits an ["ac.pencil"] rcond event (thread-safe,
+    so pool workers may share one hub). Hosts the ["ac.pencil_nan"]
+    fault probe. *)
 
 val transfer_sweep :
   ?guard:Guard.t ->
   ?metrics:Metrics.t ->
+  ?obs:Obs.t ->
   ?pool:Exec.t ->
   ws ->
   g:Linalg.Mat.t ->

@@ -19,7 +19,7 @@ module Log = (val Logs.src_log src : Logs.LOG)
    the full residual and g_mat/c_mat with the Jacobians; the dynamic term
    is folded in by the caller. Returns ((solution, last eval) option,
    iterations actually run) — the count is meaningful on failure too. *)
-let newton ?guard ?metrics ~opts ~mna ~gmin ~residual_of ~jac_of ~initial () =
+let newton ?guard ?metrics ?obs ~opts ~mna ~gmin ~residual_of ~jac_of ~initial () =
   let n = Mna.size mna in
   let n_nodes = Mna.n_nodes mna in
   let v = Linalg.Vec.copy initial in
@@ -49,6 +49,10 @@ let newton ?guard ?metrics ~opts ~mna ~gmin ~residual_of ~jac_of ~initial () =
           None
       | lu ->
           Metrics.observe_since_ns metrics "dc.lu_factor_ns" t_factor;
+          (match obs with
+          | None -> ()
+          | Some _ ->
+              Obs.rcond obs ~site:"dc.lu" (Linalg.Lu.rcond_estimate lu));
           let t_solve = Metrics.now_if metrics in
           let dv = Linalg.Lu.solve lu (Linalg.Vec.neg f) in
           Metrics.observe_since_ns metrics "dc.lu_solve_ns" t_solve;
@@ -81,7 +85,7 @@ let dc_residual mna time v =
   (* DC: drop the dq/dt term entirely *)
   ev
 
-let solve ?(opts = default_opts) ?guard ?diag ?trace ?metrics ?initial
+let solve ?(opts = default_opts) ?guard ?diag ?trace ?metrics ?obs ?initial
     ?(time = 0.0) mna =
   Trace.span trace "dc.solve" @@ fun () ->
   let n = Mna.size mna in
@@ -91,7 +95,7 @@ let solve ?(opts = default_opts) ?guard ?diag ?trace ?metrics ?initial
   let jac_of (ev : Mna.eval) = ev.Mna.g_mat in
   let attempt gmin start =
     let r, iters =
-      newton ?guard ?metrics ~opts ~mna ~gmin
+      newton ?guard ?metrics ?obs ~opts ~mna ~gmin
         ~residual_of:(dc_residual mna time) ~jac_of ~initial:start ()
     in
     Diag.add diag "dc.newton_iterations" iters;
@@ -128,7 +132,7 @@ let solve ?(opts = default_opts) ?guard ?diag ?trace ?metrics ?initial
       in
       steps initial levels
 
-let newton_dynamic ?(opts = default_opts) ?guard ?diag ?metrics ~mna ~time
+let newton_dynamic ?(opts = default_opts) ?guard ?diag ?metrics ?obs ~mna ~time
     ~alpha ~q_prev ~qdot_term ~initial () =
   let n = Mna.size mna in
   let residual_of v =
@@ -155,7 +159,7 @@ let newton_dynamic ?(opts = default_opts) ?guard ?diag ?metrics ~mna ~time
     | _, _ -> None
   in
   let result, iters =
-    newton ?guard ?metrics ~opts ~mna ~gmin:opts.gmin_final ~residual_of
+    newton ?guard ?metrics ?obs ~opts ~mna ~gmin:opts.gmin_final ~residual_of
       ~jac_of ~initial ()
   in
   (* the count covers failed attempts too, so the diagnostics layer sees

@@ -18,6 +18,7 @@ val solve :
   ?diag:Diag.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->
+  ?obs:Obs.t ->
   ?initial:Linalg.Vec.t ->
   ?time:float ->
   Mna.t ->
@@ -32,7 +33,8 @@ val solve :
     iteration counter is mirrored and every LU factor/solve lands in
     the [dc.lu_factor_ns]/[dc.lu_solve_ns] histograms. With [guard],
     Jacobian factorizations get reciprocal-condition floors and the
-    returned operating point a NaN/Inf sentinel. Hosts the
+    returned operating point a NaN/Inf sentinel. With [obs], every
+    successful LU factorization emits a ["dc.lu"] rcond event. Hosts the
     ["dc.newton_diverge"] fault probe (one invocation per Newton run;
     a firing reports divergence, engaging gmin stepping). *)
 
@@ -41,6 +43,7 @@ val newton_dynamic :
   ?guard:Guard.t ->
   ?diag:Diag.t ->
   ?metrics:Metrics.t ->
+  ?obs:Obs.t ->
   mna:Mna.t ->
   time:float ->
   alpha:float ->

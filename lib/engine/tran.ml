@@ -33,7 +33,7 @@ let matrices_of_eval (ev : Mna.eval) =
   | Some g, Some c -> (g, c)
   | _, _ -> invalid_arg "Tran: evaluation without Jacobians"
 
-let run ?(opts = default_opts) ?guard ?diag ?trace ?metrics ?initial mna
+let run ?(opts = default_opts) ?guard ?diag ?trace ?metrics ?obs ?initial mna
     ~t_stop ~dt =
   if dt <= 0.0 || t_stop <= 0.0 then invalid_arg "Tran.run: dt and t_stop must be > 0";
   let n = Mna.size mna in
@@ -46,7 +46,7 @@ let run ?(opts = default_opts) ?guard ?diag ?trace ?metrics ?initial mna
     match initial with
     | Some v -> Linalg.Vec.copy v
     | None ->
-        Dc.solve ~opts:opts.newton ?guard ?diag ?trace ?metrics ~time:0.0 mna
+        Dc.solve ~opts:opts.newton ?guard ?diag ?trace ?metrics ?obs ~time:0.0 mna
   in
   let ev0 = Mna.eval mna ~with_matrices:true ~time:0.0 v0 in
   let times = Array.make (steps + 1) 0.0 in
@@ -107,7 +107,7 @@ let run ?(opts = default_opts) ?guard ?diag ?trace ?metrics ?initial mna
                   else t_prev +. (float_of_int (i + 1) *. hs)
                 in
                 match
-                  Dc.newton_dynamic ~opts:opts.newton ?guard ?diag ?metrics
+                  Dc.newton_dynamic ~opts:opts.newton ?guard ?diag ?metrics ?obs
                     ~mna ~time:t_sub ~alpha:(1.0 /. hs) ~q_prev:q
                     ~qdot_term:(Linalg.Vec.create n) ~initial:v ()
                 with
@@ -157,7 +157,7 @@ let run ?(opts = default_opts) ?guard ?diag ?trace ?metrics ?initial mna
            "trapezoidal step at t=%.6e retreated to backward Euler" time);
       inject_diverge ();
       let v, ev, iters =
-        Dc.newton_dynamic ~opts:opts.newton ?guard ?diag ?metrics ~mna ~time
+        Dc.newton_dynamic ~opts:opts.newton ?guard ?diag ?metrics ?obs ~mna ~time
           ~alpha:(1.0 /. h) ~q_prev:!q_prev
           ~qdot_term:(Linalg.Vec.create n) ~initial:!v_prev ()
       in
@@ -172,7 +172,7 @@ let run ?(opts = default_opts) ?guard ?diag ?trace ?metrics ?initial mna
       try
         inject_diverge ();
         let v, ev, iters =
-          Dc.newton_dynamic ~opts:opts.newton ?guard ?diag ?metrics ~mna
+          Dc.newton_dynamic ~opts:opts.newton ?guard ?diag ?metrics ?obs ~mna
             ~time ~alpha ~q_prev:!q_prev ~qdot_term ~initial:!v_prev ()
         in
         (v, ev, iters, false)
@@ -227,7 +227,7 @@ let run ?(opts = default_opts) ?guard ?diag ?trace ?metrics ?initial mna
 let output_waveform r j =
   Signal.Waveform.make r.times (Linalg.Mat.col r.outputs j)
 
-let run_adaptive ?(opts = default_opts) ?guard ?diag ?trace ?metrics ?initial
+let run_adaptive ?(opts = default_opts) ?guard ?diag ?trace ?metrics ?obs ?initial
     ?(reltol = 1e-3) ?(abstol = 1e-6) ?dt_min ?dt_max mna ~t_stop ~dt =
   if dt <= 0.0 || t_stop <= 0.0 then
     invalid_arg "Tran.run_adaptive: dt and t_stop must be > 0";
@@ -239,7 +239,7 @@ let run_adaptive ?(opts = default_opts) ?guard ?diag ?trace ?metrics ?initial
     match initial with
     | Some v -> Linalg.Vec.copy v
     | None ->
-        Dc.solve ~opts:opts.newton ?guard ?diag ?trace ?metrics ~time:0.0 mna
+        Dc.solve ~opts:opts.newton ?guard ?diag ?trace ?metrics ?obs ~time:0.0 mna
   in
   let ev0 = Mna.eval mna ~with_matrices:true ~time:0.0 v0 in
   let times = ref [ 0.0 ] in
@@ -274,7 +274,7 @@ let run_adaptive ?(opts = default_opts) ?guard ?diag ?trace ?metrics ?initial
     let step_ok, v_new, ev_new =
       try
         let v, ev, iters =
-          Dc.newton_dynamic ~opts:opts.newton ?guard ?diag ?metrics ~mna
+          Dc.newton_dynamic ~opts:opts.newton ?guard ?diag ?metrics ?obs ~mna
             ~time ~alpha:(2.0 /. h_try) ~q_prev:!q_prev
             ~qdot_term:(Linalg.Vec.copy !qdot_prev) ~initial:!v_prev ()
         in

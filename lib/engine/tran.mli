@@ -48,6 +48,7 @@ val run :
   ?diag:Diag.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->
+  ?obs:Obs.t ->
   ?initial:Linalg.Vec.t ->
   Mna.t ->
   t_stop:float ->
@@ -84,6 +85,7 @@ val run_adaptive :
   ?diag:Diag.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->
+  ?obs:Obs.t ->
   ?initial:Linalg.Vec.t ->
   ?reltol:float ->
   ?abstol:float ->

@@ -96,6 +96,21 @@ let least_squares a b =
   let f = factor a in
   solve_r f (apply_qt f b)
 
+(* Same diagonal-ratio estimator Lu/Clu expose: cheap, read-only, and
+   honest about triangular conditioning without a full condition solve. *)
+let rcond_estimate { qr; rdiag; _ } =
+  let n = Mat.cols qr in
+  if n = 0 then 1.0
+  else begin
+    let mn = ref Float.infinity and mx = ref 0.0 in
+    for k = 0 to n - 1 do
+      let a = Float.abs rdiag.(k) in
+      if a < !mn then mn := a;
+      if a > !mx then mx := a
+    done;
+    if !mx = 0.0 then 0.0 else !mn /. !mx
+  end
+
 let residual_norm a x b = Vec.norm2 (Vec.sub (Mat.mulv a x) b)
 
 (* --- workspace (in-place, allocation-free) factorization ------------- *)
@@ -106,10 +121,13 @@ type ws = {
   mutable rdiag_b : float array;
   mutable dots : float array;  (** reflector/column dot scratch *)
   mutable qtb : float array;  (** [least_squares_into] rhs scratch *)
+  mutable last_n : int;
+      (** columns of the most recent [factor_into]; the buffers grow
+          monotonically, so this bounds the live prefix of [rdiag_b] *)
 }
 
 let workspace () =
-  { wm = None; beta_b = [||]; rdiag_b = [||]; dots = [||]; qtb = [||] }
+  { wm = None; beta_b = [||]; rdiag_b = [||]; dots = [||]; qtb = [||]; last_n = 0 }
 
 let ws_matrix ws ~rows ~cols =
   match ws.wm with
@@ -139,6 +157,7 @@ let factor_into ws a =
   let m = Mat.rows a and n = Mat.cols a in
   if m < n then invalid_arg "Qr.factor_into: requires rows >= cols";
   ensure_cap ws ~m ~n;
+  ws.last_n <- n;
   let d = Mat.unsafe_data a in
   let beta = ws.beta_b and rdiag = ws.rdiag_b and dots = ws.dots in
   for k = 0 to n - 1 do
@@ -302,6 +321,19 @@ let solve_r_of t c =
     x.(i) <- !acc /. t.rdiag.(i)
   done;
   x
+
+let last_rcond ws =
+  let n = ws.last_n in
+  if n = 0 then Float.nan
+  else begin
+    let mn = ref Float.infinity and mx = ref 0.0 in
+    for k = 0 to n - 1 do
+      let a = Float.abs ws.rdiag_b.(k) in
+      if a < !mn then mn := a;
+      if a > !mx then mx := a
+    done;
+    if !mx = 0.0 then 0.0 else !mn /. !mx
+  end
 
 let least_squares_into ws a b =
   let m = Mat.rows a in

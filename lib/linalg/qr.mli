@@ -27,6 +27,11 @@ val least_squares : Mat.t -> Vec.t -> Vec.t
 val residual_norm : Mat.t -> Vec.t -> Vec.t -> float
 (** [residual_norm a x b] is [‖A x − b‖₂]; a convenience for tests. *)
 
+val rcond_estimate : t -> float
+(** Cheap reciprocal-condition estimate of [R]: the ratio of smallest to
+    largest [|rdiag|]. [1.0] for [n = 0], [0.0] for an exactly singular
+    diagonal. Same estimator family as [Lu.rcond_estimate]. *)
+
 (** {1 Workspace API}
 
     Allocation-free factorization for hot loops (the fast-VF relocation
@@ -76,3 +81,8 @@ val least_squares_into : ws -> Mat.t -> Vec.t -> Vec.t
 (** Like {!least_squares} (bit-identical solution) but factors [a] in
     place — destroying it — and stages [Qᵀb] in workspace scratch. Only
     the returned solution vector is allocated. *)
+
+val last_rcond : ws -> float
+(** {!rcond_estimate} of the most recent {!factor_into} (or
+    {!least_squares_into}) on this workspace; [nan] before the first
+    factorization. Read-only — telemetry for the obs rcond series. *)

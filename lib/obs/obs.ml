@@ -1,0 +1,158 @@
+(* One hub owning the three classic collectors plus the algorithmic
+   event log. The mutex only guards the log's cons + sequence bump —
+   a few instructions — and is taken exclusively on the enabled path;
+   the [None] path is a single match, with no clock read. *)
+
+type t = {
+  diag : Diag.t;
+  tracer : Trace.t;
+  metrics : Metrics.t;
+  origin : float;
+  mutex : Mutex.t;
+  mutable seq : int;
+  mutable log : Minijson.t list;  (* newest first *)
+}
+
+let create () =
+  let tracer = Trace.create () in
+  {
+    diag = Diag.create ();
+    tracer;
+    metrics = Metrics.create ();
+    origin = Clock.now ();
+    mutex = Mutex.create ();
+    seq = 0;
+    log = [];
+  }
+
+let diag t = t.diag
+let tracer t = t.tracer
+let metrics t = t.metrics
+let trace_main t = Trace.main t.tracer
+
+let record t kind fields =
+  let ts = Clock.now () -. t.origin in
+  Mutex.lock t.mutex;
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  t.log <-
+    Minijson.Obj
+      (("type", Minijson.Str kind)
+      :: ("seq", Minijson.Num (float_of_int seq))
+      :: ("t", Minijson.Num ts)
+      :: fields)
+    :: t.log;
+  Mutex.unlock t.mutex
+
+let event o ~kind fields =
+  match o with None -> () | Some t -> record t kind fields
+
+let rcond o ~site v =
+  match o with
+  | None -> ()
+  | Some t ->
+      record t "rcond" [ ("site", Minijson.Str site); ("value", Minijson.Num v) ]
+
+let poles_json poles =
+  Minijson.Arr
+    (Array.to_list
+       (Array.map
+          (fun (z : Complex.t) ->
+            Minijson.Arr [ Minijson.Num z.Complex.re; Minijson.Num z.Complex.im ])
+          poles))
+
+let vf_iteration o ~label ~iteration ~sigma_rms ~d_tilde ~scale_spread ~flips
+    poles =
+  match o with
+  | None -> ()
+  | Some t ->
+      record t "vf_iteration"
+        [
+          ("label", Minijson.Str label);
+          ("pole_count", Minijson.Num (float_of_int (Array.length poles)));
+          ("iteration", Minijson.Num (float_of_int iteration));
+          ("sigma_rms", Minijson.Num sigma_rms);
+          ("d_tilde", Minijson.Num d_tilde);
+          ("scale_spread", Minijson.Num scale_spread);
+          ("flips", Minijson.Num (float_of_int flips));
+          ("poles", poles_json poles);
+        ]
+
+let vf_attempt o ~label ~pole_count ~rms ~tol ~accepted =
+  match o with
+  | None -> ()
+  | Some t ->
+      record t "vf_attempt"
+        [
+          ("label", Minijson.Str label);
+          ("pole_count", Minijson.Num (float_of_int pole_count));
+          ("rms", Minijson.Num rms);
+          ("tol", Minijson.Num tol);
+          ("accepted", Minijson.Bool accepted);
+        ]
+
+let vf_settled o ~label ~pole_count ~rms =
+  match o with
+  | None -> ()
+  | Some t ->
+      record t "vf_settled"
+        [
+          ("label", Minijson.Str label);
+          ("pole_count", Minijson.Num (float_of_int pole_count));
+          ("rms", Minijson.Num rms);
+        ]
+
+let stage o name =
+  match o with
+  | None -> ()
+  | Some t -> record t "stage" [ ("name", Minijson.Str name) ]
+
+let escalation o ~rung ~outcome ~detail =
+  match o with
+  | None -> ()
+  | Some t ->
+      record t "escalation"
+        [
+          ("rung", Minijson.Str rung);
+          ("outcome", Minijson.Str outcome);
+          ("detail", Minijson.Str detail);
+        ]
+
+let violation o ~site detail =
+  match o with
+  | None -> ()
+  | Some t ->
+      record t "violation"
+        [ ("site", Minijson.Str site); ("detail", Minijson.Str detail) ]
+
+let quarantine o ~n_bad ~repaired ~dropped =
+  match o with
+  | None -> ()
+  | Some t ->
+      record t "quarantine"
+        [
+          ("n_bad", Minijson.Num (float_of_int n_bad));
+          ("repaired", Minijson.Num (float_of_int repaired));
+          ("dropped", Minijson.Num (float_of_int dropped));
+        ]
+
+let event_count t =
+  Mutex.lock t.mutex;
+  let n = t.seq in
+  Mutex.unlock t.mutex;
+  n
+
+let events t =
+  Mutex.lock t.mutex;
+  let l = t.log in
+  Mutex.unlock t.mutex;
+  List.rev l
+
+let convergence_jsonl t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (Minijson.emit e);
+      Buffer.add_char buf '\n')
+    (events t);
+  Buffer.contents buf

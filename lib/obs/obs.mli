@@ -1,0 +1,99 @@
+(** The unified observability hub: one handle subsuming the four
+    telemetry side-channels ({!Diag}, {!Trace}, {!Metrics}, {!Guard}
+    violations) and adding the {e algorithmic} event stream the paper's
+    central object calls for — per-iteration VF pole positions, sigma
+    residual norms per relocation, reciprocal-condition time series
+    from the LU/complex-LU/QR factorizations, escalation-rung and
+    quarantine events.
+
+    A {!t} owns one {!Diag} collector, one {!Trace} collector and one
+    {!Metrics} registry, plus a mutex-protected JSONL event log.
+    Instrumented code threads a single [?obs] argument; the established
+    contract holds: every recording entry point takes a [t option],
+    [None] is a near-free no-op performing {e zero clock reads}, and the
+    enabled path runs the same numerical code so extraction results are
+    bit-for-bit identical either way (asserted in the test suite).
+
+    The event log is serialized to [convergence.jsonl] — one JSON
+    object per line, each carrying ["type"], a monotonically increasing
+    ["seq"] and ["t"] seconds since the collector's creation — as part
+    of the run bundle written by {!Obs_bundle}. *)
+
+type t
+
+val create : unit -> t
+(** Fresh hub; its time origin is [Clock.now ()] at creation. *)
+
+(** {2 Subsumed collectors}
+
+    The hub's own collectors, for deriving the classic [?diag]/[?trace]/
+    [?metrics] arguments so one handle feeds every channel. *)
+
+val diag : t -> Diag.t
+val tracer : t -> Trace.t
+val metrics : t -> Metrics.t
+
+val trace_main : t -> Trace.buf
+(** The tracer's main-domain recording buffer ({!Trace.main}). *)
+
+(** {2 Event emission}
+
+    All take a [t option]; [None] short-circuits before any allocation
+    or clock read. Emission is thread-safe (pool workers emit pencil
+    rcond events concurrently). *)
+
+val event : t option -> kind:string -> (string * Minijson.t) list -> unit
+(** Record a raw event. [kind] becomes the ["type"] field; ["seq"] and
+    ["t"] are stamped here. *)
+
+val rcond : t option -> site:string -> float -> unit
+(** One sample of the reciprocal-condition time series for a named
+    factorization site (["dc.lu"], ["ac.pencil"], ["vf.sigma_qr"]). *)
+
+val vf_iteration :
+  t option ->
+  label:string ->
+  iteration:int ->
+  sigma_rms:float ->
+  d_tilde:float ->
+  scale_spread:float ->
+  flips:int ->
+  Complex.t array ->
+  unit
+(** One VF pole-relocation step: the full relocated pole set (as
+    [[re, im]] pairs) plus the relocation telemetry. [label] is the fit
+    label (["vf.freq"], ["vf.state"], ["recursion.x"], ...); the pole
+    count distinguishes escalation attempts within a label. *)
+
+val vf_attempt :
+  t option ->
+  label:string -> pole_count:int -> rms:float -> tol:float ->
+  accepted:bool -> unit
+(** Outcome of one [fit_auto] pole-count attempt. *)
+
+val vf_settled : t option -> label:string -> pole_count:int -> rms:float -> unit
+(** The pole count a [fit_auto] escalation settled on. *)
+
+val stage : t option -> string -> unit
+(** A pipeline/RVF/recursion stage boundary (["rvf.frequency_stage"],
+    ["recursion.x_stage"], ...). *)
+
+val escalation :
+  t option -> rung:string -> outcome:string -> detail:string -> unit
+(** One escalation-ladder rung result in the non-raising pipeline. *)
+
+val violation : t option -> site:string -> string -> unit
+(** A guard violation or recoverable numerical failure, by site. *)
+
+val quarantine : t option -> n_bad:int -> repaired:int -> dropped:int -> unit
+(** Snapshot-quarantine outcome in the TFT dataset stage. *)
+
+(** {2 Collection} *)
+
+val event_count : t -> int
+
+val events : t -> Minijson.t list
+(** All recorded events in emission order. *)
+
+val convergence_jsonl : t -> string
+(** The event log as JSONL: one compact JSON object per line. *)

@@ -29,6 +29,7 @@ val fit :
   ?diag:Diag.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->
+  ?obs:Obs.t ->
   xs:float array ->
   ys:float array ->
   data:float array array ->
@@ -41,7 +42,9 @@ val fit :
     ([recursion.x_stage], [recursion.y_stage]), threads the collector
     into both {!Vf.Vfit.fit_auto} passes (labels [recursion.x],
     [recursion.y]) and notes the recursion depth and settled pole count
-    per variable. [trace]/[metrics] are threaded likewise. *)
+    per variable. [trace]/[metrics]/[obs] are threaded likewise, so the
+    nested fits' pole trajectories land in the convergence stream with
+    their recursion-level labels. *)
 
 val eval : t -> x:float -> y:float -> float
 

@@ -68,7 +68,7 @@ type freq_stage = {
 }
 
 let frequency_stage ?(config = default_config) ?guard ?diag ?trace ?metrics
-    ?pool ~dataset ~input ~output () =
+    ?obs ?pool ~dataset ~input ~output () =
   let samples = dataset.Tft.Dataset.samples in
   if Array.length samples < 4 then begin
     Diag.error diag ~stage:"rvf.freq"
@@ -122,9 +122,10 @@ let frequency_stage ?(config = default_config) ?guard ?diag ?trace ?metrics
     }
   in
   let freq_model, freq_info =
+    Obs.stage obs "rvf.frequency_stage";
     Diag.span diag "rvf.frequency_stage" (fun () ->
         Trace.span trace "rvf.frequency_stage" (fun () ->
-            Vf.Vfit.fit_auto ~opts:freq_opts ?guard ?diag ?trace ?metrics
+            Vf.Vfit.fit_auto ~opts:freq_opts ?guard ?diag ?trace ?metrics ?obs
               ?pool ~label:"vf.freq" ~make_poles:make_freq_poles
               ~start:config.freq_start ~step:config.freq_step
               ~max_poles:config.max_freq_poles ~tol:(config.eps *. freq_scale)
@@ -148,11 +149,11 @@ let frequency_stage ?(config = default_config) ?guard ?diag ?trace ?metrics
     dc = Tft.Dataset.dc_trace dataset ~input ~output;
   }
 
-let extract ?(config = default_config) ?guard ?diag ?trace ?metrics ?pool
+let extract ?(config = default_config) ?guard ?diag ?trace ?metrics ?obs ?pool
     ~dataset ~input ~output () =
   let t_start = Clock.now () in
   let stage =
-    frequency_stage ~config ?guard ?diag ?trace ?metrics ?pool ~dataset ~input
+    frequency_stage ~config ?guard ?diag ?trace ?metrics ?obs ?pool ~dataset ~input
       ~output ()
   in
   let freq_model = stage.fs_model and freq_info = stage.fs_info in
@@ -210,9 +211,10 @@ let extract ?(config = default_config) ?guard ?diag ?trace ?metrics ?pool
   let state_opts = { config.state_opts with Vf.Vfit.min_imag } in
   let make_state_poles count = Vf.Pole.initial_real_axis ~lo:x_lo ~hi:x_hi ~count in
   let residue_model, residue_info =
+    Obs.stage obs "rvf.state_stage";
     Diag.span diag "rvf.state_stage" (fun () ->
         Trace.span trace "rvf.state_stage" (fun () ->
-            Vf.Vfit.fit_auto ~opts:state_opts ?guard ?diag ?trace ?metrics
+            Vf.Vfit.fit_auto ~opts:state_opts ?guard ?diag ?trace ?metrics ?obs
               ?pool ~label:"vf.state" ~make_poles:make_state_poles
               ~start:config.state_start ~step:config.state_step
               ~max_poles:config.max_state_poles ~tol:config.eps
@@ -269,9 +271,10 @@ let extract ?(config = default_config) ?guard ?diag ?trace ?metrics ?pool
           "non-finite DC conductance trace");
   let static_scale = Float.max (rms_of_rows static_data) 1e-300 in
   let static_model, static_info =
+    Obs.stage obs "rvf.static_stage";
     Diag.span diag "rvf.static_stage" (fun () ->
         Trace.span trace "rvf.static_stage" (fun () ->
-            Vf.Vfit.fit_auto ~opts:state_opts ?guard ?diag ?trace ?metrics
+            Vf.Vfit.fit_auto ~opts:state_opts ?guard ?diag ?trace ?metrics ?obs
               ?pool ~label:"vf.static" ~make_poles:make_state_poles
               ~start:config.state_start ~step:config.state_step
               ~max_poles:config.max_state_poles

@@ -51,6 +51,7 @@ val extract :
   ?diag:Diag.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->
+  ?obs:Obs.t ->
   ?pool:Exec.t ->
   dataset:Tft.Dataset.t -> input:int -> output:int -> unit ->
   result
@@ -100,6 +101,7 @@ val frequency_stage :
   ?diag:Diag.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->
+  ?obs:Obs.t ->
   ?pool:Exec.t ->
   dataset:Tft.Dataset.t -> input:int -> output:int -> unit ->
   freq_stage

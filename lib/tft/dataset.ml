@@ -46,7 +46,7 @@ let lerp_cmat a b w =
    themselves corrupt cannot keep its place on the trajectory and is
    dropped under either policy. Raises when nothing is left to repair
    from. *)
-let quarantine guard diag metrics t =
+let quarantine guard diag metrics obs t =
   match guard with
   | None -> t
   | Some (g : Guard.t) ->
@@ -119,6 +119,7 @@ let quarantine guard diag metrics t =
              n_bad !repaired
              (Guard.repair_to_string g.Guard.snapshot_repair)
              !dropped);
+        Obs.quarantine obs ~n_bad ~repaired:!repaired ~dropped:!dropped;
         { t with samples = Array.of_list (List.rev !kept) }
       end
 
@@ -127,7 +128,7 @@ let quarantine guard diag metrics t =
    successive escalation rungs and even different circuits *)
 let ac_ws_key : Engine.Ac.ws Exec.key = Exec.new_key ()
 
-let of_snapshots ?pool ?guard ?diag ?trace ?metrics ~mna ~estimator ~freqs_hz
+let of_snapshots ?pool ?guard ?diag ?trace ?metrics ?obs ~mna ~estimator ~freqs_hz
     snapshots =
   let b = Engine.Mna.b_matrix mna in
   let d = Engine.Mna.d_matrix mna in
@@ -165,8 +166,8 @@ let of_snapshots ?pool ?guard ?diag ?trace ?metrics ~mna ~estimator ~freqs_hz
         | None -> Engine.Ac.make_ws ~b ~d)
       (fun ws ((i, snap) : int * Engine.Tran.snapshot) ->
         let g = snap.Engine.Tran.g_mat and c = snap.Engine.Tran.c_mat in
-        let h = Engine.Ac.transfer_sweep ?metrics ws ~g ~c ~ss in
-        let h0 = Engine.Ac.transfer_ws ws ~g ~c ~s:Complex.zero in
+        let h = Engine.Ac.transfer_sweep ?metrics ?obs ws ~g ~c ~ss in
+        let h0 = Engine.Ac.transfer_ws ?obs ws ~g ~c ~s:Complex.zero in
         if corrupt.(i) then
           Array.iter
             (fun hm ->
@@ -182,7 +183,7 @@ let of_snapshots ?pool ?guard ?diag ?trace ?metrics ~mna ~estimator ~freqs_hz
         })
       (Array.mapi (fun i snap -> (i, snap)) snapshots)
   in
-  quarantine guard diag metrics
+  quarantine guard diag metrics obs
     { freqs_hz; samples; n_inputs = mi; n_outputs = mo }
 
 let dynamic_part t =

@@ -27,6 +27,7 @@ val of_snapshots :
   ?diag:Diag.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->
+  ?obs:Obs.t ->
   mna:Engine.Mna.t ->
   estimator:Estimator.t ->
   freqs_hz:float array ->
@@ -52,8 +53,10 @@ val of_snapshots :
     either rebuilt by time-weighted interpolation between the nearest
     healthy neighbors ([dataset.repaired], policy
     [guard.snapshot_repair = Interpolate]) or removed
-    ([dataset.dropped]), with a [diag] warning either way. Raises
-    [Guard.Violation] when every sample is corrupt. Hosts the
+    ([dataset.dropped]), with a [diag] warning either way — and, with
+    [obs], a [quarantine] event carrying the counts (per-frequency
+    pencil factorizations also emit ["ac.pencil"] rcond samples).
+    Raises [Guard.Violation] when every sample is corrupt. Hosts the
     ["dataset.snapshot_burst"] fault probe; firing is decided per
     snapshot index in a sequential pre-pass, so injected bursts are
     deterministic for any domain count. *)

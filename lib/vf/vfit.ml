@@ -571,8 +571,8 @@ let finite_model (m : Model.t) =
   && Guard.finite_array m.Model.consts
   && Guard.finite_array m.Model.slopes
 
-let fit ?(opts = default_frequency_opts) ?guard ?diag ?trace ?metrics ?pool
-    ?(label = "vfit") ~poles ~points ~data () =
+let fit ?(opts = default_frequency_opts) ?guard ?diag ?trace ?metrics ?obs
+    ?pool ?(label = "vfit") ~poles ~points ~data () =
   if Array.length data = 0 then invalid_arg "Vfit.fit: no elements";
   Array.iter
     (fun row ->
@@ -623,7 +623,21 @@ let fit ?(opts = default_frequency_opts) ?guard ?diag ?trace ?metrics ?pool
            Diag.observe diag (label ^ ".column_scale_spread") rd.scale_spread;
            Metrics.observe metrics (label ^ ".sigma_rms") rd.sigma_rms;
            if rd.flips > 0 then
-             Diag.add diag (label ^ ".unstable_pole_flips") rd.flips
+             Diag.add diag (label ^ ".unstable_pole_flips") rd.flips;
+           (match obs with
+           | None -> ()
+           | Some _ ->
+               (* the fast kernel's condensed-system QR is the most
+                  condition-sensitive factorization in the stack; the
+                  dense kernel has no workspace to read, so skip it *)
+               (match opts.relocation_kernel with
+               | Fast ->
+                   Obs.rcond obs ~site:"vf.sigma_qr"
+                     (Linalg.Qr.last_rcond rws.qbig)
+               | Dense -> ());
+               Obs.vf_iteration obs ~label ~iteration:it
+                 ~sigma_rms:rd.sigma_rms ~d_tilde:rd.d_tilde
+                 ~scale_spread:rd.scale_spread ~flips:rd.flips !poles)
        | None ->
            Log.debug (fun m -> m "pole relocation stalled at iteration %d" it);
            Diag.incr diag (label ^ ".stalled_relocations");
@@ -691,7 +705,7 @@ let fit ?(opts = default_frequency_opts) ?guard ?diag ?trace ?metrics ?pool
     } )
 
 let fit_auto ?(opts = default_frequency_opts) ?guard ?diag ?trace ?metrics
-    ?pool ?(label = "vfit") ~make_poles ?(start = 2) ?(step = 2)
+    ?obs ?pool ?(label = "vfit") ~make_poles ?(start = 2) ?(step = 2)
     ?(max_poles = 40) ~tol ~points ~data () =
   Trace.span trace ~args:[ ("label", Trace.Str label) ] "vf.fit_auto"
   @@ fun () ->
@@ -713,6 +727,7 @@ let fit_auto ?(opts = default_frequency_opts) ?guard ?diag ?trace ?metrics
   let settle (model, (info : info)) =
     Diag.note diag (label ^ ".settled_poles") (string_of_int info.pole_count);
     Diag.observe diag (label ^ ".settled_rms") info.rms;
+    Obs.vf_settled obs ~label ~pole_count:info.pole_count ~rms:info.rms;
     (model, info)
   in
   let rec loop count best =
@@ -723,7 +738,7 @@ let fit_auto ?(opts = default_frequency_opts) ?guard ?diag ?trace ?metrics
       Diag.incr diag (label ^ ".attempts");
       Metrics.incr metrics (label ^ ".attempts");
       match
-        fit ~opts ?guard ?diag ?trace ?metrics ?pool ~label
+        fit ~opts ?guard ?diag ?trace ?metrics ?obs ?pool ~label
           ~poles:(make_poles count) ~points ~data ()
       with
       | exception Guard.Violation v ->
@@ -735,6 +750,8 @@ let fit_auto ?(opts = default_frequency_opts) ?guard ?diag ?trace ?metrics
           Diag.warn diag ~stage:label
             (Printf.sprintf "attempt with %d poles hit a guard: %s" count
                (Guard.describe v));
+          Obs.violation obs ~site:label
+            (Printf.sprintf "%d poles: %s" count (Guard.describe v));
           loop (count + step) best
       | exception Invalid_argument msg -> begin
           (* typically: too few points for this many unknowns — stop
@@ -749,6 +766,8 @@ let fit_auto ?(opts = default_frequency_opts) ?guard ?diag ?trace ?metrics
           Log.info (fun m ->
               m "fit_auto: %d poles -> rms %.3e (tol %.3e)" info.pole_count
                 info.rms tol);
+          Obs.vf_attempt obs ~label ~pole_count:info.pole_count ~rms:info.rms
+            ~tol ~accepted:(info.rms <= tol);
           if info.rms <= tol then settle (model, info)
           else begin
             last_failure :=

@@ -65,6 +65,7 @@ val fit :
   ?diag:Diag.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->
+  ?obs:Obs.t ->
   ?pool:Exec.t ->
   ?label:string ->
   poles:Complex.t array ->
@@ -89,6 +90,12 @@ val fit :
     per-iteration sigma RMS and the final fit RMS land in the
     [<label>.sigma_rms]/[<label>.fit_rms] histograms.
 
+    With [obs], every relocation sweep emits a [vf_iteration] event
+    carrying the full relocated pole set plus the sweep telemetry
+    (sigma RMS, d̃, scale spread, stability flips), and — with the fast
+    relocation kernel — a ["vf.sigma_qr"] rcond sample from the
+    condensed-system QR.
+
     With [guard], the relocated poles are checked after the sweeps:
     non-finite poles or a pole whose modulus exceeds
     [guard.max_pole_growth] times the largest fit point raise
@@ -109,6 +116,7 @@ val fit_auto :
   ?diag:Diag.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->
+  ?obs:Obs.t ->
   ?pool:Exec.t ->
   ?label:string ->
   make_poles:(int -> Complex.t array) ->
@@ -132,4 +140,7 @@ val fit_auto :
     the escalation settled on ([<label>.settled_poles] note). With
     [guard], a per-attempt [Guard.Violation] is recorded
     ([<label>.guard_violations]) and the escalation continues to the
-    next pole count instead of giving up. *)
+    next pole count instead of giving up. With [obs], each completed
+    attempt emits a [vf_attempt] event (pole count, rms, tol,
+    accepted), guarded failures a [violation] event, and the final
+    choice a [vf_settled] event. *)

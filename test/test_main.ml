@@ -21,6 +21,7 @@ let () =
       ("guard", Test_guard.suite);
       ("trace", Test_trace.suite);
       ("minijson", Test_minijson.suite);
+      ("obs", Test_obs.suite);
       ("oracle", Test_oracle.suite);
       ("coverage", Test_coverage.suite);
     ]

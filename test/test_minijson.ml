@@ -1,5 +1,5 @@
 (* Round-trip and robustness suite for the self-contained JSON layer:
-   Minijson.emit (built on the Jsonu writers) must re-parse to the same
+   Minijson.emit (with its built-in writers) must re-parse to the same
    value for everything the repo can write, and Minijson.parse must
    reject arbitrary malformed input with its typed Parse_error only —
    never Failure, Stack_overflow or an out-of-bounds access. *)
@@ -34,7 +34,7 @@ let test_emit_atoms () =
   Alcotest.(check string) "empty obj" "{}" (Minijson.emit (Minijson.Obj []))
 
 let test_emit_non_finite () =
-  (* the Jsonu convention: non-finite floats become quoted strings so the
+  (* the Minijson writer convention: non-finite floats become quoted strings so the
      document stays valid JSON *)
   Alcotest.(check string) "nan" "\"nan\"" (Minijson.emit (Minijson.Num Float.nan));
   Alcotest.(check string) "inf" "\"inf\""

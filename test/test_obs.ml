@@ -1,0 +1,284 @@
+(* Tests for the unified observability hub and its on-disk run bundles:
+   the disabled-path no-op contract (zero clock reads, bit-identical
+   extraction), the event-stream invariants (ordered seq, stamped
+   timestamps), a manifest/convergence.jsonl round-trip through
+   Minijson, typed rejection of malformed bundles, and the
+   monotone-residual property of the streamed VF pole trajectories on
+   an in-class oracle workload. *)
+
+let fresh_dir tag =
+  let path = Filename.temp_file "test_obs" tag in
+  Sys.remove path;
+  Sys.mkdir path 0o755;
+  path
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let write_file path text =
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let events_of_kind kind events =
+  List.filter (fun e -> Minijson.str_field e "type" = Some kind) events
+
+(* ---------------- the disabled path ---------------- *)
+
+let test_none_is_noop_zero_clock_reads () =
+  (* every emitter with [None] must return without reading the clock:
+     the whole point of the [?obs] threading is that an un-instrumented
+     run pays nothing *)
+  let before = Clock.reads () in
+  Obs.event None ~kind:"x" [];
+  Obs.rcond None ~site:"dc.lu" 0.5;
+  Obs.vf_iteration None ~label:"vf" ~iteration:1 ~sigma_rms:1.0 ~d_tilde:1.0
+    ~scale_spread:1.0 ~flips:0 [| Complex.one |];
+  Obs.vf_attempt None ~label:"vf" ~pole_count:2 ~rms:1.0 ~tol:1e-3
+    ~accepted:false;
+  Obs.vf_settled None ~label:"vf" ~pole_count:2 ~rms:1.0;
+  Obs.stage None "s";
+  Obs.escalation None ~rung:"base" ~outcome:"ok" ~detail:"";
+  Obs.violation None ~site:"s" "d";
+  Obs.quarantine None ~n_bad:0 ~repaired:0 ~dropped:0;
+  Alcotest.(check int) "zero clock reads on the disabled path" before
+    (Clock.reads ())
+
+(* ---------------- event-stream invariants ---------------- *)
+
+let test_event_stream_shape () =
+  let o = Obs.create () in
+  let h = Some o in
+  Obs.stage h "a";
+  Obs.rcond h ~site:"dc.lu" 0.25;
+  Obs.vf_iteration h ~label:"vf.freq" ~iteration:0 ~sigma_rms:2.0
+    ~d_tilde:1.0 ~scale_spread:3.0 ~flips:1
+    [| { Complex.re = -1.0; im = 2.0 }; { Complex.re = -1.0; im = -2.0 } |];
+  Alcotest.(check int) "event count" 3 (Obs.event_count o);
+  let events = Obs.events o in
+  List.iteri
+    (fun i e ->
+      Alcotest.(check (option (float 0.0))) "seq is the emission index"
+        (Some (float_of_int i))
+        (Minijson.num_field e "seq");
+      match Minijson.num_field e "t" with
+      | Some t when t >= 0.0 -> ()
+      | _ -> Alcotest.fail "event missing a non-negative timestamp")
+    events;
+  let iter = List.nth events 2 in
+  Alcotest.(check (option string)) "type stamped" (Some "vf_iteration")
+    (Minijson.str_field iter "type");
+  (match Minijson.arr_field iter "poles" with
+  | Some [ Minijson.Arr [ Minijson.Num re; Minijson.Num im ]; _ ] ->
+      Alcotest.(check (float 0.0)) "pole re" (-1.0) re;
+      Alcotest.(check (float 0.0)) "pole im" 2.0 im
+  | _ -> Alcotest.fail "vf_iteration poles not serialized as [re, im] pairs");
+  let lines = String.split_on_char '\n' (Obs.convergence_jsonl o) in
+  Alcotest.(check int) "jsonl: one line per event + trailing newline" 4
+    (List.length lines);
+  Alcotest.(check string) "jsonl ends with a newline" ""
+    (List.nth lines 3)
+
+(* ---------------- bundle round-trip ---------------- *)
+
+let roundtrip_manifest () =
+  Obs_bundle.manifest ~tool:"test_obs" ~status:"ok" ~seed:7
+    ~config:[ ("circuit", Minijson.Str "builtin:buffer"); ("points", Minijson.Num 40.0) ]
+    ()
+
+let test_bundle_roundtrip () =
+  let o = Obs.create () in
+  let h = Some o in
+  Obs.stage h "pipeline.train";
+  Obs.rcond h ~site:"ac.pencil" 1e-3;
+  Obs.vf_iteration h ~label:"vf.freq" ~iteration:0 ~sigma_rms:0.5
+    ~d_tilde:1.25 ~scale_spread:10.0 ~flips:0
+    [| { Complex.re = -3.5e8; im = 1.25e9 } |];
+  Obs.vf_settled h ~label:"vf.freq" ~pole_count:2 ~rms:1e-4;
+  let dir = fresh_dir ".rt" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      Obs_bundle.write ~dir ~manifest:(roundtrip_manifest ()) o;
+      let b = Obs_bundle.load dir in
+      Alcotest.(check (option string)) "tool survives" (Some "test_obs")
+        (Minijson.str_field b.Obs_bundle.manifest "tool");
+      Alcotest.(check (option (float 0.0))) "seed survives" (Some 7.0)
+        (Minijson.num_field b.Obs_bundle.manifest "seed");
+      (match Minijson.obj_field b.Obs_bundle.manifest "config" with
+      | Some config ->
+          Alcotest.(check (option string)) "config survives"
+            (Some "builtin:buffer")
+            (Minijson.str_field (Minijson.Obj config) "circuit")
+      | None -> Alcotest.fail "manifest lost its config object");
+      Alcotest.(check int) "every event survives" (Obs.event_count o)
+        (List.length b.Obs_bundle.events);
+      (* the stream round-trips exactly: re-emitting the parsed events
+         reproduces convergence.jsonl byte for byte *)
+      let reemitted =
+        String.concat ""
+          (List.map (fun e -> Minijson.emit e ^ "\n") b.Obs_bundle.events)
+      in
+      Alcotest.(check string) "convergence.jsonl round-trips through Minijson"
+        (Obs.convergence_jsonl o) reemitted;
+      match
+        events_of_kind "vf_iteration" b.Obs_bundle.events
+        |> List.concat_map (fun e ->
+               Option.value ~default:[] (Minijson.arr_field e "poles"))
+      with
+      | [ Minijson.Arr [ Minijson.Num re; Minijson.Num im ] ] ->
+          (* float fields go through Minijson.float and back without loss *)
+          Alcotest.(check (float 0.0)) "pole re exact" (-3.5e8) re;
+          Alcotest.(check (float 0.0)) "pole im exact" 1.25e9 im
+      | _ -> Alcotest.fail "loaded stream lost the pole positions")
+
+(* ---------------- malformed bundles ---------------- *)
+
+let write_minimal_bundle () =
+  let o = Obs.create () in
+  Obs.stage (Some o) "a";
+  Obs.stage (Some o) "b";
+  let dir = fresh_dir ".bad" in
+  Obs_bundle.write ~dir ~manifest:(roundtrip_manifest ()) o;
+  dir
+
+let check_invalid ~expect_file what f =
+  match f () with
+  | _ -> Alcotest.fail (what ^ ": loader accepted a malformed bundle")
+  | exception Obs_bundle.Invalid { file; _ } ->
+      Alcotest.(check string) (what ^ ": blames the offending file")
+        expect_file file
+
+let test_malformed_rejection () =
+  check_invalid ~expect_file:"." "missing dir" (fun () ->
+      Obs_bundle.load "/nonexistent/obs/bundle");
+  let with_bundle f =
+    let dir = write_minimal_bundle () in
+    Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+  in
+  with_bundle (fun dir ->
+      Sys.remove (Filename.concat dir "manifest.json");
+      check_invalid ~expect_file:"manifest.json" "missing manifest" (fun () ->
+          Obs_bundle.load dir));
+  with_bundle (fun dir ->
+      write_file (Filename.concat dir "manifest.json")
+        "{\"schema_version\": 99, \"kind\": \"obs-bundle\"}";
+      check_invalid ~expect_file:"manifest.json" "wrong schema version"
+        (fun () -> Obs_bundle.load dir));
+  with_bundle (fun dir ->
+      write_file (Filename.concat dir "trace.json") "not json at all";
+      check_invalid ~expect_file:"trace.json" "unparsable trace" (fun () ->
+          Obs_bundle.load dir));
+  with_bundle (fun dir ->
+      (* break the seq numbering: drop the first line of the stream *)
+      let path = Filename.concat dir "convergence.jsonl" in
+      let lines = String.split_on_char '\n' (read_file path) in
+      write_file path (String.concat "\n" (List.tl lines));
+      check_invalid ~expect_file:"convergence.jsonl" "broken seq" (fun () ->
+          Obs_bundle.load dir))
+
+(* ---------------- bit-identity through the pipeline ---------------- *)
+
+let test_extraction_bit_identical_with_obs () =
+  let config = Tft_rvf.Pipeline.buffer_config ~snapshots:30 () in
+  let netlist = Circuits.Buffer.netlist () in
+  let extract ?obs () =
+    Tft_rvf.Pipeline.extract ?obs ~config ~netlist
+      ~input:Circuits.Buffer.input_name ~output:Circuits.Buffer.output ()
+  in
+  let plain = extract () in
+  let o = Obs.create () in
+  let observed = extract ~obs:o () in
+  Alcotest.(check string)
+    "extracted model is bit-for-bit identical with the hub attached"
+    (Hammerstein.Hmodel.equations plain.Tft_rvf.Pipeline.model)
+    (Hammerstein.Hmodel.equations observed.Tft_rvf.Pipeline.model);
+  Alcotest.(check bool) "the observed run streamed pole trajectories" true
+    (events_of_kind "vf_iteration" (Obs.events o) <> []);
+  Alcotest.(check bool) "rcond series recorded" true
+    (events_of_kind "rcond" (Obs.events o) <> [])
+
+(* ---------------- pole-trajectory residual decay ---------------- *)
+
+(* Group the streamed vf_iteration events into relocation trajectories:
+   one per (label, pole_count) escalation attempt, in emission order. *)
+let trajectories events =
+  let tbl = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun e ->
+      match
+        ( Minijson.str_field e "label",
+          Minijson.num_field e "pole_count",
+          Minijson.num_field e "sigma_rms" )
+      with
+      | Some label, Some pc, Some sigma ->
+          let key = (label, int_of_float pc) in
+          if not (Hashtbl.mem tbl key) then begin
+            Hashtbl.add tbl key [];
+            order := key :: !order
+          end;
+          Hashtbl.replace tbl key (sigma :: Hashtbl.find tbl key)
+      | _ -> Alcotest.fail "vf_iteration event missing label/poles/sigma")
+    (events_of_kind "vf_iteration" events);
+  List.rev_map (fun key -> (key, List.rev (Hashtbl.find tbl key))) !order
+
+let test_synth_residual_decay () =
+  (* an in-class oracle workload: the synthetic Hammerstein dataset is
+     exactly representable, so every fit's sigma residual must collapse
+     across its relocation sweeps — the convergence the stream exists to
+     make visible *)
+  let ds = Oracle.Synth.dataset_of Oracle.Synth.default in
+  let o = Obs.create () in
+  let result = Rvf.extract ~obs:o ~dataset:ds ~input:0 ~output:0 () in
+  ignore result;
+  let trajs = trajectories (Obs.events o) in
+  Alcotest.(check bool) "at least one relocation trajectory streamed" true
+    (trajs <> []);
+  List.iter
+    (fun (((label : string), pc), sigmas) ->
+      match sigmas with
+      | [] | [ _ ] -> ()
+      | first :: _ ->
+          let last = List.nth sigmas (List.length sigmas - 1) in
+          let least = List.fold_left Float.min Float.infinity sigmas in
+          if not (Float.is_finite last) || last > first *. 1.000001 then
+            Alcotest.fail
+              (Printf.sprintf
+                 "%s (%d poles): sigma residual grew across relocation \
+                  sweeps: first %.3e, last %.3e"
+                 label pc first last);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s (%d poles): residual decayed" label pc)
+            true
+            (least <= first))
+    trajs;
+  (* the escalation left its audit trail too *)
+  Alcotest.(check bool) "vf_attempt events streamed" true
+    (events_of_kind "vf_attempt" (Obs.events o) <> []);
+  Alcotest.(check bool) "vf_settled events streamed" true
+    (events_of_kind "vf_settled" (Obs.events o) <> [])
+
+let suite =
+  [
+    Alcotest.test_case "none is noop (zero clock reads)" `Quick
+      test_none_is_noop_zero_clock_reads;
+    Alcotest.test_case "event stream shape" `Quick test_event_stream_shape;
+    Alcotest.test_case "bundle roundtrip" `Quick test_bundle_roundtrip;
+    Alcotest.test_case "malformed bundles rejected" `Quick
+      test_malformed_rejection;
+    Alcotest.test_case "bit-identical extraction" `Slow
+      test_extraction_bit_identical_with_obs;
+    Alcotest.test_case "synth residual decay" `Slow test_synth_residual_decay;
+  ]
