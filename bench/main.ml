@@ -764,6 +764,64 @@ let guard_overhead () =
     "guarded" t_guard ratio identical
 
 (* ------------------------------------------------------------------ *)
+(* Resilience overhead: cancellation probes, checkpoint stores, resume  *)
+
+let resilience () =
+  let snapshots = if !quick then 12 else 100 in
+  Printf.printf
+    "## Resilience overhead (buffer extraction, %d snapshots)\n%!" snapshots;
+  let config = Tft_rvf.Pipeline.buffer_config ~snapshots () in
+  let netlist = Circuits.Buffer.netlist () in
+  let extract ?cancel ?checkpoint_dir () =
+    let t0 = Clock.now () in
+    let o =
+      Tft_rvf.Pipeline.extract ?cancel ?checkpoint_dir ~config ~netlist
+        ~input:Circuits.Buffer.input_name ~output:Circuits.Buffer.output ()
+    in
+    (o, Clock.elapsed t0)
+  in
+  let o_plain, t_plain = extract () in
+  (* a live token with no deadline armed: every probe is one atomic
+     load — the cost of being cancellable at all *)
+  let o_token, t_token = extract ~cancel:(Cancel.create ()) () in
+  let dir = Filename.temp_file "bench_resilience" ".ckptdir" in
+  Sys.remove dir;
+  (* cold checkpointed run: full compute + three artifact stores *)
+  let o_cold, t_cold = extract ~checkpoint_dir:dir () in
+  (* warm resume: every stage settled on disk, zero recompute *)
+  let o_resume, t_resume = extract ~checkpoint_dir:dir () in
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir;
+  let eq (o : Tft_rvf.Pipeline.outcome) =
+    Hammerstein.Hmodel.equations o.Tft_rvf.Pipeline.model
+  in
+  let identical =
+    let r = eq o_plain in
+    String.equal r (eq o_token)
+    && String.equal r (eq o_cold)
+    && String.equal r (eq o_resume)
+  in
+  if not identical then bench_failed := true;
+  let safe = Float.max t_plain 1e-9 in
+  record "resilience.clean_seconds" t_plain;
+  record "resilience.token_seconds" t_token;
+  record "resilience.token_overhead_ratio" (t_token /. safe);
+  record "resilience.checkpointed_seconds" t_cold;
+  record "resilience.checkpoint_overhead_ratio" (t_cold /. safe);
+  record "resilience.resume_seconds" t_resume;
+  record "resilience.resume_speedup" (t_plain /. Float.max t_resume 1e-9);
+  record "resilience.bit_identical" (if identical then 1.0 else 0.0);
+  Printf.printf "%-24s %10.4f s\n" "clean" t_plain;
+  Printf.printf "%-24s %10.4f s   overhead %5.2fx\n" "cancel token" t_token
+    (t_token /. safe);
+  Printf.printf "%-24s %10.4f s   overhead %5.2fx\n" "checkpointed (cold)"
+    t_cold (t_cold /. safe);
+  Printf.printf "%-24s %10.4f s   speedup  %5.2fx   bit-identical %b\n"
+    "resume (warm)" t_resume
+    (t_plain /. Float.max t_resume 1e-9)
+    identical
+
+(* ------------------------------------------------------------------ *)
 (* Analytical oracle battery: correctness wall-clock as a perf entry    *)
 
 let oracle_battery () =
@@ -929,6 +987,7 @@ let all_targets =
     ("kernels", kernels);
     ("parallel", parallel);
     ("guard", guard_overhead);
+    ("resilience", resilience);
     ("oracle", oracle_battery);
   ]
 

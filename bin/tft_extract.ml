@@ -62,11 +62,26 @@ let report_fault_stats () =
 let run netlist_path builtin input output output_diff train_freq train_ampl
     train_offset f_min f_max points eps snapshots domains out_path
     export_format diag_path trace_path metrics_path obs_dir guard_on
-    fault_spec verbose =
+    fault_spec deadline checkpoint_dir resume verbose =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Info)
   end;
+  if resume && checkpoint_dir = None then
+    failwith "--resume requires --checkpoint-dir";
+  (* without --resume a checkpoint directory starts clean: stale
+     artifacts from previous runs are dropped, not resumed from *)
+  (match checkpoint_dir with
+  | Some dir when (not resume) && Sys.file_exists dir ->
+      Array.iter
+        (fun f ->
+          if Filename.check_suffix f ".ckpt.json" then
+            Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir)
+  | _ -> ());
+  let cancel =
+    Option.map (fun s -> Cancel.create ~deadline_seconds:s ()) deadline
+  in
   let fault_armed =
     match fault_spec with
     | None -> false
@@ -142,12 +157,12 @@ let run netlist_path builtin input output output_diff train_freq train_ampl
   in
   let non_raising =
     diag_path <> None || trace_path <> None || metrics_path <> None
-    || obs_dir <> None || verbose || fault_armed
+    || obs_dir <> None || verbose || fault_armed || deadline <> None
   in
   if not non_raising then begin
     match
-      Tft_rvf.Pipeline.extract ?guard ~config ~netlist ~input ~output:out_spec
-        ()
+      Tft_rvf.Pipeline.extract ?guard ?cancel ?checkpoint_dir ~config ~netlist
+        ~input ~output:out_spec ()
     with
     | outcome ->
         print_string (Tft_rvf.Report.summary outcome);
@@ -179,8 +194,8 @@ let run netlist_path builtin input output output_diff train_freq train_ampl
       | None -> Option.map (fun _ -> Metrics.create ()) metrics_path
     in
     let outcome, report =
-      Tft_rvf.Pipeline.try_extract ?guard ?trace ?metrics ?obs ~config ~netlist
-        ~input ~output:out_spec ()
+      Tft_rvf.Pipeline.try_extract ?guard ?cancel ?checkpoint_dir ?trace
+        ?metrics ?obs ~config ~netlist ~input ~output:out_spec ()
     in
     report_fault_stats ();
     (match (obs_dir, obs) with
@@ -212,6 +227,15 @@ let run netlist_path builtin input output output_diff train_freq train_ampl
               match fault_spec with
               | Some s -> Minijson.Str s
               | None -> Minijson.Null );
+            ( "deadline_seconds",
+              match deadline with
+              | Some s -> Minijson.Num s
+              | None -> Minijson.Null );
+            ( "checkpoint_dir",
+              match checkpoint_dir with
+              | Some d -> Minijson.Str d
+              | None -> Minijson.Null );
+            ("resume", Minijson.Bool resume);
           ]
         in
         let seed =
@@ -411,6 +435,43 @@ let fault_arg =
            optionally with a seed selecting the firing schedule. \
            $(b,--fault list) prints the site registry and exits.")
 
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "Abort the extraction after $(docv) of wall clock. The token is \
+           probed at every Newton iteration, transient step, pencil solve, \
+           VF relocation sweep and pool chunk boundary, so even a hung \
+           stage is reaped promptly. A tripped deadline exits nonzero with \
+           a structured JSON error object naming the stage that overran \
+           (implies the non-raising pipeline).")
+
+let checkpoint_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint-dir" ] ~docv:"DIR"
+        ~doc:
+          "Persist each completed pipeline stage (training transient, TFT \
+           dataset, settled fit) into $(docv) as schema-versioned, \
+           fingerprint-addressed JSON artifacts. Without $(b,--resume) the \
+           directory is cleared of previous artifacts first. Combine with \
+           $(b,--deadline) to make interrupted runs resumable.")
+
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Resume from the artifacts already in $(b,--checkpoint-dir): \
+           stages with a settled artifact matching this run's fingerprint \
+           (same netlist, training schedule, grid and fitting config) are \
+           loaded from disk instead of recomputed, and the resumed model \
+           is bit-identical to an uninterrupted run's. Artifacts from a \
+           different configuration are ignored and recomputed.")
+
 let verbose_arg =
   Arg.(
     value & flag
@@ -438,6 +499,6 @@ let cmd =
       $ ffloat [ "eps" ] ~default:1e-3 ~doc:"RVF error bound (relative)."
       $ snapshots_arg $ domains_arg $ out_arg $ format_arg $ diag_arg
       $ trace_arg $ metrics_arg $ obs_dir_arg $ guard_arg $ fault_arg
-      $ verbose_arg)
+      $ deadline_arg $ checkpoint_dir_arg $ resume_arg $ verbose_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -21,7 +21,10 @@ let rec worker_loop pool =
   else begin
     let task = Queue.pop pool.queue in
     Mutex.unlock pool.mutex;
-    task ();
+    (* tasks do their own exception bookkeeping; a task that still
+       raises must not take the worker down with it, or the pool would
+       silently lose parallelism for the rest of the process *)
+    (try task () with _ -> ());
     worker_loop pool
   end
 
@@ -111,13 +114,17 @@ let slot pool key ~chunk ~valid ~make =
    [exec.pool.imbalance] gauge. Instrumentation never touches [results]
    or the chunk boundaries, and the uninstrumented path performs no clock
    reads, so outputs stay bit-identical. *)
-let run_ws ?trace ?metrics ?(label = "exec") ?(chunks_per_domain = 1) pool
-    make_ws n f =
+let run_ws ?cancel ?trace ?metrics ?(label = "exec") ?(chunks_per_domain = 1)
+    pool make_ws n f =
   if n = 0 then [||]
   else begin
     let instrumented = Option.is_some trace || Option.is_some metrics in
     let results = Array.make n None in
+    let chunk_site = label ^ ".chunk" in
     let run_chunk c lo hi =
+      Cancel.check cancel ~site:chunk_site;
+      if Fault.should_fire "exec.chunk_hang" then
+        Cancel.hang cancel ~site:chunk_site;
       let ws = make_ws c in
       for i = lo to hi - 1 do
         results.(i) <- Some (f ws i)
@@ -189,23 +196,31 @@ let run_ws ?trace ?metrics ?(label = "exec") ?(chunks_per_domain = 1) pool
                 (fun () -> run_chunk c lo hi))
         in
         let task c () =
-          (try
-             if instrumented then
-               let tbuf =
-                 match trace with
-                 | None -> None
-                 | Some b -> Some (Trace.attach (Trace.owner b) ~parent ())
-               in
-               timed_chunk c tbuf (bound c) (bound (c + 1))
-             else run_chunk c (bound c) (bound (c + 1))
-           with exn ->
-             Mutex.lock pool.mutex;
-             if !first_exn = None then first_exn := Some exn;
-             Mutex.unlock pool.mutex);
-          Mutex.lock pool.mutex;
-          decr remaining;
-          if !remaining = 0 then Condition.signal done_cond;
-          Mutex.unlock pool.mutex
+          (* the join bookkeeping must run no matter how the chunk dies
+             (including exceptions raised while *recording* the chunk's
+             exception), or the submitting domain waits forever on
+             [done_cond] and every later fan-out wedges behind the
+             stuck busy flag *)
+          Fun.protect
+            ~finally:(fun () ->
+              Mutex.lock pool.mutex;
+              decr remaining;
+              if !remaining = 0 then Condition.signal done_cond;
+              Mutex.unlock pool.mutex)
+            (fun () ->
+              try
+                if instrumented then
+                  let tbuf =
+                    match trace with
+                    | None -> None
+                    | Some b -> Some (Trace.attach (Trace.owner b) ~parent ())
+                  in
+                  timed_chunk c tbuf (bound c) (bound (c + 1))
+                else run_chunk c (bound c) (bound (c + 1))
+              with exn ->
+                Mutex.lock pool.mutex;
+                if !first_exn = None then first_exn := Some exn;
+                Mutex.unlock pool.mutex)
         in
         Mutex.lock pool.mutex;
         for c = 1 to chunks - 1 do
@@ -265,21 +280,24 @@ let run_ws ?trace ?metrics ?(label = "exec") ?(chunks_per_domain = 1) pool
       results
   end
 
-let parallel_init_ws ?pool ?trace ?metrics ?label ?chunks_per_domain ~ws n f =
-  run_ws ?trace ?metrics ?label ?chunks_per_domain pool ws n f
+let parallel_init_ws ?pool ?cancel ?trace ?metrics ?label ?chunks_per_domain
+    ~ws n f =
+  run_ws ?cancel ?trace ?metrics ?label ?chunks_per_domain pool ws n f
 
-let parallel_init ?pool ?trace ?metrics ?label ?chunks_per_domain n f =
-  run_ws ?trace ?metrics ?label ?chunks_per_domain pool
+let parallel_init ?pool ?cancel ?trace ?metrics ?label ?chunks_per_domain n f =
+  run_ws ?cancel ?trace ?metrics ?label ?chunks_per_domain pool
     (fun _ -> ())
     n
     (fun () i -> f i)
 
-let parallel_map_ws ?pool ?trace ?metrics ?label ?chunks_per_domain ~ws f arr =
-  run_ws ?trace ?metrics ?label ?chunks_per_domain pool ws (Array.length arr)
+let parallel_map_ws ?pool ?cancel ?trace ?metrics ?label ?chunks_per_domain ~ws
+    f arr =
+  run_ws ?cancel ?trace ?metrics ?label ?chunks_per_domain pool ws
+    (Array.length arr)
     (fun w i -> f w arr.(i))
 
-let parallel_map ?pool ?trace ?metrics ?label ?chunks_per_domain f arr =
-  run_ws ?trace ?metrics ?label ?chunks_per_domain pool
+let parallel_map ?pool ?cancel ?trace ?metrics ?label ?chunks_per_domain f arr =
+  run_ws ?cancel ?trace ?metrics ?label ?chunks_per_domain pool
     (fun _ -> ())
     (Array.length arr)
     (fun () i -> f arr.(i))

@@ -67,6 +67,7 @@ val slot : t -> 'a key -> chunk:int -> valid:('a -> bool) -> make:(unit -> 'a) -
 
 val parallel_init :
   ?pool:t ->
+  ?cancel:Cancel.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->
   ?label:string ->
@@ -97,10 +98,18 @@ val parallel_init :
     ratio in [<label>.imbalance], mirrored into the merged
     [exec.pool.imbalance] gauge. Instrumentation never changes chunk
     boundaries or results, and the plain path performs no clock
-    reads. *)
+    reads.
+
+    With [?cancel], every chunk checks the token at its start (probe
+    site [<label>.chunk]) so a cancelled or deadline-expired run stops
+    at the next chunk boundary; the check follows the token's own
+    cost discipline (absent token: free; no armed deadline: one atomic
+    load; armed: one clock read). Chunks also host the
+    ["exec.chunk_hang"] fault site. *)
 
 val parallel_map :
   ?pool:t ->
+  ?cancel:Cancel.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->
   ?label:string ->
@@ -112,6 +121,7 @@ val parallel_map :
 
 val parallel_init_ws :
   ?pool:t ->
+  ?cancel:Cancel.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->
   ?label:string ->
@@ -128,6 +138,7 @@ val parallel_init_ws :
 
 val parallel_map_ws :
   ?pool:t ->
+  ?cancel:Cancel.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->
   ?label:string ->

@@ -44,6 +44,51 @@ type timing = {
 (** Stage durations in wall-clock seconds ({!Clock}), so parallel runs
     report real elapsed time rather than summed per-domain CPU time. *)
 
+(** {2 Deadline supervision}
+
+    Every entry point takes an optional {!Cancel.t} token, threaded down
+    to the innermost loops (Newton iterations, transient steps, pencil
+    solves, VF relocation sweeps, pool chunk boundaries). Requesting
+    cancellation makes the run raise [Cancel.Cancelled] at the next
+    probe; the [try_]* variants catch it and return [None] with an
+    [Error] event (stage [pipeline.cancelled]) in the report.
+
+    Per-stage wall-clock budgets turn a hung stage into a typed
+    [Cancel.Deadline_exceeded {site; stage; budget_seconds; elapsed_seconds}]
+    instead of an indefinite stall. Budgets are only live against a
+    token; passing [?budgets] without [?cancel] arms a private token
+    automatically. *)
+
+type budgets = {
+  train : float option;  (** seconds for the training transient *)
+  tft : float option;  (** seconds for the TFT transform *)
+  fit : float option;  (** seconds for the whole fitting stage (all rungs) *)
+  rung : float option;  (** seconds for each individual ladder rung *)
+}
+(** Per-stage wall-clock budgets in seconds; [None] leaves a stage
+    unbounded. A rung budget trips with stage ["pipeline.fit:<rung>"],
+    so the report's [Error] event names the rung that overran. *)
+
+val no_budgets : budgets
+(** All stages unbounded. *)
+
+type retry = {
+  attempts : int;  (** total attempts per ladder rung (1 = no retry) *)
+  backoff_seconds : float;  (** wait before the first retry *)
+  backoff_multiplier : float;  (** growth factor per further retry *)
+}
+(** Bounded retry-with-backoff for the escalation ladder: a transient
+    recoverable failure retries the {e failing rung} from the already
+    materialized train/TFT stages (and, with a checkpoint store armed,
+    from the on-disk artifacts) rather than restarting the run from
+    zero. Counter [pipeline.rung_retries] counts within-rung retries;
+    [pipeline.fit_retries] keeps its historical meaning of exhausted
+    rungs. The backoff wait is cooperative: an armed deadline or a
+    cancellation request reaps a run sleeping between attempts. *)
+
+val no_retry : retry
+(** One attempt per rung — exactly the historical ladder behaviour. *)
+
 type outcome = {
   model : Hammerstein.Hmodel.t;
   rvf : Rvf.result;
@@ -55,6 +100,9 @@ type outcome = {
 
 val extract :
   ?guard:Guard.t ->
+  ?cancel:Cancel.t ->
+  ?budgets:budgets ->
+  ?checkpoint_dir:string ->
   ?diag:Diag.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->
@@ -68,6 +116,21 @@ val extract :
   outcome
 (** Runs the whole flow for a SISO channel. The [input] source's wave is
     replaced by [config.training.wave] during training.
+
+    With [checkpoint_dir], each completed stage is persisted as a
+    schema-versioned, fingerprint-addressed {!Checkpoint} artifact
+    (stages ["train"], ["tft"], ["fit-o0"]): re-running the same
+    extraction resumes from the last settled artifact and produces a
+    bit-identical model (floats round-trip via [%.17g]). The
+    fingerprint hashes the netlist, training wave/schedule, frequency
+    grid, estimator delays, RVF config and channel selection — but not
+    [domains], so a run checkpointed at one parallelism resumes at any
+    other. Stale artifacts (fingerprint or schema mismatch) are
+    silently recomputed; torn/malformed ones are rejected with a
+    [Warning] and recomputed. Checkpoint interactions emit [checkpoint]
+    {!Obs} events (actions ["store"]/["load"]/["stale"]/["invalid"]).
+    A checkpoint-disabled run and a clean checkpointed run are
+    bit-identical.
 
     When [config.domains > 1] a single warm {!Exec} pool is created for
     the whole run and reused by every fan-out stage (TFT pencil solves,
@@ -118,6 +181,7 @@ val extract_buffer :
 
 val extract_simo :
   ?guard:Guard.t ->
+  ?cancel:Cancel.t ->
   ?diag:Diag.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->
@@ -169,6 +233,10 @@ val describe_exn : exn -> string
 
 val try_extract :
   ?guard:Guard.t ->
+  ?cancel:Cancel.t ->
+  ?budgets:budgets ->
+  ?checkpoint_dir:string ->
+  ?retry:retry ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->
   ?obs:Obs.t ->
@@ -191,11 +259,25 @@ val try_extract :
     extraction shows where the time went. With [obs], the returned
     report is drawn from the hub's own diag collector (so the bundled
     [diag.json] and the report coincide), every ladder rung emits an
-    [escalation] event (outcome ["ok"]/["failed"] with the failure
-    detail) and recoverable stage failures emit [violation] events. *)
+    [escalation] event (outcome ["ok"]/["failed"]/["retry"]/["deadline"]
+    with the failure detail) and recoverable stage failures emit
+    [violation] events.
+
+    Cancellation and deadlines are {e not} recoverable: a tripped
+    budget aborts the ladder (no retry, no further rungs), records an
+    [Error] event whose stage carries the rung label
+    (["pipeline.fit:<rung>"]) plus an [obs] [deadline] event, and
+    returns [None]. [Checkpoint.Killed] (the chaos harness's simulated
+    crash) propagates to the caller. With [checkpoint_dir] armed, a
+    rung retry resumes from the on-disk train/TFT artifacts, and a
+    settled fit artifact short-circuits the ladder entirely on
+    resume. *)
 
 val try_extract_simo :
   ?guard:Guard.t ->
+  ?cancel:Cancel.t ->
+  ?budgets:budgets ->
+  ?retry:retry ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->
   ?obs:Obs.t ->

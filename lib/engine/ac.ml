@@ -74,8 +74,9 @@ let sweep_ws_key : ws Exec.key = Exec.new_key ()
 
 (* matched on [metrics] first so the unrecorded path is exactly the
    plain map — no clock reads, bit-identical results *)
-let transfer_sweep ?guard ?metrics ?obs ?pool ws ~g ~c ~ss =
+let transfer_sweep ?guard ?cancel ?metrics ?obs ?pool ws ~g ~c ~ss =
   let solve ws s =
+    Cancel.check cancel ~site:"ac.sweep";
     match metrics with
     | None -> transfer_ws ?guard ?obs ws ~g ~c ~s
     | Some _ ->
@@ -90,7 +91,7 @@ let transfer_sweep ?guard ?metrics ?obs ?pool ws ~g ~c ~ss =
          axis for a standalone sweep. Fault probes fire per solve in a
          global sequence, so an armed probe forces the sequential path to
          keep the injection site deterministic. *)
-      Exec.parallel_map_ws ~pool ?metrics ~label:"ac.sweep"
+      Exec.parallel_map_ws ~pool ?cancel ?metrics ~label:"ac.sweep"
         ~ws:(fun chunk ->
           if chunk = 0 then ws
           else

@@ -44,6 +44,7 @@ val transfer_ws :
 
 val transfer_sweep :
   ?guard:Guard.t ->
+  ?cancel:Cancel.t ->
   ?metrics:Metrics.t ->
   ?obs:Obs.t ->
   ?pool:Exec.t ->
@@ -63,7 +64,9 @@ val transfer_sweep :
     bit-identical to the sequential sweep. An armed fault probe forces
     the sequential path so injections stay deterministic. Do not pass a
     pool from inside a worker of that same pool — it would just run
-    sequentially anyway. *)
+    sequentially anyway. With [cancel], every pencil solve probes the
+    token (site ["ac.sweep"]), on the sequential and pooled paths
+    alike. *)
 
 val transfer_at :
   g:Linalg.Mat.t ->

@@ -19,12 +19,14 @@ module Log = (val Logs.src_log src : Logs.LOG)
    the full residual and g_mat/c_mat with the Jacobians; the dynamic term
    is folded in by the caller. Returns ((solution, last eval) option,
    iterations actually run) — the count is meaningful on failure too. *)
-let newton ?guard ?metrics ?obs ~opts ~mna ~gmin ~residual_of ~jac_of ~initial () =
+let newton ?guard ?cancel ?metrics ?obs ~opts ~mna ~gmin ~residual_of ~jac_of
+    ~initial () =
   let n = Mna.size mna in
   let n_nodes = Mna.n_nodes mna in
   let v = Linalg.Vec.copy initial in
   let iters = ref 0 in
   let rec iterate it =
+    Cancel.check cancel ~site:"dc.newton";
     if it >= opts.max_iter then None
     else begin
       incr iters;
@@ -85,8 +87,8 @@ let dc_residual mna time v =
   (* DC: drop the dq/dt term entirely *)
   ev
 
-let solve ?(opts = default_opts) ?guard ?diag ?trace ?metrics ?obs ?initial
-    ?(time = 0.0) mna =
+let solve ?(opts = default_opts) ?guard ?cancel ?diag ?trace ?metrics ?obs
+    ?initial ?(time = 0.0) mna =
   Trace.span trace "dc.solve" @@ fun () ->
   let n = Mna.size mna in
   let initial =
@@ -95,7 +97,7 @@ let solve ?(opts = default_opts) ?guard ?diag ?trace ?metrics ?obs ?initial
   let jac_of (ev : Mna.eval) = ev.Mna.g_mat in
   let attempt gmin start =
     let r, iters =
-      newton ?guard ?metrics ?obs ~opts ~mna ~gmin
+      newton ?guard ?cancel ?metrics ?obs ~opts ~mna ~gmin
         ~residual_of:(dc_residual mna time) ~jac_of ~initial:start ()
     in
     Diag.add diag "dc.newton_iterations" iters;
@@ -132,8 +134,8 @@ let solve ?(opts = default_opts) ?guard ?diag ?trace ?metrics ?obs ?initial
       in
       steps initial levels
 
-let newton_dynamic ?(opts = default_opts) ?guard ?diag ?metrics ?obs ~mna ~time
-    ~alpha ~q_prev ~qdot_term ~initial () =
+let newton_dynamic ?(opts = default_opts) ?guard ?cancel ?diag ?metrics ?obs
+    ~mna ~time ~alpha ~q_prev ~qdot_term ~initial () =
   let n = Mna.size mna in
   let residual_of v =
     let ev = Mna.eval mna ~with_matrices:true ~time v in
@@ -159,8 +161,8 @@ let newton_dynamic ?(opts = default_opts) ?guard ?diag ?metrics ?obs ~mna ~time
     | _, _ -> None
   in
   let result, iters =
-    newton ?guard ?metrics ?obs ~opts ~mna ~gmin:opts.gmin_final ~residual_of
-      ~jac_of ~initial ()
+    newton ?guard ?cancel ?metrics ?obs ~opts ~mna ~gmin:opts.gmin_final
+      ~residual_of ~jac_of ~initial ()
   in
   (* the count covers failed attempts too, so the diagnostics layer sees
      the true cost of steps that later retreat to another integrator *)

@@ -15,6 +15,7 @@ exception No_convergence of string
 val solve :
   ?opts:opts ->
   ?guard:Guard.t ->
+  ?cancel:Cancel.t ->
   ?diag:Diag.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->
@@ -36,11 +37,14 @@ val solve :
     returned operating point a NaN/Inf sentinel. With [obs], every
     successful LU factorization emits a ["dc.lu"] rcond event. Hosts the
     ["dc.newton_diverge"] fault probe (one invocation per Newton run;
-    a firing reports divergence, engaging gmin stepping). *)
+    a firing reports divergence, engaging gmin stepping). With
+    [cancel], every Newton iteration probes the token (site
+    ["dc.newton"]). *)
 
 val newton_dynamic :
   ?opts:opts ->
   ?guard:Guard.t ->
+  ?cancel:Cancel.t ->
   ?diag:Diag.t ->
   ?metrics:Metrics.t ->
   ?obs:Obs.t ->

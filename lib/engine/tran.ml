@@ -33,8 +33,8 @@ let matrices_of_eval (ev : Mna.eval) =
   | Some g, Some c -> (g, c)
   | _, _ -> invalid_arg "Tran: evaluation without Jacobians"
 
-let run ?(opts = default_opts) ?guard ?diag ?trace ?metrics ?obs ?initial mna
-    ~t_stop ~dt =
+let run ?(opts = default_opts) ?guard ?cancel ?diag ?trace ?metrics ?obs
+    ?initial mna ~t_stop ~dt =
   if dt <= 0.0 || t_stop <= 0.0 then invalid_arg "Tran.run: dt and t_stop must be > 0";
   let n = Mna.size mna in
   (* the small slack avoids a spurious zero-length final step when
@@ -46,7 +46,8 @@ let run ?(opts = default_opts) ?guard ?diag ?trace ?metrics ?obs ?initial mna
     match initial with
     | Some v -> Linalg.Vec.copy v
     | None ->
-        Dc.solve ~opts:opts.newton ?guard ?diag ?trace ?metrics ?obs ~time:0.0 mna
+        Dc.solve ~opts:opts.newton ?guard ?cancel ?diag ?trace ?metrics ?obs
+          ~time:0.0 mna
   in
   let ev0 = Mna.eval mna ~with_matrices:true ~time:0.0 v0 in
   let times = Array.make (steps + 1) 0.0 in
@@ -107,8 +108,8 @@ let run ?(opts = default_opts) ?guard ?diag ?trace ?metrics ?obs ?initial mna
                   else t_prev +. (float_of_int (i + 1) *. hs)
                 in
                 match
-                  Dc.newton_dynamic ~opts:opts.newton ?guard ?diag ?metrics ?obs
-                    ~mna ~time:t_sub ~alpha:(1.0 /. hs) ~q_prev:q
+                  Dc.newton_dynamic ~opts:opts.newton ?guard ?cancel ?diag
+                    ?metrics ?obs ~mna ~time:t_sub ~alpha:(1.0 /. hs) ~q_prev:q
                     ~qdot_term:(Linalg.Vec.create n) ~initial:v ()
                 with
                 | exception Dc.No_convergence _ -> None
@@ -131,6 +132,8 @@ let run ?(opts = default_opts) ?guard ?diag ?trace ?metrics ?obs ?initial mna
   in
   for k = 1 to steps do
     Trace.span trace ~args:[ ("k", Trace.Int k) ] "tran.step" @@ fun () ->
+    Cancel.check cancel ~site:"tran.step";
+    if Fault.should_fire "tran.stall" then Cancel.hang cancel ~site:"tran.step";
     let time = Float.min (float_of_int k *. dt) t_stop in
     let h = time -. times.(k - 1) in
     let alpha, qdot_term =
@@ -157,8 +160,8 @@ let run ?(opts = default_opts) ?guard ?diag ?trace ?metrics ?obs ?initial mna
            "trapezoidal step at t=%.6e retreated to backward Euler" time);
       inject_diverge ();
       let v, ev, iters =
-        Dc.newton_dynamic ~opts:opts.newton ?guard ?diag ?metrics ?obs ~mna ~time
-          ~alpha:(1.0 /. h) ~q_prev:!q_prev
+        Dc.newton_dynamic ~opts:opts.newton ?guard ?cancel ?diag ?metrics ?obs
+          ~mna ~time ~alpha:(1.0 /. h) ~q_prev:!q_prev
           ~qdot_term:(Linalg.Vec.create n) ~initial:!v_prev ()
       in
       (v, ev, iters, true)
@@ -172,8 +175,8 @@ let run ?(opts = default_opts) ?guard ?diag ?trace ?metrics ?obs ?initial mna
       try
         inject_diverge ();
         let v, ev, iters =
-          Dc.newton_dynamic ~opts:opts.newton ?guard ?diag ?metrics ?obs ~mna
-            ~time ~alpha ~q_prev:!q_prev ~qdot_term ~initial:!v_prev ()
+          Dc.newton_dynamic ~opts:opts.newton ?guard ?cancel ?diag ?metrics ?obs
+            ~mna ~time ~alpha ~q_prev:!q_prev ~qdot_term ~initial:!v_prev ()
         in
         (v, ev, iters, false)
       with
@@ -227,8 +230,9 @@ let run ?(opts = default_opts) ?guard ?diag ?trace ?metrics ?obs ?initial mna
 let output_waveform r j =
   Signal.Waveform.make r.times (Linalg.Mat.col r.outputs j)
 
-let run_adaptive ?(opts = default_opts) ?guard ?diag ?trace ?metrics ?obs ?initial
-    ?(reltol = 1e-3) ?(abstol = 1e-6) ?dt_min ?dt_max mna ~t_stop ~dt =
+let run_adaptive ?(opts = default_opts) ?guard ?cancel ?diag ?trace ?metrics
+    ?obs ?initial ?(reltol = 1e-3) ?(abstol = 1e-6) ?dt_min ?dt_max mna ~t_stop
+    ~dt =
   if dt <= 0.0 || t_stop <= 0.0 then
     invalid_arg "Tran.run_adaptive: dt and t_stop must be > 0";
   Trace.span trace "tran.run_adaptive" @@ fun () ->
@@ -239,7 +243,8 @@ let run_adaptive ?(opts = default_opts) ?guard ?diag ?trace ?metrics ?obs ?initi
     match initial with
     | Some v -> Linalg.Vec.copy v
     | None ->
-        Dc.solve ~opts:opts.newton ?guard ?diag ?trace ?metrics ?obs ~time:0.0 mna
+        Dc.solve ~opts:opts.newton ?guard ?cancel ?diag ?trace ?metrics ?obs
+          ~time:0.0 mna
   in
   let ev0 = Mna.eval mna ~with_matrices:true ~time:0.0 v0 in
   let times = ref [ 0.0 ] in
@@ -269,13 +274,15 @@ let run_adaptive ?(opts = default_opts) ?guard ?diag ?trace ?metrics ?obs ?initi
   let h = ref dt in
   let accepted = ref 0 in
   while !t_now < t_stop -. 1e-15 *. t_stop do
+    Cancel.check cancel ~site:"tran.step";
+    if Fault.should_fire "tran.stall" then Cancel.hang cancel ~site:"tran.step";
     let h_try = Float.min !h (t_stop -. !t_now) in
     let time = !t_now +. h_try in
     let step_ok, v_new, ev_new =
       try
         let v, ev, iters =
-          Dc.newton_dynamic ~opts:opts.newton ?guard ?diag ?metrics ?obs ~mna
-            ~time ~alpha:(2.0 /. h_try) ~q_prev:!q_prev
+          Dc.newton_dynamic ~opts:opts.newton ?guard ?cancel ?diag ?metrics ?obs
+            ~mna ~time ~alpha:(2.0 /. h_try) ~q_prev:!q_prev
             ~qdot_term:(Linalg.Vec.copy !qdot_prev) ~initial:!v_prev ()
         in
         newton_count := !newton_count + iters;

@@ -45,6 +45,7 @@ type result = {
 val run :
   ?opts:opts ->
   ?guard:Guard.t ->
+  ?cancel:Cancel.t ->
   ?diag:Diag.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->
@@ -74,7 +75,10 @@ val run :
     such a step uses the backward-Euler difference quotient over the
     whole step, as for an ordinary fallback. Hosts the
     ["tran.newton_diverge"] fault probe (one invocation per step
-    attempt, including the backward-Euler retreat). *)
+    attempt, including the backward-Euler retreat) and the hang-class
+    ["tran.stall"] site. With [cancel], every step probes the token
+    (site ["tran.step"]) before integrating, as does every inner
+    Newton iteration. *)
 
 val output_waveform : result -> int -> Signal.Waveform.t
 (** Extract output channel [j] as a waveform. *)
@@ -82,6 +86,7 @@ val output_waveform : result -> int -> Signal.Waveform.t
 val run_adaptive :
   ?opts:opts ->
   ?guard:Guard.t ->
+  ?cancel:Cancel.t ->
   ?diag:Diag.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->

@@ -125,6 +125,30 @@ let violation o ~site detail =
       record t "violation"
         [ ("site", Minijson.Str site); ("detail", Minijson.Str detail) ]
 
+let checkpoint o ~stage ~action =
+  match o with
+  | None -> ()
+  | Some t ->
+      record t "checkpoint"
+        [ ("stage", Minijson.Str stage); ("action", Minijson.Str action) ]
+
+let cancelled o ~site =
+  match o with
+  | None -> ()
+  | Some t -> record t "cancelled" [ ("site", Minijson.Str site) ]
+
+let deadline o ~site ~stage ~budget_seconds ~elapsed_seconds =
+  match o with
+  | None -> ()
+  | Some t ->
+      record t "deadline"
+        [
+          ("site", Minijson.Str site);
+          ("stage", Minijson.Str stage);
+          ("budget_seconds", Minijson.Num budget_seconds);
+          ("elapsed_seconds", Minijson.Num elapsed_seconds);
+        ]
+
 let quarantine o ~n_bad ~repaired ~dropped =
   match o with
   | None -> ()

@@ -88,6 +88,24 @@ val violation : t option -> site:string -> string -> unit
 val quarantine : t option -> n_bad:int -> repaired:int -> dropped:int -> unit
 (** Snapshot-quarantine outcome in the TFT dataset stage. *)
 
+val checkpoint : t option -> stage:string -> action:string -> unit
+(** A checkpoint-store interaction: [action] is ["store"], ["load"],
+    ["stale"] (fingerprint/schema miss, recomputing) or ["invalid"]
+    (torn/malformed artifact rejected and recomputed). *)
+
+val cancelled : t option -> site:string -> unit
+(** Cooperative cancellation observed at [site]. *)
+
+val deadline :
+  t option ->
+  site:string ->
+  stage:string ->
+  budget_seconds:float ->
+  elapsed_seconds:float ->
+  unit
+(** A deadline budget tripped: the probe [site] that noticed and the
+    scope [stage] whose budget ran out. *)
+
 (** {2 Collection} *)
 
 val event_count : t -> int

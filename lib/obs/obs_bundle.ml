@@ -88,10 +88,18 @@ let diag_json (r : Diag.report) =
   Buffer.add_string buf "\n  }\n}\n";
   Buffer.contents buf
 
+(* write-to-temp + atomic rename: a reader (or a crash mid-write) never
+   observes a torn bundle file — it sees either the previous complete
+   version or the new one *)
 let write_file path text =
-  let oc = open_out path in
-  output_string oc text;
-  close_out oc
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc text;
+      flush oc);
+  Sys.rename tmp path
 
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin

@@ -50,7 +50,9 @@ val write :
   dir:string -> manifest:Minijson.t -> ?repro:Minijson.t -> Obs.t -> unit
 (** Write the bundle into [dir] (created if missing): manifest, the
     three collector exports and the event stream, plus [repro.json]
-    when a repro capsule is given. *)
+    when a repro capsule is given. Each file is written to a temp name
+    and atomically renamed into place, so a crash mid-write never
+    leaves a torn file for {!load} to reject. *)
 
 type t = {
   dir : string;

@@ -13,7 +13,7 @@ let state_opts_for ~lo ~hi =
     Vf.Vfit.min_imag = 0.02 *. (hi -. lo);
   }
 
-let fit_traces ?diag ?trace ?metrics ?obs ?(label = "recursion") ~eps ~max_poles
+let fit_traces ?cancel ?diag ?trace ?metrics ?obs ?(label = "recursion") ~eps ~max_poles
     ~points ~traces ~lo ~hi () =
   (* normalize each trace to unit rms, fit with common poles, unscale *)
   let scales =
@@ -36,13 +36,13 @@ let fit_traces ?diag ?trace ?metrics ?obs ?(label = "recursion") ~eps ~max_poles
   let opts = state_opts_for ~lo ~hi in
   let make_poles count = Vf.Pole.initial_real_axis ~lo ~hi ~count in
   let model, info =
-    Vf.Vfit.fit_auto ~opts ?diag ?trace ?metrics ?obs ~label ~make_poles ~start:2
+    Vf.Vfit.fit_auto ~opts ?cancel ?diag ?trace ?metrics ?obs ~label ~make_poles ~start:2
       ~step:2 ~max_poles ~tol:eps ~points ~data ()
   in
   (model, scales, info)
 
-let fit ?(eps = 1e-3) ?(max_x_poles = 20) ?(max_y_poles = 20) ?diag ?trace
-    ?metrics ?obs ~xs ~ys ~data () =
+let fit ?(eps = 1e-3) ?(max_x_poles = 20) ?(max_y_poles = 20) ?cancel ?diag
+    ?trace ?metrics ?obs ~xs ~ys ~data () =
   let nx = Array.length xs and ny = Array.length ys in
   if Array.length data <> nx then invalid_arg "Recursion.fit: data rows <> xs";
   Array.iter
@@ -63,7 +63,7 @@ let fit ?(eps = 1e-3) ?(max_x_poles = 20) ?(max_y_poles = 20) ?diag ?trace
     Obs.stage obs "recursion.x_stage";
     Diag.span diag "recursion.x_stage" (fun () ->
         Trace.span trace "recursion.x_stage" (fun () ->
-            fit_traces ?diag ?trace ?metrics ?obs ~label:"recursion.x" ~eps
+            fit_traces ?cancel ?diag ?trace ?metrics ?obs ~label:"recursion.x" ~eps
               ~max_poles:max_x_poles ~points:points_x ~traces:columns ~lo:x_lo
               ~hi:x_hi ()))
   in
@@ -81,7 +81,7 @@ let fit ?(eps = 1e-3) ?(max_x_poles = 20) ?(max_y_poles = 20) ?diag ?trace
     Obs.stage obs "recursion.y_stage";
     Diag.span diag "recursion.y_stage" (fun () ->
         Trace.span trace "recursion.y_stage" (fun () ->
-            fit_traces ?diag ?trace ?metrics ?obs ~label:"recursion.y" ~eps
+            fit_traces ?cancel ?diag ?trace ?metrics ?obs ~label:"recursion.y" ~eps
               ~max_poles:max_y_poles ~points:points_y ~traces ~lo:y_lo
               ~hi:y_hi ()))
   in

@@ -26,6 +26,7 @@ val fit :
   ?eps:float ->
   ?max_x_poles:int ->
   ?max_y_poles:int ->
+  ?cancel:Cancel.t ->
   ?diag:Diag.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->

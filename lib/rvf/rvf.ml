@@ -40,6 +40,9 @@ type result = {
   static_model : Vf.Model.t;
   static_info : Vf.Vfit.info;
   x_range : float * float;
+  x0 : float;
+  y0 : float;
+  has_const : bool;
   build_seconds : float;
 }
 
@@ -67,8 +70,8 @@ type freq_stage = {
   dc : float array;
 }
 
-let frequency_stage ?(config = default_config) ?guard ?diag ?trace ?metrics
-    ?obs ?pool ~dataset ~input ~output () =
+let frequency_stage ?(config = default_config) ?guard ?cancel ?diag ?trace
+    ?metrics ?obs ?pool ~dataset ~input ~output () =
   let samples = dataset.Tft.Dataset.samples in
   if Array.length samples < 4 then begin
     Diag.error diag ~stage:"rvf.freq"
@@ -125,8 +128,8 @@ let frequency_stage ?(config = default_config) ?guard ?diag ?trace ?metrics
     Obs.stage obs "rvf.frequency_stage";
     Diag.span diag "rvf.frequency_stage" (fun () ->
         Trace.span trace "rvf.frequency_stage" (fun () ->
-            Vf.Vfit.fit_auto ~opts:freq_opts ?guard ?diag ?trace ?metrics ?obs
-              ?pool ~label:"vf.freq" ~make_poles:make_freq_poles
+            Vf.Vfit.fit_auto ~opts:freq_opts ?guard ?cancel ?diag ?trace
+              ?metrics ?obs ?pool ~label:"vf.freq" ~make_poles:make_freq_poles
               ~start:config.freq_start ~step:config.freq_step
               ~max_poles:config.max_freq_poles ~tol:(config.eps *. freq_scale)
               ~points:points_f ~data:dyn_data ()))
@@ -149,12 +152,35 @@ let frequency_stage ?(config = default_config) ?guard ?diag ?trace ?metrics
     dc = Tft.Dataset.dc_trace dataset ~input ~output;
   }
 
-let extract ?(config = default_config) ?guard ?diag ?trace ?metrics ?obs ?pool
-    ~dataset ~input ~output () =
+(* Deterministic Hammerstein reassembly from the three fitted VF models.
+   Pure in its arguments, so a resume that deserializes the models from a
+   checkpoint rebuilds the identical analytical model the original run
+   assembled. *)
+let assemble_model ~freq_model ~residue_model ~static_model ~has_const ~x0 ~y0 =
+  let p = Vf.Model.n_poles freq_model in
+  let stage_fn pi =
+    Ratfn.to_static_fn
+      (Ratfn.set_value (Ratfn.of_model residue_model ~elem:pi) ~at:x0 ~value:0.0)
+  in
+  let static_base =
+    Ratfn.to_static_fn
+      (Ratfn.set_value (Ratfn.of_model static_model ~elem:0) ~at:x0 ~value:y0)
+  in
+  let static_path =
+    if has_const then
+      (* direct-feedthrough path: ∫ d(x) du joins the static nonlinearity *)
+      Hammerstein.Static_fn.add static_base (stage_fn p)
+    else static_base
+  in
+  Assemble.hammerstein ~name:"rvf" ~freq_poles:freq_model.Vf.Model.poles
+    ~stage:stage_fn ~static_path
+
+let extract ?(config = default_config) ?guard ?cancel ?diag ?trace ?metrics
+    ?obs ?pool ~dataset ~input ~output () =
   let t_start = Clock.now () in
   let stage =
-    frequency_stage ~config ?guard ?diag ?trace ?metrics ?obs ?pool ~dataset ~input
-      ~output ()
+    frequency_stage ~config ?guard ?cancel ?diag ?trace ?metrics ?obs ?pool
+      ~dataset ~input ~output ()
   in
   let freq_model = stage.fs_model and freq_info = stage.fs_info in
   let xs = stage.xs and x_lo = stage.x_lo and x_hi = stage.x_hi in
@@ -214,8 +240,8 @@ let extract ?(config = default_config) ?guard ?diag ?trace ?metrics ?obs ?pool
     Obs.stage obs "rvf.state_stage";
     Diag.span diag "rvf.state_stage" (fun () ->
         Trace.span trace "rvf.state_stage" (fun () ->
-            Vf.Vfit.fit_auto ~opts:state_opts ?guard ?diag ?trace ?metrics ?obs
-              ?pool ~label:"vf.state" ~make_poles:make_state_poles
+            Vf.Vfit.fit_auto ~opts:state_opts ?guard ?cancel ?diag ?trace
+              ?metrics ?obs ?pool ~label:"vf.state" ~make_poles:make_state_poles
               ~start:config.state_start ~step:config.state_step
               ~max_poles:config.max_state_poles ~tol:config.eps
               ~points:points_x ~data:trace_data ()))
@@ -274,8 +300,8 @@ let extract ?(config = default_config) ?guard ?diag ?trace ?metrics ?obs ?pool
     Obs.stage obs "rvf.static_stage";
     Diag.span diag "rvf.static_stage" (fun () ->
         Trace.span trace "rvf.static_stage" (fun () ->
-            Vf.Vfit.fit_auto ~opts:state_opts ?guard ?diag ?trace ?metrics ?obs
-              ?pool ~label:"vf.static" ~make_poles:make_state_poles
+            Vf.Vfit.fit_auto ~opts:state_opts ?guard ?cancel ?diag ?trace
+              ?metrics ?obs ?pool ~label:"vf.static" ~make_poles:make_state_poles
               ~start:config.state_start ~step:config.state_step
               ~max_poles:config.max_state_poles
               ~tol:(config.eps *. static_scale) ~points:points_x
@@ -283,23 +309,8 @@ let extract ?(config = default_config) ?guard ?diag ?trace ?metrics ?obs ?pool
   in
   (* --- integration and Hammerstein assembly --- *)
   let x0 = stage.x0 and y0 = stage.y0 in
-  let stage_fn pi =
-    Ratfn.to_static_fn
-      (Ratfn.set_value (Ratfn.of_model residue_model ~elem:pi) ~at:x0 ~value:0.0)
-  in
-  let static_base =
-    Ratfn.to_static_fn
-      (Ratfn.set_value (Ratfn.of_model static_model ~elem:0) ~at:x0 ~value:y0)
-  in
-  let static_path =
-    if has_const then
-      (* direct-feedthrough path: ∫ d(x) du joins the static nonlinearity *)
-      Hammerstein.Static_fn.add static_base (stage_fn p)
-    else static_base
-  in
   let model =
-    Assemble.hammerstein ~name:"rvf" ~freq_poles:freq_model.Vf.Model.poles
-      ~stage:stage_fn ~static_path
+    assemble_model ~freq_model ~residue_model ~static_model ~has_const ~x0 ~y0
   in
   Diag.note diag "rvf.freq_poles"
     (string_of_int freq_info.Vf.Vfit.pole_count);
@@ -316,5 +327,8 @@ let extract ?(config = default_config) ?guard ?diag ?trace ?metrics ?obs ?pool
     static_model;
     static_info;
     x_range = (x_lo, x_hi);
+    x0;
+    y0;
+    has_const;
     build_seconds = Clock.now () -. t_start;
   }

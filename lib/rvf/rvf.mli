@@ -42,12 +42,18 @@ type result = {
   static_model : Vf.Model.t;  (** one element: the DC conductance trace *)
   static_info : Vf.Vfit.info;
   x_range : float * float;
+  x0 : float;  (** estimator coordinate of the DC starting sample *)
+  y0 : float;  (** circuit DC output at the starting sample *)
+  has_const : bool;
+      (** the frequency stage carried a constant term, so the static
+          path includes the integrated feedthrough trace *)
   build_seconds : float;  (** CPU time of the whole extraction *)
 }
 
 val extract :
   ?config:config ->
   ?guard:Guard.t ->
+  ?cancel:Cancel.t ->
   ?diag:Diag.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->
@@ -77,7 +83,25 @@ val extract :
     With [pool], the three VF stages fan their independent per-element
     relocation blocks and residue fits across the warm pool; results are
     bit-identical to the sequential path. The pool is borrowed, never
-    shut down here. *)
+    shut down here.
+
+    With [cancel], the token threads into every VF stage (probed per
+    escalation attempt and per relocation sweep);
+    [Cancel.Cancelled]/[Cancel.Deadline_exceeded] propagate out of the
+    extraction untouched. *)
+
+val assemble_model :
+  freq_model:Vf.Model.t ->
+  residue_model:Vf.Model.t ->
+  static_model:Vf.Model.t ->
+  has_const:bool ->
+  x0:float ->
+  y0:float ->
+  Hammerstein.Hmodel.t
+(** Deterministic Hammerstein reassembly from the three fitted VF
+    models — the final step of {!extract}, exposed so a checkpointed fit
+    artifact (the serialized models plus [x0]/[y0]/[has_const]) can be
+    rebuilt into the identical analytical model on resume. *)
 
 (** {2 Shared frequency stage}
 
@@ -98,6 +122,7 @@ type freq_stage = {
 val frequency_stage :
   ?config:config ->
   ?guard:Guard.t ->
+  ?cancel:Cancel.t ->
   ?diag:Diag.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->

@@ -128,8 +128,8 @@ let quarantine guard diag metrics obs t =
    successive escalation rungs and even different circuits *)
 let ac_ws_key : Engine.Ac.ws Exec.key = Exec.new_key ()
 
-let of_snapshots ?pool ?guard ?diag ?trace ?metrics ?obs ~mna ~estimator ~freqs_hz
-    snapshots =
+let of_snapshots ?pool ?guard ?cancel ?diag ?trace ?metrics ?obs ~mna
+    ~estimator ~freqs_hz snapshots =
   let b = Engine.Mna.b_matrix mna in
   let d = Engine.Mna.d_matrix mna in
   let mi = Linalg.Mat.cols b and mo = Linalg.Mat.cols d in
@@ -156,7 +156,7 @@ let of_snapshots ?pool ?guard ?diag ?trace ?metrics ?obs ~mna ~estimator ~freqs_
       ~args:[ ("snapshots", Trace.Int (Array.length snapshots)) ]
       "tft.dataset"
     @@ fun () ->
-    Exec.parallel_map_ws ?pool ?trace ?metrics ~label:"tft"
+    Exec.parallel_map_ws ?pool ?cancel ?trace ?metrics ~label:"tft"
       ~ws:(fun chunk ->
         match pool with
         | Some p ->
@@ -166,7 +166,7 @@ let of_snapshots ?pool ?guard ?diag ?trace ?metrics ?obs ~mna ~estimator ~freqs_
         | None -> Engine.Ac.make_ws ~b ~d)
       (fun ws ((i, snap) : int * Engine.Tran.snapshot) ->
         let g = snap.Engine.Tran.g_mat and c = snap.Engine.Tran.c_mat in
-        let h = Engine.Ac.transfer_sweep ?metrics ?obs ws ~g ~c ~ss in
+        let h = Engine.Ac.transfer_sweep ?cancel ?metrics ?obs ws ~g ~c ~ss in
         let h0 = Engine.Ac.transfer_ws ?obs ws ~g ~c ~s:Complex.zero in
         if corrupt.(i) then
           Array.iter

@@ -24,6 +24,7 @@ type t = {
 val of_snapshots :
   ?pool:Exec.t ->
   ?guard:Guard.t ->
+  ?cancel:Cancel.t ->
   ?diag:Diag.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->
@@ -40,7 +41,9 @@ val of_snapshots :
     With [?pool], snapshots are partitioned across the pool's domains
     with one preallocated solve workspace per domain; the result is
     bit-identical to the sequential path for any domain count (fixed
-    chunk boundaries, per-sample independence, no reductions).
+    chunk boundaries, per-sample independence, no reductions). With
+    [cancel], the token is probed at every chunk boundary (site
+    [tft.chunk]) and every pencil solve (site [ac.sweep]).
 
     With [trace], the sweep records a [tft.dataset] span containing one
     [tft.chunk] span per chunk, each on the track of the domain that

@@ -571,8 +571,8 @@ let finite_model (m : Model.t) =
   && Guard.finite_array m.Model.consts
   && Guard.finite_array m.Model.slopes
 
-let fit ?(opts = default_frequency_opts) ?guard ?diag ?trace ?metrics ?obs
-    ?pool ?(label = "vfit") ~poles ~points ~data () =
+let fit ?(opts = default_frequency_opts) ?guard ?cancel ?diag ?trace ?metrics
+    ?obs ?pool ?(label = "vfit") ~poles ~points ~data () =
   if Array.length data = 0 then invalid_arg "Vfit.fit: no elements";
   Array.iter
     (fun row ->
@@ -597,6 +597,8 @@ let fit ?(opts = default_frequency_opts) ?guard ?diag ?trace ?metrics ?obs
      for it = 1 to opts.iterations do
        Trace.span trace ~args:[ ("it", Trace.Int it) ] "vf.relocate"
        @@ fun () ->
+       Cancel.check cancel ~site:"vf.relocate";
+       if Fault.should_fire "vf.spin" then Cancel.hang cancel ~site:"vf.relocate";
        match
          relocate_poles ?pool ~rws ~opts ~poles:!poles ~points ~data ~weights ()
        with
@@ -704,8 +706,8 @@ let fit ?(opts = default_frequency_opts) ?guard ?diag ?trace ?metrics ?obs
       pole_count = Array.length !poles;
     } )
 
-let fit_auto ?(opts = default_frequency_opts) ?guard ?diag ?trace ?metrics
-    ?obs ?pool ?(label = "vfit") ~make_poles ?(start = 2) ?(step = 2)
+let fit_auto ?(opts = default_frequency_opts) ?guard ?cancel ?diag ?trace
+    ?metrics ?obs ?pool ?(label = "vfit") ~make_poles ?(start = 2) ?(step = 2)
     ?(max_poles = 40) ~tol ~points ~data () =
   Trace.span trace ~args:[ ("label", Trace.Str label) ] "vf.fit_auto"
   @@ fun () ->
@@ -737,8 +739,9 @@ let fit_auto ?(opts = default_frequency_opts) ?guard ?diag ?trace ?metrics
     else begin
       Diag.incr diag (label ^ ".attempts");
       Metrics.incr metrics (label ^ ".attempts");
+      Cancel.check cancel ~site:"vf.fit_auto";
       match
-        fit ~opts ?guard ?diag ?trace ?metrics ?obs ?pool ~label
+        fit ~opts ?guard ?cancel ?diag ?trace ?metrics ?obs ?pool ~label
           ~poles:(make_poles count) ~points ~data ()
       with
       | exception Guard.Violation v ->

@@ -62,6 +62,7 @@ type info = {
 val fit :
   ?opts:opts ->
   ?guard:Guard.t ->
+  ?cancel:Cancel.t ->
   ?diag:Diag.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->
@@ -103,7 +104,8 @@ val fit :
     is repaired by reflection ([<label>.guard_stabilized] counter plus
     a warning), and the identified model is NaN/Inf-checked. Hosts the
     ["vf.pole_flip"] fault probe (one invocation per relocation
-    sweep).
+    sweep) and the hang-class ["vf.spin"] site. With [cancel], every
+    relocation sweep probes the token (site ["vf.relocate"]).
 
     With [pool], the independent per-element blocks of each sigma step
     and the per-element residue fits fan out across the warm pool;
@@ -113,6 +115,7 @@ val fit :
 val fit_auto :
   ?opts:opts ->
   ?guard:Guard.t ->
+  ?cancel:Cancel.t ->
   ?diag:Diag.t ->
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->
@@ -143,4 +146,7 @@ val fit_auto :
     next pole count instead of giving up. With [obs], each completed
     attempt emits a [vf_attempt] event (pole count, rms, tol,
     accepted), guarded failures a [violation] event, and the final
-    choice a [vf_settled] event. *)
+    choice a [vf_settled] event. With [cancel], the token is probed
+    before every attempt (site ["vf.fit_auto"]) and inside each fit;
+    [Cancel.Cancelled]/[Cancel.Deadline_exceeded] abort the escalation
+    rather than being swallowed as attempt failures. *)

@@ -19,6 +19,7 @@ let () =
       ("pipeline", Test_pipeline.suite);
       ("diag", Test_diag.suite);
       ("guard", Test_guard.suite);
+      ("resilience", Test_resilience.suite);
       ("trace", Test_trace.suite);
       ("minijson", Test_minijson.suite);
       ("obs", Test_obs.suite);
