@@ -11,6 +11,10 @@
      - one hang site per pipeline stage (tran.stall, exec.chunk_hang,
        vf.spin) under a stage budget: typed Deadline_exceeded within
        the budget, never the 2 s hang-cap Failure
+     - sparse-path faults (sp.singular, krylov.stall) against a
+       sparse-backend extraction: a seeded singularity escalates to the
+       dense rung (counted in pipeline.sparse_fallbacks), a Krylov
+       stall degrades in-sweep — both still deliver a finite model
 
    Bit-identity is machine-checked on three axes: the analytical model's
    equation text, the pipeline.ladder_rung note, and the raw bytes of
@@ -286,6 +290,52 @@ let check_hangs () =
     ~budgets:{ b with Tft_rvf.Pipeline.fit = Some 0.4 }
     ~domains:1 ()
 
+(* --- scenario: sparse-path faults escalate to dense -------------------- *)
+
+(* the sparse backend's failure contract: a sparse singularity seeded
+   into the TFT stage (scope "stage:tft", so the training transient's
+   own factorizations don't consume the schedule) must land in the
+   dense-escalation rung — counted in pipeline.sparse_fallbacks — and
+   still deliver a finite model; a Krylov stall degrades in-sweep to
+   exact per-point solves and the extraction proceeds as if nothing
+   happened *)
+let check_sparse_escalation ~site () =
+  let sparse_config =
+    { config with Tft_rvf.Pipeline.backend = Engine.Mna.Sparse }
+  in
+  Fault.arm_exact ~site ~scope:"stage:tft" ~fire_at:1 ~burst:1 ();
+  let result =
+    try
+      Ok
+        (Tft_rvf.Pipeline.try_extract ~config:sparse_config ~netlist
+           ~input:Circuits.Buffer.input_name ~output:Circuits.Buffer.output ())
+    with e -> Error e
+  in
+  let stats = Fault.disarm () in
+  (match stats with
+  | Some s when s.Fault.fires > 0 -> ()
+  | _ -> fail "%s: sparse probe never fired" site);
+  match result with
+  | Error e ->
+      fail "%s: exception escaped the non-raising pipeline: %s" site
+        (Printexc.to_string e)
+  | Ok (None, _) -> fail "%s: sparse fault defeated the dense escalation" site
+  | Ok (Some outcome, report) ->
+      let se =
+        Tft_rvf.Report.surface_error ~model:outcome.Tft_rvf.Pipeline.model
+          ~dataset:outcome.Tft_rvf.Pipeline.dataset ~input:0 ~output:0
+      in
+      if
+        not
+          (Float.is_finite se.Tft_rvf.Report.rms
+          && Float.is_finite se.Tft_rvf.Report.max_err)
+      then fail "%s: escalated model evaluates to NaN/Inf" site;
+      let fallbacks = Diag.counter report "pipeline.sparse_fallbacks" in
+      if site = "sp.singular" && fallbacks = 0 then
+        fail "%s: recovery did not record a sparse fallback" site;
+      Printf.printf "  %-28s recovered (%d dense fallback(s))\n%!" site
+        fallbacks
+
 (* --- driver ----------------------------------------------------------- *)
 
 let () =
@@ -305,6 +355,8 @@ let () =
       ~deadline:(0.05 *. float_of_int cycle)
   done;
   check_hangs ();
+  check_sparse_escalation ~site:"sp.singular" ();
+  check_sparse_escalation ~site:"krylov.stall" ();
   match !failures with
   | [] -> print_endline "chaos ok"
   | fs ->

@@ -32,6 +32,14 @@ let sweep_site (site : Fault.site) =
      ladder) gets exercised from a deterministic point *)
   Fault.arm ~site:name ~seed:0 ();
   let config = Tft_rvf.Pipeline.buffer_config ~snapshots:30 () in
+  (* the sparse-tier sites live on the sparse solve path: run those
+     sweeps with the sparse backend so the probes are on-path, and the
+     recovery under test is the pipeline's dense-escalation rung *)
+  let config =
+    if List.mem name [ "sp.singular"; "krylov.stall" ] then
+      { config with Tft_rvf.Pipeline.backend = Engine.Mna.Sparse }
+    else config
+  in
   let result =
     try
       Ok

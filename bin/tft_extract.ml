@@ -15,8 +15,11 @@
    a replayable repro capsule) renderable with `obs_report`. `--guard`
    arms the numerical guard layer, `--fault SITE[:seed]` arms one
    deterministic fault-injection probe (`--fault list` prints the
-   registry). Any failure ends with a structured JSON error object on
-   stderr and a nonzero exit. *)
+   registry). `--backend sparse` routes the engine stages through the
+   compressed-column MNA assembly, sparse LU and rational-Krylov
+   frequency sweeps (for large circuits; falls back to dense on a
+   sparse-path failure). Any failure ends with a structured JSON error
+   object on stderr and a nonzero exit. *)
 
 let export_model ~export_format ~out_path model =
   let text =
@@ -59,8 +62,15 @@ let report_fault_stats () =
       Printf.eprintf "fault %s: %d probe calls, %d fired\n%!" s.Fault.site
         s.Fault.calls s.Fault.fires
 
+let backend_of_string = function
+  | "dense" -> Engine.Mna.Dense
+  | "sparse" -> Engine.Mna.Sparse
+  | other ->
+      failwith
+        (Printf.sprintf "unknown backend %S (try: dense, sparse)" other)
+
 let run netlist_path builtin input output output_diff train_freq train_ampl
-    train_offset f_min f_max points eps snapshots domains out_path
+    train_offset f_min f_max points eps snapshots domains backend_name out_path
     export_format diag_path trace_path metrics_path obs_dir guard_on
     fault_spec deadline checkpoint_dir resume verbose =
   if verbose then begin
@@ -97,6 +107,7 @@ let run netlist_path builtin input output output_diff train_freq train_ampl
         true
   in
   let guard = if guard_on then Some Guard.default else None in
+  let backend = backend_of_string backend_name in
   let netlist, input, out_spec, config =
     match (builtin, netlist_path) with
     | Some "buffer", None ->
@@ -104,6 +115,7 @@ let run netlist_path builtin input output output_diff train_freq train_ampl
         let config =
           {
             base with
+            Tft_rvf.Pipeline.backend;
             Tft_rvf.Pipeline.rvf = { base.Tft_rvf.Pipeline.rvf with Rvf.eps };
           }
         in
@@ -145,8 +157,8 @@ let run netlist_path builtin input output output_diff train_freq train_ampl
         in
         let config =
           let base =
-            Tft_rvf.Pipeline.default_config_for ~points ~domains ~f_min ~f_max
-              ~training ()
+            Tft_rvf.Pipeline.default_config_for ~points ~domains ~backend
+              ~f_min ~f_max ~training ()
           in
           {
             base with
@@ -222,6 +234,7 @@ let run netlist_path builtin input output output_diff train_freq train_ampl
             ("eps", Minijson.Num eps);
             ("snapshots", num_i snapshots);
             ("domains", num_i domains);
+            ("backend", Minijson.Str backend_name);
             ("guard", Minijson.Bool guard_on);
             ( "fault",
               match fault_spec with
@@ -346,6 +359,22 @@ let domains_arg =
            VF relocation blocks and per-pole residue fits all fan out \
            (bit-identical to the sequential result; 1 = sequential). \
            Worthwhile only when the host actually has $(docv) cores.")
+
+let backend_arg =
+  Arg.(
+    value & opt string "dense"
+    & info [ "backend" ] ~docv:"NAME"
+        ~doc:
+          "Linear-algebra backend for the engine stages: $(b,dense) \
+           (LAPACK-style dense LU at every linearization and grid point) \
+           or $(b,sparse) (compressed-column MNA assembly, sparse LU \
+           Newton solves and rational-Krylov frequency sweeps — a few \
+           shifted factorizations per snapshot instead of one dense \
+           factorization per grid point, with every projected transfer \
+           value certified against the true sparse residual). The two \
+           backends agree to solver tolerance; sparse is built for \
+           circuits with thousands of nodes. A sparse-path failure \
+           escalates back to the dense backend automatically.")
 
 let out_arg =
   Arg.(
@@ -497,7 +526,8 @@ let cmd =
       $ ffloat [ "fmax" ] ~default:1e10 ~doc:"Highest TFT frequency [Hz]."
       $ points_arg
       $ ffloat [ "eps" ] ~default:1e-3 ~doc:"RVF error bound (relative)."
-      $ snapshots_arg $ domains_arg $ out_arg $ format_arg $ diag_arg
+      $ snapshots_arg $ domains_arg $ backend_arg $ out_arg $ format_arg
+      $ diag_arg
       $ trace_arg $ metrics_arg $ obs_dir_arg $ guard_arg $ fault_arg
       $ deadline_arg $ checkpoint_dir_arg $ resume_arg $ verbose_arg)
 

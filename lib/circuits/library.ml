@@ -94,3 +94,90 @@ let lc_ladder ?(input_wave = default_wave) () =
 
 let lc_input = "Vin"
 let lc_output = Engine.Mna.Node "n3"
+
+(* --- large-circuit generators ----------------------------------------
+   Parameterized families for the sparse-backend tier: node counts are
+   set by the caller (ladders and meshes comfortably reach 10k nodes),
+   values are uniform so the closed-form RC-ladder oracle and simple
+   scaling arguments apply. *)
+
+let rc_ladder_n ?(stages = 3) ?(r = 1e3) ?(c = 1e-9)
+    ?(input_wave = default_wave) () =
+  if stages < 1 then invalid_arg "rc_ladder_n: stages must be >= 1";
+  let comps = ref [ N.vsource ~name:"Vin" "n0" "0" input_wave ] in
+  for k = 1 to stages do
+    let prev = Printf.sprintf "n%d" (k - 1) in
+    let cur = Printf.sprintf "n%d" k in
+    comps :=
+      N.capacitor ~name:(Printf.sprintf "C%d" k) cur "0" c
+      :: N.resistor ~name:(Printf.sprintf "R%d" k) prev cur r
+      :: !comps
+  done;
+  N.make (List.rev !comps)
+
+let rc_ladder_output stages = Engine.Mna.Node (Printf.sprintf "n%d" stages)
+
+let mesh_node r c = Printf.sprintf "m%d_%d" r c
+
+let rc_mesh ?(rows = 8) ?(cols = 8) ?(r = 1e3) ?(c = 1e-9)
+    ?(input_wave = default_wave) () =
+  if rows < 1 || cols < 1 then invalid_arg "rc_mesh: rows/cols must be >= 1";
+  let comps = ref [] in
+  let add x = comps := x :: !comps in
+  add (N.vsource ~name:"Vin" "in" "0" input_wave);
+  add (N.resistor ~name:"Rin" "in" (mesh_node 0 0) r);
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      let here = mesh_node i j in
+      add (N.capacitor ~name:(Printf.sprintf "C%d_%d" i j) here "0" c);
+      if j + 1 < cols then
+        add
+          (N.resistor ~name:(Printf.sprintf "Rh%d_%d" i j) here
+             (mesh_node i (j + 1))
+             r);
+      if i + 1 < rows then
+        add
+          (N.resistor ~name:(Printf.sprintf "Rv%d_%d" i j) here
+             (mesh_node (i + 1) j)
+             r)
+    done
+  done;
+  N.make (List.rev !comps)
+
+let mesh_input = "Vin"
+let mesh_output ~rows ~cols = Engine.Mna.Node (mesh_node (rows - 1) (cols - 1))
+
+let rc_grid ?(rows = 8) ?(cols = 8) ?(r = 1e3) ?(c = 1e-9) ?(diode_every = 7)
+    ?(input_wave = default_wave) () =
+  if rows < 1 || cols < 1 then invalid_arg "rc_grid: rows/cols must be >= 1";
+  if diode_every < 1 then invalid_arg "rc_grid: diode_every must be >= 1";
+  let comps = ref [] in
+  let add x = comps := x :: !comps in
+  add (N.vsource ~name:"Vin" "in" "0" input_wave);
+  add (N.resistor ~name:"Rin" "in" (mesh_node 0 0) r);
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      let here = mesh_node i j in
+      let k = (i * cols) + j in
+      add (N.capacitor ~name:(Printf.sprintf "C%d_%d" i j) here "0" c);
+      if k mod diode_every = diode_every - 1 then
+        add
+          (N.diode ~name:(Printf.sprintf "D%d_%d" i j)
+             ~params:{ N.i_sat = 1e-12; ideality = 2.0; cj = 1e-12 }
+             here "0" ());
+      if j + 1 < cols then
+        add
+          (N.resistor ~name:(Printf.sprintf "Rh%d_%d" i j) here
+             (mesh_node i (j + 1))
+             r);
+      if i + 1 < rows then
+        add
+          (N.resistor ~name:(Printf.sprintf "Rv%d_%d" i j) here
+             (mesh_node (i + 1) j)
+             r)
+    done
+  done;
+  N.make (List.rev !comps)
+
+let grid_input = "Vin"
+let grid_output = mesh_output

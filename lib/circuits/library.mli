@@ -37,3 +37,57 @@ val lc_ladder : ?input_wave:Circuit.Netlist.wave -> unit -> Circuit.Netlist.t
 
 val lc_input : string
 val lc_output : Engine.Mna.output
+
+(** {1 Large-circuit generators}
+
+    Parameterized families for the sparse-backend tier; node counts are
+    whatever the caller asks for (ladders and meshes comfortably reach
+    10k nodes). Uniform element values, so the closed-form RC-ladder
+    oracle ({!Oracle.Ladder.rc}) applies to the ladder family. *)
+
+val rc_ladder_n :
+  ?stages:int ->
+  ?r:float ->
+  ?c:float ->
+  ?input_wave:Circuit.Netlist.wave ->
+  unit ->
+  Circuit.Netlist.t
+(** Uniform RC ladder with explicit element values: [stages] R-into-C
+    sections driven by [Vin], nodes [n0 … n<stages>]. *)
+
+val rc_ladder_output : int -> Engine.Mna.output
+(** Output node of an [rc_ladder_n ~stages] netlist (its last node). *)
+
+val rc_mesh :
+  ?rows:int ->
+  ?cols:int ->
+  ?r:float ->
+  ?c:float ->
+  ?input_wave:Circuit.Netlist.wave ->
+  unit ->
+  Circuit.Netlist.t
+(** [rows × cols] rectangular resistor mesh with a capacitor to ground
+    at every node, driven through a source resistor at corner (0,0).
+    Each interior node couples to 4 neighbours — the classic sparse MNA
+    stress case (bandwidth ~[cols], fill governed by the ordering). *)
+
+val mesh_input : string
+val mesh_output : rows:int -> cols:int -> Engine.Mna.output
+(** The far-corner node (rows−1, cols−1). *)
+
+val rc_grid :
+  ?rows:int ->
+  ?cols:int ->
+  ?r:float ->
+  ?c:float ->
+  ?diode_every:int ->
+  ?input_wave:Circuit.Netlist.wave ->
+  unit ->
+  Circuit.Netlist.t
+(** {!rc_mesh} with a grounded diode at every [diode_every]-th node
+    (default 7): mildly nonlinear at scale, so the sparse Newton and
+    per-snapshot relinearization paths are exercised, while the DC
+    operating point stays trivially convergent. *)
+
+val grid_input : string
+val grid_output : rows:int -> cols:int -> Engine.Mna.output

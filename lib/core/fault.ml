@@ -102,6 +102,18 @@ let sites =
       kind = Hang;
     };
     {
+      name = "sp.singular";
+      where = "Linalg.Splu.factor_into / Linalg.Spclu.factor_into";
+      what = "zeroes the first sparse pivot so the factorization raises Singular";
+      kind = Numeric;
+    };
+    {
+      name = "krylov.stall";
+      where = "Engine.Ratkrylov.sweep";
+      what = "declares the rational-Krylov subspace stalled, degrading the sweep to per-point sparse solves";
+      kind = Numeric;
+    };
+    {
       name = "checkpoint.torn_write";
       where = "Checkpoint.store";
       what = "truncates a checkpoint write in place, simulating a crash that defeats the atomic rename";

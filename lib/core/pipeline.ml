@@ -11,15 +11,18 @@ type config = {
   estimator_delays : float list;
   rvf : Rvf.config;
   domains : int;
+  backend : Engine.Mna.backend;
 }
 
-let default_config_for ?(points = 40) ?(domains = 1) ~f_min ~f_max ~training () =
+let default_config_for ?(points = 40) ?(domains = 1)
+    ?(backend = Engine.Mna.Dense) ~f_min ~f_max ~training () =
   {
     training;
     freqs_hz = Signal.Grid.frequencies_hz ~f_min ~f_max ~points;
     estimator_delays = [];
     rvf = Rvf.default_config;
     domains;
+    backend;
   }
 
 (* One warm pool per pipeline run: created before the first fan-out
@@ -129,7 +132,12 @@ let with_wave netlist ~input ~wave =
    checkpoint taken at one parallelism resumes at any other. *)
 let fingerprint_of ~config ~netlist ~input ~outputs =
   String.concat "\n"
-    [
+    ((* dense fingerprints predate the backend knob and must stay
+        byte-identical, so the line only appears for sparse runs *)
+     (match config.backend with
+     | Engine.Mna.Dense -> []
+     | Engine.Mna.Sparse -> [ "backend=sparse" ])
+    @ [
       "tft-pipeline-v1";
       "training.wave=" ^ Artifact.render_wave config.training.wave;
       "training.t_stop=" ^ Artifact.render_float config.training.t_stop;
@@ -142,9 +150,9 @@ let fingerprint_of ~config ~netlist ~input ~outputs =
       "rvf=" ^ Artifact.render_rvf_config config.rvf;
       "input=" ^ input;
       "outputs=" ^ String.concat "," (List.map Artifact.render_output outputs);
-      "netlist:";
-      Artifact.canonical_netlist netlist;
-    ]
+        "netlist:";
+        Artifact.canonical_netlist netlist;
+      ])
 
 let ck_of ~config ~netlist ~input ~outputs checkpoint_dir =
   match checkpoint_dir with
@@ -213,8 +221,24 @@ let run_train ?guard ?cancel ?diag ?trace ?metrics ?obs ~config ~mna () =
   Obs.stage obs "pipeline.train";
   Diag.span diag "pipeline.train" (fun () ->
       Trace.span trace "pipeline.train" (fun () ->
-          Engine.Tran.run ~opts:tran_opts ?guard ?cancel ?diag ?trace ?metrics
-            ?obs mna ~t_stop:config.training.t_stop ~dt:config.training.dt))
+          Fault.in_scope "stage:train" @@ fun () ->
+          let go backend =
+            Engine.Tran.run ~opts:tran_opts ?guard ?cancel ?diag ?trace
+              ?metrics ?obs ~backend mna ~t_stop:config.training.t_stop
+              ~dt:config.training.dt
+          in
+          match config.backend with
+          | Engine.Mna.Dense -> go Engine.Mna.Dense
+          | Engine.Mna.Sparse -> (
+              try go Engine.Mna.Sparse
+              with
+              | (Linalg.Splu.Singular _ | Linalg.Spclu.Singular _) as e ->
+                Diag.warn diag ~stage:"pipeline.train"
+                  (Printf.sprintf
+                     "sparse training transient failed (%s); retrying dense"
+                     (Printexc.to_string e));
+                Diag.incr diag "pipeline.sparse_fallbacks";
+                go Engine.Mna.Dense)))
 
 (* training transient + snapshot capture, shared by every entry point *)
 let train_stage ?guard ?cancel ?diag ?trace ?metrics ?obs ~config ~netlist
@@ -223,15 +247,56 @@ let train_stage ?guard ?cancel ?diag ?trace ?metrics ?obs ~config ~netlist
   ( mna,
     run_train ?guard ?cancel ?diag ?trace ?metrics ?obs ~config ~mna () )
 
+(* snapshots from a sparse training run carry 0×0 placeholder
+   Jacobians; a dense retry re-stamps them from the recorded state —
+   exactly the matrices a dense run would have captured *)
+let densify_snapshots ~mna snapshots =
+  Array.map
+    (fun (snap : Engine.Tran.snapshot) ->
+      if Linalg.Mat.rows snap.Engine.Tran.g_mat > 0 then snap
+      else
+        let ev =
+          Engine.Mna.eval mna ~with_matrices:true ~time:snap.Engine.Tran.time
+            snap.Engine.Tran.state
+        in
+        match (ev.Engine.Mna.g_mat, ev.Engine.Mna.c_mat) with
+        | Some g, Some c -> { snap with Engine.Tran.g_mat = g; c_mat = c }
+        | _, _ -> assert false)
+    snapshots
+
 let tft_stage ?guard ?cancel ?diag ?trace ?metrics ?obs ?pool ~config ~mna
     ~training_run () =
   let estimator = Tft.Estimator.make ~delays:config.estimator_delays () in
   Obs.stage obs "pipeline.tft";
   Diag.span diag "pipeline.tft" (fun () ->
       Trace.span trace "pipeline.tft" (fun () ->
-          Tft.Dataset.of_snapshots ?pool ?guard ?cancel ?diag ?trace ?metrics
-            ?obs ~mna ~estimator ~freqs_hz:config.freqs_hz
-            training_run.Engine.Tran.snapshots))
+          Fault.in_scope "stage:tft" @@ fun () ->
+          let build backend snapshots =
+            Tft.Dataset.of_snapshots ?pool ?guard ?cancel ?diag ?trace
+              ?metrics ?obs ~backend ~mna ~estimator
+              ~freqs_hz:config.freqs_hz snapshots
+          in
+          let snapshots = training_run.Engine.Tran.snapshots in
+          match config.backend with
+          | Engine.Mna.Dense -> build Engine.Mna.Dense snapshots
+          | Engine.Mna.Sparse -> (
+              (* escalation: a singular sparse factorization or a guard
+                 breach on the sparse path retries the transform
+                 densely — the retry result is exactly what an all-dense
+                 run would have produced *)
+              try build Engine.Mna.Sparse snapshots
+              with
+              | ( Linalg.Splu.Singular _ | Linalg.Spclu.Singular _
+                | Guard.Violation _ ) as e
+              ->
+                Diag.warn diag ~stage:"pipeline.tft"
+                  (Printf.sprintf
+                     "sparse TFT transform failed (%s); retrying dense"
+                     (Printexc.to_string e));
+                Diag.incr diag "pipeline.sparse_fallbacks";
+                Obs.violation obs ~site:"pipeline.tft"
+                  (Printexc.to_string e);
+                build Engine.Mna.Dense (densify_snapshots ~mna snapshots))))
 
 let extract ?guard ?cancel ?budgets ?checkpoint_dir ?diag ?trace ?metrics ?obs
     ?pool ~config ~netlist ~input ~output () =
@@ -418,6 +483,12 @@ let describe_exn = function
   | Linalg.Clu.Singular { pivot_index; magnitude } ->
       Printf.sprintf "Singular: complex LU pivot %d has magnitude %.3e"
         pivot_index magnitude
+  | Linalg.Splu.Singular { pivot_index; magnitude } ->
+      Printf.sprintf "Singular: sparse LU pivot %d has magnitude %.3e"
+        pivot_index magnitude
+  | Linalg.Spclu.Singular { pivot_index; magnitude } ->
+      Printf.sprintf "Singular: sparse complex LU pivot %d has magnitude %.3e"
+        pivot_index magnitude
   | Guard.Violation v -> Guard.describe v
   | Cancel.Cancelled { site } -> Printf.sprintf "Cancelled: at %s" site
   | Cancel.Deadline_exceeded { site; stage; budget_seconds; elapsed_seconds } ->
@@ -437,7 +508,8 @@ let recover ?obs diag ~stage f =
   try Some (f ())
   with
   | ( Invalid_argument _ | Failure _ | Engine.Dc.No_convergence _
-    | Linalg.Lu.Singular _ | Linalg.Clu.Singular _ | Guard.Violation _ ) as e
+    | Linalg.Lu.Singular _ | Linalg.Clu.Singular _ | Linalg.Splu.Singular _
+    | Linalg.Spclu.Singular _ | Guard.Violation _ ) as e
     ->
     Diag.error diag ~stage (describe_exn e);
     Obs.violation obs ~site:stage (describe_exn e);
@@ -494,7 +566,8 @@ let fit_with_ladder ?guard ?cancel ?(budgets = no_budgets) ?(retry = no_retry)
               | exception
                   (( Invalid_argument _ | Failure _
                    | Engine.Dc.No_convergence _ | Linalg.Lu.Singular _
-                   | Linalg.Clu.Singular _ | Guard.Violation _ ) as e) ->
+                   | Linalg.Clu.Singular _ | Linalg.Splu.Singular _
+                   | Linalg.Spclu.Singular _ | Guard.Violation _ ) as e) ->
                   if n < retry.attempts then begin
                     (* transient failure with attempts left: retry this
                        rung after a bounded backoff, keeping the already
@@ -744,6 +817,7 @@ let buffer_config ?(snapshots = 100) ?(domains = 1) () =
         min_imag_fraction = 0.03;
       };
     domains;
+    backend = Engine.Mna.Dense;
   }
 
 let extract_buffer ?guard ?diag ?trace ?metrics ?obs ?config () =

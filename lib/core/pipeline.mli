@@ -23,18 +23,30 @@ type config = {
           {!extract_simo}): [1] (the default) stays sequential, [n > 1]
           fans out across an [Exec] pool of [n] domains with
           bit-identical results. *)
+  backend : Engine.Mna.backend;
+      (** linear-algebra backbone for the training transient and the
+          TFT transform. [Dense] (the default) is bit-identical to
+          before the knob existed. [Sparse] assembles into compiled CSC
+          patterns, factors with {!Linalg.Splu}/{!Linalg.Spclu} and
+          sweeps the frequency grid through {!Engine.Ratkrylov} — the
+          large-circuit path. A singular sparse factorization or a
+          guard breach on the sparse path falls back to the dense
+          stage transparently (counter [pipeline.sparse_fallbacks],
+          [Warning] event); the fit stages are backend-independent. *)
 }
 
 val default_config_for :
   ?points:int ->
   ?domains:int ->
+  ?backend:Engine.Mna.backend ->
   f_min:float ->
   f_max:float ->
   training:training ->
   unit ->
   config
 (** Log frequency grid with [points] samples (default 40) and the
-    default RVF settings; sequential unless [domains > 1]. *)
+    default RVF settings; sequential unless [domains > 1]; dense unless
+    [backend] says otherwise. *)
 
 type timing = {
   train_seconds : float;  (** transient + snapshot capture *)
@@ -209,7 +221,9 @@ val extract_simo :
 
     The raising entry points above propagate the first numerical failure
     ([Invalid_argument], [Failure], {!Engine.Dc.No_convergence},
-    {!Linalg.Lu.Singular}, {!Linalg.Clu.Singular}, {!Guard.Violation}).
+    {!Linalg.Lu.Singular}, {!Linalg.Clu.Singular},
+    {!Linalg.Splu.Singular}, {!Linalg.Spclu.Singular},
+    {!Guard.Violation}).
     The [try_]* variants below never raise on those: they climb an
     escalation ladder of progressively more permissive RVF
     configurations and, when every rung fails, return [None] together

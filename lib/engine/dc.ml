@@ -82,23 +82,143 @@ let newton ?guard ?cancel ?metrics ?obs ~opts ~mna ~gmin ~residual_of ~jac_of
   in
   (result, !iters)
 
+(* --- sparse Newton --------------------------------------------------- *)
+
+(* Everything one sparse Newton solve needs, compiled once per system
+   and reused across iterations, gmin levels and transient steps: the
+   assembly context, the pencil value buffer J = G + α·C over the same
+   pattern, the LU workspace (which caches the fill-reducing ordering),
+   and the diagonal slots gmin regularization lands in. *)
+type sparse_ws = {
+  ctx : Mna.sparse_ctx;
+  j : Linalg.Sp.t;
+  slu : Linalg.Splu.t;
+  diag_slots : int array;
+  neg_f : Linalg.Vec.t;
+  dv : Linalg.Vec.t;
+}
+
+let sparse_ws ?ctx mna =
+  let ctx = match ctx with Some c -> c | None -> Mna.sparse_ctx mna in
+  let pattern = Mna.sparse_pattern ctx in
+  let n = Mna.size mna in
+  {
+    ctx;
+    j = Linalg.Sp.create pattern;
+    slu = Linalg.Splu.workspace pattern;
+    diag_slots =
+      Array.init (Mna.n_nodes mna) (fun k ->
+          match Linalg.Sp.find pattern k k with
+          | Some s -> s
+          | None -> assert false (* the union pattern includes the diagonal *));
+    neg_f = Linalg.Vec.create n;
+    dv = Linalg.Vec.create n;
+  }
+
+let sparse_ws_ctx sws = sws.ctx
+
+(* Sparse twin of [newton]: same contraction test, step limiting, gmin
+   regularization, fault probe and telemetry sites, with the residual
+   fold for the dynamic term passed in as a closure and the Jacobian
+   pencil J = G + α·C blended over the shared pattern. Returns the
+   solution only — the caller re-evaluates if it needs residual pieces
+   at the solution. *)
+let newton_sparse ?guard ?cancel ?metrics ?obs ~opts ~mna ~sws ~gmin ~time
+    ~alpha ~fold ~initial () =
+  let n = Mna.size mna in
+  let n_nodes = Mna.n_nodes mna in
+  let v = Linalg.Vec.copy initial in
+  let iters = ref 0 in
+  let jv = sws.j.Linalg.Sp.v in
+  let rec iterate it =
+    Cancel.check cancel ~site:"dc.newton";
+    if it >= opts.max_iter then None
+    else begin
+      incr iters;
+      let sev = Mna.eval_sparse mna sws.ctx ~time v in
+      let f = sev.Mna.si_vec in
+      fold f sev.Mna.sq_vec;
+      let gv = sev.Mna.sg.Linalg.Sp.v and cv = sev.Mna.sc.Linalg.Sp.v in
+      for k = 0 to Array.length jv - 1 do
+        jv.(k) <- gv.(k) +. (alpha *. cv.(k))
+      done;
+      if gmin > 0.0 then
+        for k = 0 to n_nodes - 1 do
+          let s = sws.diag_slots.(k) in
+          jv.(s) <- jv.(s) +. gmin;
+          f.(k) <- f.(k) +. (gmin *. v.(k))
+        done;
+      let f_norm = Linalg.Vec.norm_inf f in
+      let t_factor = Metrics.now_if metrics in
+      match Linalg.Splu.factor_into ?guard sws.slu sws.j with
+      | exception Linalg.Splu.Singular _ ->
+          Metrics.observe_since_ns metrics "dc.lu_factor_ns" t_factor;
+          None
+      | () ->
+          Metrics.observe_since_ns metrics "dc.lu_factor_ns" t_factor;
+          (match obs with
+          | None -> ()
+          | Some _ ->
+              Obs.rcond obs ~site:"dc.lu" (Linalg.Splu.rcond_estimate sws.slu));
+          let t_solve = Metrics.now_if metrics in
+          for k = 0 to n - 1 do
+            sws.neg_f.(k) <- -.f.(k)
+          done;
+          Linalg.Splu.solve_into sws.slu sws.neg_f sws.dv;
+          Metrics.observe_since_ns metrics "dc.lu_solve_ns" t_solve;
+          let dv_norm = Linalg.Vec.norm_inf sws.dv in
+          let scale =
+            if dv_norm > opts.dv_max then opts.dv_max /. dv_norm else 1.0
+          in
+          for k = 0 to n - 1 do
+            v.(k) <- v.(k) +. (scale *. sws.dv.(k))
+          done;
+          if
+            Float.is_finite dv_norm
+            && dv_norm *. scale < opts.vtol
+            && f_norm < opts.abstol
+          then Some v
+          else iterate (it + 1)
+    end
+  in
+  let result =
+    if Fault.should_fire "dc.newton_diverge" then None else iterate 0
+  in
+  (result, !iters)
+
 let dc_residual mna time v =
   let ev = Mna.eval mna ~with_matrices:true ~time v in
   (* DC: drop the dq/dt term entirely *)
   ev
 
 let solve ?(opts = default_opts) ?guard ?cancel ?diag ?trace ?metrics ?obs
-    ?initial ?(time = 0.0) mna =
+    ?initial ?(time = 0.0) ?(backend = Mna.Dense) ?sparse mna =
   Trace.span trace "dc.solve" @@ fun () ->
   let n = Mna.size mna in
   let initial =
     match initial with Some v -> v | None -> Linalg.Vec.create n
   in
+  let sws =
+    match backend with
+    | Mna.Dense -> None
+    | Mna.Sparse ->
+        Some (match sparse with Some s -> s | None -> sparse_ws mna)
+  in
   let jac_of (ev : Mna.eval) = ev.Mna.g_mat in
   let attempt gmin start =
     let r, iters =
-      newton ?guard ?cancel ?metrics ?obs ~opts ~mna ~gmin
-        ~residual_of:(dc_residual mna time) ~jac_of ~initial:start ()
+      match sws with
+      | None ->
+          let r, iters =
+            newton ?guard ?cancel ?metrics ?obs ~opts ~mna ~gmin
+              ~residual_of:(dc_residual mna time) ~jac_of ~initial:start ()
+          in
+          ((match r with Some (v, _) -> Some v | None -> None), iters)
+      | Some sws ->
+          newton_sparse ?guard ?cancel ?metrics ?obs ~opts ~mna ~sws ~gmin
+            ~time ~alpha:0.0
+            ~fold:(fun _ _ -> ())
+            ~initial:start ()
     in
     Diag.add diag "dc.newton_iterations" iters;
     Metrics.add metrics "dc.newton_iterations" iters;
@@ -109,7 +229,7 @@ let solve ?(opts = default_opts) ?guard ?cancel ?diag ?trace ?metrics ?obs
     v
   in
   match attempt opts.gmin_final initial with
-  | Some (v, _) -> finish v
+  | Some v -> finish v
   | None ->
       (* gmin stepping continuation *)
       Log.debug (fun m -> m "plain Newton failed; starting gmin stepping");
@@ -122,7 +242,7 @@ let solve ?(opts = default_opts) ?guard ?cancel ?diag ?trace ?metrics ?obs
         | gmin :: rest -> begin
             Diag.incr diag "dc.gmin_levels";
             match attempt (Float.max gmin opts.gmin_final) v_start with
-            | Some (v, _) -> if rest = [] then finish v else steps v rest
+            | Some v -> if rest = [] then finish v else steps v rest
             | None ->
                 (* restart the level from the best guess we have *)
                 if rest = [] then begin
@@ -135,7 +255,35 @@ let solve ?(opts = default_opts) ?guard ?cancel ?diag ?trace ?metrics ?obs
       steps initial levels
 
 let newton_dynamic ?(opts = default_opts) ?guard ?cancel ?diag ?metrics ?obs
-    ~mna ~time ~alpha ~q_prev ~qdot_term ~initial () =
+    ?(backend = Mna.Dense) ?sparse ~mna ~time ~alpha ~q_prev ~qdot_term
+    ~initial () =
+  match backend with
+  | Mna.Sparse ->
+      let sws = match sparse with Some s -> s | None -> sparse_ws mna in
+      let n = Mna.size mna in
+      let fold f q =
+        for k = 0 to n - 1 do
+          f.(k) <- f.(k) +. (alpha *. (q.(k) -. q_prev.(k))) -. qdot_term.(k)
+        done
+      in
+      let result, iters =
+        newton_sparse ?guard ?cancel ?metrics ?obs ~opts ~mna ~sws
+          ~gmin:opts.gmin_final ~time ~alpha ~fold ~initial ()
+      in
+      Diag.add diag "dc.newton_iterations" iters;
+      Metrics.add metrics "dc.newton_iterations" iters;
+      (match result with
+      | Some v ->
+          Guard.check_vec guard ~site:"dc.newton_dynamic" v;
+          (* residual pieces at the solution, without dense Jacobians —
+             the transient needs q(v), not G/C matrices *)
+          let ev = Mna.eval mna ~with_matrices:false ~time v in
+          (v, ev, iters)
+      | None ->
+          raise
+            (No_convergence
+               (Printf.sprintf "transient Newton failed at t=%.6e" time)))
+  | Mna.Dense ->
   let n = Mna.size mna in
   let residual_of v =
     let ev = Mna.eval mna ~with_matrices:true ~time v in

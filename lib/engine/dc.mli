@@ -12,6 +12,17 @@ val default_opts : opts
 
 exception No_convergence of string
 
+type sparse_ws
+(** Reusable state for the sparse Newton backend: assembly context,
+    Newton pencil value buffer, sparse LU workspace (with its cached
+    fill-reducing ordering) and the diagonal slots gmin lands in. Build
+    one per system and share it across DC solves and transient steps. *)
+
+val sparse_ws : ?ctx:Mna.sparse_ctx -> Mna.t -> sparse_ws
+(** Compile a sparse workspace, reusing [ctx] when provided. *)
+
+val sparse_ws_ctx : sparse_ws -> Mna.sparse_ctx
+
 val solve :
   ?opts:opts ->
   ?guard:Guard.t ->
@@ -22,6 +33,8 @@ val solve :
   ?obs:Obs.t ->
   ?initial:Linalg.Vec.t ->
   ?time:float ->
+  ?backend:Mna.backend ->
+  ?sparse:sparse_ws ->
   Mna.t ->
   Linalg.Vec.t
 (** Solve [i(v) = s(time)] (capacitors open, inductors short). Applies
@@ -39,7 +52,12 @@ val solve :
     ["dc.newton_diverge"] fault probe (one invocation per Newton run;
     a firing reports divergence, engaging gmin stepping). With
     [cancel], every Newton iteration probes the token (site
-    ["dc.newton"]). *)
+    ["dc.newton"]).
+
+    With [backend:Sparse], the Newton systems assemble into compiled
+    CSC patterns and factor with {!Linalg.Splu}; [sparse] supplies a
+    prebuilt workspace (one is compiled on the fly otherwise). The
+    dense path is bit-identical to before the knob existed. *)
 
 val newton_dynamic :
   ?opts:opts ->
@@ -48,6 +66,8 @@ val newton_dynamic :
   ?diag:Diag.t ->
   ?metrics:Metrics.t ->
   ?obs:Obs.t ->
+  ?backend:Mna.backend ->
+  ?sparse:sparse_ws ->
   mna:Mna.t ->
   time:float ->
   alpha:float ->
@@ -59,7 +79,8 @@ val newton_dynamic :
 (** Newton solve of the discretized transient equation
     [i(v) − s(t) + alpha·(q(v) − q_prev) − qdot_term = 0]; shared by the
     integration methods in {!Tran}. Returns the solution, the final
-    evaluation (with Jacobians) at the solution, and the number of
+    evaluation at the solution (with dense Jacobians on the dense
+    backend, residual pieces only on the sparse one), and the number of
     Newton iterations actually run. On {!No_convergence} the iterations
     spent on the failed attempt are still accumulated into [diag]
     ([dc.newton_iterations]). *)

@@ -1,11 +1,27 @@
 type output = Node of string | Diff of string * string
+type backend = Dense | Sparse
+
+(* Where stamp Jacobian contributions land. The stamps themselves are
+   closed over build-time constants only — which add_mat calls run, and
+   with which (r, c) arguments, never depends on the linearization
+   point. That invariant is what makes the Probe/Fill pair sound: one
+   probe evaluation records the exact occurrence sequence every later
+   evaluation will replay, so Fill can stream values into precompiled
+   sparse slots with a plain counter. *)
+type sink =
+  | No_sink
+  | Dense_sink of Linalg.Mat.t
+  | Probe of (int * int) list ref  (* reversed occurrence sequence *)
+  | Fill of fill
+
+and fill = { slots : int array; vals : float array; mutable next : int }
 
 type acc = {
   v : Linalg.Vec.t;
   i_vec : Linalg.Vec.t;
   q_vec : Linalg.Vec.t;
-  g_mat : Linalg.Mat.t option;
-  c_mat : Linalg.Mat.t option;
+  g_mat : sink;
+  c_mat : sink;
 }
 
 type eval = {
@@ -19,10 +35,16 @@ type eval = {
 let volt acc k = if k < 0 then 0.0 else acc.v.(k)
 let add_vec vec k x = if k >= 0 then vec.(k) <- vec.(k) +. x
 
-let add_mat mat r c x =
-  match mat with
-  | Some m when r >= 0 && c >= 0 -> Linalg.Mat.update m r c (fun y -> y +. x)
-  | Some _ | None -> ()
+let add_mat sink r c x =
+  if r >= 0 && c >= 0 then
+    match sink with
+    | No_sink -> ()
+    | Dense_sink m -> Linalg.Mat.update m r c (fun y -> y +. x)
+    | Probe occ -> occ := (r, c) :: !occ
+    | Fill f ->
+        let slot = f.slots.(f.next) in
+        f.next <- f.next + 1;
+        f.vals.(slot) <- f.vals.(slot) +. x
 
 type t = {
   netlist : Circuit.Netlist.t;
@@ -341,13 +363,16 @@ let netlist t = t.netlist
 
 let eval t ?(with_matrices = true) ~time v =
   if Array.length v <> t.n then invalid_arg "Mna.eval: bad vector size";
+  let g = if with_matrices then Some (Linalg.Mat.create t.n t.n) else None in
+  let c = if with_matrices then Some (Linalg.Mat.create t.n t.n) else None in
+  let sink = function None -> No_sink | Some m -> Dense_sink m in
   let acc =
     {
       v;
       i_vec = Linalg.Vec.create t.n;
       q_vec = Linalg.Vec.create t.n;
-      g_mat = (if with_matrices then Some (Linalg.Mat.create t.n t.n) else None);
-      c_mat = (if with_matrices then Some (Linalg.Mat.create t.n t.n) else None);
+      g_mat = sink g;
+      c_mat = sink c;
     }
   in
   Array.iter (fun stamp -> stamp acc) t.stamps;
@@ -355,7 +380,92 @@ let eval t ?(with_matrices = true) ~time v =
     (fun (row, coeff, src) ->
       acc.i_vec.(row) <- acc.i_vec.(row) -. (coeff *. src time))
     t.injections;
-  { i_vec = acc.i_vec; q_vec = acc.q_vec; g_mat = acc.g_mat; c_mat = acc.c_mat }
+  { i_vec = acc.i_vec; q_vec = acc.q_vec; g_mat = g; c_mat = c }
+
+(* --- sparse assembly ------------------------------------------------- *)
+
+type sparse_ctx = {
+  pattern : Linalg.Sp.pattern;  (* union pattern of G and C, plus the diagonal *)
+  g_slots : int array;  (* occurrence -> value index, G stamp order *)
+  c_slots : int array;
+  g_sp : Linalg.Sp.t;
+  c_sp : Linalg.Sp.t;
+}
+
+type sparse_eval = {
+  si_vec : Linalg.Vec.t;
+  sq_vec : Linalg.Vec.t;
+  sg : Linalg.Sp.t;
+  sc : Linalg.Sp.t;
+}
+
+let sparse_ctx t =
+  (* probe pass: record the (r, c) occurrence sequence of each matrix at
+     an arbitrary linearization point (the sequence is state-independent) *)
+  let g_occ = ref [] and c_occ = ref [] in
+  let acc =
+    {
+      v = Linalg.Vec.create t.n;
+      i_vec = Linalg.Vec.create t.n;
+      q_vec = Linalg.Vec.create t.n;
+      g_mat = Probe g_occ;
+      c_mat = Probe c_occ;
+    }
+  in
+  Array.iter (fun stamp -> stamp acc) t.stamps;
+  let g_occ = Array.of_list (List.rev !g_occ) in
+  let c_occ = Array.of_list (List.rev !c_occ) in
+  let ng = Array.length g_occ and nc = Array.length c_occ in
+  (* one union pattern so the AC pencil G + s·C is an elementwise fill;
+     the full diagonal rides along so gmin regularization and pivoting
+     always have their slots, at the cost of a few explicit zeros *)
+  let diag = Array.init t.n (fun k -> (k, k)) in
+  let occ = Array.concat [ g_occ; c_occ; diag ] in
+  let pattern, slots = Linalg.Sp.compile ~nrows:t.n ~ncols:t.n occ in
+  {
+    pattern;
+    g_slots = Array.sub slots 0 ng;
+    c_slots = Array.sub slots ng nc;
+    g_sp = Linalg.Sp.create pattern;
+    c_sp = Linalg.Sp.create pattern;
+  }
+
+(* fresh value buffers over the shared compiled pattern — what each
+   worker domain needs to re-stamp snapshots concurrently *)
+let sparse_ctx_copy ctx =
+  {
+    ctx with
+    g_sp = Linalg.Sp.create ctx.pattern;
+    c_sp = Linalg.Sp.create ctx.pattern;
+  }
+
+let sparse_pattern ctx = ctx.pattern
+
+let eval_sparse t ctx ~time v =
+  if Array.length v <> t.n then invalid_arg "Mna.eval_sparse: bad vector size";
+  Linalg.Sp.clear ctx.g_sp;
+  Linalg.Sp.clear ctx.c_sp;
+  let gf = { slots = ctx.g_slots; vals = ctx.g_sp.Linalg.Sp.v; next = 0 } in
+  let cf = { slots = ctx.c_slots; vals = ctx.c_sp.Linalg.Sp.v; next = 0 } in
+  let acc =
+    {
+      v;
+      i_vec = Linalg.Vec.create t.n;
+      q_vec = Linalg.Vec.create t.n;
+      g_mat = Fill gf;
+      c_mat = Fill cf;
+    }
+  in
+  Array.iter (fun stamp -> stamp acc) t.stamps;
+  (* the occurrence replay drifting from the probe would silently
+     scatter values to wrong entries — make it loud instead *)
+  if gf.next <> Array.length ctx.g_slots || cf.next <> Array.length ctx.c_slots
+  then invalid_arg "Mna.eval_sparse: stamp occurrence sequence diverged";
+  Array.iter
+    (fun (row, coeff, src) ->
+      acc.i_vec.(row) <- acc.i_vec.(row) -. (coeff *. src time))
+    t.injections;
+  { si_vec = acc.i_vec; sq_vec = acc.q_vec; sg = ctx.g_sp; sc = ctx.c_sp }
 
 let b_matrix t = Linalg.Mat.copy t.b
 let d_matrix t = Linalg.Mat.copy t.d

@@ -28,14 +28,25 @@ type result = {
   step_rejections : int;
 }
 
-let matrices_of_eval (ev : Mna.eval) =
+(* Snapshot Jacobians: dense evaluations carry them; the sparse backend
+   stores 0×0 placeholders instead — the TFT dataset re-stamps G/C from
+   the recorded state through the compiled sparse pattern, so keeping
+   n×n copies per snapshot would only burn memory at large n. *)
+let snapshot_matrices (ev : Mna.eval) =
   match (ev.Mna.g_mat, ev.Mna.c_mat) with
-  | Some g, Some c -> (g, c)
-  | _, _ -> invalid_arg "Tran: evaluation without Jacobians"
+  | Some g, Some c -> (Linalg.Mat.copy g, Linalg.Mat.copy c)
+  | _, _ -> (Linalg.Mat.create 0 0, Linalg.Mat.create 0 0)
 
 let run ?(opts = default_opts) ?guard ?cancel ?diag ?trace ?metrics ?obs
-    ?initial mna ~t_stop ~dt =
+    ?initial ?(backend = Mna.Dense) ?sparse mna ~t_stop ~dt =
   if dt <= 0.0 || t_stop <= 0.0 then invalid_arg "Tran.run: dt and t_stop must be > 0";
+  let sparse =
+    match backend with
+    | Mna.Dense -> None
+    | Mna.Sparse ->
+        Some (match sparse with Some s -> s | None -> Dc.sparse_ws mna)
+  in
+  let with_matrices = backend = Mna.Dense in
   let n = Mna.size mna in
   (* the small slack avoids a spurious zero-length final step when
      t_stop/dt is an integer up to roundoff *)
@@ -47,9 +58,9 @@ let run ?(opts = default_opts) ?guard ?cancel ?diag ?trace ?metrics ?obs
     | Some v -> Linalg.Vec.copy v
     | None ->
         Dc.solve ~opts:opts.newton ?guard ?cancel ?diag ?trace ?metrics ?obs
-          ~time:0.0 mna
+          ~time:0.0 ~backend ?sparse mna
   in
-  let ev0 = Mna.eval mna ~with_matrices:true ~time:0.0 v0 in
+  let ev0 = Mna.eval mna ~with_matrices ~time:0.0 v0 in
   let times = Array.make (steps + 1) 0.0 in
   let states = Array.make (steps + 1) v0 in
   let outputs = Linalg.Mat.create (steps + 1) (Mna.n_outputs mna) in
@@ -60,15 +71,15 @@ let run ?(opts = default_opts) ?guard ?cancel ?diag ?trace ?metrics ?obs
   record_output 0 v0;
   let snapshots = ref [] in
   let take_snapshot time v (ev : Mna.eval) =
-    let g, c = matrices_of_eval ev in
+    let g, c = snapshot_matrices ev in
     snapshots :=
       {
         time;
         state = Linalg.Vec.copy v;
         inputs = Mna.input_values mna time;
         outputs = Mna.output_values mna v;
-        g_mat = Linalg.Mat.copy g;
-        c_mat = Linalg.Mat.copy c;
+        g_mat = g;
+        c_mat = c;
       }
       :: !snapshots
   in
@@ -109,7 +120,8 @@ let run ?(opts = default_opts) ?guard ?cancel ?diag ?trace ?metrics ?obs
                 in
                 match
                   Dc.newton_dynamic ~opts:opts.newton ?guard ?cancel ?diag
-                    ?metrics ?obs ~mna ~time:t_sub ~alpha:(1.0 /. hs) ~q_prev:q
+                    ?metrics ?obs ~backend ?sparse ~mna ~time:t_sub
+                    ~alpha:(1.0 /. hs) ~q_prev:q
                     ~qdot_term:(Linalg.Vec.create n) ~initial:v ()
                 with
                 | exception Dc.No_convergence _ -> None
@@ -123,7 +135,7 @@ let run ?(opts = default_opts) ?guard ?cancel ?diag ?trace ?metrics ?obs
                      "step at t=%.6e recovered as %d backward-Euler substeps"
                      time m);
                 (* re-evaluate for the snapshot-quality Jacobians *)
-                let ev = Mna.eval mna ~with_matrices:true ~time v in
+                let ev = Mna.eval mna ~with_matrices ~time v in
                 Some (v, ev, iters)
             | None -> attempt (j + 1)
           end
@@ -161,7 +173,7 @@ let run ?(opts = default_opts) ?guard ?cancel ?diag ?trace ?metrics ?obs
       inject_diverge ();
       let v, ev, iters =
         Dc.newton_dynamic ~opts:opts.newton ?guard ?cancel ?diag ?metrics ?obs
-          ~mna ~time ~alpha:(1.0 /. h) ~q_prev:!q_prev
+          ~backend ?sparse ~mna ~time ~alpha:(1.0 /. h) ~q_prev:!q_prev
           ~qdot_term:(Linalg.Vec.create n) ~initial:!v_prev ()
       in
       (v, ev, iters, true)
@@ -176,7 +188,8 @@ let run ?(opts = default_opts) ?guard ?cancel ?diag ?trace ?metrics ?obs
         inject_diverge ();
         let v, ev, iters =
           Dc.newton_dynamic ~opts:opts.newton ?guard ?cancel ?diag ?metrics ?obs
-            ~mna ~time ~alpha ~q_prev:!q_prev ~qdot_term ~initial:!v_prev ()
+            ~backend ?sparse ~mna ~time ~alpha ~q_prev:!q_prev ~qdot_term
+            ~initial:!v_prev ()
         in
         (v, ev, iters, false)
       with
@@ -231,11 +244,18 @@ let output_waveform r j =
   Signal.Waveform.make r.times (Linalg.Mat.col r.outputs j)
 
 let run_adaptive ?(opts = default_opts) ?guard ?cancel ?diag ?trace ?metrics
-    ?obs ?initial ?(reltol = 1e-3) ?(abstol = 1e-6) ?dt_min ?dt_max mna ~t_stop
-    ~dt =
+    ?obs ?initial ?(reltol = 1e-3) ?(abstol = 1e-6) ?dt_min ?dt_max
+    ?(backend = Mna.Dense) ?sparse mna ~t_stop ~dt =
   if dt <= 0.0 || t_stop <= 0.0 then
     invalid_arg "Tran.run_adaptive: dt and t_stop must be > 0";
   Trace.span trace "tran.run_adaptive" @@ fun () ->
+  let sparse =
+    match backend with
+    | Mna.Dense -> None
+    | Mna.Sparse ->
+        Some (match sparse with Some s -> s | None -> Dc.sparse_ws mna)
+  in
+  let with_matrices = backend = Mna.Dense in
   let dt_min = match dt_min with Some v -> v | None -> dt /. 1e6 in
   let dt_max = match dt_max with Some v -> v | None -> 50.0 *. dt in
   let n = Mna.size mna in
@@ -244,23 +264,23 @@ let run_adaptive ?(opts = default_opts) ?guard ?cancel ?diag ?trace ?metrics
     | Some v -> Linalg.Vec.copy v
     | None ->
         Dc.solve ~opts:opts.newton ?guard ?cancel ?diag ?trace ?metrics ?obs
-          ~time:0.0 mna
+          ~time:0.0 ~backend ?sparse mna
   in
-  let ev0 = Mna.eval mna ~with_matrices:true ~time:0.0 v0 in
+  let ev0 = Mna.eval mna ~with_matrices ~time:0.0 v0 in
   let times = ref [ 0.0 ] in
   let states = ref [ v0 ] in
   let outputs = ref [ Mna.output_values mna v0 ] in
   let snapshots = ref [] in
   let take_snapshot time v (ev : Mna.eval) =
-    let g, c = matrices_of_eval ev in
+    let g, c = snapshot_matrices ev in
     snapshots :=
       {
         time;
         state = Linalg.Vec.copy v;
         inputs = Mna.input_values mna time;
         outputs = Mna.output_values mna v;
-        g_mat = Linalg.Mat.copy g;
-        c_mat = Linalg.Mat.copy c;
+        g_mat = g;
+        c_mat = c;
       }
       :: !snapshots
   in
@@ -282,7 +302,7 @@ let run_adaptive ?(opts = default_opts) ?guard ?cancel ?diag ?trace ?metrics
       try
         let v, ev, iters =
           Dc.newton_dynamic ~opts:opts.newton ?guard ?cancel ?diag ?metrics ?obs
-            ~mna ~time ~alpha:(2.0 /. h_try) ~q_prev:!q_prev
+            ~backend ?sparse ~mna ~time ~alpha:(2.0 /. h_try) ~q_prev:!q_prev
             ~qdot_term:(Linalg.Vec.copy !qdot_prev) ~initial:!v_prev ()
         in
         newton_count := !newton_count + iters;

@@ -21,8 +21,11 @@ type snapshot = {
   state : Linalg.Vec.t;  (** converged unknown vector *)
   inputs : Linalg.Vec.t;  (** u(t_k) of the designated inputs *)
   outputs : Linalg.Vec.t;  (** y(t_k) = Dᵀ v *)
-  g_mat : Linalg.Mat.t;  (** ∂i/∂v at the solution *)
-  c_mat : Linalg.Mat.t;  (** ∂q/∂v at the solution *)
+  g_mat : Linalg.Mat.t;
+      (** ∂i/∂v at the solution; a 0×0 placeholder on the sparse
+          backend, where consumers re-stamp it from [state] through a
+          compiled sparse pattern instead of carrying n×n copies *)
+  c_mat : Linalg.Mat.t;  (** ∂q/∂v at the solution; likewise *)
 }
 
 type result = {
@@ -51,6 +54,8 @@ val run :
   ?metrics:Metrics.t ->
   ?obs:Obs.t ->
   ?initial:Linalg.Vec.t ->
+  ?backend:Mna.backend ->
+  ?sparse:Dc.sparse_ws ->
   Mna.t ->
   t_stop:float ->
   dt:float ->
@@ -78,7 +83,12 @@ val run :
     attempt, including the backward-Euler retreat) and the hang-class
     ["tran.stall"] site. With [cancel], every step probes the token
     (site ["tran.step"]) before integrating, as does every inner
-    Newton iteration. *)
+    Newton iteration.
+
+    With [backend:Sparse], every Newton system (DC operating point and
+    each time step) assembles and factors sparsely through one shared
+    {!Dc.sparse_ws} ([sparse] supplies it, otherwise one is compiled
+    up front), and snapshots carry 0×0 placeholder Jacobians. *)
 
 val output_waveform : result -> int -> Signal.Waveform.t
 (** Extract output channel [j] as a waveform. *)
@@ -96,6 +106,8 @@ val run_adaptive :
   ?abstol:float ->
   ?dt_min:float ->
   ?dt_max:float ->
+  ?backend:Mna.backend ->
+  ?sparse:Dc.sparse_ws ->
   Mna.t ->
   t_stop:float ->
   dt:float ->

@@ -1,0 +1,45 @@
+(** Sparse LU factorization of a real CSC matrix.
+
+    Left-looking (Gilbert–Peierls) column factorization with threshold
+    partial pivoting and a fill-reducing minimum-degree column
+    preordering, mirroring the {!Lu} workspace conventions:
+    [factor_into] reuses a workspace keyed to one compiled pattern,
+    [solve_into] writes into a caller-owned vector, and
+    [rcond_estimate] is the same diagonal-ratio proxy the [Guard]
+    rcond floors consume. *)
+
+exception Singular of { pivot_index : int; magnitude : float }
+
+type t
+
+val workspace : Sp.pattern -> t
+(** Allocate a workspace for one square pattern; the fill-reducing
+    column ordering is computed here and cached, so repeated
+    refactorizations of the same structure pay only the numeric cost.
+    Raises [Invalid_argument] on a non-square pattern. *)
+
+val ws_matches : t -> Sp.pattern -> bool
+(** Whether the workspace was compiled for exactly this pattern. *)
+
+val factor_into : ?guard:Guard.t -> t -> Sp.t -> unit
+(** Factor [P·A·Q = L·U] into the workspace. The matrix must carry the
+    workspace's pattern (physical equality). Raises {!Singular} when a
+    column has no admissible pivot above [1e-300], or — with a guard —
+    when the factored rcond estimate falls below the guard's floor.
+    Fault site [sp.singular] forces a zero pivot in column 0. *)
+
+val factor : ?guard:Guard.t -> Sp.t -> t
+
+val rcond_estimate : t -> float
+(** min|U_ii| / max|U_ii| over the factored diagonal, as in
+    {!Lu.rcond_estimate}. *)
+
+val solve_into : t -> Vec.t -> Vec.t -> unit
+(** [solve_into f b x] solves [A·x = b]. [b] and [x] must be distinct
+    buffers. *)
+
+val solve : t -> Vec.t -> Vec.t
+
+val lu_nnz : t -> int
+(** Stored entries in [L] and [U] together — the fill the ordering
+    actually achieved (meaningful after a successful factorization). *)

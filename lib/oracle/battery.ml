@@ -320,6 +320,120 @@ let check_pipeline ~quick () =
     m "model_surface_rel_err" surface_err 1e-6;
   ]
 
+(* ---------------- sparse backend vs dense backend ---------------- *)
+
+(* the sparse tier's contract: re-stamped CSC Jacobians and certified
+   rational-Krylov sweeps reproduce the dense per-snapshot transfer
+   trajectories. A mildly nonlinear diode grid exercises the
+   state-dependent refill. Errors are measured against the trajectory
+   scale — per-point relative error is meaningless where |H| underflows
+   toward the far corner of the mesh. *)
+let check_sparse_parity ~quick () =
+  checked "sparse-tft-parity" @@ fun () ->
+  let rows = if quick then 5 else 6 and cols = if quick then 5 else 7 in
+  let f_train = 2e3 in
+  let wave =
+    Circuit.Netlist.Sine
+      { offset = 0.45; ampl = 0.3; freq = f_train; phase = 0.0 }
+  in
+  let netlist = Circuits.Library.rc_grid ~rows ~cols ~input_wave:wave () in
+  let mna =
+    Engine.Mna.build
+      ~inputs:[ Circuits.Library.grid_input ]
+      ~outputs:[ Circuits.Library.grid_output ~rows ~cols ]
+      netlist
+  in
+  let t_stop = 1.0 /. f_train in
+  let steps = 96 in
+  let opts =
+    { Engine.Tran.default_opts with Engine.Tran.snapshot_every = 12 }
+  in
+  let run =
+    Engine.Tran.run ~opts mna ~t_stop ~dt:(t_stop /. float_of_int steps)
+  in
+  let freqs_hz =
+    Signal.Grid.frequencies_hz ~f_min:1e3 ~f_max:1e8
+      ~points:(if quick then 12 else 20)
+  in
+  let estimator = Tft.Estimator.make () in
+  let dense =
+    Tft.Dataset.of_snapshots ~mna ~estimator ~freqs_hz
+      run.Engine.Tran.snapshots
+  in
+  let sparse =
+    Tft.Dataset.of_snapshots ~backend:Engine.Mna.Sparse ~mna ~estimator
+      ~freqs_hz run.Engine.Tran.snapshots
+  in
+  let get hm = Linalg.Cmat.get hm 0 0 in
+  let scale = ref 0.0 in
+  Array.iter
+    (fun (s : Tft.Dataset.sample) ->
+      scale := Float.max !scale (Float.abs (get s.Tft.Dataset.h0).Complex.re);
+      Array.iter
+        (fun hm -> scale := Float.max !scale (Complex.norm (get hm)))
+        s.Tft.Dataset.h)
+    dense.Tft.Dataset.samples;
+  let h_err = ref 0.0 and h0_err = ref 0.0 in
+  Array.iteri
+    (fun k (sd : Tft.Dataset.sample) ->
+      let sp = sparse.Tft.Dataset.samples.(k) in
+      h0_err :=
+        Float.max !h0_err
+          (Complex.norm
+             (Complex.sub (get sp.Tft.Dataset.h0) (get sd.Tft.Dataset.h0))
+          /. !scale);
+      Array.iteri
+        (fun l hm ->
+          h_err :=
+            Float.max !h_err
+              (Complex.norm (Complex.sub (get sp.Tft.Dataset.h.(l)) (get hm))
+              /. !scale))
+        sd.Tft.Dataset.h)
+    dense.Tft.Dataset.samples;
+  [
+    m "samples_mismatch"
+      (float_of_int
+         (abs
+            (Array.length dense.Tft.Dataset.samples
+            - Array.length sparse.Tft.Dataset.samples)))
+      0.0;
+    m "transfer_rel_err" !h_err 1e-8;
+    m "dc_rel_err" !h0_err 1e-8;
+  ]
+
+(* the sparse tier at scale: DC solve + rational-Krylov sweep of a
+   1000-stage RC ladder against its closed-form tridiagonal spectrum —
+   a size the dense path cannot reasonably touch per grid point *)
+let check_large_ladder ~quick () =
+  checked "large-ladder-recovery" @@ fun () ->
+  let o = Ladder.rc ~stages:1000 () in
+  let mna = mna_of o in
+  let ctx = Engine.Mna.sparse_ctx mna in
+  let sw = Engine.Dc.sparse_ws ~ctx mna in
+  let at = Engine.Dc.solve ~backend:Engine.Mna.Sparse ~sparse:sw mna in
+  let sev = Engine.Mna.eval_sparse mna ctx ~time:0.0 at in
+  let g = sev.Engine.Mna.sg and c = sev.Engine.Mna.sc in
+  let ws =
+    Engine.Ratkrylov.make_ws
+      ~pat:(Engine.Mna.sparse_pattern ctx)
+      ~b:(Engine.Mna.b_matrix mna)
+      ~d:(Engine.Mna.d_matrix mna)
+  in
+  let freqs = grid_for o ~points:(if quick then 24 else 40) in
+  let ss = Array.map Signal.Grid.s_of_hz freqs in
+  let h, stats = Engine.Ratkrylov.sweep ws ~g ~c ~ss in
+  let row = Array.map (fun hm -> Linalg.Cmat.get hm 0 0) h in
+  let h0, _ = Engine.Ratkrylov.sweep ws ~g ~c ~ss:[| Complex.zero |] in
+  let z0 = Linalg.Cmat.get h0.(0) 0 0 in
+  [
+    m "sweep_rel_err"
+      (Ladder.max_rel_error ~exact:o.Ladder.exact ~points:ss row)
+      1e-8;
+    m "dc_gain_err" (Float.abs (z0.Complex.re -. Ladder.dc_gain o.Ladder.exact)) 1e-8;
+    m "dc_gain_imag" (Float.abs z0.Complex.im) 1e-10;
+    m "krylov_worst_residual" stats.Engine.Ratkrylov.worst_residual 1e-10;
+  ]
+
 (* ---------------- the battery ---------------- *)
 
 let run ?(quick = false) () =
@@ -340,6 +454,8 @@ let run ?(quick = false) () =
     check_hammerstein_transient ~quick ();
     check_kernel_parity ~quick ();
     check_pipeline ~quick ();
+    check_sparse_parity ~quick ();
+    check_large_ladder ~quick ();
   ]
 
 (* ---------------- reporting ---------------- *)

@@ -95,6 +95,36 @@ let rc_ladder s =
   Ladder.rc ~stages:s.size ~r:(log_uniform st 1e2 1e4)
     ~c:(log_uniform st 1e-10 1e-8) ()
 
+(* ---------------- random sparse-tier circuits ---------------- *)
+
+(* mesh/grid shapes grow with `size` so shrinking walks toward small
+   circuits; element values share the ladder's decade ranges *)
+let mesh_shape s =
+  let st = Random.State.make [| s.seed; s.size; 0x6d657368 |] in
+  let rows = 2 + s.size + Random.State.int st 2 in
+  let cols = 2 + s.size + Random.State.int st 2 in
+  (rows, cols)
+
+let rc_mesh s =
+  let st = rand_state s in
+  let rows, cols = mesh_shape s in
+  let netlist =
+    Circuits.Library.rc_mesh ~rows ~cols ~r:(log_uniform st 1e2 1e4)
+      ~c:(log_uniform st 1e-10 1e-8) ()
+  in
+  (netlist, Circuits.Library.mesh_input, Circuits.Library.mesh_output ~rows ~cols)
+
+let rc_grid s =
+  let st = rand_state s in
+  let rows, cols = mesh_shape s in
+  let netlist =
+    Circuits.Library.rc_grid ~rows ~cols ~r:(log_uniform st 1e2 1e4)
+      ~c:(log_uniform st 1e-10 1e-8)
+      ~diode_every:(5 + (s.seed mod 3))
+      ()
+  in
+  (netlist, Circuits.Library.grid_input, Circuits.Library.grid_output ~rows ~cols)
+
 (* ---------------- state-space residue trajectories ---------------- *)
 
 let state_pole_pairs s =

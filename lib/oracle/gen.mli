@@ -34,6 +34,20 @@ val rc_ladder : seeded -> Ladder.oracle
 (** A random passive uniform RC ladder: [size] stages, R log-uniform in
     [100 Ω, 10 kΩ], C log-uniform in [0.1 nF, 10 nF]. *)
 
+val rc_mesh :
+  seeded -> Circuit.Netlist.t * string * Engine.Mna.output
+(** A random rectangular RC resistor mesh ([(netlist, input, output)]):
+    side lengths [size + 2 .. size + 3] (so shrinking walks toward small
+    circuits), element values in the ladder's decade ranges, output at
+    the far corner. Drives the sparse-vs-dense differential properties
+    with genuinely 2-D sparsity patterns. *)
+
+val rc_grid :
+  seeded -> Circuit.Netlist.t * string * Engine.Mna.output
+(** {!rc_mesh} with a grounded diode sprinkled at every 5th–7th node
+    (seed-dependent stride): mildly nonlinear at scale, exercising the
+    sparse Newton refill and per-snapshot relinearization paths. *)
+
 val state_pole_pairs : seeded -> (float * float) array
 (** 1–2 random x-plane pole pairs [(β, α)] with centers inside [0, 1]
     and widths in [0.08, 0.45] (above the extractor's min-imag floor

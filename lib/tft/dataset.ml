@@ -127,9 +127,11 @@ let quarantine guard diag metrics obs t =
    calls; revalidated against the current (B, D) so one pool can serve
    successive escalation rungs and even different circuits *)
 let ac_ws_key : Engine.Ac.ws Exec.key = Exec.new_key ()
+let rk_ws_key : Engine.Ratkrylov.ws Exec.key = Exec.new_key ()
 
-let of_snapshots ?pool ?guard ?cancel ?diag ?trace ?metrics ?obs ~mna
-    ~estimator ~freqs_hz snapshots =
+let of_snapshots ?pool ?guard ?cancel ?diag ?trace ?metrics ?obs
+    ?(backend = Engine.Mna.Dense) ?sparse_ctx ~mna ~estimator ~freqs_hz
+    snapshots =
   let b = Engine.Mna.b_matrix mna in
   let d = Engine.Mna.d_matrix mna in
   let mi = Linalg.Mat.cols b and mo = Linalg.Mat.cols d in
@@ -151,37 +153,93 @@ let of_snapshots ?pool ?guard ?cancel ?diag ?trace ?metrics ?obs ~mna
      so the result is bit-identical to the sequential path. Guard
      finite-checks run in the quarantine pass below, not in the workers,
      so corrupt samples are collected rather than racing to raise. *)
+  let make_sample (snap : Engine.Tran.snapshot) i h h0 =
+    if corrupt.(i) then
+      Array.iter
+        (fun hm ->
+          Linalg.Cmat.set hm 0 0 { Complex.re = Float.nan; im = Float.nan })
+        h;
+    {
+      time = snap.Engine.Tran.time;
+      x = Estimator.coords estimator ~u:u_fun snap.Engine.Tran.time;
+      u = Array.copy snap.Engine.Tran.inputs;
+      y = Array.copy snap.Engine.Tran.outputs;
+      h;
+      h0;
+    }
+  in
   let samples =
     Trace.span trace
       ~args:[ ("snapshots", Trace.Int (Array.length snapshots)) ]
       "tft.dataset"
     @@ fun () ->
-    Exec.parallel_map_ws ?pool ?cancel ?trace ?metrics ~label:"tft"
-      ~ws:(fun chunk ->
-        match pool with
-        | Some p ->
-            Exec.slot p ac_ws_key ~chunk
-              ~valid:(fun w -> Engine.Ac.ws_matches w ~b ~d)
-              ~make:(fun () -> Engine.Ac.make_ws ~b ~d)
-        | None -> Engine.Ac.make_ws ~b ~d)
-      (fun ws ((i, snap) : int * Engine.Tran.snapshot) ->
-        let g = snap.Engine.Tran.g_mat and c = snap.Engine.Tran.c_mat in
-        let h = Engine.Ac.transfer_sweep ?cancel ?metrics ?obs ws ~g ~c ~ss in
-        let h0 = Engine.Ac.transfer_ws ?obs ws ~g ~c ~s:Complex.zero in
-        if corrupt.(i) then
-          Array.iter
-            (fun hm ->
-              Linalg.Cmat.set hm 0 0 { Complex.re = Float.nan; im = Float.nan })
-            h;
-        {
-          time = snap.Engine.Tran.time;
-          x = Estimator.coords estimator ~u:u_fun snap.Engine.Tran.time;
-          u = Array.copy snap.Engine.Tran.inputs;
-          y = Array.copy snap.Engine.Tran.outputs;
-          h;
-          h0;
-        })
-      (Array.mapi (fun i snap -> (i, snap)) snapshots)
+    match backend with
+    | Engine.Mna.Dense ->
+        Exec.parallel_map_ws ?pool ?cancel ?trace ?metrics ~label:"tft"
+          ~ws:(fun chunk ->
+            match pool with
+            | Some p ->
+                Exec.slot p ac_ws_key ~chunk
+                  ~valid:(fun w -> Engine.Ac.ws_matches w ~b ~d)
+                  ~make:(fun () -> Engine.Ac.make_ws ~b ~d)
+            | None -> Engine.Ac.make_ws ~b ~d)
+          (fun ws ((i, snap) : int * Engine.Tran.snapshot) ->
+            let g = snap.Engine.Tran.g_mat and c = snap.Engine.Tran.c_mat in
+            let h =
+              Engine.Ac.transfer_sweep ?cancel ?metrics ?obs ws ~g ~c ~ss
+            in
+            let h0 = Engine.Ac.transfer_ws ?obs ws ~g ~c ~s:Complex.zero in
+            make_sample snap i h h0)
+          (Array.mapi (fun i snap -> (i, snap)) snapshots)
+    | Engine.Mna.Sparse ->
+        (* Snapshots carry placeholder Jacobians on this backend: the
+           sequential pre-pass re-stamps G/C from each snapshot's
+           converged state through the compiled pattern (bit-identical
+           values — same accumulation order as the dense stamps) and
+           keeps only the nnz-sized value arrays. Workers then run the
+           rational-Krylov sweep on private views, so nothing shared is
+           mutated during the fan-out. *)
+        let ctx =
+          match sparse_ctx with
+          | Some c -> c
+          | None -> Engine.Mna.sparse_ctx mna
+        in
+        let pat = Engine.Mna.sparse_pattern ctx in
+        let per_snap =
+          Array.map
+            (fun (snap : Engine.Tran.snapshot) ->
+              let sev =
+                Engine.Mna.eval_sparse mna ctx ~time:snap.Engine.Tran.time
+                  snap.Engine.Tran.state
+              in
+              ( Array.copy sev.Engine.Mna.sg.Linalg.Sp.v,
+                Array.copy sev.Engine.Mna.sc.Linalg.Sp.v ))
+            snapshots
+        in
+        (* an armed fault must fire at a deterministic point in the
+           solve sequence, so injections force the sequential path *)
+        let pool = if Fault.armed () = None then pool else None in
+        Exec.parallel_map_ws ?pool ?cancel ?trace ?metrics ~label:"tft"
+          ~ws:(fun chunk ->
+            match pool with
+            | Some p ->
+                Exec.slot p rk_ws_key ~chunk
+                  ~valid:(fun w -> Engine.Ratkrylov.ws_matches w ~pat ~b ~d)
+                  ~make:(fun () -> Engine.Ratkrylov.make_ws ~pat ~b ~d)
+            | None -> Engine.Ratkrylov.make_ws ~pat ~b ~d)
+          (fun ws ((i, snap) : int * Engine.Tran.snapshot) ->
+            let gv, cv = per_snap.(i) in
+            let g = { Linalg.Sp.pat; v = gv }
+            and c = { Linalg.Sp.pat; v = cv } in
+            let h, _ =
+              Engine.Ratkrylov.sweep ?cancel ?metrics ?obs ws ~g ~c ~ss
+            in
+            let h0, _ =
+              Engine.Ratkrylov.sweep ?cancel ?metrics ?obs ws ~g ~c
+                ~ss:[| Complex.zero |]
+            in
+            make_sample snap i h h0.(0))
+          (Array.mapi (fun i snap -> (i, snap)) snapshots)
   in
   quarantine guard diag metrics obs
     { freqs_hz; samples; n_inputs = mi; n_outputs = mo }

@@ -29,6 +29,8 @@ val of_snapshots :
   ?trace:Trace.buf ->
   ?metrics:Metrics.t ->
   ?obs:Obs.t ->
+  ?backend:Engine.Mna.backend ->
+  ?sparse_ctx:Engine.Mna.sparse_ctx ->
   mna:Engine.Mna.t ->
   estimator:Estimator.t ->
   freqs_hz:float array ->
@@ -62,7 +64,19 @@ val of_snapshots :
     Raises [Guard.Violation] when every sample is corrupt. Hosts the
     ["dataset.snapshot_burst"] fault probe; firing is decided per
     snapshot index in a sequential pre-pass, so injected bursts are
-    deterministic for any domain count. *)
+    deterministic for any domain count.
+
+    With [backend:Sparse], the snapshots' (placeholder) dense Jacobians
+    are ignored: G/C are re-stamped from each snapshot's converged
+    state through the compiled pattern of [sparse_ctx] (compiled on the
+    fly when omitted) in a sequential pre-pass, and each snapshot's
+    grid sweep runs through {!Engine.Ratkrylov} — a few sparse shift
+    factorizations plus certified projected solves instead of one dense
+    factorization per grid point. [H(0)] comes from an exact sparse
+    solve. An armed fault site forces the sequential path so injections
+    ([sp.singular], [krylov.stall]) land deterministically; a sparse
+    singularity escapes as {!Linalg.Spclu.Singular} for the pipeline's
+    escalation ladder to catch. *)
 
 val dynamic_part : t -> t
 (** Subtract [H^(k)(0)] from every frequency sample: the remaining purely

@@ -24,5 +24,6 @@ let () =
       ("minijson", Test_minijson.suite);
       ("obs", Test_obs.suite);
       ("oracle", Test_oracle.suite);
+      ("sparse", Test_sparse.suite);
       ("coverage", Test_coverage.suite);
     ]

@@ -116,7 +116,7 @@ let test_metric_nan_fails () =
 
 let test_battery_quick () =
   let verdicts = Oracle.Battery.run ~quick:true () in
-  Alcotest.(check int) "eight checks" 8 (List.length verdicts);
+  Alcotest.(check int) "ten checks" 10 (List.length verdicts);
   List.iter
     (fun v ->
       Alcotest.(check bool)
@@ -135,7 +135,7 @@ let test_battery_quick () =
     (Minijson.field root "passed" = Some (Minijson.Bool true));
   match Minijson.arr_field root "checks" with
   | Some checks ->
-      Alcotest.(check int) "check entries" 8 (List.length checks);
+      Alcotest.(check int) "check entries" 10 (List.length checks);
       List.iter
         (fun c ->
           Alcotest.(check bool) "has metrics" true
